@@ -1,0 +1,84 @@
+//! Criterion benches that regenerate every experiment of EXPERIMENTS.md.
+//!
+//! Each benchmark group runs one experiment (E1..E9) at the quick scale and prints
+//! its table once, so `cargo bench` both measures the harness and reproduces the
+//! rows recorded in EXPERIMENTS.md. Component micro-benchmarks (SWF parsing,
+//! workload generation, the simulation engine, backfilling cost) follow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psbench_core::{run_experiment, Scale};
+use psbench_sched::by_name;
+use psbench_sim::{SimConfig, SimJob, Simulation};
+use psbench_swf::{parse, write_string};
+use psbench_workload::{Lublin99, WorkloadModel};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static PRINTED: AtomicBool = AtomicBool::new(false);
+
+fn bench_experiments(c: &mut Criterion) {
+    let scale = Scale::quick();
+    // Print every experiment table once, so `cargo bench` output contains the rows
+    // that EXPERIMENTS.md records.
+    if !PRINTED.swap(true, Ordering::SeqCst) {
+        for id in psbench_core::experiment_ids() {
+            if let Some(table) = run_experiment(id, scale) {
+                println!("\n{}", table.to_markdown());
+            }
+        }
+    }
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    for id in ["E1", "E3", "E6", "E7"] {
+        group.bench_with_input(BenchmarkId::from_parameter(id), id, |b, id| {
+            b.iter(|| black_box(run_experiment(id, scale)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_swf_parsing(c: &mut Criterion) {
+    let log = Lublin99::default().generate(5_000, 42);
+    let text = write_string(&log);
+    let mut group = c.benchmark_group("swf");
+    group.throughput(criterion::Throughput::Elements(log.len() as u64));
+    group.bench_function("parse_5k_jobs", |b| b.iter(|| black_box(parse(&text).unwrap())));
+    group.bench_function("write_5k_jobs", |b| b.iter(|| black_box(write_string(&log))));
+    group.finish();
+}
+
+fn bench_workload_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_models");
+    group.sample_size(10);
+    for model in psbench_workload::standard_models(128) {
+        group.bench_function(model.name(), |b| {
+            b.iter(|| black_box(model.generate(2_000, 7)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation_engine(c: &mut Criterion) {
+    let log = Lublin99::default().generate(2_000, 11);
+    let jobs = SimJob::from_log(&log);
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    for sched_name in ["fcfs", "easy", "conservative", "gang"] {
+        group.bench_function(sched_name, |b| {
+            b.iter(|| {
+                let mut sched = by_name(sched_name, 128).unwrap();
+                black_box(Simulation::new(SimConfig::new(128), jobs.clone()).run(sched.as_mut()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_experiments,
+    bench_swf_parsing,
+    bench_workload_models,
+    bench_simulation_engine
+);
+criterion_main!(benches);

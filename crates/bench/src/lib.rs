@@ -1,0 +1,1 @@
+//! Criterion benchmark harness crate for psbench (benches live in benches/).

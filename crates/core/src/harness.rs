@@ -1,0 +1,193 @@
+//! The experiment harness: run scenario sweeps (optionally in parallel) and render
+//! result tables.
+
+use crate::suite::Scenario;
+use parking_lot::Mutex;
+use psbench_sim::SimulationResult;
+use serde::{Deserialize, Serialize};
+
+/// A simple report table: a title, column headers, and string rows. Every
+//  experiment renders into this so EXPERIMENTS.md and the benches print the same thing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Table {
+    /// Table title (experiment id and description).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Render as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Render as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",") + "\n";
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with three significant decimals for tables.
+pub fn fmt(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Run a batch of scenarios sequentially, returning `(scenario, result)` pairs in
+/// input order.
+pub fn run_all(scenarios: &[Scenario]) -> Vec<(Scenario, SimulationResult)> {
+    scenarios.iter().map(|s| (s.clone(), s.run())).collect()
+}
+
+/// Run a batch of scenarios in parallel using one thread per scenario batch
+/// (crossbeam scoped threads; results come back in input order).
+pub fn run_all_parallel(scenarios: &[Scenario], threads: usize) -> Vec<(Scenario, SimulationResult)> {
+    let threads = threads.max(1).min(scenarios.len().max(1));
+    let results: Mutex<Vec<Option<(Scenario, SimulationResult)>>> =
+        Mutex::new(vec![None; scenarios.len()]);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i >= scenarios.len() {
+                    break;
+                }
+                let result = scenarios[i].run();
+                results.lock()[i] = Some((scenarios[i].clone(), result));
+            });
+        }
+    })
+    .expect("scenario worker thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every scenario produces a result"))
+        .collect()
+}
+
+/// Build a comparison table (one row per scenario) from a set of results.
+pub fn results_table(title: &str, results: &[(Scenario, SimulationResult)]) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "scenario",
+            "scheduler",
+            "jobs",
+            "mean wait [s]",
+            "mean response [s]",
+            "mean bounded slowdown",
+            "utilization",
+            "loss of capacity",
+        ],
+    );
+    for (scenario, result) in results {
+        let agg = result.aggregate();
+        let sys = result.system();
+        table.push_row(vec![
+            scenario.name.clone(),
+            result.scheduler.clone(),
+            agg.jobs.to_string(),
+            fmt(agg.wait_time.mean),
+            fmt(agg.response_time.mean),
+            fmt(agg.bounded_slowdown.mean),
+            fmt(sys.utilization),
+            fmt(sys.loss_of_capacity),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{WorkloadDef, WorkloadKind};
+
+    fn small_scenarios() -> Vec<Scenario> {
+        let def = WorkloadDef::new(WorkloadKind::Lublin99, 64, 80, 5);
+        vec![
+            Scenario::new("fcfs", def, "fcfs"),
+            Scenario::new("easy", def, "easy"),
+            Scenario::new("conservative", def, "conservative"),
+        ]
+    }
+
+    #[test]
+    fn table_rendering() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["3".into(), "4".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 3 | 4 |"));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("a,b"));
+    }
+
+    #[test]
+    fn fmt_scales_precision() {
+        assert_eq!(fmt(12345.6), "12346");
+        assert_eq!(fmt(42.25), "42.2");
+        assert_eq!(fmt(1.23456), "1.235");
+    }
+
+    #[test]
+    fn sequential_and_parallel_runs_agree() {
+        let scenarios = small_scenarios();
+        let seq = run_all(&scenarios);
+        let par = run_all_parallel(&scenarios, 3);
+        assert_eq!(seq.len(), par.len());
+        for ((s_a, r_a), (s_b, r_b)) in seq.iter().zip(par.iter()) {
+            assert_eq!(s_a.name, s_b.name);
+            // Determinism: identical seeds and jobs, so identical outcomes.
+            assert_eq!(r_a.finished, r_b.finished);
+        }
+    }
+
+    #[test]
+    fn results_table_has_a_row_per_scenario() {
+        let results = run_all(&small_scenarios());
+        let table = results_table("smoke", &results);
+        assert_eq!(table.rows.len(), 3);
+        assert_eq!(table.headers.len(), 8);
+        assert!(table.to_markdown().contains("easy"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # psbench-core — the benchmark standard
+//!
+//! This crate is the paper's primary deliverable turned into code: a *canonical*
+//! set of workloads (fixed models, machine sizes and seeds), a harness that runs
+//! scheduler × workload scenarios and renders comparable tables, and the catalogue
+//! of experiments that regenerate every claim discussed in EXPERIMENTS.md.
+//!
+//! * [`suite`] — the canonical workloads, scenario definitions, scheduler line-up.
+//! * [`harness`] — scenario sweeps (sequential or parallel) and table rendering.
+//! * [`experiments`] — E1..E9, each returning a [`harness::Table`].
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod suite;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::experiments::{experiment_ids, run_experiment, Scale};
+    pub use crate::harness::{fmt, results_table, run_all, run_all_parallel, Table};
+    pub use crate::suite::{
+        canonical_machines, canonical_schedulers, canonical_suite, Scenario, WorkloadDef,
+        WorkloadKind,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,324 @@
+//! Metacomputing applications: annotated program graphs and micro-benchmarks.
+//!
+//! Section 4.3 proposes representing benchmark applications as "annotated graphs"
+//! (Legion program graphs) and simulating their execution by interpreting the
+//! graphs; Section 3.2 proposes starting the benchmark suite from micro-benchmarks
+//! that each stress one aspect of the metasystem (compute-intensive,
+//! communication-intensive, device-constrained) plus mixed-mode workloads.
+
+use psbench_workload::dist::{exponential, log_uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A special device a module may require (the "specific set of devices from
+/// different locations" of Section 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Device {
+    /// A visualization engine.
+    Visualization,
+    /// A mass storage archive.
+    Archive,
+    /// A physical instrument (telescope, microscope, ...).
+    Instrument,
+}
+
+/// One module (task) of a meta-application graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module identifier (index in the graph).
+    pub id: usize,
+    /// Computation in processor-seconds (at reference speed).
+    pub work: f64,
+    /// Processors the module wants.
+    pub procs: u32,
+    /// Device the module must be co-located with, if any.
+    pub device: Option<Device>,
+}
+
+/// A dependence edge between modules, annotated with the data volume transferred.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Producer module.
+    pub from: usize,
+    /// Consumer module.
+    pub to: usize,
+    /// Data transferred along the edge, in megabytes.
+    pub data_mb: f64,
+}
+
+/// An annotated application graph (DAG of modules).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AppGraph {
+    /// Human readable name (micro-benchmark class or application name).
+    pub name: String,
+    /// The modules.
+    pub modules: Vec<Module>,
+    /// The dependence edges (must reference existing modules, producer < consumer).
+    pub edges: Vec<Edge>,
+}
+
+impl AppGraph {
+    /// Total computation of the application in processor-seconds.
+    pub fn total_work(&self) -> f64 {
+        self.modules.iter().map(|m| m.work).sum()
+    }
+
+    /// Total data volume moved along edges, in megabytes.
+    pub fn total_data_mb(&self) -> f64 {
+        self.edges.iter().map(|e| e.data_mb).sum()
+    }
+
+    /// Communication-to-computation ratio (MB per processor-second).
+    pub fn comm_to_comp(&self) -> f64 {
+        let work = self.total_work();
+        if work <= 0.0 {
+            0.0
+        } else {
+            self.total_data_mb() / work
+        }
+    }
+
+    /// Modules with no incoming edges (entry modules).
+    pub fn entry_modules(&self) -> Vec<usize> {
+        (0..self.modules.len())
+            .filter(|&m| !self.edges.iter().any(|e| e.to == m))
+            .collect()
+    }
+
+    /// Predecessors of a module.
+    pub fn predecessors(&self, module: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|e| e.to == module)
+            .map(|e| e.from)
+            .collect()
+    }
+
+    /// True if the edges form a DAG over valid module indices with `from < to`
+    /// (the canonical topological numbering used throughout this crate).
+    pub fn is_well_formed(&self) -> bool {
+        self.edges.iter().all(|e| {
+            e.from < self.modules.len() && e.to < self.modules.len() && e.from < e.to
+        })
+    }
+}
+
+/// The micro-benchmark classes of Section 3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MicroBenchmark {
+    /// "A compute-intensive meta-application that can use all the cycles from all
+    /// the machines it can get": wide independent modules, almost no communication.
+    ComputeIntensive,
+    /// "A communication-intensive meta application that requires extensive data
+    /// transfers between its parts": a pipeline of modules with heavy edges.
+    CommunicationIntensive,
+    /// "A meta-application that requires a specific set of devices from different
+    /// locations": modules pinned to devices.
+    DeviceConstrained,
+}
+
+impl MicroBenchmark {
+    /// All micro-benchmark classes.
+    pub fn all() -> &'static [MicroBenchmark] {
+        &[
+            MicroBenchmark::ComputeIntensive,
+            MicroBenchmark::CommunicationIntensive,
+            MicroBenchmark::DeviceConstrained,
+        ]
+    }
+
+    /// Generate one application graph of this class.
+    pub fn generate(&self, modules: usize, seed: u64) -> AppGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let modules = modules.max(1);
+        match self {
+            MicroBenchmark::ComputeIntensive => {
+                let mods: Vec<Module> = (0..modules)
+                    .map(|id| Module {
+                        id,
+                        work: log_uniform(&mut rng, 10_000.0, 500_000.0),
+                        procs: 1 << rng.gen_range(4..8),
+                        device: None,
+                    })
+                    .collect();
+                AppGraph {
+                    name: "compute-intensive".to_string(),
+                    modules: mods,
+                    edges: Vec::new(),
+                }
+            }
+            MicroBenchmark::CommunicationIntensive => {
+                let mods: Vec<Module> = (0..modules)
+                    .map(|id| Module {
+                        id,
+                        work: exponential(&mut rng, 20_000.0),
+                        procs: 1 << rng.gen_range(3..6),
+                        device: None,
+                    })
+                    .collect();
+                let edges: Vec<Edge> = (1..modules)
+                    .map(|to| Edge {
+                        from: to - 1,
+                        to,
+                        data_mb: log_uniform(&mut rng, 500.0, 50_000.0),
+                    })
+                    .collect();
+                AppGraph {
+                    name: "communication-intensive".to_string(),
+                    modules: mods,
+                    edges,
+                }
+            }
+            MicroBenchmark::DeviceConstrained => {
+                let devices = [Device::Visualization, Device::Archive, Device::Instrument];
+                let mods: Vec<Module> = (0..modules)
+                    .map(|id| Module {
+                        id,
+                        work: exponential(&mut rng, 30_000.0),
+                        procs: 1 << rng.gen_range(2..6),
+                        device: Some(devices[id % devices.len()]),
+                    })
+                    .collect();
+                let edges: Vec<Edge> = (1..modules)
+                    .map(|to| Edge {
+                        from: rng.gen_range(0..to),
+                        to,
+                        data_mb: exponential(&mut rng, 200.0),
+                    })
+                    .collect();
+                AppGraph {
+                    name: "device-constrained".to_string(),
+                    modules: mods,
+                    edges,
+                }
+            }
+        }
+    }
+}
+
+/// A mixed-mode workload: a sequence of meta-applications with arrival times, drawn
+/// from the micro-benchmark classes with the given weights.
+pub fn mixed_workload(
+    n_apps: usize,
+    mean_interarrival: f64,
+    weights: &[(MicroBenchmark, f64)],
+    seed: u64,
+) -> Vec<(f64, AppGraph)> {
+    assert!(!weights.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ws: Vec<f64> = weights.iter().map(|(_, w)| *w).collect();
+    let mut t = 0.0;
+    (0..n_apps)
+        .map(|i| {
+            t += exponential(&mut rng, mean_interarrival.max(1.0));
+            let idx = psbench_workload::dist::discrete(&mut rng, &ws);
+            let modules = rng.gen_range(3..10);
+            (t, weights[idx].0.generate(modules, seed.wrapping_add(i as u64)))
+        })
+        .collect()
+}
+
+/// The inter-site network: a uniform latency/bandwidth model (Section 4.3's
+/// "simple model" level of detail).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    /// One-way latency between two different sites, seconds.
+    pub latency: f64,
+    /// Bandwidth between two different sites, megabytes per second.
+    pub bandwidth_mb_per_s: f64,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Network {
+            latency: 0.05,
+            bandwidth_mb_per_s: 10.0,
+        }
+    }
+}
+
+impl Network {
+    /// Transfer time of `data_mb` megabytes between `from` and `to` (zero within a
+    /// site).
+    pub fn transfer_time(&self, from: u32, to: u32, data_mb: f64) -> f64 {
+        if from == to || data_mb <= 0.0 {
+            0.0
+        } else {
+            self.latency + data_mb / self.bandwidth_mb_per_s.max(1e-9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_benchmarks_have_their_defining_shapes() {
+        let compute = MicroBenchmark::ComputeIntensive.generate(6, 1);
+        let comm = MicroBenchmark::CommunicationIntensive.generate(6, 1);
+        let device = MicroBenchmark::DeviceConstrained.generate(6, 1);
+        assert!(compute.is_well_formed());
+        assert!(comm.is_well_formed());
+        assert!(device.is_well_formed());
+        assert_eq!(compute.edges.len(), 0);
+        assert_eq!(comm.edges.len(), 5);
+        assert!(comm.comm_to_comp() > compute.comm_to_comp());
+        assert!(device.modules.iter().all(|m| m.device.is_some()));
+        assert!(compute.modules.iter().all(|m| m.device.is_none()));
+        assert_eq!(MicroBenchmark::all().len(), 3);
+    }
+
+    #[test]
+    fn graph_queries() {
+        let g = MicroBenchmark::CommunicationIntensive.generate(5, 3);
+        assert_eq!(g.entry_modules(), vec![0]);
+        assert_eq!(g.predecessors(3), vec![2]);
+        assert!(g.total_work() > 0.0);
+        assert!(g.total_data_mb() > 0.0);
+        let empty = AppGraph::default();
+        assert_eq!(empty.comm_to_comp(), 0.0);
+        assert!(empty.is_well_formed());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = MicroBenchmark::DeviceConstrained.generate(7, 42);
+        let b = MicroBenchmark::DeviceConstrained.generate(7, 42);
+        assert_eq!(a, b);
+        let c = MicroBenchmark::DeviceConstrained.generate(7, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mixed_workload_mixes_classes() {
+        let apps = mixed_workload(
+            60,
+            600.0,
+            &[
+                (MicroBenchmark::ComputeIntensive, 1.0),
+                (MicroBenchmark::CommunicationIntensive, 1.0),
+                (MicroBenchmark::DeviceConstrained, 1.0),
+            ],
+            7,
+        );
+        assert_eq!(apps.len(), 60);
+        assert!(apps.windows(2).all(|w| w[0].0 <= w[1].0));
+        let names: std::collections::HashSet<&str> =
+            apps.iter().map(|(_, g)| g.name.as_str()).collect();
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn network_transfer_times() {
+        let net = Network::default();
+        assert_eq!(net.transfer_time(1, 1, 1000.0), 0.0);
+        assert_eq!(net.transfer_time(1, 2, 0.0), 0.0);
+        let t = net.transfer_time(1, 2, 100.0);
+        assert!((t - (0.05 + 10.0)).abs() < 1e-9);
+        // a faster network moves the same data sooner
+        let fast = Network { latency: 0.01, bandwidth_mb_per_s: 1000.0 };
+        assert!(fast.transfer_time(1, 2, 100.0) < t);
+    }
+}

@@ -1,0 +1,38 @@
+//! # psbench-metasim — a WARMstones-style metacomputing evaluation environment
+//!
+//! Sections 3 and 4 of the paper extend the benchmarking question from single
+//! parallel machines to metasystems ("computational grids"), and sketch the
+//! WARMstones evaluation environment: a benchmark suite of annotated application
+//! graphs, a canonical representation of the metasystem, and a simulation engine.
+//! Following the paper's own prescription ("meta schedulers can be evaluated using
+//! simple models of local schedulers"), the sites here are simple queue-wait /
+//! reservation models rather than full per-site event simulations:
+//!
+//! * [`site`] — sites (machine schedulers wrapped for the metasystem): size, speed,
+//!   background load, price, queue-wait model, wait predictions, reservations.
+//! * [`appmodel`] — annotated application graphs, the three micro-benchmark classes
+//!   of Section 3.2, mixed-mode workloads, and the inter-site network model.
+//! * [`metasched`] — placement strategies, the application scheduler (list
+//!   scheduling of graphs onto sites), queue- versus reservation-based
+//!   co-allocation, and the Figure-1 entity hierarchy.
+
+#![warn(missing_docs)]
+
+pub mod appmodel;
+pub mod metasched;
+pub mod site;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::appmodel::{
+        mixed_workload, AppGraph, Device, Edge, MicroBenchmark, Module, Network,
+    };
+    pub use crate::metasched::{
+        build_hierarchy, coallocate_via_queues, coallocate_via_reservations, AppSchedule,
+        AppScheduler, CoallocationOutcome, CoallocationRequest, DeviceMap, Entity, EntityKind,
+        PlacementStrategy,
+    };
+    pub use crate::site::{standard_metasystem, Site, SitePlacement, SiteSpec};
+}
+
+pub use prelude::*;

@@ -1,0 +1,308 @@
+//! Sites: machine schedulers wrapped for the metasystem.
+//!
+//! Section 4.2 of the paper prescribes exactly the simplification implemented here:
+//! "meta schedulers can be evaluated using simple models of local schedulers ...
+//! A simple model of a local scheduler would just model the wait time of
+//! applications submitted to it, the error of wait time predictions, when
+//! reservations can be made, etc." A [`Site`] therefore models a parallel machine
+//! by its size, its background load, a queue-wait model, a wait-time predictor with
+//! a configurable error, an advance-reservation calendar, and a price.
+
+use psbench_sim::Cluster;
+use psbench_workload::dist::exponential;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Heterogeneity knobs of a site (Section 4.1's three flavours).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SiteSpec {
+    /// Site identifier.
+    pub id: u32,
+    /// Number of processors.
+    pub procs: u32,
+    /// Relative processor speed (architectural/configuration heterogeneity); 1.0 is
+    /// the reference speed. Runtimes scale by `1 / speed`.
+    pub speed: f64,
+    /// Background utilization in `[0,1)` from locally submitted jobs (load
+    /// heterogeneity). Higher load means longer queue waits.
+    pub background_load: f64,
+    /// Price charged per processor-second (the economic model of Section 4.2).
+    pub cost_per_proc_second: f64,
+    /// Mean wait time (seconds) of a job that asks for the whole machine when the
+    /// background load is 0.5; scales with load and request size.
+    pub base_wait: f64,
+    /// Relative error of the site's queue-wait predictions (0 = clairvoyant).
+    pub prediction_error: f64,
+    /// Whether the local scheduler supports advance reservations.
+    pub supports_reservations: bool,
+}
+
+impl SiteSpec {
+    /// A reasonable default site of the given size.
+    pub fn new(id: u32, procs: u32) -> Self {
+        SiteSpec {
+            id,
+            procs,
+            speed: 1.0,
+            background_load: 0.6,
+            cost_per_proc_second: 1.0,
+            base_wait: 4.0 * 3600.0,
+            prediction_error: 0.3,
+            supports_reservations: true,
+        }
+    }
+}
+
+/// A site: the spec plus mutable state (reservation calendar, queue backlog, RNG).
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// The static description of the site.
+    pub spec: SiteSpec,
+    /// The reservation calendar (shared machinery with the local simulator).
+    pub calendar: Cluster,
+    /// Earliest time at which the site's queue is expected to drain for a
+    /// full-machine request (advances as meta-jobs are accepted).
+    backlog_until: f64,
+    rng: StdRng,
+}
+
+/// The outcome of submitting a request to a site's queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SitePlacement {
+    /// Site the request ran on.
+    pub site: u32,
+    /// Time the request was handed to the site.
+    pub submitted: f64,
+    /// Time the request started.
+    pub start: f64,
+    /// Time the request finished.
+    pub end: f64,
+    /// Processors used.
+    pub procs: u32,
+    /// What the user paid.
+    pub cost: f64,
+}
+
+impl Site {
+    /// Create a site from its spec with a deterministic per-site RNG.
+    pub fn new(spec: SiteSpec, seed: u64) -> Self {
+        Site {
+            calendar: Cluster::new(spec.procs.max(1)),
+            backlog_until: 0.0,
+            rng: StdRng::seed_from_u64(seed ^ (spec.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            spec,
+        }
+    }
+
+    /// The runtime of `work` reference-seconds of computation on this site, on
+    /// `procs` processors with ideal scaling (heterogeneous speed applied).
+    pub fn runtime_of(&self, work_proc_seconds: f64, procs: u32) -> f64 {
+        work_proc_seconds / (procs.max(1) as f64 * self.spec.speed.max(1e-9))
+    }
+
+    /// The *actual* queue wait a request of `procs` processors experiences if
+    /// submitted at `now` (drawn from the site's wait model).
+    pub fn sample_wait(&mut self, now: f64, procs: u32) -> f64 {
+        let fraction = procs.min(self.spec.procs) as f64 / self.spec.procs as f64;
+        let load_factor = 1.0 / (1.0 - self.spec.background_load.clamp(0.0, 0.95));
+        let mean = self.spec.base_wait * fraction * load_factor * 0.5;
+        let queue_wait = exponential(&mut self.rng, mean.max(1.0));
+        let backlog_wait = (self.backlog_until - now).max(0.0);
+        queue_wait + backlog_wait
+    }
+
+    /// The site's *prediction* of the wait a request of `procs` processors would
+    /// experience if submitted at `now` (the true expectation perturbed by the
+    /// site's prediction error, as in the queue-time-prediction literature).
+    pub fn predict_wait(&mut self, now: f64, procs: u32) -> f64 {
+        let fraction = procs.min(self.spec.procs) as f64 / self.spec.procs as f64;
+        let load_factor = 1.0 / (1.0 - self.spec.background_load.clamp(0.0, 0.95));
+        let mean = self.spec.base_wait * fraction * load_factor * 0.5;
+        let backlog_wait = (self.backlog_until - now).max(0.0);
+        let err = self.spec.prediction_error.max(0.0);
+        let noise: f64 = if err > 0.0 { self.rng.gen_range(-err..err) } else { 0.0 };
+        ((mean + backlog_wait) * (1.0 + noise)).max(0.0)
+    }
+
+    /// Submit a request through the batch queue: `work_proc_seconds` of computation
+    /// on `procs` processors at time `now`. Returns where and when it ran.
+    pub fn submit(&mut self, now: f64, work_proc_seconds: f64, procs: u32) -> SitePlacement {
+        let procs = procs.min(self.spec.procs).max(1);
+        let wait = self.sample_wait(now, procs);
+        let start = now + wait;
+        let runtime = self.runtime_of(work_proc_seconds, procs);
+        let end = start + runtime;
+        // Wide requests push the site's backlog out (they occupy the machine).
+        let fraction = procs as f64 / self.spec.procs as f64;
+        self.backlog_until = self.backlog_until.max(now) + runtime * fraction;
+        SitePlacement {
+            site: self.spec.id,
+            submitted: now,
+            start,
+            end,
+            procs,
+            cost: work_proc_seconds / self.spec.speed * self.spec.cost_per_proc_second,
+        }
+    }
+
+    /// Try to book an advance reservation for `procs` processors during
+    /// `[start, start+duration)`. Fails if the site does not support reservations or
+    /// the calendar is full.
+    pub fn try_reserve(&mut self, start: f64, duration: f64, procs: u32) -> Option<u64> {
+        if !self.spec.supports_reservations {
+            return None;
+        }
+        self.calendar.try_reserve(start, start + duration, procs)
+    }
+
+    /// Run a request inside a previously booked reservation: it starts exactly at
+    /// the reservation start (no queue wait).
+    pub fn run_reserved(&mut self, start: f64, work_proc_seconds: f64, procs: u32) -> SitePlacement {
+        let procs = procs.min(self.spec.procs).max(1);
+        let runtime = self.runtime_of(work_proc_seconds, procs);
+        SitePlacement {
+            site: self.spec.id,
+            submitted: start,
+            start,
+            end: start + runtime,
+            procs,
+            cost: work_proc_seconds / self.spec.speed * self.spec.cost_per_proc_second,
+        }
+    }
+
+    /// The earliest time ≥ `from` at which a reservation of `procs` processors for
+    /// `duration` seconds could be booked (searching the calendar in hourly steps).
+    pub fn earliest_reservation(&self, from: f64, duration: f64, procs: u32) -> Option<f64> {
+        if !self.spec.supports_reservations || procs > self.spec.procs {
+            return None;
+        }
+        let mut t = from;
+        for _ in 0..24 * 14 {
+            if self.calendar.max_reserved_during(t, t + duration) + procs <= self.spec.procs {
+                return Some(t);
+            }
+            t += 3600.0;
+        }
+        None
+    }
+}
+
+/// Build a heterogeneous metasystem of `n` sites with varied sizes, speeds, loads
+/// and prices (the three heterogeneity axes of Section 4.1).
+pub fn standard_metasystem(n: usize, seed: u64) -> Vec<Site> {
+    let sizes = [128u32, 256, 64, 512, 96, 384];
+    let speeds = [1.0, 1.4, 0.8, 2.0, 1.1, 0.9];
+    let loads = [0.5, 0.7, 0.4, 0.8, 0.6, 0.55];
+    let prices = [1.0, 1.8, 0.6, 2.5, 1.2, 0.9];
+    (0..n)
+        .map(|i| {
+            let mut spec = SiteSpec::new(i as u32, sizes[i % sizes.len()]);
+            spec.speed = speeds[i % speeds.len()];
+            spec.background_load = loads[i % loads.len()];
+            spec.cost_per_proc_second = prices[i % prices.len()];
+            Site::new(spec, seed)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_scales_with_procs_and_speed() {
+        let mut spec = SiteSpec::new(1, 128);
+        spec.speed = 2.0;
+        let site = Site::new(spec, 1);
+        assert_eq!(site.runtime_of(6400.0, 32), 100.0);
+        assert_eq!(site.runtime_of(6400.0, 64), 50.0);
+        let slow = Site::new(SiteSpec { speed: 0.5, ..spec }, 1);
+        assert_eq!(slow.runtime_of(6400.0, 32), 400.0);
+    }
+
+    #[test]
+    fn heavier_load_means_longer_expected_waits() {
+        let mut light_spec = SiteSpec::new(1, 128);
+        light_spec.background_load = 0.2;
+        let mut heavy_spec = SiteSpec::new(2, 128);
+        heavy_spec.background_load = 0.9;
+        let mut light = Site::new(light_spec, 7);
+        let mut heavy = Site::new(heavy_spec, 7);
+        let n = 300;
+        let mean = |s: &mut Site| {
+            (0..n).map(|_| s.sample_wait(0.0, 64)).sum::<f64>() / n as f64
+        };
+        assert!(mean(&mut heavy) > mean(&mut light) * 2.0);
+    }
+
+    #[test]
+    fn wider_requests_wait_longer_on_average() {
+        let mut site = Site::new(SiteSpec::new(1, 128), 3);
+        let n = 300;
+        let narrow: f64 = (0..n).map(|_| site.sample_wait(0.0, 1)).sum::<f64>() / n as f64;
+        let wide: f64 = (0..n).map(|_| site.sample_wait(0.0, 128)).sum::<f64>() / n as f64;
+        assert!(wide > narrow);
+    }
+
+    #[test]
+    fn submit_accumulates_backlog() {
+        let mut site = Site::new(SiteSpec::new(1, 128), 5);
+        let p1 = site.submit(0.0, 128.0 * 3600.0, 128);
+        assert!(p1.start >= 0.0);
+        assert!(p1.end > p1.start);
+        assert!(p1.cost > 0.0);
+        // A second full-machine submission sees the backlog of the first.
+        let w_before = site.backlog_until;
+        let p2 = site.submit(0.0, 128.0 * 3600.0, 128);
+        assert!(w_before > 0.0);
+        assert!(p2.start >= w_before - 1e-6);
+    }
+
+    #[test]
+    fn predictions_are_within_the_configured_error() {
+        let mut spec = SiteSpec::new(1, 128);
+        spec.prediction_error = 0.0;
+        let mut clairvoyant = Site::new(spec, 9);
+        let p = clairvoyant.predict_wait(0.0, 64);
+        let expected = spec.base_wait * 0.5 * (1.0 / (1.0 - spec.background_load)) * 0.5;
+        assert!((p - expected).abs() < 1e-6);
+        spec.prediction_error = 0.5;
+        let mut noisy = Site::new(spec, 9);
+        for _ in 0..100 {
+            let p = noisy.predict_wait(0.0, 64);
+            assert!(p >= expected * 0.49 && p <= expected * 1.51, "prediction {p}");
+        }
+    }
+
+    #[test]
+    fn reservations_start_on_time_and_respect_capacity() {
+        let mut site = Site::new(SiteSpec::new(1, 64), 11);
+        let id = site.try_reserve(1000.0, 3600.0, 48).unwrap();
+        assert!(id > 0);
+        // A second overlapping reservation that exceeds the machine fails.
+        assert!(site.try_reserve(1500.0, 3600.0, 32).is_none());
+        let placement = site.run_reserved(1000.0, 48.0 * 100.0, 48);
+        assert_eq!(placement.start, 1000.0);
+        assert_eq!(placement.end, 1100.0);
+        // earliest_reservation skips past the booked window for large requests
+        let t = site.earliest_reservation(0.0, 3600.0, 32).unwrap();
+        assert!(t >= 4600.0 - 3600.0, "found {t}");
+        // a site without reservation support refuses
+        let mut no_res_spec = SiteSpec::new(2, 64);
+        no_res_spec.supports_reservations = false;
+        let mut no_res = Site::new(no_res_spec, 1);
+        assert!(no_res.try_reserve(0.0, 10.0, 1).is_none());
+        assert!(no_res.earliest_reservation(0.0, 10.0, 1).is_none());
+    }
+
+    #[test]
+    fn standard_metasystem_is_heterogeneous() {
+        let sites = standard_metasystem(4, 42);
+        assert_eq!(sites.len(), 4);
+        let sizes: Vec<u32> = sites.iter().map(|s| s.spec.procs).collect();
+        let speeds: Vec<f64> = sites.iter().map(|s| s.spec.speed).collect();
+        assert!(sizes.windows(2).any(|w| w[0] != w[1]));
+        assert!(speeds.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-9));
+    }
+}

@@ -1,0 +1,357 @@
+//! Aggregate statistics over per-job metrics.
+//!
+//! Different studies aggregate per-job metrics differently (arithmetic mean,
+//! geometric mean, percentiles, weighted means); the disagreements the paper warns
+//! about (Section 1.2) often come from exactly this choice. This module provides
+//! the standard aggregations plus batch-means confidence intervals.
+
+use crate::job::JobOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample of values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Summary {
+    /// Number of values.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Standard deviation (population, 0 for fewer than two values).
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// Compute a [`Summary`] of a slice of values. Non-finite values are ignored.
+pub fn summarize(values: &[f64]) -> Summary {
+    let mut clean: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if clean.is_empty() {
+        return Summary::default();
+    }
+    clean.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let count = clean.len();
+    let mean = clean.iter().sum::<f64>() / count as f64;
+    let var = clean.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+    Summary {
+        count,
+        mean,
+        std_dev: var.sqrt(),
+        min: clean[0],
+        max: clean[count - 1],
+        median: percentile_sorted(&clean, 50.0),
+        p90: percentile_sorted(&clean, 90.0),
+        p99: percentile_sorted(&clean, 99.0),
+    }
+}
+
+/// Percentile of a **sorted** slice using linear interpolation between closest ranks.
+/// `p` is in percent (0–100).
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let clamped = p.clamp(0.0, 100.0);
+    let rank = clamped / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Geometric mean of a slice of positive values (values ≤ 0 or non-finite are ignored).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    let logs: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .map(f64::ln)
+        .collect();
+    if logs.is_empty() {
+        return 0.0;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+/// Weighted arithmetic mean; pairs with non-finite values or non-positive weights are
+/// ignored. Returns 0 if no valid pairs remain.
+pub fn weighted_mean(values: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(values.len(), weights.len(), "values and weights must align");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (&v, &w) in values.iter().zip(weights) {
+        if v.is_finite() && w.is_finite() && w > 0.0 {
+            num += v * w;
+            den += w;
+        }
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// A confidence interval around a mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// The point estimate (mean of batch means).
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+    /// Number of batches used.
+    pub batches: usize,
+}
+
+impl ConfidenceInterval {
+    /// Lower bound of the interval.
+    pub fn low(&self) -> f64 {
+        self.mean - self.half_width
+    }
+    /// Upper bound of the interval.
+    pub fn high(&self) -> f64 {
+        self.mean + self.half_width
+    }
+    /// True if `other`'s interval overlaps this one (the rankings are then not
+    /// statistically distinguishable at the chosen confidence).
+    pub fn overlaps(&self, other: &ConfidenceInterval) -> bool {
+        self.low() <= other.high() && other.low() <= self.high()
+    }
+}
+
+/// Approximate two-sided 95% Student-t critical values indexed by degrees of freedom.
+fn t_critical_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= TABLE.len() {
+        TABLE[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Batch-means 95% confidence interval: the sample is split into `batches` contiguous
+/// batches, and the interval is computed over the batch means. This is the customary
+/// way to handle the autocorrelation of simulation output.
+pub fn batch_means_ci(values: &[f64], batches: usize) -> ConfidenceInterval {
+    let clean: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if clean.is_empty() || batches == 0 {
+        return ConfidenceInterval {
+            mean: 0.0,
+            half_width: 0.0,
+            batches: 0,
+        };
+    }
+    let b = batches.min(clean.len());
+    let batch_size = clean.len() / b;
+    let mut means = Vec::with_capacity(b);
+    for i in 0..b {
+        let start = i * batch_size;
+        let end = if i == b - 1 { clean.len() } else { start + batch_size };
+        let slice = &clean[start..end];
+        means.push(slice.iter().sum::<f64>() / slice.len() as f64);
+    }
+    let grand = means.iter().sum::<f64>() / means.len() as f64;
+    if means.len() < 2 {
+        return ConfidenceInterval {
+            mean: grand,
+            half_width: 0.0,
+            batches: means.len(),
+        };
+    }
+    let var = means.iter().map(|m| (m - grand) * (m - grand)).sum::<f64>() / (means.len() - 1) as f64;
+    let half = t_critical_95(means.len() - 1) * (var / means.len() as f64).sqrt();
+    ConfidenceInterval {
+        mean: grand,
+        half_width: half,
+        batches: means.len(),
+    }
+}
+
+/// The standard per-workload aggregate report: mean/percentile summaries of the four
+/// customary per-job metrics over a set of job outcomes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AggregateMetrics {
+    /// Number of jobs included.
+    pub jobs: usize,
+    /// Summary of wait times (seconds).
+    pub wait_time: Summary,
+    /// Summary of response times (seconds).
+    pub response_time: Summary,
+    /// Summary of slowdowns.
+    pub slowdown: Summary,
+    /// Summary of bounded slowdowns.
+    pub bounded_slowdown: Summary,
+    /// Area-weighted mean wait time (seconds), weighting each job by processors ×
+    /// runtime as advocated for fairness toward large jobs.
+    pub area_weighted_wait: f64,
+}
+
+impl AggregateMetrics {
+    /// Compute aggregates over a set of job outcomes. Only completed jobs are
+    /// included (killed jobs distort response-time statistics).
+    pub fn from_outcomes(outcomes: &[JobOutcome]) -> Self {
+        let done: Vec<&JobOutcome> = outcomes.iter().filter(|o| o.completed).collect();
+        let waits: Vec<f64> = done.iter().map(|o| o.wait_time()).collect();
+        let resp: Vec<f64> = done.iter().map(|o| o.response_time()).collect();
+        let slow: Vec<f64> = done.iter().map(|o| o.slowdown()).collect();
+        let bslow: Vec<f64> = done.iter().map(|o| o.bounded_slowdown()).collect();
+        let areas: Vec<f64> = done.iter().map(|o| o.area()).collect();
+        AggregateMetrics {
+            jobs: done.len(),
+            wait_time: summarize(&waits),
+            response_time: summarize(&resp),
+            slowdown: summarize(&slow),
+            bounded_slowdown: summarize(&bslow),
+            area_weighted_wait: weighted_mean(&waits, &areas),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(submit: f64, start: f64, end: f64, procs: u32) -> JobOutcome {
+        JobOutcome {
+            job_id: 0,
+            submit_time: submit,
+            start_time: start,
+            end_time: end,
+            procs,
+            completed: true,
+        }
+    }
+
+    #[test]
+    fn summarize_basic() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.std_dev - (2.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_ignores_nonfinite_and_handles_empty() {
+        let s = summarize(&[1.0, f64::INFINITY, f64::NAN, 3.0]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 2.0);
+        let empty = summarize(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean, 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 10.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 40.0);
+        assert_eq!(percentile_sorted(&sorted, 50.0), 25.0);
+        assert_eq!(percentile_sorted(&[], 50.0), 0.0);
+        assert_eq!(percentile_sorted(&[7.0], 90.0), 7.0);
+    }
+
+    #[test]
+    fn geometric_mean_matches_hand_computation() {
+        let g = geometric_mean(&[1.0, 4.0, 16.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert_eq!(geometric_mean(&[-1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn weighted_mean_weights_properly() {
+        let m = weighted_mean(&[1.0, 10.0], &[9.0, 1.0]);
+        assert!((m - 1.9).abs() < 1e-12);
+        assert_eq!(weighted_mean(&[1.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn weighted_mean_length_mismatch_panics() {
+        weighted_mean(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn batch_means_ci_contains_true_mean_for_constant_data() {
+        let data = vec![5.0; 100];
+        let ci = batch_means_ci(&data, 10);
+        assert_eq!(ci.mean, 5.0);
+        assert_eq!(ci.half_width, 0.0);
+        assert_eq!(ci.batches, 10);
+        assert!(ci.overlaps(&ci));
+    }
+
+    #[test]
+    fn batch_means_ci_wider_for_noisier_data() {
+        let calm: Vec<f64> = (0..200).map(|i| 10.0 + (i % 2) as f64 * 0.1).collect();
+        let noisy: Vec<f64> = (0..200).map(|i| 10.0 + ((i % 20) as f64 - 10.0)).collect();
+        let ci_calm = batch_means_ci(&calm, 10);
+        let ci_noisy = batch_means_ci(&noisy, 10);
+        assert!(ci_noisy.half_width >= ci_calm.half_width);
+    }
+
+    #[test]
+    fn batch_means_ci_edge_cases() {
+        let ci = batch_means_ci(&[], 5);
+        assert_eq!(ci.batches, 0);
+        let ci1 = batch_means_ci(&[3.0], 5);
+        assert_eq!(ci1.mean, 3.0);
+        assert_eq!(ci1.half_width, 0.0);
+    }
+
+    #[test]
+    fn confidence_interval_overlap() {
+        let a = ConfidenceInterval { mean: 10.0, half_width: 2.0, batches: 5 };
+        let b = ConfidenceInterval { mean: 13.0, half_width: 2.0, batches: 5 };
+        let c = ConfidenceInterval { mean: 20.0, half_width: 1.0, batches: 5 };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.low(), 8.0);
+        assert_eq!(a.high(), 12.0);
+    }
+
+    #[test]
+    fn aggregate_metrics_from_outcomes() {
+        let outcomes = vec![
+            outcome(0.0, 0.0, 100.0, 10),   // wait 0, resp 100, slowdown 1
+            outcome(0.0, 100.0, 200.0, 10), // wait 100, resp 200, slowdown 2
+            JobOutcome { completed: false, ..outcome(0.0, 0.0, 1000.0, 1) },
+        ];
+        let agg = AggregateMetrics::from_outcomes(&outcomes);
+        assert_eq!(agg.jobs, 2);
+        assert_eq!(agg.wait_time.mean, 50.0);
+        assert_eq!(agg.response_time.mean, 150.0);
+        assert_eq!(agg.slowdown.mean, 1.5);
+        // both jobs have area 1000, so area weighting doesn't change the mean here
+        assert_eq!(agg.area_weighted_wait, 50.0);
+    }
+
+    #[test]
+    fn aggregate_metrics_empty() {
+        let agg = AggregateMetrics::from_outcomes(&[]);
+        assert_eq!(agg.jobs, 0);
+        assert_eq!(agg.wait_time.count, 0);
+    }
+}

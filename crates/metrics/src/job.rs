@@ -1,0 +1,226 @@
+//! Per-job metrics.
+//!
+//! The paper (and its companion "Metrics and benchmarking for parallel job
+//! scheduling" [23]) uses a small set of per-job quantities as the raw material of
+//! every objective function: wait time, response time, slowdown, and bounded
+//! slowdown. This module computes them from completed-job records.
+
+use psbench_swf::SwfRecord;
+use serde::{Deserialize, Serialize};
+
+/// The threshold (in seconds) used by the *bounded* slowdown metric: runtimes
+/// shorter than this are clamped up to it so that very short jobs do not dominate
+/// the average. Ten seconds is the customary value in the JSSPP literature.
+pub const BOUNDED_SLOWDOWN_THRESHOLD: f64 = 10.0;
+
+/// The outcome of one job's passage through the system, as needed by the metrics.
+///
+/// This is deliberately independent of the simulator so it can be computed from an
+/// SWF record of a real log, from a simulation result, or constructed by hand in
+/// tests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// Job identifier (for reports; not used by the formulas).
+    pub job_id: u64,
+    /// Submit (arrival) time in seconds.
+    pub submit_time: f64,
+    /// Time the job started running, in seconds.
+    pub start_time: f64,
+    /// Time the job finished, in seconds.
+    pub end_time: f64,
+    /// Number of processors used.
+    pub procs: u32,
+    /// Whether the job completed successfully (killed/cancelled jobs are usually
+    /// excluded from response-time statistics but counted for utilization).
+    pub completed: bool,
+}
+
+impl JobOutcome {
+    /// Construct an outcome from an SWF record, if the record carries enough
+    /// information (wait time, run time and processors must all be known).
+    pub fn from_swf(record: &SwfRecord) -> Option<Self> {
+        let wait = record.wait_time?;
+        let run = record.run_time?;
+        let procs = record.procs()?;
+        Some(JobOutcome {
+            job_id: record.job_id,
+            submit_time: record.submit_time as f64,
+            start_time: (record.submit_time + wait) as f64,
+            end_time: (record.submit_time + wait + run) as f64,
+            procs,
+            completed: record.status.is_successful()
+                || record.status == psbench_swf::CompletionStatus::Unknown,
+        })
+    }
+
+    /// Wait time: start − submit.
+    pub fn wait_time(&self) -> f64 {
+        self.start_time - self.submit_time
+    }
+
+    /// Run time: end − start.
+    pub fn run_time(&self) -> f64 {
+        self.end_time - self.start_time
+    }
+
+    /// Response time (turnaround): end − submit.
+    pub fn response_time(&self) -> f64 {
+        self.end_time - self.submit_time
+    }
+
+    /// Slowdown: response time divided by run time. Undefined (infinite) for zero
+    /// runtime jobs; use [`bounded_slowdown`](Self::bounded_slowdown) to avoid that.
+    pub fn slowdown(&self) -> f64 {
+        let run = self.run_time();
+        if run <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.response_time() / run
+        }
+    }
+
+    /// Bounded slowdown with the customary 10-second threshold.
+    pub fn bounded_slowdown(&self) -> f64 {
+        self.bounded_slowdown_with(BOUNDED_SLOWDOWN_THRESHOLD)
+    }
+
+    /// Bounded slowdown with an explicit threshold `tau`:
+    /// `max(1, response / max(runtime, tau))`.
+    pub fn bounded_slowdown_with(&self, tau: f64) -> f64 {
+        let denom = self.run_time().max(tau);
+        (self.response_time() / denom).max(1.0)
+    }
+
+    /// Processor-seconds consumed by the job.
+    pub fn area(&self) -> f64 {
+        self.run_time() * self.procs as f64
+    }
+
+    /// Area-weighted wait ("processor waiting cost"): wait × processors. Used by
+    /// owner-policy objective functions that penalize keeping wide jobs waiting.
+    pub fn weighted_wait(&self) -> f64 {
+        self.wait_time() * self.procs as f64
+    }
+}
+
+/// Extract job outcomes from all usable summary records of an SWF log.
+pub fn outcomes_from_log(log: &psbench_swf::SwfLog) -> Vec<JobOutcome> {
+    log.summaries().filter_map(JobOutcome::from_swf).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psbench_swf::{CompletionStatus, SwfHeader, SwfLog, SwfRecordBuilder};
+
+    fn outcome(submit: f64, start: f64, end: f64, procs: u32) -> JobOutcome {
+        JobOutcome {
+            job_id: 1,
+            submit_time: submit,
+            start_time: start,
+            end_time: end,
+            procs,
+            completed: true,
+        }
+    }
+
+    #[test]
+    fn basic_formulas() {
+        let j = outcome(0.0, 30.0, 130.0, 8);
+        assert_eq!(j.wait_time(), 30.0);
+        assert_eq!(j.run_time(), 100.0);
+        assert_eq!(j.response_time(), 130.0);
+        assert!((j.slowdown() - 1.3).abs() < 1e-12);
+        assert!((j.bounded_slowdown() - 1.3).abs() < 1e-12);
+        assert_eq!(j.area(), 800.0);
+        assert_eq!(j.weighted_wait(), 240.0);
+    }
+
+    #[test]
+    fn slowdown_of_zero_wait_job_is_one() {
+        let j = outcome(10.0, 10.0, 110.0, 1);
+        assert_eq!(j.slowdown(), 1.0);
+        assert_eq!(j.bounded_slowdown(), 1.0);
+    }
+
+    #[test]
+    fn zero_runtime_job_slowdown_is_infinite_but_bounded_is_finite() {
+        let j = outcome(0.0, 50.0, 50.0, 1);
+        assert!(j.slowdown().is_infinite());
+        // bounded: response 50 / max(0, 10) = 5
+        assert_eq!(j.bounded_slowdown(), 5.0);
+    }
+
+    #[test]
+    fn short_job_bounded_slowdown_clamped() {
+        // 1 second job that waited 1 second: raw slowdown 2, bounded = 2/10 -> clamped to 1? No:
+        // response = 2, denom = max(1,10)=10, 2/10=0.2 -> max(.,1)=1.
+        let j = outcome(0.0, 1.0, 2.0, 1);
+        assert_eq!(j.slowdown(), 2.0);
+        assert_eq!(j.bounded_slowdown(), 1.0);
+    }
+
+    #[test]
+    fn bounded_slowdown_custom_threshold() {
+        let j = outcome(0.0, 10.0, 15.0, 1);
+        // runtime 5, response 15; tau=1 -> 15/5 = 3 ; tau=60 -> 15/60=0.25 -> 1
+        assert_eq!(j.bounded_slowdown_with(1.0), 3.0);
+        assert_eq!(j.bounded_slowdown_with(60.0), 1.0);
+    }
+
+    #[test]
+    fn from_swf_requires_complete_information() {
+        let full = SwfRecordBuilder::new(3, 100)
+            .wait_time(20)
+            .run_time(300)
+            .allocated_procs(32)
+            .status(CompletionStatus::Completed)
+            .build();
+        let o = JobOutcome::from_swf(&full).unwrap();
+        assert_eq!(o.job_id, 3);
+        assert_eq!(o.submit_time, 100.0);
+        assert_eq!(o.start_time, 120.0);
+        assert_eq!(o.end_time, 420.0);
+        assert_eq!(o.procs, 32);
+        assert!(o.completed);
+
+        let missing = SwfRecordBuilder::new(4, 100).run_time(300).build();
+        assert!(JobOutcome::from_swf(&missing).is_none());
+    }
+
+    #[test]
+    fn from_swf_marks_failed_jobs() {
+        let failed = SwfRecordBuilder::new(5, 0)
+            .wait_time(1)
+            .run_time(10)
+            .allocated_procs(1)
+            .status(CompletionStatus::Failed)
+            .build();
+        let o = JobOutcome::from_swf(&failed).unwrap();
+        assert!(!o.completed);
+    }
+
+    #[test]
+    fn outcomes_from_log_skips_partials_and_incomplete_records() {
+        let mut part = SwfRecordBuilder::new(1, 0)
+            .wait_time(0)
+            .run_time(10)
+            .allocated_procs(2)
+            .build();
+        part.status = CompletionStatus::PartialContinued;
+        let jobs = vec![
+            SwfRecordBuilder::new(1, 0)
+                .wait_time(0)
+                .run_time(20)
+                .allocated_procs(2)
+                .status(CompletionStatus::Completed)
+                .build(),
+            part,
+            SwfRecordBuilder::new(2, 5).build(), // unusable
+        ];
+        let log = SwfLog::new(SwfHeader::default(), jobs);
+        let outcomes = outcomes_from_log(&log);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].job_id, 1);
+    }
+}

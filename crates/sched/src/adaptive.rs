@@ -1,0 +1,182 @@
+//! Adaptive partitioning for moldable jobs.
+//!
+//! Flexible applications "can be run on a variety of different machine
+//! configurations" (Section 1.2); with a speedup model attached to each job the
+//! scheduler chooses the allocation. This policy implements the classic adaptive
+//! equipartition family: the target partition size shrinks as the system gets
+//! busier, but never exceeds the job's own useful parallelism.
+
+use psbench_sim::{Decision, Scheduler, SchedulerContext, SchedulerEvent};
+use psbench_workload::flexible::SpeedupModel;
+
+/// Adaptive / dynamic equipartitioning of moldable jobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptivePartition {
+    /// Smallest allocation the policy will hand out.
+    pub min_alloc: u32,
+    /// Largest allocation the policy will hand out (0 = whole machine).
+    pub max_alloc: u32,
+}
+
+impl Default for AdaptivePartition {
+    fn default() -> Self {
+        AdaptivePartition {
+            min_alloc: 1,
+            max_alloc: 0,
+        }
+    }
+}
+
+impl AdaptivePartition {
+    fn target_allocation(&self, ctx: &SchedulerContext<'_>) -> u32 {
+        // Equipartition target: machine size divided by the number of jobs competing
+        // for it (running + queued), at least `min_alloc`.
+        let competitors = (ctx.running.len() + ctx.queue.len()).max(1) as u32;
+        let machine = ctx.cluster.available_procs().max(1);
+        let target = (machine / competitors).max(self.min_alloc.max(1));
+        if self.max_alloc > 0 {
+            target.min(self.max_alloc)
+        } else {
+            target
+        }
+    }
+}
+
+impl Scheduler for AdaptivePartition {
+    fn name(&self) -> &str {
+        "adaptive"
+    }
+
+    fn react(&mut self, ctx: &SchedulerContext<'_>, _event: SchedulerEvent) -> Vec<Decision> {
+        let target = self.target_allocation(ctx);
+        let mut free = ctx.free_capacity();
+        let mut queue: Vec<_> = ctx.queue.iter().collect();
+        queue.sort_by(|a, b| a.queued_at.total_cmp(&b.queued_at).then(a.job.id.cmp(&b.job.id)));
+        let mut out = Vec::new();
+        for q in queue {
+            if free < 1.0 - 1e-9 {
+                break;
+            }
+            let alloc = match &q.job.speedup {
+                Some(sp) => {
+                    // Never give a moldable job more processors than it can use: past
+                    // the knee of the speedup curve extra processors are wasted.
+                    let useful = {
+                        let mut best = 1u32;
+                        let mut best_eff = 0.0;
+                        for n in 1..=target.max(1) {
+                            let eff = sp.speedup(n);
+                            if eff > best_eff + 1e-9 {
+                                best_eff = eff;
+                                best = n;
+                            }
+                        }
+                        best
+                    };
+                    useful.min(free.floor() as u32).max(1)
+                }
+                // Rigid jobs keep their requested size.
+                None => q.job.procs,
+            };
+            if (alloc as f64) <= free + 1e-9 {
+                free -= alloc as f64;
+                out.push(Decision::start_on(q.job.id, alloc));
+            } else if q.job.speedup.is_none() {
+                // Rigid head job that does not fit: behave like FCFS and wait.
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue_order::Fcfs;
+    use psbench_sim::{SimConfig, SimJob, Simulation};
+    use psbench_workload::flexible::DowneySpeedup;
+
+    fn moldable(id: u64, submit: f64, seq_work: f64, a: f64) -> SimJob {
+        SimJob::rigid(id, submit, seq_work, 1).moldable(DowneySpeedup { a, sigma: 0.0 })
+    }
+
+    #[test]
+    fn lone_moldable_job_gets_a_large_partition() {
+        let job = moldable(1, 0.0, 6400.0, 64.0);
+        let result = Simulation::new(SimConfig::new(64), vec![job]).run(&mut AdaptivePartition::default());
+        let f = &result.finished[0];
+        assert_eq!(f.procs, 64);
+        assert!((f.end - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partitions_shrink_under_load() {
+        // Four identical moldable jobs arriving together on a 64-proc machine: the
+        // first finds an idle machine and takes it all, but the jobs queued behind it
+        // are started side by side in shrunken partitions once it completes.
+        let jobs: Vec<SimJob> = (0..4).map(|i| moldable(i + 1, 0.0, 1600.0, 64.0)).collect();
+        let result = Simulation::new(SimConfig::new(64), jobs).run(&mut AdaptivePartition::default());
+        assert_eq!(result.finished.len(), 4);
+        let small: Vec<&psbench_sim::FinishedJob> =
+            result.finished.iter().filter(|f| f.procs <= 32).collect();
+        assert_eq!(small.len(), 3, "later jobs must get shrunken partitions");
+        for f in &small {
+            assert!(f.procs >= 8, "allocation {} too small", f.procs);
+        }
+        // The three shrunken jobs run concurrently, not serialized.
+        let starts: Vec<f64> = small.iter().map(|f| f.start).collect();
+        assert!(starts.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-6));
+    }
+
+    #[test]
+    fn allocation_capped_by_useful_parallelism() {
+        // A job with average parallelism 8 gets at most 8 processors even on an idle
+        // 64-processor machine.
+        let job = moldable(1, 0.0, 800.0, 8.0);
+        let result = Simulation::new(SimConfig::new(64), vec![job]).run(&mut AdaptivePartition::default());
+        assert_eq!(result.finished[0].procs, 8);
+        assert!((result.finished[0].end - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adaptive_beats_rigid_fcfs_on_moldable_burst(){
+        // Eight moldable jobs (average parallelism 16) arrive at once. Submitting
+        // them rigidly at 64 processors wastes three quarters of the machine and
+        // serializes the burst; adaptive partitioning caps each at its useful
+        // parallelism and runs four side by side.
+        let moldable_jobs: Vec<SimJob> = (0..8).map(|i| moldable(i + 1, 0.0, 1600.0, 16.0)).collect();
+        let rigid_jobs: Vec<SimJob> = (0..8)
+            .map(|i| SimJob::rigid(i + 1, 0.0, 100.0, 64)) // 1600/16 = 100 s, padded to 64 procs
+            .collect();
+        let adaptive =
+            Simulation::new(SimConfig::new(64), moldable_jobs).run(&mut AdaptivePartition::default());
+        let rigid = Simulation::new(SimConfig::new(64), rigid_jobs).run(&mut Fcfs);
+        assert_eq!(adaptive.finished.len(), 8);
+        assert_eq!(rigid.finished.len(), 8);
+        assert!(
+            adaptive.mean_response_time() < rigid.mean_response_time(),
+            "adaptive {} vs rigid {}",
+            adaptive.mean_response_time(),
+            rigid.mean_response_time()
+        );
+    }
+
+    #[test]
+    fn rigid_jobs_pass_through_unchanged() {
+        let jobs = vec![SimJob::rigid(1, 0.0, 100.0, 16), SimJob::rigid(2, 0.0, 100.0, 16)];
+        let result = Simulation::new(SimConfig::new(64), jobs).run(&mut AdaptivePartition::default());
+        assert!(result.finished.iter().all(|f| f.procs == 16));
+        assert_eq!(result.rejected_decisions, 0);
+    }
+
+    #[test]
+    fn min_and_max_alloc_respected() {
+        let mut policy = AdaptivePartition { min_alloc: 4, max_alloc: 16 };
+        let jobs: Vec<SimJob> = (0..2).map(|i| moldable(i + 1, 0.0, 1600.0, 64.0)).collect();
+        let result = Simulation::new(SimConfig::new(64), jobs).run(&mut policy);
+        for f in &result.finished {
+            assert!(f.procs >= 4 && f.procs <= 16, "allocation {}", f.procs);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Outage- and reservation-aware scheduling.
+//!
+//! Section 2.2 argues that outage information "is often available to the job
+//! scheduler so that jobs can be scheduled around the outages, or such that the
+//! system is drained up to the outage"; Section 3.1 asks local schedulers to honour
+//! advance reservations so meta-schedulers can co-allocate. This policy wraps EASY
+//! backfilling with both behaviours: it refuses to start jobs whose estimated
+//! completion would collide with an announced capacity loss (outage or reservation)
+//! unless enough capacity remains during the overlap.
+
+use crate::backfill::EasyBackfill;
+use psbench_sim::{Decision, Scheduler, SchedulerContext, SchedulerEvent};
+
+/// A known future capacity reduction (announced outage).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CapacityDrop {
+    start: f64,
+    end: f64,
+    procs: u32,
+}
+
+/// EASY backfilling that drains before announced outages and schedules around
+/// advance reservations.
+#[derive(Debug, Clone, Default)]
+pub struct DrainingEasy {
+    announced: Vec<CapacityDrop>,
+    inner: EasyBackfill,
+}
+
+impl DrainingEasy {
+    /// New draining scheduler with no announced outages yet.
+    pub fn new() -> Self {
+        DrainingEasy::default()
+    }
+
+    /// Capacity that is promised away (to outages or reservations) during
+    /// `[from, to)`, at its worst instant.
+    fn promised_away(&self, ctx: &SchedulerContext<'_>, from: f64, to: f64) -> f64 {
+        let outage: u32 = self
+            .announced
+            .iter()
+            .filter(|d| d.start < to && from < d.end)
+            .map(|d| d.procs)
+            .max()
+            .unwrap_or(0);
+        let reserved = ctx.cluster.max_reserved_during(from, to);
+        (outage + reserved) as f64
+    }
+
+    /// Would starting `procs` processors now, for `duration` seconds, collide with a
+    /// future capacity drop? The test is conservative: during the overlap the
+    /// machine must still hold the already-running load plus this job plus the drop.
+    fn collides(
+        &self,
+        ctx: &SchedulerContext<'_>,
+        procs: f64,
+        duration: f64,
+    ) -> bool {
+        let from = ctx.now;
+        let to = ctx.now + duration;
+        let promised = self.promised_away(ctx, from, to);
+        if promised <= 0.0 {
+            return false;
+        }
+        // Load that will still be there during the drop: assume currently running
+        // jobs may still be running (conservative), plus this candidate.
+        let used = ctx.used_capacity();
+        used + procs + promised > ctx.cluster.available_procs() as f64 + 1e-9
+    }
+}
+
+impl Scheduler for DrainingEasy {
+    fn name(&self) -> &str {
+        "draining-easy"
+    }
+
+    fn react(&mut self, ctx: &SchedulerContext<'_>, event: SchedulerEvent) -> Vec<Decision> {
+        match event {
+            SchedulerEvent::OutageAnnounced { start, end, procs } => {
+                self.announced.push(CapacityDrop { start, end, procs });
+            }
+            SchedulerEvent::OutageEnded { .. } => {
+                // Forget drops that are over.
+                let now = ctx.now;
+                self.announced.retain(|d| d.end > now);
+            }
+            _ => {}
+        }
+        // Ask EASY what it would do, then veto starts that collide with an announced
+        // capacity drop or an advance reservation.
+        let proposed = self.inner.react(ctx, event);
+        let mut out = Vec::new();
+        for d in proposed {
+            match d {
+                Decision::Start { job_id, procs, share } => {
+                    let job = ctx.queue.iter().find(|q| q.job.id == job_id);
+                    let keep = match job {
+                        Some(q) => {
+                            let p = procs.unwrap_or(q.job.procs) as f64 * share;
+                            !self.collides(ctx, p, q.job.estimate.max(1.0))
+                        }
+                        None => false,
+                    };
+                    if keep {
+                        out.push(d);
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backfill::EasyBackfill;
+    use psbench_sim::{SimConfig, SimJob, Simulation};
+    use psbench_swf::outage::{OutageKind, OutageLog, OutageRecord};
+
+    fn maintenance(announce: i64, start: i64, end: i64, procs: u32) -> OutageLog {
+        OutageLog::from_records(vec![OutageRecord {
+            outage_id: 0,
+            announced_time: Some(announce),
+            start_time: start,
+            end_time: end,
+            kind: OutageKind::Maintenance,
+            nodes_affected: Some(procs),
+            components: vec![],
+        }])
+    }
+
+    #[test]
+    fn drains_before_announced_full_machine_outage() {
+        // A 500-second job arriving shortly before a full-machine maintenance window
+        // would be killed by plain EASY (and restart after), but the draining policy
+        // holds it until after the outage.
+        let outages = maintenance(0, 100, 200, 64);
+        let jobs = vec![SimJob::rigid(1, 10.0, 500.0, 32)];
+        let easy = Simulation::new(SimConfig::new(64).with_outages(outages.clone()), jobs.clone())
+            .run(&mut EasyBackfill);
+        let drain = Simulation::new(SimConfig::new(64).with_outages(outages), jobs)
+            .run(&mut DrainingEasy::new());
+        // Plain EASY starts it at t=10, loses it to the outage, restarts at 200.
+        assert_eq!(easy.kills, 1);
+        let easy_job = &easy.finished[0];
+        assert_eq!(easy_job.end, 700.0);
+        // Draining EASY never wastes the work: no kill, starts at 200, ends at 700.
+        assert_eq!(drain.kills, 0);
+        let drain_job = &drain.finished[0];
+        assert_eq!(drain_job.start, 200.0);
+        assert_eq!(drain_job.end, 700.0);
+    }
+
+    #[test]
+    fn short_jobs_still_run_before_the_outage() {
+        // A 50-second job can finish before the maintenance starts, so the draining
+        // policy lets it run immediately.
+        let outages = maintenance(0, 100, 200, 64);
+        let jobs = vec![SimJob::rigid(1, 10.0, 50.0, 32)];
+        let result = Simulation::new(SimConfig::new(64).with_outages(outages), jobs)
+            .run(&mut DrainingEasy::new());
+        assert_eq!(result.kills, 0);
+        assert_eq!(result.finished[0].start, 10.0);
+        assert_eq!(result.finished[0].end, 60.0);
+    }
+
+    #[test]
+    fn partial_outage_lets_small_jobs_continue() {
+        // Maintenance takes 32 of 64 processors. A 16-proc job can run across the
+        // window because enough capacity remains.
+        let outages = maintenance(0, 100, 200, 32);
+        let jobs = vec![SimJob::rigid(1, 10.0, 500.0, 16)];
+        let result = Simulation::new(SimConfig::new(64).with_outages(outages), jobs)
+            .run(&mut DrainingEasy::new());
+        assert_eq!(result.kills, 0);
+        assert_eq!(result.finished[0].start, 10.0);
+    }
+
+    #[test]
+    fn respects_advance_reservations_in_the_calendar() {
+        // A reservation for the whole machine at t in [100, 200): a long job must not
+        // start before it, a short one may.
+        let long = SimJob::rigid(1, 0.0, 500.0, 64);
+        let short = SimJob::rigid(2, 0.0, 50.0, 64);
+        // The reservation is placed via the cluster by the engine's owner in metasim;
+        // here we emulate it by checking the collide logic directly.
+        let cluster = {
+            let mut c = psbench_sim::Cluster::new(64);
+            c.try_reserve(100.0, 200.0, 64).unwrap();
+            c
+        };
+        let d = DrainingEasy::new();
+        let ctx = SchedulerContext {
+            now: 0.0,
+            cluster: &cluster,
+            queue: &[],
+            running: &[],
+        };
+        assert!(d.collides(&ctx, long.procs as f64, long.estimate));
+        assert!(!d.collides(&ctx, short.procs as f64, short.estimate));
+    }
+
+    #[test]
+    fn forgets_expired_outages() {
+        let outages = maintenance(0, 100, 200, 64);
+        let jobs = vec![
+            SimJob::rigid(1, 10.0, 500.0, 32),
+            SimJob::rigid(2, 300.0, 100.0, 64),
+        ];
+        let result = Simulation::new(SimConfig::new(64).with_outages(outages), jobs)
+            .run(&mut DrainingEasy::new());
+        // After the outage ends the drained job runs 200..700; job 2 (whole machine)
+        // follows it without being vetoed by the already-expired outage.
+        let j2 = result.finished.iter().find(|f| f.id == 2).unwrap();
+        assert_eq!(j2.start, 700.0);
+        assert_eq!(j2.end, 800.0);
+        assert_eq!(result.kills, 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! # psbench-sched — the scheduler zoo
+//!
+//! Scheduling policies for the psbench simulator, covering the families the paper's
+//! evaluation methodology is meant to compare:
+//!
+//! * [`queue_order`] — FCFS and sorted greedy variants (SJF, LJF, widest, narrowest).
+//! * [`backfill`] — EASY (aggressive) and conservative backfilling, driven by the
+//!   user estimates carried in SWF field 9.
+//! * [`gang`] — Ousterhout-matrix gang scheduling (time slicing with coscheduling).
+//! * [`adaptive`] — adaptive equipartitioning for moldable (flexible) jobs.
+//! * [`drain`] — outage- and reservation-aware EASY (drains before announced
+//!   outages, schedules around advance reservations).
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod backfill;
+pub mod drain;
+pub mod gang;
+pub mod queue_order;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::adaptive::AdaptivePartition;
+    pub use crate::backfill::{ConservativeBackfill, EasyBackfill};
+    pub use crate::drain::DrainingEasy;
+    pub use crate::gang::{GangScheduler, Packing};
+    pub use crate::queue_order::{Fcfs, Order, SortedGreedy};
+}
+
+pub use prelude::*;
+
+use psbench_sim::Scheduler;
+
+/// The standard scheduler line-up used by the benchmark suite and the WARMstones-
+/// style scenario table (experiment E8), instantiated for a machine of the given
+/// size.
+pub fn standard_schedulers(machine_size: u32) -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(Fcfs),
+        Box::new(SortedGreedy::sjf()),
+        Box::new(SortedGreedy::greedy_fcfs()),
+        Box::new(EasyBackfill),
+        Box::new(ConservativeBackfill),
+        Box::new(GangScheduler::new(machine_size, 4, Packing::FirstFit)),
+    ]
+}
+
+/// Construct a scheduler by its registry name (the names reported by
+/// [`Scheduler::name`]); `None` for unknown names.
+pub fn by_name(name: &str, machine_size: u32) -> Option<Box<dyn Scheduler>> {
+    match name {
+        "fcfs" => Some(Box::new(Fcfs)),
+        "sjf" => Some(Box::new(SortedGreedy::sjf())),
+        "ljf" => Some(Box::new(SortedGreedy::ljf())),
+        "widest-first" => Some(Box::new(SortedGreedy::widest())),
+        "narrowest-first" => Some(Box::new(SortedGreedy::narrowest())),
+        "greedy-fcfs" => Some(Box::new(SortedGreedy::greedy_fcfs())),
+        "easy" => Some(Box::new(EasyBackfill)),
+        "conservative" => Some(Box::new(ConservativeBackfill)),
+        "gang" => Some(Box::new(GangScheduler::new(machine_size, 4, Packing::FirstFit))),
+        "adaptive" => Some(Box::new(AdaptivePartition::default())),
+        "draining-easy" => Some(Box::new(DrainingEasy::new())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psbench_sim::{SimConfig, SimJob, Simulation};
+
+    #[test]
+    fn standard_schedulers_all_run() {
+        let jobs: Vec<SimJob> = (0..100)
+            .map(|i| SimJob::rigid(i + 1, (i * 30) as f64, 100.0 + (i % 3) as f64 * 300.0, 1 + (i % 32) as u32))
+            .collect();
+        let mut scheds = standard_schedulers(64);
+        assert_eq!(scheds.len(), 6);
+        for s in scheds.iter_mut() {
+            let result = Simulation::new(SimConfig::new(64), jobs.clone()).run(s.as_mut());
+            assert_eq!(result.finished.len(), 100, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips_every_standard_name() {
+        for name in [
+            "fcfs",
+            "sjf",
+            "ljf",
+            "widest-first",
+            "narrowest-first",
+            "greedy-fcfs",
+            "easy",
+            "conservative",
+            "gang",
+            "adaptive",
+            "draining-easy",
+        ] {
+            let s = by_name(name, 128).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(s.name(), name);
+        }
+        assert!(by_name("not-a-scheduler", 128).is_none());
+    }
+}

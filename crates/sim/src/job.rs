@@ -1,0 +1,309 @@
+//! Job descriptions and runtime job state used by the simulator.
+
+use psbench_swf::{SwfLog, SwfRecord};
+use psbench_workload::flexible::{DowneySpeedup, SpeedupModel};
+use serde::{Deserialize, Serialize};
+
+/// The static description of a job handed to the simulator.
+///
+/// For rigid jobs `work` is simply the runtime and `procs` the (fixed) allocation.
+/// For moldable jobs `speedup` is present, `work` is the *sequential* runtime, and
+/// the scheduler may choose the allocation; the execution rate then follows the
+/// speedup function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimJob {
+    /// Job identifier (unique within one simulation).
+    pub id: u64,
+    /// Submission time in seconds. For jobs with a `preceding` dependency this is a
+    /// lower bound; the actual submission happens after the predecessor terminates
+    /// plus the think time (closed-loop behaviour).
+    pub submit: f64,
+    /// Work in seconds: runtime for rigid jobs, sequential runtime for moldable jobs.
+    pub work: f64,
+    /// The user's runtime estimate in seconds (≥ actual runtime in practice;
+    /// backfilling schedulers rely on it). For moldable jobs it refers to the
+    /// runtime at the requested allocation.
+    pub estimate: f64,
+    /// Requested number of processors (the allocation for rigid jobs).
+    pub procs: u32,
+    /// User identifier, if known (used by fairness policies and feedback).
+    pub user: Option<u32>,
+    /// Id of the job that must terminate before this one is submitted, if any.
+    pub preceding: Option<u64>,
+    /// Think time (seconds) between the predecessor's termination and submission.
+    pub think_time: f64,
+    /// Speedup profile for moldable jobs; `None` for rigid jobs.
+    pub speedup: Option<DowneySpeedup>,
+}
+
+impl SimJob {
+    /// A rigid job.
+    pub fn rigid(id: u64, submit: f64, runtime: f64, procs: u32) -> Self {
+        SimJob {
+            id,
+            submit,
+            work: runtime,
+            estimate: runtime,
+            procs,
+            user: None,
+            preceding: None,
+            think_time: 0.0,
+            speedup: None,
+        }
+    }
+
+    /// Set the runtime estimate.
+    pub fn with_estimate(mut self, estimate: f64) -> Self {
+        self.estimate = estimate.max(0.0);
+        self
+    }
+
+    /// Set the user.
+    pub fn with_user(mut self, user: u32) -> Self {
+        self.user = Some(user);
+        self
+    }
+
+    /// Make the job moldable with the given speedup profile. `work` is reinterpreted
+    /// as the sequential runtime.
+    pub fn moldable(mut self, speedup: DowneySpeedup) -> Self {
+        self.speedup = Some(speedup);
+        self
+    }
+
+    /// The factor by which execution is accelerated when running on `procs`
+    /// processors: 1 for rigid jobs (their work is already expressed at their fixed
+    /// allocation), the speedup function for moldable jobs.
+    pub fn speedup_factor(&self, procs: u32) -> f64 {
+        match &self.speedup {
+            Some(s) => s.speedup(procs).max(f64::MIN_POSITIVE),
+            None => 1.0,
+        }
+    }
+
+    /// The runtime this job would take on `procs` processors at full (share = 1) speed.
+    pub fn runtime_on(&self, procs: u32) -> f64 {
+        self.work / self.speedup_factor(procs)
+    }
+
+    /// Build a [`SimJob`] from an SWF record (the usual path for trace-driven
+    /// simulation). Records with unknown runtime or processors are rejected.
+    pub fn from_swf(record: &SwfRecord) -> Option<Self> {
+        let runtime = record.run_time? as f64;
+        let procs = record.procs()?;
+        Some(SimJob {
+            id: record.job_id,
+            submit: record.submit_time as f64,
+            work: runtime,
+            estimate: record
+                .requested_time
+                .map(|t| t as f64)
+                .unwrap_or(runtime)
+                .max(runtime.min(1.0)),
+            procs,
+            user: record.user_id,
+            preceding: record.preceding_job,
+            think_time: record.think_time.unwrap_or(0) as f64,
+            speedup: None,
+        })
+    }
+
+    /// Build the simulator's job list from an SWF log (summary records only).
+    pub fn from_log(log: &SwfLog) -> Vec<SimJob> {
+        log.summaries().filter_map(SimJob::from_swf).collect()
+    }
+}
+
+/// A job waiting in the scheduler's queue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueuedJob {
+    /// The job description.
+    pub job: SimJob,
+    /// The time the job entered the queue (its effective submission time).
+    pub queued_at: f64,
+    /// Number of times the job was killed by an outage and requeued.
+    pub restarts: u32,
+}
+
+/// A job currently holding processors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunningJob {
+    /// The job description.
+    pub job: SimJob,
+    /// The time the job entered the queue (carried over from [`QueuedJob`]).
+    pub queued_at: f64,
+    /// Number of processors allocated.
+    pub procs: u32,
+    /// Time share in `(0, 1]`: 1 for dedicated (space-shared) execution, `1/k` when
+    /// the processors are time-shared between `k` jobs (gang scheduling).
+    pub share: f64,
+    /// Remaining work in seconds (at the job's reference rate).
+    pub remaining_work: f64,
+    /// When this dispatch started.
+    pub started_at: f64,
+    /// When the job first started (differs from `started_at` after a restart).
+    pub first_started_at: f64,
+    /// Number of times the job was killed by an outage and requeued.
+    pub restarts: u32,
+}
+
+impl RunningJob {
+    /// The job's current progress rate in work-seconds per second.
+    pub fn progress_rate(&self) -> f64 {
+        self.share * self.job.speedup_factor(self.procs)
+    }
+
+    /// Time until completion at the current rate (infinite if the rate is zero).
+    pub fn time_to_completion(&self) -> f64 {
+        let rate = self.progress_rate();
+        if rate <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.remaining_work / rate
+        }
+    }
+
+    /// Processor-share product, the quantity conserved by the cluster capacity
+    /// constraint (`Σ procs·share ≤ available processors`).
+    pub fn proc_share(&self) -> f64 {
+        self.procs as f64 * self.share
+    }
+}
+
+/// The final record of one job's passage through the simulated system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FinishedJob {
+    /// Job identifier.
+    pub id: u64,
+    /// The time the job was (effectively) submitted.
+    pub submit: f64,
+    /// The time the job last started (after any restarts).
+    pub start: f64,
+    /// The time the job first started.
+    pub first_start: f64,
+    /// Completion time.
+    pub end: f64,
+    /// Processors allocated in the final dispatch.
+    pub procs: u32,
+    /// Number of outage-induced restarts.
+    pub restarts: u32,
+    /// User identifier, if known.
+    pub user: Option<u32>,
+}
+
+impl FinishedJob {
+    /// Wait time of the final dispatch (start − submit).
+    pub fn wait(&self) -> f64 {
+        self.start - self.submit
+    }
+
+    /// Response time (end − submit).
+    pub fn response(&self) -> f64 {
+        self.end - self.submit
+    }
+
+    /// Convert to the metrics crate's job outcome.
+    pub fn to_outcome(&self) -> psbench_metrics::JobOutcome {
+        psbench_metrics::JobOutcome {
+            job_id: self.id,
+            submit_time: self.submit,
+            start_time: self.start,
+            end_time: self.end,
+            procs: self.procs,
+            completed: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psbench_swf::SwfRecordBuilder;
+
+    #[test]
+    fn rigid_job_runtime_is_its_work() {
+        let j = SimJob::rigid(1, 0.0, 600.0, 16);
+        assert_eq!(j.speedup_factor(16), 1.0);
+        assert_eq!(j.speedup_factor(1), 1.0);
+        assert_eq!(j.runtime_on(16), 600.0);
+        assert_eq!(j.estimate, 600.0);
+    }
+
+    #[test]
+    fn moldable_job_runtime_follows_speedup() {
+        let j = SimJob::rigid(1, 0.0, 6400.0, 32).moldable(DowneySpeedup { a: 32.0, sigma: 0.0 });
+        assert_eq!(j.runtime_on(1), 6400.0);
+        assert_eq!(j.runtime_on(32), 200.0);
+        assert_eq!(j.runtime_on(64), 200.0); // saturates at A
+    }
+
+    #[test]
+    fn builder_methods() {
+        let j = SimJob::rigid(2, 10.0, 100.0, 4).with_estimate(500.0).with_user(7);
+        assert_eq!(j.estimate, 500.0);
+        assert_eq!(j.user, Some(7));
+    }
+
+    #[test]
+    fn from_swf_maps_fields() {
+        let rec = SwfRecordBuilder::new(5, 100)
+            .wait_time(10)
+            .run_time(300)
+            .allocated_procs(8)
+            .requested_time(900)
+            .user_id(3)
+            .depends_on(4, 60)
+            .build();
+        let j = SimJob::from_swf(&rec).unwrap();
+        assert_eq!(j.id, 5);
+        assert_eq!(j.submit, 100.0);
+        assert_eq!(j.work, 300.0);
+        assert_eq!(j.estimate, 900.0);
+        assert_eq!(j.procs, 8);
+        assert_eq!(j.user, Some(3));
+        assert_eq!(j.preceding, Some(4));
+        assert_eq!(j.think_time, 60.0);
+        // missing runtime or procs -> rejected
+        assert!(SimJob::from_swf(&SwfRecordBuilder::new(6, 0).build()).is_none());
+    }
+
+    #[test]
+    fn running_job_rates() {
+        let j = SimJob::rigid(1, 0.0, 100.0, 8);
+        let r = RunningJob {
+            job: j,
+            queued_at: 0.0,
+            procs: 8,
+            share: 0.5,
+            remaining_work: 100.0,
+            started_at: 0.0,
+            first_started_at: 0.0,
+            restarts: 0,
+        };
+        assert_eq!(r.progress_rate(), 0.5);
+        assert_eq!(r.time_to_completion(), 200.0);
+        assert_eq!(r.proc_share(), 4.0);
+        let stopped = RunningJob { share: 0.0, ..r };
+        assert!(stopped.time_to_completion().is_infinite());
+    }
+
+    #[test]
+    fn finished_job_metrics() {
+        let f = FinishedJob {
+            id: 1,
+            submit: 100.0,
+            start: 150.0,
+            first_start: 150.0,
+            end: 400.0,
+            procs: 16,
+            restarts: 0,
+            user: Some(1),
+        };
+        assert_eq!(f.wait(), 50.0);
+        assert_eq!(f.response(), 300.0);
+        let o = f.to_outcome();
+        assert_eq!(o.response_time(), 300.0);
+        assert_eq!(o.procs, 16);
+        assert!(o.completed);
+    }
+}

@@ -1,0 +1,265 @@
+//! The interface between the simulator and scheduling policies.
+//!
+//! The simulator owns the queue, the running set and the cluster; a [`Scheduler`]
+//! is consulted whenever the state changes (arrival, completion, outage,
+//! reservation change, or a timer it asked for) and answers with a list of
+//! [`Decision`]s. The simulator validates every decision against the capacity
+//! constraint before applying it, so a buggy policy cannot oversubscribe the
+//! machine — it just gets its decision rejected (and counted).
+
+use crate::cluster::{Cluster, Reservation};
+use crate::job::{QueuedJob, RunningJob};
+use serde::{Deserialize, Serialize};
+
+/// What just happened; passed to the scheduler so policies can react differently to
+/// different triggers (most simply re-plan on every call).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SchedulerEvent {
+    /// The simulation is starting (time 0, before any arrival).
+    Start,
+    /// A job entered the queue.
+    JobArrived {
+        /// Id of the arriving job.
+        job_id: u64,
+    },
+    /// A running job completed.
+    JobCompleted {
+        /// Id of the completed job.
+        job_id: u64,
+    },
+    /// Jobs were killed by an outage and put back in the queue.
+    JobsKilled {
+        /// Number of jobs killed.
+        count: usize,
+    },
+    /// An outage was announced for the future (advance notice).
+    OutageAnnounced {
+        /// When the outage will start.
+        start: f64,
+        /// When the outage will end.
+        end: f64,
+        /// Number of processors that will be lost.
+        procs: u32,
+    },
+    /// An outage started; capacity already reflects the loss.
+    OutageStarted {
+        /// Number of processors lost.
+        procs: u32,
+    },
+    /// An outage ended; capacity already reflects the recovery.
+    OutageEnded {
+        /// Number of processors restored.
+        procs: u32,
+    },
+    /// A reservation was added or removed by an external agent (meta-scheduler).
+    ReservationsChanged,
+    /// A timer previously requested via [`Decision::Wakeup`] fired.
+    Timer,
+}
+
+/// An action the scheduler asks the simulator to take.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Decision {
+    /// Start a queued job now on `procs` processors with the given time share.
+    Start {
+        /// Id of the queued job to start.
+        job_id: u64,
+        /// Processors to allocate; `None` means the job's requested size.
+        procs: Option<u32>,
+        /// Time share in `(0, 1]`; 1.0 means dedicated processors.
+        share: f64,
+    },
+    /// Change the time share of a running job (gang scheduling repacks, malleable
+    /// policies).
+    SetShare {
+        /// Id of the running job.
+        job_id: u64,
+        /// New share in `(0, 1]`.
+        share: f64,
+    },
+    /// Preempt a running job: its remaining work is preserved and it returns to the
+    /// queue (position by original queue time).
+    Preempt {
+        /// Id of the running job to preempt.
+        job_id: u64,
+    },
+    /// Ask to be called again at the given absolute time (quantum expiry, planned
+    /// drain before an announced outage, reservation start).
+    Wakeup {
+        /// Absolute simulation time of the requested callback.
+        at: f64,
+    },
+}
+
+impl Decision {
+    /// Convenience: start a job on its requested processors, dedicated.
+    pub fn start(job_id: u64) -> Decision {
+        Decision::Start {
+            job_id,
+            procs: None,
+            share: 1.0,
+        }
+    }
+
+    /// Convenience: start a job on an explicit number of processors, dedicated.
+    pub fn start_on(job_id: u64, procs: u32) -> Decision {
+        Decision::Start {
+            job_id,
+            procs: Some(procs),
+            share: 1.0,
+        }
+    }
+}
+
+/// A read-only view of the simulation state passed to the scheduler.
+#[derive(Debug)]
+pub struct SchedulerContext<'a> {
+    /// Current simulation time, seconds.
+    pub now: f64,
+    /// The cluster (capacity, outages, reservations).
+    pub cluster: &'a Cluster,
+    /// Jobs waiting in the queue, in arrival order.
+    pub queue: &'a [QueuedJob],
+    /// Jobs currently running.
+    pub running: &'a [RunningJob],
+}
+
+impl SchedulerContext<'_> {
+    /// Processor·share capacity currently in use by running jobs.
+    pub fn used_capacity(&self) -> f64 {
+        self.running.iter().map(|r| r.proc_share()).sum()
+    }
+
+    /// Free capacity right now: available processors minus what running jobs use,
+    /// minus processors promised to reservations active at this instant.
+    pub fn free_capacity(&self) -> f64 {
+        self.cluster.available_procs() as f64
+            - self.used_capacity()
+            - self.cluster.reserved_at(self.now) as f64
+    }
+
+    /// Free capacity ignoring reservations (for policies that handle reservations
+    /// themselves).
+    pub fn free_capacity_ignoring_reservations(&self) -> f64 {
+        self.cluster.available_procs() as f64 - self.used_capacity()
+    }
+
+    /// The reservations currently outstanding.
+    pub fn reservations(&self) -> &[Reservation] {
+        &self.cluster.reservations
+    }
+
+    /// Estimated completion times (id, time) of all running jobs at their current
+    /// rates, sorted soonest first. Backfilling policies build their profile from this.
+    pub fn estimated_completions(&self) -> Vec<(u64, f64)> {
+        let mut v: Vec<(u64, f64)> = self
+            .running
+            .iter()
+            .map(|r| {
+                // Use the *estimate* of remaining time, as a real scheduler would:
+                // elapsed runtime so far versus the user's estimate.
+                let elapsed = self.now - r.started_at;
+                let est_total = r.job.estimate.max(1.0);
+                let est_remaining = (est_total - elapsed).max(0.0);
+                (r.job.id, self.now + est_remaining)
+            })
+            .collect();
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        v
+    }
+}
+
+/// A scheduling policy.
+pub trait Scheduler {
+    /// A short, stable name used in reports.
+    fn name(&self) -> &str;
+
+    /// React to a state change with zero or more decisions.
+    fn react(&mut self, ctx: &SchedulerContext<'_>, event: SchedulerEvent) -> Vec<Decision>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::SimJob;
+
+    fn running(id: u64, procs: u32, share: f64) -> RunningJob {
+        RunningJob {
+            job: SimJob::rigid(id, 0.0, 100.0, procs),
+            queued_at: 0.0,
+            procs,
+            share,
+            remaining_work: 50.0,
+            started_at: 0.0,
+            first_started_at: 0.0,
+            restarts: 0,
+        }
+    }
+
+    #[test]
+    fn context_capacity_accounting() {
+        let mut cluster = Cluster::new(64);
+        cluster.try_reserve(0.0, 100.0, 8).unwrap();
+        let running = vec![running(1, 16, 1.0), running(2, 32, 0.5)];
+        let ctx = SchedulerContext {
+            now: 10.0,
+            cluster: &cluster,
+            queue: &[],
+            running: &running,
+        };
+        assert_eq!(ctx.used_capacity(), 32.0);
+        assert_eq!(ctx.free_capacity(), 64.0 - 32.0 - 8.0);
+        assert_eq!(ctx.free_capacity_ignoring_reservations(), 32.0);
+        assert_eq!(ctx.reservations().len(), 1);
+    }
+
+    #[test]
+    fn estimated_completions_use_estimates_and_sort() {
+        let cluster = Cluster::new(64);
+        let mut a = running(1, 8, 1.0);
+        a.job.estimate = 1000.0;
+        a.started_at = 0.0;
+        let mut b = running(2, 8, 1.0);
+        b.job.estimate = 100.0;
+        b.started_at = 50.0;
+        let running = vec![a, b];
+        let ctx = SchedulerContext {
+            now: 100.0,
+            cluster: &cluster,
+            queue: &[],
+            running: &running,
+        };
+        let comps = ctx.estimated_completions();
+        // b: estimate 100, elapsed 50 -> completes at 150; a: estimate 1000, elapsed 100 -> 1000
+        assert_eq!(comps[0], (2, 150.0));
+        assert_eq!(comps[1], (1, 1000.0));
+    }
+
+    #[test]
+    fn estimated_completion_never_in_the_past() {
+        let cluster = Cluster::new(4);
+        let mut a = running(1, 4, 1.0);
+        a.job.estimate = 10.0; // badly underestimated; job still running at t=100
+        a.started_at = 0.0;
+        let running = vec![a];
+        let ctx = SchedulerContext {
+            now: 100.0,
+            cluster: &cluster,
+            queue: &[],
+            running: &running,
+        };
+        assert_eq!(ctx.estimated_completions()[0].1, 100.0);
+    }
+
+    #[test]
+    fn decision_helpers() {
+        assert_eq!(
+            Decision::start(5),
+            Decision::Start { job_id: 5, procs: None, share: 1.0 }
+        );
+        assert_eq!(
+            Decision::start_on(5, 16),
+            Decision::Start { job_id: 5, procs: Some(16), share: 1.0 }
+        );
+    }
+}

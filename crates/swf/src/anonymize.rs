@@ -1,0 +1,188 @@
+//! Anonymization / densification of identifier fields.
+//!
+//! The standard requires that "users and executables are given by incremental
+//! numbers", which hides sensitive information and makes grouping easy. Raw logs
+//! carry arbitrary strings or sparse numeric ids; this module maps them onto dense
+//! natural numbers (1..n) in order of first appearance.
+
+use crate::log::SwfLog;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A mapping from original identifiers (as strings) to dense ids, in order of first
+/// appearance. The same structure serves users, groups, executables, queues and
+/// partitions.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdMap {
+    forward: HashMap<String, u32>,
+    /// Original identifiers indexed by `dense_id - 1`.
+    pub originals: Vec<String>,
+}
+
+impl IdMap {
+    /// Create an empty mapping.
+    pub fn new() -> Self {
+        IdMap::default()
+    }
+
+    /// Map an original identifier to its dense id, assigning the next id on first sight.
+    pub fn map(&mut self, original: &str) -> u32 {
+        if let Some(&id) = self.forward.get(original) {
+            return id;
+        }
+        let id = self.originals.len() as u32 + 1;
+        self.originals.push(original.to_string());
+        self.forward.insert(original.to_string(), id);
+        id
+    }
+
+    /// Look up an already assigned id without inserting.
+    pub fn get(&self, original: &str) -> Option<u32> {
+        self.forward.get(original).copied()
+    }
+
+    /// The original identifier for a dense id, if assigned.
+    pub fn original(&self, dense: u32) -> Option<&str> {
+        if dense == 0 {
+            return None;
+        }
+        self.originals.get(dense as usize - 1).map(|s| s.as_str())
+    }
+
+    /// Number of distinct identifiers seen.
+    pub fn len(&self) -> usize {
+        self.originals.len()
+    }
+
+    /// True if no identifiers have been mapped yet.
+    pub fn is_empty(&self) -> bool {
+        self.originals.is_empty()
+    }
+}
+
+/// The complete set of identifier mappings produced while anonymizing one log.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnonymizationKey {
+    /// Mapping for user names / ids.
+    pub users: IdMap,
+    /// Mapping for group names / ids.
+    pub groups: IdMap,
+    /// Mapping for executable names.
+    pub executables: IdMap,
+    /// Mapping for queue names (queue 0 = interactive is preserved as-is).
+    pub queues: IdMap,
+    /// Mapping for partition names.
+    pub partitions: IdMap,
+}
+
+/// Densify the numeric identifier fields of an already-parsed SWF log so that users,
+/// groups, executables, queues (other than the interactive queue 0) and partitions
+/// are numbered 1..n in order of first appearance. Returns the key that allows
+/// reversing the mapping.
+pub fn densify_ids(log: &mut SwfLog) -> AnonymizationKey {
+    let mut key = AnonymizationKey::default();
+    for j in &mut log.jobs {
+        if let Some(u) = j.user_id {
+            j.user_id = Some(key.users.map(&u.to_string()));
+        }
+        if let Some(g) = j.group_id {
+            j.group_id = Some(key.groups.map(&g.to_string()));
+        }
+        if let Some(e) = j.executable_id {
+            j.executable_id = Some(key.executables.map(&e.to_string()));
+        }
+        if let Some(q) = j.queue_id {
+            // Queue 0 denotes interactive jobs by convention and keeps its meaning.
+            if q != 0 {
+                j.queue_id = Some(key.queues.map(&q.to_string()));
+            }
+        }
+        if let Some(p) = j.partition_id {
+            j.partition_id = Some(key.partitions.map(&p.to_string()));
+        }
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::SwfHeader;
+    use crate::record::SwfRecordBuilder;
+
+    #[test]
+    fn idmap_assigns_in_order_of_first_appearance() {
+        let mut m = IdMap::new();
+        assert_eq!(m.map("walfredo"), 1);
+        assert_eq!(m.map("dror"), 2);
+        assert_eq!(m.map("walfredo"), 1);
+        assert_eq!(m.map("steve"), 3);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.original(2), Some("dror"));
+        assert_eq!(m.original(0), None);
+        assert_eq!(m.original(9), None);
+        assert_eq!(m.get("dror"), Some(2));
+        assert_eq!(m.get("nobody"), None);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn densify_renumbers_sparse_ids() {
+        let jobs = vec![
+            SwfRecordBuilder::new(1, 0)
+                .user_id(1034)
+                .group_id(55)
+                .executable_id(900)
+                .queue_id(7)
+                .partition_id(3)
+                .build(),
+            SwfRecordBuilder::new(2, 1)
+                .user_id(2001)
+                .group_id(55)
+                .executable_id(901)
+                .queue_id(0)
+                .partition_id(3)
+                .build(),
+            SwfRecordBuilder::new(3, 2).user_id(1034).build(),
+        ];
+        let mut log = SwfLog::new(SwfHeader::default(), jobs);
+        let key = densify_ids(&mut log);
+        assert_eq!(log.jobs[0].user_id, Some(1));
+        assert_eq!(log.jobs[1].user_id, Some(2));
+        assert_eq!(log.jobs[2].user_id, Some(1));
+        assert_eq!(log.jobs[0].group_id, Some(1));
+        assert_eq!(log.jobs[1].group_id, Some(1));
+        assert_eq!(log.jobs[0].executable_id, Some(1));
+        assert_eq!(log.jobs[1].executable_id, Some(2));
+        // queue 0 (interactive) untouched, queue 7 becomes 1
+        assert_eq!(log.jobs[0].queue_id, Some(1));
+        assert_eq!(log.jobs[1].queue_id, Some(0));
+        assert_eq!(log.jobs[0].partition_id, Some(1));
+        assert_eq!(key.users.original(1), Some("1034"));
+        assert_eq!(key.users.original(2), Some("2001"));
+        assert_eq!(key.users.len(), 2);
+        assert_eq!(key.groups.len(), 1);
+    }
+
+    #[test]
+    fn densify_leaves_unknown_fields_alone() {
+        let jobs = vec![SwfRecordBuilder::new(1, 0).build()];
+        let mut log = SwfLog::new(SwfHeader::default(), jobs);
+        let key = densify_ids(&mut log);
+        assert_eq!(log.jobs[0].user_id, None);
+        assert!(key.users.is_empty());
+    }
+
+    #[test]
+    fn densify_is_stable_under_repeat() {
+        let jobs = vec![
+            SwfRecordBuilder::new(1, 0).user_id(500).build(),
+            SwfRecordBuilder::new(2, 1).user_id(600).build(),
+        ];
+        let mut log = SwfLog::new(SwfHeader::default(), jobs);
+        densify_ids(&mut log);
+        let snapshot = log.clone();
+        densify_ids(&mut log);
+        assert_eq!(log, snapshot);
+    }
+}

@@ -1,0 +1,327 @@
+//! Multi-line records for checkpointed / swapped-out jobs.
+//!
+//! The standard proposes that a job which was swapped out appears twice: once as a
+//! single summary line (completion code 0 or 1, runtime = sum of partial runtimes),
+//! and once per partial execution burst (code 2 = "to be continued", the last burst
+//! carrying code 3 on completion or 4 when killed). All lines share the job id; only
+//! the first burst carries the submit time, later bursts carry only a wait time
+//! since the previous burst.
+//!
+//! This module assembles structured [`CheckpointedJob`] values from the flat record
+//! list of a log, and expands them back into the flat multi-line representation.
+
+use crate::log::SwfLog;
+use crate::record::{CompletionStatus, SwfRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One execution burst of a checkpointed job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Burst {
+    /// Wait time before this burst: for the first burst this is the wait since
+    /// submission; for later bursts, the time since the previous burst ended.
+    pub wait_time: i64,
+    /// Duration of the burst in seconds.
+    pub run_time: i64,
+    /// Whether this burst ended by being swapped out (continued), by completing, or
+    /// by being killed.
+    pub outcome: BurstOutcome,
+}
+
+/// How an execution burst ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BurstOutcome {
+    /// Swapped out; the job continues in a later burst (code 2).
+    Continued,
+    /// The job completed at the end of this burst (code 3).
+    Completed,
+    /// The job was killed at the end of this burst (code 4).
+    Killed,
+}
+
+impl BurstOutcome {
+    fn to_status(self) -> CompletionStatus {
+        match self {
+            BurstOutcome::Continued => CompletionStatus::PartialContinued,
+            BurstOutcome::Completed => CompletionStatus::PartialCompleted,
+            BurstOutcome::Killed => CompletionStatus::PartialFailed,
+        }
+    }
+}
+
+/// A job together with its execution bursts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointedJob {
+    /// The whole-job summary record (codes 0/1).
+    pub summary: SwfRecord,
+    /// The partial-execution bursts, in order. Empty for jobs that ran in one piece.
+    pub bursts: Vec<Burst>,
+}
+
+impl CheckpointedJob {
+    /// Total runtime over all bursts (equals the summary runtime for a consistent job).
+    pub fn total_burst_runtime(&self) -> i64 {
+        self.bursts.iter().map(|b| b.run_time).sum()
+    }
+
+    /// Number of times the job was preempted / swapped out.
+    pub fn preemption_count(&self) -> usize {
+        self.bursts
+            .iter()
+            .filter(|b| b.outcome == BurstOutcome::Continued)
+            .count()
+    }
+}
+
+/// Error produced when a log's multi-line structure is inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// A partial line appeared for a job with no summary line.
+    MissingSummary {
+        /// The job id.
+        job: u64,
+    },
+    /// Partial lines continue after a terminal (code 3/4) burst.
+    BurstAfterTerminal {
+        /// The job id.
+        job: u64,
+    },
+    /// The last burst of a job is marked "to be continued".
+    UnterminatedBursts {
+        /// The job id.
+        job: u64,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::MissingSummary { job } => {
+                write!(f, "job {job}: partial execution lines without a summary line")
+            }
+            CheckpointError::BurstAfterTerminal { job } => {
+                write!(f, "job {job}: burst after a terminal burst")
+            }
+            CheckpointError::UnterminatedBursts { job } => {
+                write!(f, "job {job}: last burst is marked to-be-continued")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Group the records of a log into [`CheckpointedJob`]s.
+///
+/// Jobs without partial lines come back with an empty burst list. Record order of the
+/// partial lines within one job id is preserved (file order).
+pub fn assemble(log: &SwfLog) -> Result<Vec<CheckpointedJob>, CheckpointError> {
+    let mut summaries: BTreeMap<u64, SwfRecord> = BTreeMap::new();
+    let mut bursts: BTreeMap<u64, Vec<&SwfRecord>> = BTreeMap::new();
+    for rec in &log.jobs {
+        if rec.is_summary() {
+            summaries.insert(rec.job_id, rec.clone());
+        } else {
+            bursts.entry(rec.job_id).or_default().push(rec);
+        }
+    }
+    let mut out = Vec::with_capacity(summaries.len());
+    for (id, summary) in summaries {
+        let mut job = CheckpointedJob {
+            summary,
+            bursts: Vec::new(),
+        };
+        if let Some(parts) = bursts.remove(&id) {
+            let mut terminal_seen = false;
+            for p in parts {
+                if terminal_seen {
+                    return Err(CheckpointError::BurstAfterTerminal { job: id });
+                }
+                let outcome = match p.status {
+                    CompletionStatus::PartialContinued => BurstOutcome::Continued,
+                    CompletionStatus::PartialCompleted => BurstOutcome::Completed,
+                    CompletionStatus::PartialFailed => BurstOutcome::Killed,
+                    _ => unreachable!("non-partial status filtered above"),
+                };
+                if outcome != BurstOutcome::Continued {
+                    terminal_seen = true;
+                }
+                job.bursts.push(Burst {
+                    wait_time: p.wait_time.unwrap_or(0),
+                    run_time: p.run_time.unwrap_or(0),
+                    outcome,
+                });
+            }
+            if !terminal_seen && !job.bursts.is_empty() {
+                return Err(CheckpointError::UnterminatedBursts { job: id });
+            }
+        }
+        out.push(job);
+    }
+    if let Some((&job, _)) = bursts.iter().next() {
+        return Err(CheckpointError::MissingSummary { job });
+    }
+    Ok(out)
+}
+
+/// Expand structured jobs back into the flat multi-line representation.
+///
+/// The summary line is emitted first (as the standard proposes), followed by one line
+/// per burst. Burst lines carry the summary's identity fields but their own wait and
+/// run times; only the first burst carries the submit time, later ones carry the
+/// submit time of the summary as required for sortability but leave CPU/memory unknown.
+pub fn expand(jobs: &[CheckpointedJob]) -> Vec<SwfRecord> {
+    let mut out = Vec::new();
+    for job in jobs {
+        out.push(job.summary.clone());
+        for burst in &job.bursts {
+            let mut rec = job.summary.clone();
+            rec.status = burst.outcome.to_status();
+            rec.wait_time = Some(burst.wait_time);
+            rec.run_time = Some(burst.run_time);
+            rec.avg_cpu_time = None;
+            rec.used_memory_kb = None;
+            out.push(rec);
+        }
+    }
+    out
+}
+
+/// Convenience: summarize a sequence of bursts into the summary fields the standard
+/// expects (total runtime, completion status), given the job's submit time and the
+/// wait before the first burst.
+pub fn summarize_bursts(template: &SwfRecord, bursts: &[Burst]) -> SwfRecord {
+    let mut summary = template.clone();
+    summary.run_time = Some(bursts.iter().map(|b| b.run_time).sum());
+    summary.wait_time = bursts.first().map(|b| b.wait_time);
+    summary.status = match bursts.last().map(|b| b.outcome) {
+        Some(BurstOutcome::Completed) | None => CompletionStatus::Completed,
+        Some(BurstOutcome::Killed) => CompletionStatus::Failed,
+        Some(BurstOutcome::Continued) => CompletionStatus::Failed,
+    };
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::SwfHeader;
+    use crate::record::SwfRecordBuilder;
+
+    fn burst_record(id: u64, wait: i64, run: i64, status: CompletionStatus) -> SwfRecord {
+        let mut r = SwfRecordBuilder::new(id, 0)
+            .wait_time(wait)
+            .run_time(run)
+            .allocated_procs(4)
+            .build();
+        r.status = status;
+        r
+    }
+
+    fn checkpointed_log() -> SwfLog {
+        let summary = SwfRecordBuilder::new(1, 0)
+            .wait_time(10)
+            .run_time(100)
+            .allocated_procs(4)
+            .status(CompletionStatus::Completed)
+            .build();
+        let plain = SwfRecordBuilder::new(2, 5)
+            .wait_time(0)
+            .run_time(50)
+            .allocated_procs(2)
+            .status(CompletionStatus::Completed)
+            .build();
+        let jobs = vec![
+            summary,
+            burst_record(1, 10, 60, CompletionStatus::PartialContinued),
+            burst_record(1, 20, 40, CompletionStatus::PartialCompleted),
+            plain,
+        ];
+        SwfLog::new(SwfHeader::default(), jobs)
+    }
+
+    #[test]
+    fn assemble_groups_bursts() {
+        let jobs = assemble(&checkpointed_log()).unwrap();
+        assert_eq!(jobs.len(), 2);
+        let cp = jobs.iter().find(|j| j.summary.job_id == 1).unwrap();
+        assert_eq!(cp.bursts.len(), 2);
+        assert_eq!(cp.total_burst_runtime(), 100);
+        assert_eq!(cp.preemption_count(), 1);
+        assert_eq!(cp.bursts[1].outcome, BurstOutcome::Completed);
+        let plain = jobs.iter().find(|j| j.summary.job_id == 2).unwrap();
+        assert!(plain.bursts.is_empty());
+    }
+
+    #[test]
+    fn assemble_rejects_orphan_partials() {
+        let mut log = checkpointed_log();
+        log.jobs.push(burst_record(9, 0, 5, CompletionStatus::PartialContinued));
+        // Add a terminal burst so the error we hit is the missing summary.
+        log.jobs.push(burst_record(9, 0, 5, CompletionStatus::PartialCompleted));
+        assert_eq!(
+            assemble(&log).unwrap_err(),
+            CheckpointError::MissingSummary { job: 9 }
+        );
+    }
+
+    #[test]
+    fn assemble_rejects_burst_after_terminal() {
+        let mut log = checkpointed_log();
+        log.jobs.push(burst_record(1, 1, 5, CompletionStatus::PartialContinued));
+        assert_eq!(
+            assemble(&log).unwrap_err(),
+            CheckpointError::BurstAfterTerminal { job: 1 }
+        );
+    }
+
+    #[test]
+    fn assemble_rejects_unterminated_chain() {
+        let summary = SwfRecordBuilder::new(1, 0)
+            .wait_time(0)
+            .run_time(10)
+            .allocated_procs(1)
+            .status(CompletionStatus::Completed)
+            .build();
+        let jobs = vec![summary, burst_record(1, 0, 10, CompletionStatus::PartialContinued)];
+        let log = SwfLog::new(SwfHeader::default(), jobs);
+        assert_eq!(
+            assemble(&log).unwrap_err(),
+            CheckpointError::UnterminatedBursts { job: 1 }
+        );
+    }
+
+    #[test]
+    fn expand_round_trips() {
+        let log = checkpointed_log();
+        let structured = assemble(&log).unwrap();
+        let flat = expand(&structured);
+        // Reassembling the expanded records gives the same structure.
+        let relog = SwfLog::new(SwfHeader::default(), flat);
+        let again = assemble(&relog).unwrap();
+        assert_eq!(again, structured);
+    }
+
+    #[test]
+    fn summarize_bursts_computes_totals() {
+        let template = SwfRecordBuilder::new(7, 100).allocated_procs(8).build();
+        let bursts = vec![
+            Burst { wait_time: 5, run_time: 30, outcome: BurstOutcome::Continued },
+            Burst { wait_time: 12, run_time: 20, outcome: BurstOutcome::Completed },
+        ];
+        let s = summarize_bursts(&template, &bursts);
+        assert_eq!(s.run_time, Some(50));
+        assert_eq!(s.wait_time, Some(5));
+        assert_eq!(s.status, CompletionStatus::Completed);
+
+        let killed = vec![Burst { wait_time: 0, run_time: 9, outcome: BurstOutcome::Killed }];
+        let s2 = summarize_bursts(&template, &killed);
+        assert_eq!(s2.status, CompletionStatus::Failed);
+    }
+
+    #[test]
+    fn checkpoint_error_display() {
+        let e = CheckpointError::MissingSummary { job: 3 };
+        assert!(e.to_string().contains("job 3"));
+    }
+}

@@ -1,0 +1,449 @@
+//! The standard outage format proposed in Section 2.2 of the paper.
+//!
+//! For every outage that removes any portion of the system from operation the paper
+//! proposes recording: the announced time (when the scheduler learned of it), the
+//! start and end times, the type of outage, the number of nodes affected, and the
+//! specific affected components. Outage files complement SWF job traces and are
+//! keyed to them by sharing the same time base (seconds since the start of the log).
+//!
+//! The textual format mirrors SWF: `;`-comments, one outage per line with seven
+//! whitespace separated fields, `-1` for unknown:
+//!
+//! ```text
+//! <outage-id> <announced> <start> <end> <type> <nodes-affected> <components>
+//! ```
+//!
+//! `components` is either `-1` (unspecified) or a comma separated list of node
+//! numbers (no spaces), e.g. `4,5,6,17`.
+
+use crate::error::OutageParseError;
+use serde::{Deserialize, Serialize};
+
+/// Kinds of outages the standard enumerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OutageKind {
+    /// A CPU / node hardware failure (`0`).
+    CpuFailure,
+    /// A network failure (`1`).
+    NetworkFailure,
+    /// A facility problem, e.g. power or cooling (`2`).
+    Facility,
+    /// Scheduled maintenance (`3`).
+    Maintenance,
+    /// Dedicated time taken away from normal production (`4`).
+    DedicatedTime,
+    /// A storage / scratch filesystem failure (`5`).
+    StorageFailure,
+    /// Unknown (`-1`).
+    Unknown,
+}
+
+impl OutageKind {
+    /// Encode as the integer code used in the textual format.
+    pub fn to_code(self) -> i64 {
+        match self {
+            OutageKind::CpuFailure => 0,
+            OutageKind::NetworkFailure => 1,
+            OutageKind::Facility => 2,
+            OutageKind::Maintenance => 3,
+            OutageKind::DedicatedTime => 4,
+            OutageKind::StorageFailure => 5,
+            OutageKind::Unknown => -1,
+        }
+    }
+
+    /// Decode the integer code; unknown codes map to `Unknown`.
+    pub fn from_code(code: i64) -> Self {
+        match code {
+            0 => OutageKind::CpuFailure,
+            1 => OutageKind::NetworkFailure,
+            2 => OutageKind::Facility,
+            3 => OutageKind::Maintenance,
+            4 => OutageKind::DedicatedTime,
+            5 => OutageKind::StorageFailure,
+            _ => OutageKind::Unknown,
+        }
+    }
+
+    /// Whether this outage kind is normally announced ahead of time.
+    pub fn is_scheduled(self) -> bool {
+        matches!(self, OutageKind::Maintenance | OutageKind::DedicatedTime)
+    }
+}
+
+/// A single outage record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageRecord {
+    /// Outage number, a counter starting from 1.
+    pub outage_id: u64,
+    /// When the outage information became available to the scheduler, in seconds.
+    /// Equal to `start` (or unknown) for surprise failures; earlier for scheduled
+    /// maintenance.
+    pub announced_time: Option<i64>,
+    /// When the outage actually occurred, in seconds.
+    pub start_time: i64,
+    /// When the affected resources were again schedulable, in seconds.
+    pub end_time: i64,
+    /// Kind of outage.
+    pub kind: OutageKind,
+    /// Number of nodes affected, if known.
+    pub nodes_affected: Option<u32>,
+    /// Specific affected node numbers, if known (0-based node indices).
+    pub components: Vec<u32>,
+}
+
+impl OutageRecord {
+    /// Duration of the outage in seconds.
+    pub fn duration(&self) -> i64 {
+        self.end_time - self.start_time
+    }
+
+    /// How far in advance the outage was announced (0 for surprise failures).
+    pub fn warning_time(&self) -> i64 {
+        match self.announced_time {
+            Some(a) if a < self.start_time => self.start_time - a,
+            _ => 0,
+        }
+    }
+
+    /// True if the scheduler knew about this outage before it started.
+    pub fn was_announced_in_advance(&self) -> bool {
+        self.warning_time() > 0
+    }
+
+    /// Number of nodes affected, falling back to the component list length.
+    pub fn effective_nodes_affected(&self) -> u32 {
+        self.nodes_affected
+            .unwrap_or(self.components.len() as u32)
+    }
+
+    /// True if the outage is in effect at time `t`.
+    pub fn active_at(&self, t: i64) -> bool {
+        t >= self.start_time && t < self.end_time
+    }
+
+    /// Render as a canonical data line.
+    pub fn to_line(&self) -> String {
+        let comps = if self.components.is_empty() {
+            "-1".to_string()
+        } else {
+            self.components
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "{} {} {} {} {} {} {}",
+            self.outage_id,
+            self.announced_time.unwrap_or(-1),
+            self.start_time,
+            self.end_time,
+            self.kind.to_code(),
+            self.nodes_affected.map(|n| n as i64).unwrap_or(-1),
+            comps
+        )
+    }
+
+    /// Parse a single data line.
+    pub fn from_line(line: &str, line_no: usize) -> Result<Self, OutageParseError> {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 7 {
+            return Err(OutageParseError::WrongFieldCount {
+                line: line_no,
+                found: fields.len(),
+                expected: 7,
+            });
+        }
+        let parse_int = |idx: usize| -> Result<i64, OutageParseError> {
+            fields[idx]
+                .parse::<i64>()
+                .map_err(|_| OutageParseError::InvalidField {
+                    line: line_no,
+                    field: idx,
+                    token: fields[idx].to_string(),
+                })
+        };
+        let outage_id = parse_int(0)? as u64;
+        let announced = parse_int(1)?;
+        let start = parse_int(2)?;
+        let end = parse_int(3)?;
+        if end < start {
+            return Err(OutageParseError::InvertedInterval { line: line_no });
+        }
+        let kind = OutageKind::from_code(parse_int(4)?);
+        let nodes = parse_int(5)?;
+        let components = if fields[6] == "-1" {
+            Vec::new()
+        } else {
+            let mut comps = Vec::new();
+            for tok in fields[6].split(',') {
+                let c: u32 = tok.parse().map_err(|_| OutageParseError::InvalidField {
+                    line: line_no,
+                    field: 6,
+                    token: tok.to_string(),
+                })?;
+                comps.push(c);
+            }
+            comps
+        };
+        Ok(OutageRecord {
+            outage_id,
+            announced_time: if announced < 0 { None } else { Some(announced) },
+            start_time: start,
+            end_time: end,
+            kind,
+            nodes_affected: if nodes < 0 { None } else { Some(nodes as u32) },
+            components,
+        })
+    }
+}
+
+/// A complete outage log: comments plus outage records.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageLog {
+    /// Free-form comments (without the leading `;`).
+    pub comments: Vec<String>,
+    /// Outage records, in start-time order for a conforming log.
+    pub outages: Vec<OutageRecord>,
+}
+
+impl OutageLog {
+    /// Create an outage log from records, sorting them by start time and numbering
+    /// them 1..n.
+    pub fn from_records(mut records: Vec<OutageRecord>) -> Self {
+        records.sort_by_key(|o| (o.start_time, o.end_time));
+        for (i, o) in records.iter_mut().enumerate() {
+            o.outage_id = i as u64 + 1;
+        }
+        OutageLog {
+            comments: Vec::new(),
+            outages: records,
+        }
+    }
+
+    /// Number of outage records.
+    pub fn len(&self) -> usize {
+        self.outages.len()
+    }
+
+    /// True if there are no outage records.
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty()
+    }
+
+    /// All outages active at time `t`.
+    pub fn active_at(&self, t: i64) -> impl Iterator<Item = &OutageRecord> {
+        self.outages.iter().filter(move |o| o.active_at(t))
+    }
+
+    /// Total node-seconds lost to outages over `[0, horizon)`, counting each
+    /// outage's affected nodes over its clipped duration.
+    pub fn lost_node_seconds(&self, horizon: i64) -> i64 {
+        self.outages
+            .iter()
+            .map(|o| {
+                let start = o.start_time.max(0);
+                let end = o.end_time.min(horizon);
+                if end <= start {
+                    0
+                } else {
+                    (end - start) * o.effective_nodes_affected() as i64
+                }
+            })
+            .sum()
+    }
+
+    /// Render the log to a string.
+    pub fn write_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str("; Standard outage log (psbench); fields: id announced start end type nodes components\n");
+        for c in &self.comments {
+            out.push_str("; ");
+            out.push_str(c);
+            out.push('\n');
+        }
+        for o in &self.outages {
+            out.push_str(&o.to_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a log from a string.
+    pub fn parse(input: &str) -> Result<Self, OutageParseError> {
+        let mut log = OutageLog::default();
+        for (i, line) in input.lines().enumerate() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if let Some(rest) = trimmed.strip_prefix(';') {
+                log.comments.push(rest.trim().to_string());
+                continue;
+            }
+            log.outages.push(OutageRecord::from_line(trimmed, i + 1)?);
+        }
+        Ok(log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_outage() -> OutageRecord {
+        OutageRecord {
+            outage_id: 1,
+            announced_time: Some(100),
+            start_time: 500,
+            end_time: 800,
+            kind: OutageKind::Maintenance,
+            nodes_affected: Some(16),
+            components: vec![0, 1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for k in [
+            OutageKind::CpuFailure,
+            OutageKind::NetworkFailure,
+            OutageKind::Facility,
+            OutageKind::Maintenance,
+            OutageKind::DedicatedTime,
+            OutageKind::StorageFailure,
+            OutageKind::Unknown,
+        ] {
+            assert_eq!(OutageKind::from_code(k.to_code()), k);
+        }
+        assert_eq!(OutageKind::from_code(99), OutageKind::Unknown);
+    }
+
+    #[test]
+    fn scheduled_kinds() {
+        assert!(OutageKind::Maintenance.is_scheduled());
+        assert!(OutageKind::DedicatedTime.is_scheduled());
+        assert!(!OutageKind::CpuFailure.is_scheduled());
+    }
+
+    #[test]
+    fn record_derived_quantities() {
+        let o = sample_outage();
+        assert_eq!(o.duration(), 300);
+        assert_eq!(o.warning_time(), 400);
+        assert!(o.was_announced_in_advance());
+        assert_eq!(o.effective_nodes_affected(), 16);
+        assert!(o.active_at(500));
+        assert!(o.active_at(799));
+        assert!(!o.active_at(800));
+        assert!(!o.active_at(499));
+    }
+
+    #[test]
+    fn surprise_failure_has_no_warning() {
+        let mut o = sample_outage();
+        o.announced_time = None;
+        assert_eq!(o.warning_time(), 0);
+        assert!(!o.was_announced_in_advance());
+        o.announced_time = Some(600); // announced after the fact
+        assert_eq!(o.warning_time(), 0);
+    }
+
+    #[test]
+    fn effective_nodes_falls_back_to_components() {
+        let mut o = sample_outage();
+        o.nodes_affected = None;
+        assert_eq!(o.effective_nodes_affected(), 4);
+    }
+
+    #[test]
+    fn line_round_trip() {
+        let o = sample_outage();
+        let line = o.to_line();
+        assert_eq!(line, "1 100 500 800 3 16 0,1,2,3");
+        let back = OutageRecord::from_line(&line, 1).unwrap();
+        assert_eq!(back, o);
+    }
+
+    #[test]
+    fn line_round_trip_with_unknowns() {
+        let o = OutageRecord {
+            outage_id: 2,
+            announced_time: None,
+            start_time: 10,
+            end_time: 20,
+            kind: OutageKind::CpuFailure,
+            nodes_affected: None,
+            components: vec![],
+        };
+        let line = o.to_line();
+        assert_eq!(line, "2 -1 10 20 0 -1 -1");
+        assert_eq!(OutageRecord::from_line(&line, 1).unwrap(), o);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(matches!(
+            OutageRecord::from_line("1 2 3", 4),
+            Err(OutageParseError::WrongFieldCount { line: 4, found: 3, .. })
+        ));
+        assert!(matches!(
+            OutageRecord::from_line("1 x 10 20 0 -1 -1", 1),
+            Err(OutageParseError::InvalidField { field: 1, .. })
+        ));
+        assert!(matches!(
+            OutageRecord::from_line("1 -1 30 20 0 -1 -1", 1),
+            Err(OutageParseError::InvertedInterval { line: 1 })
+        ));
+        assert!(matches!(
+            OutageRecord::from_line("1 -1 10 20 0 -1 1,x", 1),
+            Err(OutageParseError::InvalidField { field: 6, .. })
+        ));
+    }
+
+    #[test]
+    fn log_round_trip_and_queries() {
+        let log = OutageLog::from_records(vec![
+            OutageRecord {
+                outage_id: 0,
+                announced_time: None,
+                start_time: 1000,
+                end_time: 1100,
+                kind: OutageKind::CpuFailure,
+                nodes_affected: Some(1),
+                components: vec![7],
+            },
+            OutageRecord {
+                outage_id: 0,
+                announced_time: Some(0),
+                start_time: 200,
+                end_time: 400,
+                kind: OutageKind::Maintenance,
+                nodes_affected: Some(32),
+                components: vec![],
+            },
+        ]);
+        // sorted by start time & renumbered
+        assert_eq!(log.outages[0].start_time, 200);
+        assert_eq!(log.outages[0].outage_id, 1);
+        assert_eq!(log.outages[1].outage_id, 2);
+        assert_eq!(log.active_at(250).count(), 1);
+        assert_eq!(log.active_at(999).count(), 0);
+        assert_eq!(log.lost_node_seconds(10_000), 200 * 32 + 100);
+        assert_eq!(log.lost_node_seconds(300), 100 * 32);
+
+        let text = log.write_string();
+        let back = OutageLog::parse(&text).unwrap();
+        assert_eq!(back.outages, log.outages);
+        assert!(!back.comments.is_empty());
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = OutageLog::default();
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.lost_node_seconds(1000), 0);
+    }
+}

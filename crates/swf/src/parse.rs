@@ -1,0 +1,359 @@
+//! Parsing of standard workload files.
+//!
+//! The textual format is deliberately simple (Section 2.3): comment lines start with
+//! `;`, header comments use `;Label: value`, and every data line holds exactly 18
+//! space separated integers with `-1` for unknown values. The parser offers a strict
+//! mode that enforces the format exactly, and a lenient mode that tolerates common
+//! deviations found in archive logs (extra whitespace, floating point tokens which
+//! are truncated, unknown completion codes).
+
+use crate::error::ParseError;
+use crate::header::SwfHeader;
+use crate::log::SwfLog;
+use crate::record::{CompletionStatus, SwfRecord, FIELD_COUNT};
+use std::io::BufRead;
+
+/// Options controlling parser behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseOptions {
+    /// In strict mode any deviation from the format is an error. In lenient mode the
+    /// parser truncates fractional tokens, accepts unknown completion codes (mapping
+    /// them to unknown) and clamps other illegal negatives to unknown.
+    pub strict: bool,
+    /// If true, lines whose job id is 0 or missing get a sequential id assigned.
+    pub assign_missing_ids: bool,
+    /// If true, an input with zero data lines is an error.
+    pub require_jobs: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions {
+            strict: false,
+            assign_missing_ids: true,
+            require_jobs: false,
+        }
+    }
+}
+
+impl ParseOptions {
+    /// Strict parsing: enforce the standard exactly.
+    pub fn strict() -> Self {
+        ParseOptions {
+            strict: true,
+            assign_missing_ids: false,
+            require_jobs: false,
+        }
+    }
+}
+
+/// Parse a single data line (without comments) into a record.
+///
+/// `line_no` is used only for error reporting. In lenient mode fractional values are
+/// truncated towards zero and out-of-range values map to unknown.
+pub fn parse_record_line(
+    line: &str,
+    line_no: usize,
+    opts: &ParseOptions,
+) -> Result<SwfRecord, ParseError> {
+    let mut raw = [crate::record::UNKNOWN; FIELD_COUNT];
+    let mut count = 0usize;
+    for (idx, tok) in line.split_whitespace().enumerate() {
+        if idx >= FIELD_COUNT {
+            count = idx + 1;
+            continue;
+        }
+        let value = match tok.parse::<i64>() {
+            Ok(v) => v,
+            Err(_) => {
+                // Archive logs occasionally contain floating point seconds.
+                match tok.parse::<f64>() {
+                    Ok(f) if !opts.strict && f.is_finite() => f.trunc() as i64,
+                    _ => {
+                        return Err(ParseError::InvalidInteger {
+                            line: line_no,
+                            field: idx,
+                            token: tok.to_string(),
+                        })
+                    }
+                }
+            }
+        };
+        raw[idx] = value;
+        count = idx + 1;
+    }
+    if count != FIELD_COUNT {
+        return Err(ParseError::WrongFieldCount {
+            line: line_no,
+            found: count,
+            expected: FIELD_COUNT,
+        });
+    }
+    validate_raw(&raw, line_no, opts)?;
+    Ok(SwfRecord::from_raw(&raw))
+}
+
+fn validate_raw(raw: &[i64; FIELD_COUNT], line_no: usize, opts: &ParseOptions) -> Result<(), ParseError> {
+    // Field 1 (job id) must be positive in strict mode.
+    if opts.strict && raw[0] < 1 {
+        return Err(ParseError::OutOfRange {
+            line: line_no,
+            field: 0,
+            value: raw[0],
+            legal: "job number >= 1",
+        });
+    }
+    // Field 2 (submit time) must be non-negative in strict mode (the first submit is 0).
+    if opts.strict && raw[1] < 0 {
+        return Err(ParseError::OutOfRange {
+            line: line_no,
+            field: 1,
+            value: raw[1],
+            legal: "submit time >= 0",
+        });
+    }
+    // Other fields: -1 or non-negative. In strict mode, other negatives are errors.
+    if opts.strict {
+        for (i, &v) in raw.iter().enumerate().skip(2) {
+            if v < -1 {
+                return Err(ParseError::OutOfRange {
+                    line: line_no,
+                    field: i,
+                    value: v,
+                    legal: ">= -1",
+                });
+            }
+        }
+        if CompletionStatus::from_code(raw[10]).is_none() {
+            return Err(ParseError::OutOfRange {
+                line: line_no,
+                field: 10,
+                value: raw[10],
+                legal: "completion code in {-1,0,1,2,3,4,5}",
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Classify a line of an SWF file.
+enum Line<'a> {
+    Blank,
+    HeaderLabel { label: &'a str, value: &'a str },
+    Comment(&'a str),
+    Data(&'a str),
+}
+
+fn classify(line: &str) -> Line<'_> {
+    let trimmed = line.trim_start();
+    if trimmed.is_empty() {
+        return Line::Blank;
+    }
+    if let Some(rest) = trimmed.strip_prefix(';') {
+        // `;Label: value` header comment?
+        if let Some(colon) = rest.find(':') {
+            let label = rest[..colon].trim();
+            let value = rest[colon + 1..].trim();
+            if !label.is_empty() && !label.contains(char::is_whitespace) {
+                return Line::HeaderLabel { label, value };
+            }
+        }
+        return Line::Comment(rest.trim());
+    }
+    Line::Data(line)
+}
+
+/// Parse a complete SWF file from a string.
+pub fn parse_str(input: &str, opts: &ParseOptions) -> Result<SwfLog, ParseError> {
+    let mut header = SwfHeader::default();
+    let mut jobs: Vec<SwfRecord> = Vec::new();
+    let mut data_lines = 0usize;
+    for (i, line) in input.lines().enumerate() {
+        let line_no = i + 1;
+        match classify(line) {
+            Line::Blank => {}
+            Line::HeaderLabel { label, value } => {
+                let known = header.apply(label, value);
+                if !known && opts.strict && data_lines == 0 {
+                    return Err(ParseError::UnknownHeaderLabel {
+                        line: line_no,
+                        label: label.to_string(),
+                    });
+                }
+            }
+            Line::Comment(text) => header.add_free_comment(text),
+            Line::Data(text) => {
+                data_lines += 1;
+                let mut rec = parse_record_line(text, line_no, opts)?;
+                if rec.job_id == 0 && opts.assign_missing_ids {
+                    rec.job_id = data_lines as u64;
+                }
+                jobs.push(rec);
+            }
+        }
+    }
+    if opts.require_jobs && jobs.is_empty() {
+        return Err(ParseError::EmptyLog);
+    }
+    Ok(SwfLog::new(header, jobs))
+}
+
+/// Parse a complete SWF file from any buffered reader.
+pub fn parse_reader<R: BufRead>(mut reader: R, opts: &ParseOptions) -> Result<SwfLog, ParseError> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    parse_str(&buf, opts)
+}
+
+/// Convenience: parse with default (lenient) options.
+pub fn parse(input: &str) -> Result<SwfLog, ParseError> {
+    parse_str(input, &ParseOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::UNKNOWN;
+
+    const SAMPLE: &str = "\
+;Computer: iPSC/860
+;MaxNodes: 128
+;Version: 2
+;Note: runtimes are wallclock
+; free-form comment
+1 0 10 100 16 95 -1 16 120 -1 1 1 1 1 1 1 -1 -1
+2 30 -1 50 8 -1 -1 8 60 -1 0 2 1 2 0 1 -1 -1
+3 60 5 200 32 -1 -1 32 300 -1 1 1 1 1 1 1 1 25
+";
+
+    #[test]
+    fn parses_sample_log() {
+        let log = parse(SAMPLE).unwrap();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.header.computer.as_deref(), Some("iPSC/860"));
+        assert_eq!(log.header.max_nodes, Some(128));
+        assert_eq!(log.header.version, Some(2));
+        assert_eq!(log.header.notes.len(), 1);
+        assert_eq!(log.jobs[0].job_id, 1);
+        assert_eq!(log.jobs[0].wait_time, Some(10));
+        assert_eq!(log.jobs[0].run_time, Some(100));
+        assert_eq!(log.jobs[0].allocated_procs, Some(16));
+        assert_eq!(log.jobs[1].wait_time, None);
+        assert_eq!(log.jobs[1].queue_id, Some(0));
+        assert_eq!(log.jobs[2].preceding_job, Some(1));
+        assert_eq!(log.jobs[2].think_time, Some(25));
+    }
+
+    #[test]
+    fn strict_rejects_wrong_field_count() {
+        let bad = "1 0 10 100 16 95 -1 16\n";
+        let err = parse_str(bad, &ParseOptions::strict()).unwrap_err();
+        assert!(matches!(err, ParseError::WrongFieldCount { found: 8, .. }));
+    }
+
+    #[test]
+    fn strict_rejects_non_integer() {
+        let bad = "1 0 10 1e2 16 95 -1 16 120 -1 1 1 1 1 1 1 -1 -1\n";
+        let err = parse_str(bad, &ParseOptions::strict()).unwrap_err();
+        assert!(matches!(err, ParseError::InvalidInteger { field: 3, .. }));
+    }
+
+    #[test]
+    fn lenient_truncates_floats() {
+        let line = "1 0 10 100.7 16 95 -1 16 120 -1 1 1 1 1 1 1 -1 -1";
+        let rec = parse_record_line(line, 1, &ParseOptions::default()).unwrap();
+        assert_eq!(rec.run_time, Some(100));
+    }
+
+    #[test]
+    fn strict_rejects_bad_completion_code() {
+        let bad = "1 0 10 100 16 95 -1 16 120 -1 9 1 1 1 1 1 -1 -1\n";
+        let err = parse_str(bad, &ParseOptions::strict()).unwrap_err();
+        assert!(matches!(err, ParseError::OutOfRange { field: 10, .. }));
+        // lenient maps to unknown
+        let log = parse(bad).unwrap();
+        assert_eq!(log.jobs[0].status, CompletionStatus::Unknown);
+    }
+
+    #[test]
+    fn strict_rejects_negative_submit() {
+        let bad = "1 -5 10 100 16 95 -1 16 120 -1 1 1 1 1 1 1 -1 -1\n";
+        let err = parse_str(bad, &ParseOptions::strict()).unwrap_err();
+        assert!(matches!(err, ParseError::OutOfRange { field: 1, .. }));
+    }
+
+    #[test]
+    fn strict_rejects_zero_job_id() {
+        let bad = "0 5 10 100 16 95 -1 16 120 -1 1 1 1 1 1 1 -1 -1\n";
+        let err = parse_str(bad, &ParseOptions::strict()).unwrap_err();
+        assert!(matches!(err, ParseError::OutOfRange { field: 0, .. }));
+    }
+
+    #[test]
+    fn lenient_assigns_missing_ids() {
+        let input = "0 0 -1 10 1 -1 -1 1 -1 -1 1 1 1 1 1 1 -1 -1\n0 5 -1 10 1 -1 -1 1 -1 -1 1 1 1 1 1 1 -1 -1\n";
+        let log = parse(input).unwrap();
+        assert_eq!(log.jobs[0].job_id, 1);
+        assert_eq!(log.jobs[1].job_id, 2);
+    }
+
+    #[test]
+    fn strict_rejects_extra_fields() {
+        let bad = "1 0 10 100 16 95 -1 16 120 -1 1 1 1 1 1 1 -1 -1 99\n";
+        let err = parse_str(bad, &ParseOptions::strict()).unwrap_err();
+        assert!(matches!(err, ParseError::WrongFieldCount { found: 19, .. }));
+    }
+
+    #[test]
+    fn unknown_header_label_lenient_vs_strict() {
+        let input = ";Weather: sunny\n1 0 10 100 16 95 -1 16 120 -1 1 1 1 1 1 1 -1 -1\n";
+        let log = parse(input).unwrap();
+        assert!(log
+            .header
+            .raw_lines
+            .iter()
+            .any(|l| l.label.as_deref() == Some("Weather")));
+        let err = parse_str(input, &ParseOptions::strict()).unwrap_err();
+        assert!(matches!(err, ParseError::UnknownHeaderLabel { .. }));
+    }
+
+    #[test]
+    fn blank_lines_and_comments_ignored() {
+        let input = "\n; a comment\n\n1 0 -1 10 1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1\n\n";
+        let log = parse(input).unwrap();
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn require_jobs_flags_empty() {
+        let opts = ParseOptions {
+            require_jobs: true,
+            ..ParseOptions::default()
+        };
+        let err = parse_str(";Computer: x\n", &opts).unwrap_err();
+        assert_eq!(err, ParseError::EmptyLog);
+    }
+
+    #[test]
+    fn parse_reader_matches_parse_str() {
+        let from_str = parse(SAMPLE).unwrap();
+        let from_reader = parse_reader(std::io::Cursor::new(SAMPLE), &ParseOptions::default()).unwrap();
+        assert_eq!(from_str, from_reader);
+    }
+
+    #[test]
+    fn unknown_sentinel_maps_to_none_everywhere() {
+        let line = "5 9 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1";
+        let rec = parse_record_line(line, 1, &ParseOptions::strict()).unwrap();
+        assert_eq!(rec.job_id, 5);
+        assert_eq!(rec.submit_time, 9);
+        assert_eq!(rec.to_raw()[2..], [UNKNOWN; 16]);
+    }
+
+    #[test]
+    fn header_comment_without_space_after_colon() {
+        let input = ";MaxNodes:64\n1 0 -1 10 1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1\n";
+        let log = parse(input).unwrap();
+        assert_eq!(log.header.max_nodes, Some(64));
+    }
+}

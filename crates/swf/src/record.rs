@@ -1,0 +1,542 @@
+//! The Standard Workload Format job record.
+//!
+//! A standard workload file contains one line per job, with 18 space separated
+//! integer fields (Section 2.3 of the paper). Missing values are denoted by `-1`.
+//! This module defines [`SwfRecord`], a fully typed representation of one such
+//! line, together with the raw 18-integer view used by the parser and writer.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of data fields in an SWF version 2 record.
+pub const FIELD_COUNT: usize = 18;
+
+/// Sentinel used in the textual format for an unknown / missing value.
+pub const UNKNOWN: i64 = -1;
+
+/// Completion status of a job (field 11, "Completed?").
+///
+/// The paper defines codes 0/1 for whole jobs and 2/3/4 for partial executions of
+/// checkpointed or swapped jobs. `-1` (unknown) is used by synthetic workloads
+/// produced by models, where completion is meaningless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompletionStatus {
+    /// The job was killed / failed (`0`).
+    Failed,
+    /// The job completed normally (`1`).
+    Completed,
+    /// A partial execution that was swapped out and will be continued (`2`).
+    PartialContinued,
+    /// The last partial execution of a job that completed (`3`).
+    PartialCompleted,
+    /// The last partial execution of a job that was killed (`4`).
+    PartialFailed,
+    /// The job was cancelled before it started (`5`, later addition kept for
+    /// compatibility with archive logs).
+    Cancelled,
+    /// Status unknown (`-1`), e.g. for model-generated workloads.
+    Unknown,
+}
+
+impl CompletionStatus {
+    /// Encode the status as the integer used in the textual format.
+    pub fn to_code(self) -> i64 {
+        match self {
+            CompletionStatus::Failed => 0,
+            CompletionStatus::Completed => 1,
+            CompletionStatus::PartialContinued => 2,
+            CompletionStatus::PartialCompleted => 3,
+            CompletionStatus::PartialFailed => 4,
+            CompletionStatus::Cancelled => 5,
+            CompletionStatus::Unknown => UNKNOWN,
+        }
+    }
+
+    /// Decode an integer code. Codes outside the defined set map to `None`.
+    pub fn from_code(code: i64) -> Option<Self> {
+        match code {
+            0 => Some(CompletionStatus::Failed),
+            1 => Some(CompletionStatus::Completed),
+            2 => Some(CompletionStatus::PartialContinued),
+            3 => Some(CompletionStatus::PartialCompleted),
+            4 => Some(CompletionStatus::PartialFailed),
+            5 => Some(CompletionStatus::Cancelled),
+            UNKNOWN => Some(CompletionStatus::Unknown),
+            _ => None,
+        }
+    }
+
+    /// True if this code describes a whole-job summary line (0, 1, 5, or unknown),
+    /// as opposed to a partial-execution line of a checkpointed job (2, 3, 4).
+    pub fn is_summary(self) -> bool {
+        !matches!(
+            self,
+            CompletionStatus::PartialContinued
+                | CompletionStatus::PartialCompleted
+                | CompletionStatus::PartialFailed
+        )
+    }
+
+    /// True if the job (or segment) ultimately finished all its work.
+    pub fn is_successful(self) -> bool {
+        matches!(
+            self,
+            CompletionStatus::Completed | CompletionStatus::PartialCompleted
+        )
+    }
+}
+
+/// One job record of a standard workload file.
+///
+/// Field numbering follows the paper (1-based in the text; the doc comment of every
+/// member states its field number). Times are in seconds, memory in kilobytes.
+/// Optional members are `None` when the file holds the `-1` sentinel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwfRecord {
+    /// Field 1: job number, a counter starting from 1.
+    pub job_id: u64,
+    /// Field 2: submit time in seconds since the start of the log.
+    pub submit_time: i64,
+    /// Field 3: wait time in seconds (start time minus submit time).
+    pub wait_time: Option<i64>,
+    /// Field 4: wall-clock run time in seconds.
+    pub run_time: Option<i64>,
+    /// Field 5: number of allocated processors.
+    pub allocated_procs: Option<u32>,
+    /// Field 6: average CPU time used per processor, in seconds.
+    pub avg_cpu_time: Option<i64>,
+    /// Field 7: average used memory per processor, in kilobytes.
+    pub used_memory_kb: Option<i64>,
+    /// Field 8: requested number of processors.
+    pub requested_procs: Option<u32>,
+    /// Field 9: requested time (wallclock or average CPU, per the header), in seconds.
+    pub requested_time: Option<i64>,
+    /// Field 10: requested memory per processor, in kilobytes.
+    pub requested_memory_kb: Option<i64>,
+    /// Field 11: completion status.
+    pub status: CompletionStatus,
+    /// Field 12: user ID, a natural number from 1 to the number of users.
+    pub user_id: Option<u32>,
+    /// Field 13: group ID, a natural number from 1 to the number of groups.
+    pub group_id: Option<u32>,
+    /// Field 14: executable (application) number.
+    pub executable_id: Option<u32>,
+    /// Field 15: queue number; by convention 0 denotes interactive jobs.
+    pub queue_id: Option<u32>,
+    /// Field 16: partition number.
+    pub partition_id: Option<u32>,
+    /// Field 17: preceding job number (feedback dependency), if any.
+    pub preceding_job: Option<u64>,
+    /// Field 18: think time in seconds from the termination of the preceding job.
+    pub think_time: Option<i64>,
+}
+
+impl Default for SwfRecord {
+    fn default() -> Self {
+        SwfRecord {
+            job_id: 1,
+            submit_time: 0,
+            wait_time: None,
+            run_time: None,
+            allocated_procs: None,
+            avg_cpu_time: None,
+            used_memory_kb: None,
+            requested_procs: None,
+            requested_time: None,
+            requested_memory_kb: None,
+            status: CompletionStatus::Unknown,
+            user_id: None,
+            group_id: None,
+            executable_id: None,
+            queue_id: None,
+            partition_id: None,
+            preceding_job: None,
+            think_time: None,
+        }
+    }
+}
+
+fn opt_to_raw_i64(v: Option<i64>) -> i64 {
+    v.unwrap_or(UNKNOWN)
+}
+
+fn opt_to_raw_u32(v: Option<u32>) -> i64 {
+    v.map(|x| x as i64).unwrap_or(UNKNOWN)
+}
+
+fn opt_to_raw_u64(v: Option<u64>) -> i64 {
+    v.map(|x| x as i64).unwrap_or(UNKNOWN)
+}
+
+fn raw_to_opt_i64(v: i64) -> Option<i64> {
+    if v < 0 {
+        None
+    } else {
+        Some(v)
+    }
+}
+
+fn raw_to_opt_u32(v: i64) -> Option<u32> {
+    if v < 0 {
+        None
+    } else {
+        Some(v as u32)
+    }
+}
+
+fn raw_to_opt_u64(v: i64) -> Option<u64> {
+    if v < 0 {
+        None
+    } else {
+        Some(v as u64)
+    }
+}
+
+impl SwfRecord {
+    /// Construct a minimal rigid-job record of the kind produced by workload models:
+    /// submit time, run time and number of processors, with all else unknown.
+    pub fn rigid(job_id: u64, submit_time: i64, run_time: i64, procs: u32) -> Self {
+        SwfRecord {
+            job_id,
+            submit_time,
+            run_time: Some(run_time),
+            allocated_procs: Some(procs),
+            requested_procs: Some(procs),
+            ..SwfRecord::default()
+        }
+    }
+
+    /// The job's start time (submit + wait), if the wait time is known.
+    pub fn start_time(&self) -> Option<i64> {
+        self.wait_time.map(|w| self.submit_time + w)
+    }
+
+    /// The job's end time (submit + wait + run), if both are known.
+    pub fn end_time(&self) -> Option<i64> {
+        match (self.wait_time, self.run_time) {
+            (Some(w), Some(r)) => Some(self.submit_time + w + r),
+            _ => None,
+        }
+    }
+
+    /// Area of the job in processor-seconds, if both run time and processors are known.
+    pub fn area(&self) -> Option<i64> {
+        match (self.run_time, self.allocated_procs.or(self.requested_procs)) {
+            (Some(r), Some(p)) => Some(r * p as i64),
+            _ => None,
+        }
+    }
+
+    /// The number of processors most relevant for scheduling studies: the request
+    /// if present, otherwise the allocation.
+    pub fn procs(&self) -> Option<u32> {
+        self.requested_procs.or(self.allocated_procs)
+    }
+
+    /// The user's runtime estimate if present, otherwise the actual runtime.
+    pub fn estimate_or_runtime(&self) -> Option<i64> {
+        self.requested_time.or(self.run_time)
+    }
+
+    /// True if the record is a whole-job summary line (completion code 0/1/5/unknown).
+    pub fn is_summary(&self) -> bool {
+        self.status.is_summary()
+    }
+
+    /// Convert to the raw 18-integer representation used by the textual format.
+    pub fn to_raw(&self) -> [i64; FIELD_COUNT] {
+        [
+            self.job_id as i64,
+            self.submit_time,
+            opt_to_raw_i64(self.wait_time),
+            opt_to_raw_i64(self.run_time),
+            opt_to_raw_u32(self.allocated_procs),
+            opt_to_raw_i64(self.avg_cpu_time),
+            opt_to_raw_i64(self.used_memory_kb),
+            opt_to_raw_u32(self.requested_procs),
+            opt_to_raw_i64(self.requested_time),
+            opt_to_raw_i64(self.requested_memory_kb),
+            self.status.to_code(),
+            opt_to_raw_u32(self.user_id),
+            opt_to_raw_u32(self.group_id),
+            opt_to_raw_u32(self.executable_id),
+            opt_to_raw_u32(self.queue_id),
+            opt_to_raw_u32(self.partition_id),
+            opt_to_raw_u64(self.preceding_job),
+            opt_to_raw_i64(self.think_time),
+        ]
+    }
+
+    /// Build a record from the raw 18-integer representation.
+    ///
+    /// Any negative value is treated as unknown. Completion codes outside the defined
+    /// set are mapped to [`CompletionStatus::Unknown`]; the stricter treatment lives in
+    /// the parser, which can reject them.
+    pub fn from_raw(raw: &[i64; FIELD_COUNT]) -> Self {
+        SwfRecord {
+            job_id: if raw[0] < 0 { 0 } else { raw[0] as u64 },
+            submit_time: raw[1],
+            wait_time: raw_to_opt_i64(raw[2]),
+            run_time: raw_to_opt_i64(raw[3]),
+            allocated_procs: raw_to_opt_u32(raw[4]),
+            avg_cpu_time: raw_to_opt_i64(raw[5]),
+            used_memory_kb: raw_to_opt_i64(raw[6]),
+            requested_procs: raw_to_opt_u32(raw[7]),
+            requested_time: raw_to_opt_i64(raw[8]),
+            requested_memory_kb: raw_to_opt_i64(raw[9]),
+            status: CompletionStatus::from_code(raw[10]).unwrap_or(CompletionStatus::Unknown),
+            user_id: raw_to_opt_u32(raw[11]),
+            group_id: raw_to_opt_u32(raw[12]),
+            executable_id: raw_to_opt_u32(raw[13]),
+            queue_id: raw_to_opt_u32(raw[14]),
+            partition_id: raw_to_opt_u32(raw[15]),
+            preceding_job: raw_to_opt_u64(raw[16]),
+            think_time: raw_to_opt_i64(raw[17]),
+        }
+    }
+}
+
+/// Builder for [`SwfRecord`], convenient for tests and for converters that fill in
+/// fields incrementally.
+#[derive(Debug, Clone, Default)]
+pub struct SwfRecordBuilder {
+    record: SwfRecord,
+}
+
+impl SwfRecordBuilder {
+    /// Start building a record with the given job id and submit time.
+    pub fn new(job_id: u64, submit_time: i64) -> Self {
+        SwfRecordBuilder {
+            record: SwfRecord {
+                job_id,
+                submit_time,
+                ..SwfRecord::default()
+            },
+        }
+    }
+
+    /// Set the wait time (seconds).
+    pub fn wait_time(mut self, v: i64) -> Self {
+        self.record.wait_time = Some(v);
+        self
+    }
+
+    /// Set the run time (seconds).
+    pub fn run_time(mut self, v: i64) -> Self {
+        self.record.run_time = Some(v);
+        self
+    }
+
+    /// Set the number of allocated processors.
+    pub fn allocated_procs(mut self, v: u32) -> Self {
+        self.record.allocated_procs = Some(v);
+        self
+    }
+
+    /// Set the average CPU time per processor (seconds).
+    pub fn avg_cpu_time(mut self, v: i64) -> Self {
+        self.record.avg_cpu_time = Some(v);
+        self
+    }
+
+    /// Set the average used memory per processor (kilobytes).
+    pub fn used_memory_kb(mut self, v: i64) -> Self {
+        self.record.used_memory_kb = Some(v);
+        self
+    }
+
+    /// Set the requested number of processors.
+    pub fn requested_procs(mut self, v: u32) -> Self {
+        self.record.requested_procs = Some(v);
+        self
+    }
+
+    /// Set the requested time (seconds).
+    pub fn requested_time(mut self, v: i64) -> Self {
+        self.record.requested_time = Some(v);
+        self
+    }
+
+    /// Set the requested memory per processor (kilobytes).
+    pub fn requested_memory_kb(mut self, v: i64) -> Self {
+        self.record.requested_memory_kb = Some(v);
+        self
+    }
+
+    /// Set the completion status.
+    pub fn status(mut self, v: CompletionStatus) -> Self {
+        self.record.status = v;
+        self
+    }
+
+    /// Set the user id.
+    pub fn user_id(mut self, v: u32) -> Self {
+        self.record.user_id = Some(v);
+        self
+    }
+
+    /// Set the group id.
+    pub fn group_id(mut self, v: u32) -> Self {
+        self.record.group_id = Some(v);
+        self
+    }
+
+    /// Set the executable (application) id.
+    pub fn executable_id(mut self, v: u32) -> Self {
+        self.record.executable_id = Some(v);
+        self
+    }
+
+    /// Set the queue id (0 denotes interactive by convention).
+    pub fn queue_id(mut self, v: u32) -> Self {
+        self.record.queue_id = Some(v);
+        self
+    }
+
+    /// Set the partition id.
+    pub fn partition_id(mut self, v: u32) -> Self {
+        self.record.partition_id = Some(v);
+        self
+    }
+
+    /// Set the feedback dependency: preceding job number and think time.
+    pub fn depends_on(mut self, preceding_job: u64, think_time: i64) -> Self {
+        self.record.preceding_job = Some(preceding_job);
+        self.record.think_time = Some(think_time);
+        self
+    }
+
+    /// Finish and return the record.
+    pub fn build(self) -> SwfRecord {
+        self.record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_status_round_trips() {
+        for code in [-1i64, 0, 1, 2, 3, 4, 5] {
+            let st = CompletionStatus::from_code(code).unwrap();
+            assert_eq!(st.to_code(), code);
+        }
+        assert_eq!(CompletionStatus::from_code(17), None);
+        assert_eq!(CompletionStatus::from_code(-3), None);
+    }
+
+    #[test]
+    fn summary_classification() {
+        assert!(CompletionStatus::Completed.is_summary());
+        assert!(CompletionStatus::Failed.is_summary());
+        assert!(CompletionStatus::Unknown.is_summary());
+        assert!(CompletionStatus::Cancelled.is_summary());
+        assert!(!CompletionStatus::PartialContinued.is_summary());
+        assert!(!CompletionStatus::PartialCompleted.is_summary());
+        assert!(!CompletionStatus::PartialFailed.is_summary());
+    }
+
+    #[test]
+    fn successful_classification() {
+        assert!(CompletionStatus::Completed.is_successful());
+        assert!(CompletionStatus::PartialCompleted.is_successful());
+        assert!(!CompletionStatus::Failed.is_successful());
+        assert!(!CompletionStatus::Cancelled.is_successful());
+    }
+
+    #[test]
+    fn default_record_is_all_unknown() {
+        let r = SwfRecord::default();
+        let raw = r.to_raw();
+        assert_eq!(raw[0], 1);
+        assert_eq!(raw[1], 0);
+        for v in &raw[2..] {
+            assert_eq!(*v, UNKNOWN);
+        }
+    }
+
+    #[test]
+    fn raw_round_trip_preserves_fields() {
+        let r = SwfRecordBuilder::new(42, 1000)
+            .wait_time(30)
+            .run_time(600)
+            .allocated_procs(16)
+            .avg_cpu_time(590)
+            .used_memory_kb(2048)
+            .requested_procs(16)
+            .requested_time(900)
+            .requested_memory_kb(4096)
+            .status(CompletionStatus::Completed)
+            .user_id(3)
+            .group_id(2)
+            .executable_id(7)
+            .queue_id(1)
+            .partition_id(1)
+            .depends_on(40, 10)
+            .build();
+        let raw = r.to_raw();
+        let back = SwfRecord::from_raw(&raw);
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn derived_times() {
+        let r = SwfRecordBuilder::new(1, 100)
+            .wait_time(20)
+            .run_time(80)
+            .allocated_procs(4)
+            .build();
+        assert_eq!(r.start_time(), Some(120));
+        assert_eq!(r.end_time(), Some(200));
+        assert_eq!(r.area(), Some(320));
+        assert_eq!(r.procs(), Some(4));
+    }
+
+    #[test]
+    fn derived_times_unknown_when_missing() {
+        let r = SwfRecord::default();
+        assert_eq!(r.start_time(), None);
+        assert_eq!(r.end_time(), None);
+        assert_eq!(r.area(), None);
+        assert_eq!(r.procs(), None);
+        assert_eq!(r.estimate_or_runtime(), None);
+    }
+
+    #[test]
+    fn estimate_falls_back_to_runtime() {
+        let r = SwfRecordBuilder::new(1, 0).run_time(55).build();
+        assert_eq!(r.estimate_or_runtime(), Some(55));
+        let r2 = SwfRecordBuilder::new(1, 0).run_time(55).requested_time(100).build();
+        assert_eq!(r2.estimate_or_runtime(), Some(100));
+    }
+
+    #[test]
+    fn rigid_constructor() {
+        let r = SwfRecord::rigid(9, 500, 3600, 64);
+        assert_eq!(r.job_id, 9);
+        assert_eq!(r.submit_time, 500);
+        assert_eq!(r.run_time, Some(3600));
+        assert_eq!(r.allocated_procs, Some(64));
+        assert_eq!(r.requested_procs, Some(64));
+        assert_eq!(r.status, CompletionStatus::Unknown);
+    }
+
+    #[test]
+    fn procs_prefers_request() {
+        let mut r = SwfRecord::rigid(1, 0, 10, 8);
+        r.requested_procs = Some(16);
+        assert_eq!(r.procs(), Some(16));
+    }
+
+    #[test]
+    fn from_raw_treats_negatives_as_unknown() {
+        let mut raw = [UNKNOWN; FIELD_COUNT];
+        raw[0] = 5;
+        raw[1] = 77;
+        raw[3] = -9; // malformed negative run time: treated as unknown here
+        let r = SwfRecord::from_raw(&raw);
+        assert_eq!(r.job_id, 5);
+        assert_eq!(r.submit_time, 77);
+        assert_eq!(r.run_time, None);
+    }
+}

@@ -1,0 +1,703 @@
+//! Consistency checking and cleaning of standard workload files.
+//!
+//! The paper requires that "every datum must abide to strict consistency rules, that
+//! when checked ensure that the workload is always clean". This module implements
+//! those rules as a validator that reports violations, and a cleaner that repairs
+//! the repairable ones (re-sorting, re-numbering, clamping, dropping hopeless
+//! records) and reports exactly what it did.
+
+use crate::header::SwfHeader;
+use crate::log::SwfLog;
+use crate::record::{CompletionStatus, SwfRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A single consistency violation found in a log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Violation {
+    /// Submit times are not sorted in ascending order.
+    UnsortedSubmitTimes {
+        /// Index (0-based, in record order) of the first out-of-order record.
+        index: usize,
+    },
+    /// Job numbers of summary records are not the consecutive sequence 1..n.
+    NonConsecutiveJobIds {
+        /// Index of the offending record.
+        index: usize,
+        /// The id found.
+        found: u64,
+        /// The id expected.
+        expected: u64,
+    },
+    /// The first submit time is not zero.
+    NonZeroFirstSubmit {
+        /// The first submit time found.
+        first_submit: i64,
+    },
+    /// A job uses more processors than the machine has (`MaxNodes`).
+    TooManyProcessors {
+        /// Job id.
+        job: u64,
+        /// Processors requested or allocated.
+        procs: u32,
+        /// Machine size from the header.
+        max_nodes: u32,
+    },
+    /// A job's runtime exceeds the maximum the system allows (`MaxRuntime`).
+    RuntimeExceedsMax {
+        /// Job id.
+        job: u64,
+        /// Observed runtime.
+        run_time: i64,
+        /// Header maximum.
+        max_runtime: i64,
+    },
+    /// A job's used memory exceeds `MaxMemory`.
+    MemoryExceedsMax {
+        /// Job id.
+        job: u64,
+        /// Observed memory (KB).
+        memory_kb: i64,
+        /// Header maximum (KB).
+        max_memory: i64,
+    },
+    /// Average CPU time is larger than wall-clock runtime (and overuse is not allowed).
+    CpuExceedsWallclock {
+        /// Job id.
+        job: u64,
+        /// CPU time per processor.
+        cpu: i64,
+        /// Wall-clock runtime.
+        run_time: i64,
+    },
+    /// The job references a preceding job that does not exist or is not earlier.
+    BadPrecedingJob {
+        /// Job id.
+        job: u64,
+        /// Referenced preceding job id.
+        preceding: u64,
+    },
+    /// A think time is present without a preceding job.
+    ThinkTimeWithoutPreceding {
+        /// Job id.
+        job: u64,
+    },
+    /// A partial-execution record (code 2/3/4) has no matching summary record.
+    OrphanPartial {
+        /// Job id of the partial record.
+        job: u64,
+    },
+    /// A checkpointed job's partial runtimes do not sum to the summary runtime.
+    PartialRuntimeMismatch {
+        /// Job id.
+        job: u64,
+        /// Sum of partial runtimes.
+        partial_sum: i64,
+        /// Summary runtime.
+        summary: i64,
+    },
+    /// A record has neither requested nor allocated processors.
+    MissingProcessors {
+        /// Job id.
+        job: u64,
+    },
+    /// A summary record has an unknown runtime and is not cancelled.
+    MissingRuntime {
+        /// Job id.
+        job: u64,
+    },
+}
+
+/// Outcome of validating a log.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// All violations found, in record order.
+    pub violations: Vec<Violation>,
+    /// Number of records inspected.
+    pub records: usize,
+}
+
+impl ValidationReport {
+    /// True if no violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Count violations of a given discriminant (by matching closure).
+    pub fn count_where<F: Fn(&Violation) -> bool>(&self, f: F) -> usize {
+        self.violations.iter().filter(|v| f(v)).count()
+    }
+}
+
+/// Validate a log against the standard's consistency rules.
+pub fn validate(log: &SwfLog) -> ValidationReport {
+    let mut report = ValidationReport {
+        records: log.jobs.len(),
+        ..ValidationReport::default()
+    };
+    let jobs = &log.jobs;
+    if jobs.is_empty() {
+        return report;
+    }
+
+    // Rule: lines sorted by ascending submit time.
+    for i in 1..jobs.len() {
+        if jobs[i].submit_time < jobs[i - 1].submit_time {
+            report.violations.push(Violation::UnsortedSubmitTimes { index: i });
+            break;
+        }
+    }
+
+    // Rule: the earliest submit time is zero.
+    let first = jobs.iter().map(|j| j.submit_time).min().unwrap_or(0);
+    if first != 0 {
+        report
+            .violations
+            .push(Violation::NonZeroFirstSubmit { first_submit: first });
+    }
+
+    // Rule: summary job ids are 1..n consecutive.
+    let mut expected = 1u64;
+    for (i, j) in jobs.iter().enumerate() {
+        if j.is_summary() {
+            if j.job_id != expected {
+                report.violations.push(Violation::NonConsecutiveJobIds {
+                    index: i,
+                    found: j.job_id,
+                    expected,
+                });
+            }
+            expected += 1;
+        }
+    }
+
+    // Header-bound rules.
+    let max_nodes = log.header.max_nodes;
+    let max_runtime = log.header.max_runtime;
+    let max_memory = log.header.max_memory;
+    let allow_overuse = log.header.allow_overuse.unwrap_or(true);
+
+    let mut summary_ids: HashMap<u64, &SwfRecord> = HashMap::new();
+    for j in jobs.iter().filter(|j| j.is_summary()) {
+        summary_ids.insert(j.job_id, j);
+    }
+
+    for j in jobs {
+        if let (Some(p), Some(mn)) = (j.procs(), max_nodes) {
+            if p > mn {
+                report.violations.push(Violation::TooManyProcessors {
+                    job: j.job_id,
+                    procs: p,
+                    max_nodes: mn,
+                });
+            }
+        }
+        if let (Some(r), Some(mr)) = (j.run_time, max_runtime) {
+            if !allow_overuse && r > mr {
+                report.violations.push(Violation::RuntimeExceedsMax {
+                    job: j.job_id,
+                    run_time: r,
+                    max_runtime: mr,
+                });
+            }
+        }
+        if let (Some(m), Some(mm)) = (j.used_memory_kb, max_memory) {
+            if !allow_overuse && m > mm {
+                report.violations.push(Violation::MemoryExceedsMax {
+                    job: j.job_id,
+                    memory_kb: m,
+                    max_memory: mm,
+                });
+            }
+        }
+        if let (Some(c), Some(r)) = (j.avg_cpu_time, j.run_time) {
+            if c > r {
+                report.violations.push(Violation::CpuExceedsWallclock {
+                    job: j.job_id,
+                    cpu: c,
+                    run_time: r,
+                });
+            }
+        }
+        if let Some(p) = j.preceding_job {
+            match summary_ids.get(&p) {
+                None => report.violations.push(Violation::BadPrecedingJob {
+                    job: j.job_id,
+                    preceding: p,
+                }),
+                Some(prev) if prev.job_id >= j.job_id && j.is_summary() => {
+                    report.violations.push(Violation::BadPrecedingJob {
+                        job: j.job_id,
+                        preceding: p,
+                    })
+                }
+                _ => {}
+            }
+        }
+        if j.think_time.is_some() && j.preceding_job.is_none() {
+            report
+                .violations
+                .push(Violation::ThinkTimeWithoutPreceding { job: j.job_id });
+        }
+        if j.is_summary() {
+            if j.procs().is_none() {
+                report.violations.push(Violation::MissingProcessors { job: j.job_id });
+            }
+            if j.run_time.is_none()
+                && j.status != CompletionStatus::Cancelled
+                && j.status != CompletionStatus::Unknown
+            {
+                report.violations.push(Violation::MissingRuntime { job: j.job_id });
+            }
+        }
+    }
+
+    // Checkpoint chain rules: every partial record needs a summary, and partial
+    // runtimes must sum to the summary runtime.
+    let mut partial_sums: HashMap<u64, i64> = HashMap::new();
+    let mut partial_seen: HashMap<u64, bool> = HashMap::new();
+    for j in jobs.iter().filter(|j| !j.is_summary()) {
+        partial_seen.insert(j.job_id, true);
+        if let Some(r) = j.run_time {
+            *partial_sums.entry(j.job_id).or_insert(0) += r;
+        }
+        if !summary_ids.contains_key(&j.job_id) {
+            report.violations.push(Violation::OrphanPartial { job: j.job_id });
+        }
+    }
+    for (id, sum) in &partial_sums {
+        if let Some(summary) = summary_ids.get(id) {
+            if let Some(total) = summary.run_time {
+                if total != *sum {
+                    report.violations.push(Violation::PartialRuntimeMismatch {
+                        job: *id,
+                        partial_sum: *sum,
+                        summary: total,
+                    });
+                }
+            }
+        }
+    }
+
+    report
+}
+
+/// Actions a cleaning pass may take, counted in the [`CleaningReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CleaningReport {
+    /// Records dropped because they could not be repaired.
+    pub dropped: usize,
+    /// Whether the records were re-sorted by submit time.
+    pub resorted: bool,
+    /// Whether the submit times were rebased to start at zero.
+    pub rebased: bool,
+    /// Whether job ids were renumbered to 1..n.
+    pub renumbered: bool,
+    /// Number of processor counts clamped to `MaxNodes`.
+    pub clamped_procs: usize,
+    /// Number of CPU times clamped to the wall-clock runtime.
+    pub clamped_cpu: usize,
+    /// Number of dangling preceding-job references removed.
+    pub dropped_dependencies: usize,
+    /// Number of summary records whose missing runtime was filled in (from the CPU
+    /// time when known, otherwise zero).
+    pub filled_runtimes: usize,
+}
+
+/// Clean a log in place so that [`validate`] reports no violations, and report what
+/// was changed. Records that cannot be repaired (summary records with no processor
+/// count at all) are dropped.
+pub fn clean(log: &mut SwfLog) -> CleaningReport {
+    let mut report = CleaningReport::default();
+
+    // Drop hopeless records first.
+    let before = log.jobs.len();
+    log.jobs.retain(|j| !(j.is_summary() && j.procs().is_none()));
+    // Drop orphan partial records.
+    let ids: std::collections::HashSet<u64> = log
+        .jobs
+        .iter()
+        .filter(|j| j.is_summary())
+        .map(|j| j.job_id)
+        .collect();
+    log.jobs.retain(|j| j.is_summary() || ids.contains(&j.job_id));
+    report.dropped = before - log.jobs.len();
+
+    // Sort and rebase.
+    let was_sorted = log
+        .jobs
+        .windows(2)
+        .all(|w| w[0].submit_time <= w[1].submit_time);
+    if !was_sorted {
+        log.sort_by_submit();
+        report.resorted = true;
+    }
+    if log.first_submit() != 0 {
+        log.rebase_times();
+        report.rebased = true;
+    }
+
+    // Renumber if summary ids are not consecutive from 1.
+    let mut expected = 1u64;
+    let mut needs_renumber = false;
+    for j in log.jobs.iter().filter(|j| j.is_summary()) {
+        if j.job_id != expected {
+            needs_renumber = true;
+            break;
+        }
+        expected += 1;
+    }
+    if needs_renumber {
+        // Every summary record gets a fresh sequential id (this also resolves
+        // duplicate ids, which SwfLog::renumber would collapse); partial lines take
+        // the new id of the summary that carried their old id, and preceding-job
+        // references are remapped or dropped.
+        let mut next = 1u64;
+        let mut old_to_new: HashMap<u64, u64> = HashMap::new();
+        let mut new_ids = vec![0u64; log.jobs.len()];
+        for (i, j) in log.jobs.iter().enumerate() {
+            if j.is_summary() {
+                let id = next;
+                next += 1;
+                old_to_new.insert(j.job_id, id);
+                new_ids[i] = id;
+            }
+        }
+        for (i, j) in log.jobs.iter().enumerate() {
+            if !j.is_summary() {
+                new_ids[i] = old_to_new.get(&j.job_id).copied().unwrap_or(0);
+            }
+        }
+        for (i, j) in log.jobs.iter_mut().enumerate() {
+            if let Some(p) = j.preceding_job {
+                j.preceding_job = old_to_new.get(&p).copied();
+                if j.preceding_job.is_none() {
+                    j.think_time = None;
+                    report.dropped_dependencies += 1;
+                }
+            }
+            j.job_id = new_ids[i];
+        }
+        report.renumbered = true;
+    }
+
+    // Clamp per-record values.
+    let max_nodes = log.header.max_nodes;
+    for j in &mut log.jobs {
+        if let Some(mn) = max_nodes {
+            if let Some(p) = j.requested_procs {
+                if p > mn {
+                    j.requested_procs = Some(mn);
+                    report.clamped_procs += 1;
+                }
+            }
+            if let Some(p) = j.allocated_procs {
+                if p > mn {
+                    j.allocated_procs = Some(mn);
+                    report.clamped_procs += 1;
+                }
+            }
+        }
+        if let (Some(c), Some(r)) = (j.avg_cpu_time, j.run_time) {
+            if c > r {
+                j.avg_cpu_time = Some(r);
+                report.clamped_cpu += 1;
+            }
+        }
+        if j.think_time.is_some() && j.preceding_job.is_none() {
+            j.think_time = None;
+            report.dropped_dependencies += 1;
+        }
+        if j.is_summary()
+            && j.run_time.is_none()
+            && j.status != CompletionStatus::Cancelled
+            && j.status != CompletionStatus::Unknown
+        {
+            j.run_time = Some(j.avg_cpu_time.unwrap_or(0));
+            report.filled_runtimes += 1;
+        }
+    }
+
+    // Drop dependencies pointing at later or missing jobs.
+    let summary_ids: std::collections::HashSet<u64> = log
+        .jobs
+        .iter()
+        .filter(|j| j.is_summary())
+        .map(|j| j.job_id)
+        .collect();
+    for j in &mut log.jobs {
+        if let Some(p) = j.preceding_job {
+            let bad = !summary_ids.contains(&p) || (j.is_summary() && p >= j.job_id);
+            if bad {
+                j.preceding_job = None;
+                j.think_time = None;
+                report.dropped_dependencies += 1;
+            }
+        }
+    }
+
+    // Re-derive MaxNodes if the header lacks it, so later validations have a bound.
+    if log.header.max_nodes.is_none() {
+        let max = log.max_job_procs();
+        if max > 0 {
+            log.header.max_nodes = Some(max);
+        }
+    }
+
+    // Header hygiene: make sure the version is stamped.
+    if log.header.version.is_none() {
+        log.header.version = Some(crate::header::FORMAT_VERSION);
+    }
+
+    report
+}
+
+/// Validate, and if violations are found clean and re-validate; returns the cleaning
+/// report together with the final validation report (which is clean for repairable
+/// inputs).
+pub fn clean_and_validate(log: &mut SwfLog) -> (CleaningReport, ValidationReport) {
+    let initial = validate(log);
+    if initial.is_clean() {
+        return (CleaningReport::default(), initial);
+    }
+    let cleaning = clean(log);
+    let after = validate(log);
+    (cleaning, after)
+}
+
+/// Convenience: build a minimal conforming header for a machine of `max_nodes` nodes.
+pub fn minimal_header(max_nodes: u32) -> SwfHeader {
+    SwfHeader {
+        version: Some(crate::header::FORMAT_VERSION),
+        max_nodes: Some(max_nodes),
+        ..SwfHeader::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::SwfRecordBuilder;
+
+    fn conforming_log() -> SwfLog {
+        let header = minimal_header(64);
+        let jobs = vec![
+            SwfRecordBuilder::new(1, 0)
+                .wait_time(0)
+                .run_time(100)
+                .allocated_procs(8)
+                .status(CompletionStatus::Completed)
+                .build(),
+            SwfRecordBuilder::new(2, 10)
+                .wait_time(5)
+                .run_time(20)
+                .allocated_procs(4)
+                .status(CompletionStatus::Completed)
+                .depends_on(1, 3)
+                .build(),
+        ];
+        SwfLog::new(header, jobs)
+    }
+
+    #[test]
+    fn conforming_log_is_clean() {
+        let report = validate(&conforming_log());
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.records, 2);
+    }
+
+    #[test]
+    fn detects_unsorted_and_nonzero_start() {
+        let mut log = conforming_log();
+        log.jobs.swap(0, 1);
+        for j in &mut log.jobs {
+            j.submit_time += 100;
+        }
+        let report = validate(&log);
+        assert!(report.count_where(|v| matches!(v, Violation::UnsortedSubmitTimes { .. })) == 1);
+        assert!(report.count_where(|v| matches!(v, Violation::NonZeroFirstSubmit { .. })) == 1);
+    }
+
+    #[test]
+    fn detects_nonconsecutive_ids() {
+        let mut log = conforming_log();
+        log.jobs[1].job_id = 7;
+        let report = validate(&log);
+        assert_eq!(
+            report.count_where(|v| matches!(v, Violation::NonConsecutiveJobIds { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn detects_too_many_processors() {
+        let mut log = conforming_log();
+        log.jobs[0].allocated_procs = Some(1000);
+        let report = validate(&log);
+        assert_eq!(
+            report.count_where(|v| matches!(v, Violation::TooManyProcessors { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn detects_cpu_exceeding_wallclock() {
+        let mut log = conforming_log();
+        log.jobs[0].avg_cpu_time = Some(500);
+        let report = validate(&log);
+        assert_eq!(
+            report.count_where(|v| matches!(v, Violation::CpuExceedsWallclock { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn detects_runtime_and_memory_overuse_only_when_disallowed() {
+        let mut log = conforming_log();
+        log.header.max_runtime = Some(50);
+        log.header.max_memory = Some(100);
+        log.jobs[0].used_memory_kb = Some(200);
+        // Overuse allowed by default => no violations for these rules.
+        let report = validate(&log);
+        assert_eq!(
+            report.count_where(|v| matches!(v, Violation::RuntimeExceedsMax { .. })),
+            0
+        );
+        log.header.allow_overuse = Some(false);
+        let report = validate(&log);
+        assert_eq!(
+            report.count_where(|v| matches!(v, Violation::RuntimeExceedsMax { .. })),
+            1
+        );
+        assert_eq!(
+            report.count_where(|v| matches!(v, Violation::MemoryExceedsMax { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn detects_bad_dependencies() {
+        let mut log = conforming_log();
+        log.jobs[1].preceding_job = Some(99);
+        let report = validate(&log);
+        assert_eq!(
+            report.count_where(|v| matches!(v, Violation::BadPrecedingJob { .. })),
+            1
+        );
+        let mut log2 = conforming_log();
+        log2.jobs[0].think_time = Some(10);
+        let report2 = validate(&log2);
+        assert_eq!(
+            report2.count_where(|v| matches!(v, Violation::ThinkTimeWithoutPreceding { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn detects_forward_dependency() {
+        let mut log = conforming_log();
+        // Job 1 depends on job 2 (which comes later) -- illegal.
+        log.jobs[0].preceding_job = Some(2);
+        log.jobs[0].think_time = Some(1);
+        let report = validate(&log);
+        assert_eq!(
+            report.count_where(|v| matches!(v, Violation::BadPrecedingJob { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn detects_orphan_partials_and_mismatched_sums() {
+        let mut log = conforming_log();
+        let mut orphan = SwfRecordBuilder::new(9, 20).run_time(5).allocated_procs(1).build();
+        orphan.status = CompletionStatus::PartialContinued;
+        log.jobs.push(orphan);
+        let report = validate(&log);
+        assert_eq!(report.count_where(|v| matches!(v, Violation::OrphanPartial { .. })), 1);
+
+        // Now a checkpointed job whose partial runtimes do not add up.
+        let mut log2 = conforming_log();
+        let mut p1 = SwfRecordBuilder::new(1, 0).run_time(30).allocated_procs(8).build();
+        p1.status = CompletionStatus::PartialContinued;
+        let mut p2 = SwfRecordBuilder::new(1, 0).run_time(30).allocated_procs(8).build();
+        p2.status = CompletionStatus::PartialCompleted;
+        log2.jobs.push(p1);
+        log2.jobs.push(p2);
+        let report2 = validate(&log2);
+        assert_eq!(
+            report2.count_where(|v| matches!(v, Violation::PartialRuntimeMismatch { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn detects_missing_fields() {
+        let mut log = conforming_log();
+        log.jobs[0].allocated_procs = None;
+        log.jobs[0].requested_procs = None;
+        log.jobs[1].run_time = None;
+        let report = validate(&log);
+        assert_eq!(report.count_where(|v| matches!(v, Violation::MissingProcessors { .. })), 1);
+        assert_eq!(report.count_where(|v| matches!(v, Violation::MissingRuntime { .. })), 1);
+    }
+
+    #[test]
+    fn clean_repairs_messy_log() {
+        let mut log = conforming_log();
+        // Make a mess: unsorted, shifted, gap in ids, oversized job, bogus dependency.
+        log.jobs.swap(0, 1);
+        for j in &mut log.jobs {
+            j.submit_time += 500;
+        }
+        log.jobs[0].job_id = 12;
+        log.jobs[1].job_id = 3;
+        log.jobs[0].allocated_procs = Some(128);
+        log.jobs[0].preceding_job = Some(77);
+        log.jobs[0].think_time = Some(4);
+
+        let (cleaning, after) = clean_and_validate(&mut log);
+        assert!(after.is_clean(), "{:?}", after.violations);
+        assert!(cleaning.resorted);
+        assert!(cleaning.rebased);
+        assert!(cleaning.renumbered);
+        assert!(cleaning.clamped_procs >= 1);
+    }
+
+    #[test]
+    fn clean_counts_dropped_dependencies() {
+        let mut log = conforming_log();
+        // Dangling dependency on a job that never exists, with ids already consecutive
+        // so the renumber pass is not involved.
+        log.jobs[1].preceding_job = Some(42);
+        let report = clean(&mut log);
+        assert!(report.dropped_dependencies >= 1);
+        assert!(validate(&log).is_clean());
+    }
+
+    #[test]
+    fn clean_drops_hopeless_records() {
+        let mut log = conforming_log();
+        let hopeless = SwfRecordBuilder::new(3, 20).run_time(10).build(); // no procs at all
+        log.jobs.push(hopeless);
+        let report = clean(&mut log);
+        assert_eq!(report.dropped, 1);
+        assert!(validate(&log).is_clean());
+    }
+
+    #[test]
+    fn clean_is_idempotent() {
+        let mut log = conforming_log();
+        log.jobs[0].allocated_procs = Some(500);
+        clean(&mut log);
+        let second = clean(&mut log);
+        assert_eq!(second, CleaningReport::default());
+    }
+
+    #[test]
+    fn clean_on_clean_log_reports_nothing() {
+        let mut log = conforming_log();
+        let (cleaning, after) = clean_and_validate(&mut log);
+        assert_eq!(cleaning, CleaningReport::default());
+        assert!(after.is_clean());
+    }
+}

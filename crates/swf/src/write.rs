@@ -1,0 +1,133 @@
+//! Canonical serialization of standard workload files.
+//!
+//! The writer emits the typed header (in the order the paper lists the labels),
+//! followed by one data line per record with the 18 integer fields separated by
+//! single spaces. Writing then re-parsing a log yields an identical `SwfLog`
+//! (up to header free-comment placement), which is verified by property tests.
+
+use crate::log::SwfLog;
+use crate::record::SwfRecord;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// Render a single record as a canonical data line (no trailing newline).
+pub fn record_line(record: &SwfRecord) -> String {
+    let raw = record.to_raw();
+    let mut out = String::with_capacity(raw.len() * 6);
+    for (i, v) in raw.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out
+}
+
+/// Render a complete log (header plus data lines) to a string.
+pub fn write_string(log: &SwfLog) -> String {
+    let mut out = String::new();
+    for line in log.header.render() {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    for job in &log.jobs {
+        out.push_str(&record_line(job));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a complete log to any `io::Write` sink.
+pub fn write_to<W: Write>(log: &SwfLog, mut sink: W) -> io::Result<()> {
+    sink.write_all(write_string(log).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::SwfHeader;
+    use crate::parse::{parse, parse_str, ParseOptions};
+    use crate::record::{CompletionStatus, SwfRecordBuilder};
+
+    fn sample_log() -> SwfLog {
+        let mut header = SwfHeader::default();
+        header.computer = Some("Test Machine".to_string());
+        header.version = Some(2);
+        header.max_nodes = Some(64);
+        header.notes.push("synthetic".to_string());
+        let jobs = vec![
+            SwfRecordBuilder::new(1, 0)
+                .wait_time(5)
+                .run_time(120)
+                .allocated_procs(16)
+                .requested_procs(16)
+                .requested_time(300)
+                .status(CompletionStatus::Completed)
+                .user_id(1)
+                .group_id(1)
+                .executable_id(1)
+                .queue_id(1)
+                .partition_id(1)
+                .build(),
+            SwfRecordBuilder::new(2, 60)
+                .run_time(30)
+                .allocated_procs(1)
+                .status(CompletionStatus::Failed)
+                .depends_on(1, 15)
+                .build(),
+        ];
+        SwfLog::new(header, jobs)
+    }
+
+    #[test]
+    fn record_line_has_18_fields() {
+        let log = sample_log();
+        let line = record_line(&log.jobs[0]);
+        assert_eq!(line.split_whitespace().count(), 18);
+        assert!(line.starts_with("1 0 5 120 16"));
+    }
+
+    #[test]
+    fn round_trip_preserves_jobs_and_typed_header() {
+        let log = sample_log();
+        let text = write_string(&log);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.jobs, log.jobs);
+        assert_eq!(back.header.computer, log.header.computer);
+        assert_eq!(back.header.version, log.header.version);
+        assert_eq!(back.header.max_nodes, log.header.max_nodes);
+        assert_eq!(back.header.notes, log.header.notes);
+    }
+
+    #[test]
+    fn round_trip_is_stable_after_one_pass() {
+        // write -> parse -> write must be a fixed point.
+        let log = sample_log();
+        let once = write_string(&log);
+        let reparsed = parse(&once).unwrap();
+        let twice = write_string(&reparsed);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn writer_output_parses_strictly() {
+        let log = sample_log();
+        let text = write_string(&log);
+        parse_str(&text, &ParseOptions::strict()).unwrap();
+    }
+
+    #[test]
+    fn write_to_sink() {
+        let log = sample_log();
+        let mut buf = Vec::new();
+        write_to(&log, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), write_string(&log));
+    }
+
+    #[test]
+    fn unknown_values_serialize_as_minus_one() {
+        let log = SwfLog::new(SwfHeader::default(), vec![SwfRecordBuilder::new(3, 7).build()]);
+        let text = write_string(&log);
+        assert_eq!(text.trim(), "3 7 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1");
+    }
+}

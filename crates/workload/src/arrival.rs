@@ -1,0 +1,273 @@
+//! Arrival processes.
+//!
+//! Workload models separate *when* jobs arrive from *what* they look like. This
+//! module provides the arrival processes the models draw on: a plain Poisson
+//! process, a daily-cycle modulated process (production logs show a strong
+//! day/night pattern), and a two-state MMPP-style bursty process.
+
+use crate::dist::exponential;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Seconds per day, used by the daily cycle.
+pub const SECONDS_PER_DAY: i64 = 86_400;
+
+/// An arrival process produces a monotonically non-decreasing sequence of arrival
+/// times (seconds from the start of the workload).
+pub trait ArrivalProcess {
+    /// Generate `n` arrival times starting at time 0.
+    fn arrivals<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<i64>;
+}
+
+/// A homogeneous Poisson process with the given mean interarrival time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoissonArrivals {
+    /// Mean interarrival time in seconds.
+    pub mean_interarrival: f64,
+}
+
+impl PoissonArrivals {
+    /// Create a Poisson arrival process with the given mean interarrival time.
+    pub fn new(mean_interarrival: f64) -> Self {
+        assert!(mean_interarrival > 0.0);
+        PoissonArrivals { mean_interarrival }
+    }
+}
+
+impl ArrivalProcess for PoissonArrivals {
+    fn arrivals<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<i64> {
+        let mut t = 0.0f64;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            t += exponential(rng, self.mean_interarrival);
+            out.push(t.round() as i64);
+        }
+        out
+    }
+}
+
+/// A daily-cycle modulated Poisson process: the instantaneous arrival rate follows
+/// a 24-hour profile with a configurable peak-to-trough ratio, peaking in the
+/// afternoon as production logs show.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DailyCycleArrivals {
+    /// Mean interarrival time in seconds, averaged over the whole day.
+    pub mean_interarrival: f64,
+    /// Ratio between the peak (working hours) rate and the trough (night) rate.
+    pub peak_to_trough: f64,
+    /// Hour of the day (0–23) at which the rate peaks.
+    pub peak_hour: u32,
+}
+
+impl Default for DailyCycleArrivals {
+    fn default() -> Self {
+        DailyCycleArrivals {
+            mean_interarrival: 900.0,
+            peak_to_trough: 4.0,
+            peak_hour: 15,
+        }
+    }
+}
+
+impl DailyCycleArrivals {
+    /// Relative rate multiplier at a given time of day, averaging 1 over the day.
+    pub fn rate_multiplier(&self, t: i64) -> f64 {
+        let seconds_of_day = t.rem_euclid(SECONDS_PER_DAY) as f64;
+        let hour = seconds_of_day / 3600.0;
+        // Sinusoidal profile between trough and peak, normalized to mean 1.
+        let ratio = self.peak_to_trough.max(1.0);
+        let amplitude = (ratio - 1.0) / (ratio + 1.0);
+        let phase = (hour - self.peak_hour as f64) / 24.0 * 2.0 * std::f64::consts::PI;
+        1.0 + amplitude * phase.cos()
+    }
+}
+
+impl ArrivalProcess for DailyCycleArrivals {
+    fn arrivals<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<i64> {
+        // Thinning-free approach: draw an exponential with the *local* mean at the
+        // current time. This is an approximation of an inhomogeneous Poisson process
+        // that is adequate for workload generation and keeps the generator O(n).
+        let mut t = 0.0f64;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mult = self.rate_multiplier(t.round() as i64);
+            let local_mean = self.mean_interarrival / mult;
+            t += exponential(rng, local_mean);
+            out.push(t.round() as i64);
+        }
+        out
+    }
+}
+
+/// A two-state Markov-modulated Poisson process: a "calm" state and a "bursty"
+/// state with a much shorter interarrival time; the process switches state after
+/// exponentially distributed sojourn times. Produces the arrival burstiness that a
+/// plain Poisson process lacks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstyArrivals {
+    /// Mean interarrival time in the calm state, seconds.
+    pub calm_interarrival: f64,
+    /// Mean interarrival time in the bursty state, seconds.
+    pub burst_interarrival: f64,
+    /// Mean sojourn time in the calm state, seconds.
+    pub calm_duration: f64,
+    /// Mean sojourn time in the bursty state, seconds.
+    pub burst_duration: f64,
+}
+
+impl Default for BurstyArrivals {
+    fn default() -> Self {
+        BurstyArrivals {
+            calm_interarrival: 1800.0,
+            burst_interarrival: 120.0,
+            calm_duration: 4.0 * 3600.0,
+            burst_duration: 1800.0,
+        }
+    }
+}
+
+impl ArrivalProcess for BurstyArrivals {
+    fn arrivals<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<i64> {
+        let mut t = 0.0f64;
+        let mut out = Vec::with_capacity(n);
+        let mut bursty = false;
+        let mut state_ends = exponential(rng, self.calm_duration);
+        for _ in 0..n {
+            let mean = if bursty {
+                self.burst_interarrival
+            } else {
+                self.calm_interarrival
+            };
+            t += exponential(rng, mean);
+            while t > state_ends {
+                bursty = !bursty;
+                let dur = if bursty { self.burst_duration } else { self.calm_duration };
+                state_ends += exponential(rng, dur);
+            }
+            out.push(t.round() as i64);
+        }
+        out
+    }
+}
+
+/// Scale a list of arrival times so that a workload of total work `work_area`
+/// (processor-seconds) offers the target load on a machine of `machine_size`
+/// processors. Returns the scaled arrival times (the first arrival is preserved).
+pub fn scale_to_load(arrivals: &[i64], work_area: f64, machine_size: u32, target_load: f64) -> Vec<i64> {
+    assert!(target_load > 0.0 && machine_size > 0);
+    if arrivals.len() < 2 {
+        return arrivals.to_vec();
+    }
+    let first = arrivals[0];
+    let last = *arrivals.last().unwrap();
+    let span = (last - first).max(1) as f64;
+    let current_load = work_area / (span * machine_size as f64);
+    let factor = current_load / target_load;
+    arrivals
+        .iter()
+        .map(|&a| first + (((a - first) as f64) * factor).round() as i64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(123)
+    }
+
+    fn mean_interarrival(arrivals: &[i64]) -> f64 {
+        arrivals
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as f64)
+            .sum::<f64>()
+            / (arrivals.len() - 1) as f64
+    }
+
+    #[test]
+    fn poisson_arrivals_sorted_with_right_mean() {
+        let p = PoissonArrivals::new(600.0);
+        let arrivals = p.arrivals(&mut rng(), 20_000);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        let m = mean_interarrival(&arrivals);
+        assert!((m - 600.0).abs() / 600.0 < 0.05, "mean interarrival {m}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn poisson_rejects_nonpositive_mean() {
+        PoissonArrivals::new(0.0);
+    }
+
+    #[test]
+    fn daily_cycle_rate_peaks_at_peak_hour() {
+        let d = DailyCycleArrivals::default();
+        let peak = d.rate_multiplier(d.peak_hour as i64 * 3600);
+        let trough = d.rate_multiplier(((d.peak_hour + 12) % 24) as i64 * 3600);
+        assert!(peak > trough);
+        assert!((peak / trough - d.peak_to_trough).abs() < 0.3);
+        // mean multiplier over the day is ~1
+        let avg: f64 = (0..24).map(|h| d.rate_multiplier(h * 3600)).sum::<f64>() / 24.0;
+        assert!((avg - 1.0).abs() < 0.05, "avg {avg}");
+    }
+
+    #[test]
+    fn daily_cycle_concentrates_arrivals_in_working_hours() {
+        let d = DailyCycleArrivals {
+            mean_interarrival: 300.0,
+            peak_to_trough: 6.0,
+            peak_hour: 14,
+        };
+        let arrivals = d.arrivals(&mut rng(), 40_000);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        let day_count = arrivals
+            .iter()
+            .filter(|&&a| {
+                let h = (a.rem_euclid(SECONDS_PER_DAY)) / 3600;
+                (9..=19).contains(&h)
+            })
+            .count() as f64;
+        let frac = day_count / arrivals.len() as f64;
+        // 11 of 24 hours would hold ~46% under a uniform process; the cycle pushes it up.
+        assert!(frac > 0.55, "working-hours fraction {frac}");
+    }
+
+    #[test]
+    fn bursty_arrivals_have_higher_cv_than_poisson() {
+        let n = 30_000;
+        let poisson = PoissonArrivals::new(600.0).arrivals(&mut rng(), n);
+        let bursty = BurstyArrivals {
+            calm_interarrival: 1100.0,
+            burst_interarrival: 60.0,
+            calm_duration: 6.0 * 3600.0,
+            burst_duration: 3600.0,
+        }
+        .arrivals(&mut rng(), n);
+        let cv = |arr: &[i64]| {
+            let gaps: Vec<f64> = arr.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+            let m = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let v = gaps.iter().map(|g| (g - m).powi(2)).sum::<f64>() / gaps.len() as f64;
+            v.sqrt() / m
+        };
+        assert!(cv(&bursty) > cv(&poisson) * 1.2);
+        assert!(bursty.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn scale_to_load_hits_target() {
+        let p = PoissonArrivals::new(600.0);
+        let arrivals = p.arrivals(&mut rng(), 5_000);
+        // Suppose each job is 32 procs x 1000 s.
+        let work = 5_000.0 * 32.0 * 1000.0;
+        let scaled = scale_to_load(&arrivals, work, 128, 0.8);
+        let span = (*scaled.last().unwrap() - scaled[0]) as f64;
+        let load = work / (span * 128.0);
+        assert!((load - 0.8).abs() < 0.05, "achieved load {load}");
+        assert!(scaled.windows(2).all(|w| w[0] <= w[1]));
+        // degenerate inputs
+        assert_eq!(scale_to_load(&[5], 100.0, 10, 0.5), vec![5]);
+    }
+}

@@ -1,0 +1,357 @@
+//! Random-variate samplers used by the workload models.
+//!
+//! The published models (Feitelson '96, Jann '97, Downey '97, Lublin '99) are built
+//! from a small set of distributions: exponential, Erlang / hyper-Erlang, gamma /
+//! hyper-gamma, log-uniform, and a couple of discrete helpers. The `rand` crate's
+//! core API only provides uniform sampling, so the variate transformations live
+//! here, implemented from first principles and unit-tested against their moments.
+
+use rand::Rng;
+
+/// Sample an exponential variate with the given mean (`mean = 1/rate`).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0, "exponential mean must be positive");
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+/// Sample a standard normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Sample a normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Sample a gamma variate with shape `alpha > 0` and scale `beta > 0`
+/// (mean = `alpha * beta`), using the Marsaglia–Tsang method.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, alpha: f64, beta: f64) -> f64 {
+    assert!(alpha > 0.0 && beta > 0.0, "gamma parameters must be positive");
+    if alpha < 1.0 {
+        // Boost: Gamma(alpha) = Gamma(alpha+1) * U^(1/alpha)
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        return gamma(rng, alpha + 1.0, beta) * u.powf(1.0 / alpha);
+    }
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v * beta;
+        }
+    }
+}
+
+/// Sample an Erlang variate: the sum of `k` exponentials each with mean
+/// `mean_total / k`, so the total mean is `mean_total`.
+pub fn erlang<R: Rng + ?Sized>(rng: &mut R, k: u32, mean_total: f64) -> f64 {
+    assert!(k > 0, "erlang stage count must be positive");
+    let stage_mean = mean_total / k as f64;
+    (0..k).map(|_| exponential(rng, stage_mean)).sum()
+}
+
+/// A two-branch hyper-exponential: with probability `p` sample an exponential of
+/// mean `mean1`, otherwise of mean `mean2`. Produces the high coefficients of
+/// variation observed in runtime distributions.
+pub fn hyper_exponential<R: Rng + ?Sized>(
+    rng: &mut R,
+    p: f64,
+    mean1: f64,
+    mean2: f64,
+) -> f64 {
+    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+        exponential(rng, mean1)
+    } else {
+        exponential(rng, mean2)
+    }
+}
+
+/// A two-branch hyper-Erlang: with probability `p` an Erlang(`k1`) of mean `mean1`,
+/// otherwise an Erlang(`k2`) of mean `mean2` (the Jann et al. building block).
+#[allow(clippy::too_many_arguments)]
+pub fn hyper_erlang<R: Rng + ?Sized>(
+    rng: &mut R,
+    p: f64,
+    k1: u32,
+    mean1: f64,
+    k2: u32,
+    mean2: f64,
+) -> f64 {
+    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+        erlang(rng, k1, mean1)
+    } else {
+        erlang(rng, k2, mean2)
+    }
+}
+
+/// A two-branch hyper-gamma: with probability `p` a Gamma(`a1`, `b1`), otherwise a
+/// Gamma(`a2`, `b2`) (the Lublin–Feitelson runtime building block).
+pub fn hyper_gamma<R: Rng + ?Sized>(
+    rng: &mut R,
+    p: f64,
+    a1: f64,
+    b1: f64,
+    a2: f64,
+    b2: f64,
+) -> f64 {
+    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+        gamma(rng, a1, b1)
+    } else {
+        gamma(rng, a2, b2)
+    }
+}
+
+/// Sample from a log-uniform distribution on `[lo, hi]` (`0 < lo < hi`): the
+/// logarithm of the value is uniform. This is Downey's observation about
+/// cumulative process lifetimes.
+pub fn log_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo > 0.0 && hi > lo, "log-uniform requires 0 < lo < hi");
+    let u: f64 = rng.gen_range(lo.ln()..hi.ln());
+    u.exp()
+}
+
+/// Sample a job size according to a "power-of-two biased" discrete distribution on
+/// `[1, max]`: with probability `p_pow2` the size is a uniformly chosen power of
+/// two, otherwise it is a uniformly chosen integer. With probability `p_serial`
+/// (checked first) the job is serial.
+pub fn job_size<R: Rng + ?Sized>(
+    rng: &mut R,
+    max: u32,
+    p_serial: f64,
+    p_pow2: f64,
+) -> u32 {
+    assert!(max >= 1);
+    if max == 1 || rng.gen_bool(p_serial.clamp(0.0, 1.0)) {
+        return 1;
+    }
+    if rng.gen_bool(p_pow2.clamp(0.0, 1.0)) {
+        let max_exp = (max as f64).log2().floor() as u32;
+        let e = rng.gen_range(1..=max_exp);
+        1u32 << e
+    } else {
+        rng.gen_range(2..=max)
+    }
+}
+
+/// Sample a job size with a log-uniform bias toward small sizes on `[1, max]`, as
+/// used by Downey's model (uniform in log2 of the size, then rounded).
+pub fn log_uniform_size<R: Rng + ?Sized>(rng: &mut R, max: u32) -> u32 {
+    assert!(max >= 1);
+    if max == 1 {
+        return 1;
+    }
+    let v = log_uniform(rng, 1.0, max as f64 + 0.999);
+    (v.floor() as u32).clamp(1, max)
+}
+
+/// Pick an index according to a discrete probability table (weights need not be
+/// normalized; all must be non-negative with a positive sum).
+pub fn discrete<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(
+        total > 0.0 && weights.iter().all(|w| *w >= 0.0),
+        "discrete weights must be non-negative with positive sum"
+    );
+    let mut x = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// Round a size up to the next power of two (identity if already a power of two).
+pub fn next_power_of_two(n: u32) -> u32 {
+    n.next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn mean_of(samples: &[f64]) -> f64 {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..50_000).map(|_| exponential(&mut r, 20.0)).collect();
+        let m = mean_of(&samples);
+        assert!((m - 20.0).abs() / 20.0 < 0.05, "mean {m}");
+        assert!(samples.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn exponential_rejects_nonpositive_mean() {
+        exponential(&mut rng(), 0.0);
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..50_000).map(|_| normal(&mut r, 5.0, 2.0)).collect();
+        let m = mean_of(&samples);
+        let var = samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((m - 5.0).abs() < 0.1, "mean {m}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn gamma_mean_close_for_various_shapes() {
+        let mut r = rng();
+        for &(alpha, beta) in &[(0.5, 2.0), (1.0, 3.0), (4.2, 0.8), (10.0, 1.5)] {
+            let samples: Vec<f64> = (0..30_000).map(|_| gamma(&mut r, alpha, beta)).collect();
+            let expected = alpha * beta;
+            let m = mean_of(&samples);
+            assert!(
+                (m - expected).abs() / expected < 0.08,
+                "alpha={alpha} beta={beta} mean {m} expected {expected}"
+            );
+            assert!(samples.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn erlang_mean_and_lower_variance() {
+        let mut r = rng();
+        let exp_samples: Vec<f64> = (0..20_000).map(|_| exponential(&mut r, 100.0)).collect();
+        let erl_samples: Vec<f64> = (0..20_000).map(|_| erlang(&mut r, 4, 100.0)).collect();
+        let me = mean_of(&erl_samples);
+        assert!((me - 100.0).abs() / 100.0 < 0.05);
+        // Erlang(4) has CV 1/2 versus exponential CV 1 at the same mean.
+        let var_exp = exp_samples.iter().map(|x| (x - 100.0).powi(2)).sum::<f64>() / 20_000.0;
+        let var_erl = erl_samples.iter().map(|x| (x - me).powi(2)).sum::<f64>() / 20_000.0;
+        assert!(var_erl < var_exp * 0.5);
+    }
+
+    #[test]
+    fn hyper_exponential_has_high_cv() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..40_000)
+            .map(|_| hyper_exponential(&mut r, 0.9, 10.0, 1000.0))
+            .collect();
+        let m = mean_of(&samples);
+        let expected = 0.9 * 10.0 + 0.1 * 1000.0;
+        assert!((m - expected).abs() / expected < 0.1, "mean {m}");
+        let var = samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / samples.len() as f64;
+        let cv = var.sqrt() / m;
+        assert!(cv > 1.5, "cv {cv}");
+    }
+
+    #[test]
+    fn hyper_erlang_and_hyper_gamma_means() {
+        let mut r = rng();
+        let he: Vec<f64> = (0..30_000)
+            .map(|_| hyper_erlang(&mut r, 0.5, 2, 50.0, 3, 500.0))
+            .collect();
+        let m = mean_of(&he);
+        assert!((m - 275.0).abs() / 275.0 < 0.07, "hyper-erlang mean {m}");
+
+        let hg: Vec<f64> = (0..30_000)
+            .map(|_| hyper_gamma(&mut r, 0.3, 2.0, 10.0, 5.0, 100.0))
+            .collect();
+        let expected = 0.3 * 20.0 + 0.7 * 500.0;
+        let m2 = mean_of(&hg);
+        assert!((m2 - expected).abs() / expected < 0.07, "hyper-gamma mean {m2}");
+    }
+
+    #[test]
+    fn log_uniform_within_bounds_and_skewed_small() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..20_000).map(|_| log_uniform(&mut r, 1.0, 10_000.0)).collect();
+        assert!(samples.iter().all(|&x| (1.0..=10_000.0).contains(&x)));
+        // median should be near geometric mean sqrt(1*10000)=100, far below arithmetic midpoint
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(median > 50.0 && median < 200.0, "median {median}");
+    }
+
+    #[test]
+    fn job_size_respects_bounds_and_biases() {
+        let mut r = rng();
+        let sizes: Vec<u32> = (0..20_000).map(|_| job_size(&mut r, 128, 0.25, 0.75)).collect();
+        assert!(sizes.iter().all(|&s| (1..=128).contains(&s)));
+        let serial = sizes.iter().filter(|&&s| s == 1).count() as f64 / sizes.len() as f64;
+        assert!(serial > 0.2 && serial < 0.35, "serial fraction {serial}");
+        let pow2 = sizes
+            .iter()
+            .filter(|&&s| s.is_power_of_two())
+            .count() as f64
+            / sizes.len() as f64;
+        assert!(pow2 > 0.6, "power-of-two fraction {pow2}");
+        // size-1 machine always yields serial jobs
+        assert_eq!(job_size(&mut r, 1, 0.0, 0.0), 1);
+    }
+
+    #[test]
+    fn log_uniform_size_bounds() {
+        let mut r = rng();
+        let sizes: Vec<u32> = (0..10_000).map(|_| log_uniform_size(&mut r, 64)).collect();
+        assert!(sizes.iter().all(|&s| (1..=64).contains(&s)));
+        let small = sizes.iter().filter(|&&s| s <= 8).count();
+        let large = sizes.iter().filter(|&&s| s > 32).count();
+        assert!(small > large, "log-uniform sizes should favour small jobs");
+        assert_eq!(log_uniform_size(&mut r, 1), 1);
+    }
+
+    #[test]
+    fn discrete_matches_weights() {
+        let mut r = rng();
+        let weights = [1.0, 3.0, 6.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[discrete(&mut r, &weights)] += 1;
+        }
+        let f0 = counts[0] as f64 / 30_000.0;
+        let f2 = counts[2] as f64 / 30_000.0;
+        assert!((f0 - 0.1).abs() < 0.02);
+        assert!((f2 - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic]
+    fn discrete_rejects_zero_weights() {
+        discrete(&mut rng(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn next_power_of_two_helper() {
+        assert_eq!(next_power_of_two(1), 1);
+        assert_eq!(next_power_of_two(3), 4);
+        assert_eq!(next_power_of_two(64), 64);
+        assert_eq!(next_power_of_two(65), 128);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..100).map(|_| gamma(&mut r, 2.0, 3.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..100).map(|_| gamma(&mut r, 2.0, 3.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

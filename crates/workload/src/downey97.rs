@@ -1,0 +1,157 @@
+//! The Downey '97 model ("A parallel workload model and its implications for
+//! processor allocation").
+//!
+//! Downey observed that the *cumulative* runtime distribution of jobs is close to
+//! log-uniform over several orders of magnitude, and that cluster sizes are also
+//! roughly log-uniform. His model generates jobs by total work (processor-seconds)
+//! plus a speedup profile, which also makes it the natural source of *moldable*
+//! jobs (see [`crate::flexible`]). For the rigid-workload interface the model picks
+//! the requested size log-uniformly and derives the runtime from the work and the
+//! speedup at that size.
+
+use crate::arrival::{ArrivalProcess, PoissonArrivals};
+use crate::dist::{log_uniform, log_uniform_size};
+use crate::flexible::{DowneySpeedup, SpeedupModel};
+use crate::model::{assemble_log, model_rng, CommonParams, GeneratedJob, WorkloadModel};
+use psbench_swf::SwfLog;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the Downey '97 model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Downey97 {
+    /// Parameters shared by all models.
+    pub common: CommonParams,
+    /// Mean interarrival time in seconds.
+    pub mean_interarrival: f64,
+    /// Lower bound of the log-uniform *sequential* runtime distribution, seconds.
+    pub min_seq_runtime: f64,
+    /// Upper bound of the log-uniform sequential runtime distribution, seconds.
+    pub max_seq_runtime: f64,
+    /// Range of the average-parallelism parameter `A` of the speedup model
+    /// (sampled log-uniformly within `[a_min, a_max]`).
+    pub a_min: f64,
+    /// Upper bound of `A`.
+    pub a_max: f64,
+    /// Range of the variance-of-parallelism parameter `sigma` (sampled uniformly).
+    pub sigma_min: f64,
+    /// Upper bound of `sigma`.
+    pub sigma_max: f64,
+}
+
+impl Default for Downey97 {
+    fn default() -> Self {
+        Downey97 {
+            common: CommonParams::default(),
+            mean_interarrival: 900.0,
+            min_seq_runtime: 60.0,
+            max_seq_runtime: 200_000.0,
+            a_min: 2.0,
+            a_max: 150.0,
+            sigma_min: 0.0,
+            sigma_max: 2.0,
+        }
+    }
+}
+
+impl Downey97 {
+    /// Model with default parameters on a machine of the given size.
+    pub fn with_machine_size(machine_size: u32) -> Self {
+        Downey97 {
+            common: CommonParams::default().with_machine_size(machine_size),
+            ..Downey97::default()
+        }
+    }
+
+    /// Sample one job's intrinsic description: sequential runtime and speedup profile.
+    pub fn sample_application<R: Rng + ?Sized>(&self, rng: &mut R) -> (f64, DowneySpeedup) {
+        let seq = log_uniform(rng, self.min_seq_runtime, self.max_seq_runtime);
+        let a = log_uniform(rng, self.a_min.max(1.0), self.a_max.max(self.a_min + 1.0));
+        let sigma = rng.gen_range(self.sigma_min..=self.sigma_max);
+        (seq, DowneySpeedup { a, sigma })
+    }
+}
+
+impl WorkloadModel for Downey97 {
+    fn name(&self) -> &'static str {
+        "downey97"
+    }
+
+    fn machine_size(&self) -> u32 {
+        self.common.machine_size
+    }
+
+    fn generate(&self, n_jobs: usize, seed: u64) -> SwfLog {
+        let mut rng = model_rng(seed);
+        let arrivals = PoissonArrivals::new(self.mean_interarrival).arrivals(&mut rng, n_jobs);
+        let mut jobs = Vec::with_capacity(n_jobs);
+        for &submit in arrivals.iter().take(n_jobs) {
+            let (seq_runtime, speedup) = self.sample_application(&mut rng);
+            let procs = log_uniform_size(&mut rng, self.common.machine_size);
+            let runtime = (seq_runtime / speedup.speedup(procs)).ceil() as i64;
+            jobs.push(GeneratedJob {
+                submit_time: submit,
+                run_time: runtime.max(1),
+                procs,
+                interactive: false,
+            });
+        }
+        assemble_log(&mut rng, self.name(), &self.common, jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psbench_metrics::stats::workload_features;
+    use psbench_swf::validate;
+
+    #[test]
+    fn generates_conforming_log() {
+        let log = Downey97::default().generate(2_000, 31);
+        assert_eq!(log.len(), 2_000);
+        assert!(validate(&log).is_clean());
+    }
+
+    #[test]
+    fn sizes_favor_small_jobs() {
+        let log = Downey97::default().generate(4_000, 32);
+        let f = workload_features("d97", &log);
+        let small = log.summaries().filter(|j| j.procs().unwrap() <= 8).count();
+        let large = log.summaries().filter(|j| j.procs().unwrap() > 64).count();
+        assert!(small > large * 2, "small {small} large {large}");
+        assert!(f.mean_procs < 64.0);
+    }
+
+    #[test]
+    fn runtimes_span_orders_of_magnitude() {
+        let log = Downey97::default().generate(4_000, 33);
+        let min = log.summaries().map(|j| j.run_time.unwrap()).min().unwrap();
+        let max = log.summaries().map(|j| j.run_time.unwrap()).max().unwrap();
+        assert!(max as f64 / min.max(1) as f64 > 100.0, "min {min} max {max}");
+        let f = workload_features("d97", &log);
+        assert!(f.runtime_cv > 1.0, "cv {}", f.runtime_cv);
+    }
+
+    #[test]
+    fn sample_application_in_ranges() {
+        let model = Downey97::default();
+        let mut rng = model_rng(9);
+        for _ in 0..500 {
+            let (seq, sp) = model.sample_application(&mut rng);
+            assert!(seq >= model.min_seq_runtime && seq <= model.max_seq_runtime);
+            assert!(sp.a >= model.a_min && sp.a <= model.a_max);
+            assert!(sp.sigma >= model.sigma_min && sp.sigma <= model.sigma_max);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Downey97::default().generate(300, 8);
+        let b = Downey97::default().generate(300, 8);
+        assert_eq!(a.jobs, b.jobs);
+        let m = Downey97::with_machine_size(256);
+        assert_eq!(m.machine_size(), 256);
+        assert_eq!(m.name(), "downey97");
+    }
+}

@@ -1,0 +1,196 @@
+//! The Feitelson '96 rigid-job model ("Packing schemes for gang scheduling").
+//!
+//! The model's salient features, reproduced here:
+//!
+//! * job sizes follow a hand-tuned discrete distribution that emphasizes small jobs
+//!   and powers of two;
+//! * runtimes are drawn from a hyper-exponential whose mean grows with job size
+//!   (larger jobs run longer), giving the observed positive size–runtime correlation;
+//! * jobs are *repeated*: the same (size, runtime) job is resubmitted several times,
+//!   modelling users who run the same program again and again;
+//! * arrivals form a Poisson process.
+
+use crate::arrival::{ArrivalProcess, PoissonArrivals};
+use crate::dist::{hyper_exponential, job_size};
+use crate::model::{assemble_log, model_rng, CommonParams, GeneratedJob, WorkloadModel};
+use psbench_swf::SwfLog;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the Feitelson '96 model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Feitelson96 {
+    /// Parameters shared by all models (machine size, users, estimates).
+    pub common: CommonParams,
+    /// Mean interarrival time in seconds.
+    pub mean_interarrival: f64,
+    /// Probability that a job is serial.
+    pub p_serial: f64,
+    /// Probability that a non-serial job size is a power of two.
+    pub p_power_of_two: f64,
+    /// Base mean runtime (seconds) of a serial job's "short" branch.
+    pub base_runtime: f64,
+    /// Ratio between the long and short hyper-exponential branches.
+    pub long_to_short_ratio: f64,
+    /// Probability of the short branch.
+    pub p_short: f64,
+    /// Exponent with which the mean runtime grows with job size
+    /// (`mean ∝ size^exponent`); 0.5 gives a mild positive correlation.
+    pub size_runtime_exponent: f64,
+    /// Mean number of repetitions of each distinct job (geometric distribution).
+    pub mean_repetitions: f64,
+}
+
+impl Default for Feitelson96 {
+    fn default() -> Self {
+        Feitelson96 {
+            common: CommonParams::default(),
+            mean_interarrival: 900.0,
+            p_serial: 0.17,
+            p_power_of_two: 0.75,
+            base_runtime: 600.0,
+            long_to_short_ratio: 20.0,
+            p_short: 0.7,
+            size_runtime_exponent: 0.5,
+            mean_repetitions: 2.5,
+        }
+    }
+}
+
+impl Feitelson96 {
+    /// Model with default parameters on a machine of the given size.
+    pub fn with_machine_size(machine_size: u32) -> Self {
+        Feitelson96 {
+            common: CommonParams::default().with_machine_size(machine_size),
+            ..Feitelson96::default()
+        }
+    }
+
+    fn sample_runtime<R: Rng + ?Sized>(&self, rng: &mut R, size: u32) -> i64 {
+        let scale = (size as f64).powf(self.size_runtime_exponent);
+        let short_mean = self.base_runtime * scale;
+        let long_mean = short_mean * self.long_to_short_ratio;
+        hyper_exponential(rng, self.p_short, short_mean, long_mean).ceil() as i64
+    }
+
+    fn sample_repetitions<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        // Geometric with the requested mean (mean = 1/p).
+        let p = (1.0 / self.mean_repetitions.max(1.0)).clamp(0.01, 1.0);
+        let mut n = 1usize;
+        while !rng.gen_bool(p) && n < 100 {
+            n += 1;
+        }
+        n
+    }
+}
+
+impl WorkloadModel for Feitelson96 {
+    fn name(&self) -> &'static str {
+        "feitelson96"
+    }
+
+    fn machine_size(&self) -> u32 {
+        self.common.machine_size
+    }
+
+    fn generate(&self, n_jobs: usize, seed: u64) -> SwfLog {
+        let mut rng = model_rng(seed);
+        let arrivals = PoissonArrivals::new(self.mean_interarrival).arrivals(&mut rng, n_jobs);
+        let mut jobs = Vec::with_capacity(n_jobs);
+        let mut i = 0usize;
+        while jobs.len() < n_jobs {
+            // One "distinct" job, possibly repeated.
+            let size = job_size(
+                &mut rng,
+                self.common.machine_size,
+                self.p_serial,
+                self.p_power_of_two,
+            );
+            let runtime = self.sample_runtime(&mut rng, size);
+            let reps = self.sample_repetitions(&mut rng);
+            for _ in 0..reps {
+                if jobs.len() >= n_jobs {
+                    break;
+                }
+                // Repetitions keep size and get a slightly perturbed runtime.
+                let jitter: f64 = rng.gen_range(0.85..1.15);
+                jobs.push(GeneratedJob {
+                    submit_time: arrivals[jobs.len()],
+                    run_time: ((runtime as f64) * jitter).ceil() as i64,
+                    procs: size,
+                    interactive: false,
+                });
+                i += 1;
+            }
+        }
+        debug_assert_eq!(i, n_jobs);
+        assemble_log(&mut rng, self.name(), &self.common, jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psbench_metrics::stats::workload_features;
+    use psbench_swf::validate;
+
+    #[test]
+    fn generates_conforming_log_of_requested_length() {
+        let model = Feitelson96::default();
+        let log = model.generate(2_000, 11);
+        assert_eq!(log.len(), 2_000);
+        assert!(validate(&log).is_clean());
+        assert_eq!(log.header.max_nodes, Some(128));
+    }
+
+    #[test]
+    fn sizes_are_small_and_power_of_two_biased() {
+        let log = Feitelson96::default().generate(4_000, 5);
+        let f = workload_features("f96", &log);
+        assert!(f.power_of_two_fraction > 0.6, "pow2 {}", f.power_of_two_fraction);
+        assert!(f.serial_fraction > 0.08, "serial {}", f.serial_fraction);
+        assert!(f.mean_procs < 64.0, "mean size {}", f.mean_procs);
+    }
+
+    #[test]
+    fn runtime_correlates_with_size() {
+        let log = Feitelson96::default().generate(4_000, 7);
+        let f = workload_features("f96", &log);
+        assert!(
+            f.size_runtime_correlation > 0.05,
+            "correlation {}",
+            f.size_runtime_correlation
+        );
+    }
+
+    #[test]
+    fn repetition_produces_duplicate_size_runs() {
+        let log = Feitelson96::default().generate(1_000, 9);
+        // Count consecutive jobs with identical size — repetitions should make this
+        // noticeably more common than independent sampling would.
+        let same_size_pairs = log
+            .jobs
+            .windows(2)
+            .filter(|w| w[0].procs() == w[1].procs())
+            .count();
+        assert!(same_size_pairs > 150, "same-size consecutive pairs {same_size_pairs}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Feitelson96::default().generate(300, 42);
+        let b = Feitelson96::default().generate(300, 42);
+        assert_eq!(a.jobs, b.jobs);
+        let c = Feitelson96::default().generate(300, 43);
+        assert_ne!(a.jobs, c.jobs);
+    }
+
+    #[test]
+    fn respects_machine_size() {
+        let model = Feitelson96::with_machine_size(32);
+        let log = model.generate(500, 3);
+        assert!(log.jobs.iter().all(|j| j.procs().unwrap() <= 32));
+        assert_eq!(model.machine_size(), 32);
+        assert_eq!(model.name(), "feitelson96");
+    }
+}

@@ -1,0 +1,324 @@
+//! Flexible (moldable / malleable) job models and the internal-structure strawman.
+//!
+//! "Flexible job models attempt to describe how an application would perform with
+//! different resource allocations" (Section 2.1). Two approaches appear in the
+//! paper and are both implemented here:
+//!
+//! 1. total work plus a *speedup function* — the Downey and Sevcik families — which
+//!    lets a scheduler choose the allocation (moldable jobs, used by adaptive
+//!    partitioning in experiment E9);
+//! 2. an explicit model of the *internal structure* of the application — the
+//!    strawman of [23]: number of processes, number of barriers, granularity, and
+//!    the variance of these attributes — which lets a simulator model the
+//!    interaction between scheduling and synchronization (gang scheduling).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A speedup model: how much faster the job runs on `n` processors than on one.
+pub trait SpeedupModel {
+    /// Speedup on `n` processors (`speedup(1) == 1`).
+    fn speedup(&self, n: u32) -> f64;
+
+    /// Runtime on `n` processors of a job whose sequential runtime is `seq_runtime`.
+    fn runtime(&self, seq_runtime: f64, n: u32) -> f64 {
+        seq_runtime / self.speedup(n).max(f64::MIN_POSITIVE)
+    }
+
+    /// Efficiency on `n` processors (`speedup / n`).
+    fn efficiency(&self, n: u32) -> f64 {
+        self.speedup(n) / n as f64
+    }
+}
+
+/// Downey's two-parameter speedup model: `A` is the average parallelism and `sigma`
+/// the variance in parallelism (σ = 0 gives ideal speedup up to `A`, larger σ a
+/// smoother, lower curve).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DowneySpeedup {
+    /// Average parallelism of the application.
+    pub a: f64,
+    /// Variance of parallelism (0 = ideal up to `a`).
+    pub sigma: f64,
+}
+
+impl SpeedupModel for DowneySpeedup {
+    fn speedup(&self, n: u32) -> f64 {
+        let n = n.max(1) as f64;
+        let a = self.a.max(1.0);
+        let sigma = self.sigma.max(0.0);
+        if sigma <= f64::EPSILON {
+            return n.min(a);
+        }
+        // Downey's model, low-variance branch (sigma <= 1) and high-variance branch.
+        if sigma <= 1.0 {
+            if n <= a {
+                a * n / (a + sigma * (n - 1.0) / 2.0)
+            } else if n <= 2.0 * a - 1.0 {
+                a * n / (sigma * (a - 0.5) + n * (1.0 - sigma / 2.0))
+            } else {
+                a
+            }
+        } else {
+            let bound = a + a * sigma - sigma;
+            if n <= bound {
+                n * a * (sigma + 1.0) / (sigma * (n + a - 1.0) + a)
+            } else {
+                a
+            }
+        }
+    }
+}
+
+/// Sevcik-style speedup with explicit sequential fraction and per-processor
+/// overhead: `T(n) = f·T1 + (1−f)·T1/n + c·(n−1)`, expressed as a speedup.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SevcikSpeedup {
+    /// Sequential (non-parallelizable) fraction of the work, in `[0,1]`.
+    pub sequential_fraction: f64,
+    /// Per-processor overhead as a fraction of the sequential runtime.
+    pub overhead_per_proc: f64,
+}
+
+impl SpeedupModel for SevcikSpeedup {
+    fn speedup(&self, n: u32) -> f64 {
+        let n = n.max(1) as f64;
+        let f = self.sequential_fraction.clamp(0.0, 1.0);
+        let c = self.overhead_per_proc.max(0.0);
+        let t1 = 1.0;
+        let tn = f * t1 + (1.0 - f) * t1 / n + c * (n - 1.0);
+        (t1 / tn).max(f64::MIN_POSITIVE)
+    }
+}
+
+/// A moldable job: total sequential work plus a speedup profile. The scheduler
+/// chooses the allocation; [`MoldableJob::runtime_on`] tells it the consequence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MoldableJob {
+    /// Job identifier (aligned with the rigid job id when derived from a log).
+    pub job_id: u64,
+    /// Arrival time, seconds.
+    pub submit_time: i64,
+    /// Sequential runtime (runtime on one processor), seconds.
+    pub seq_runtime: f64,
+    /// Downey speedup parameters.
+    pub speedup: DowneySpeedup,
+    /// Largest allocation the job can use (0 = unbounded / machine size).
+    pub max_procs: u32,
+}
+
+impl MoldableJob {
+    /// Runtime (seconds) if allocated `n` processors.
+    pub fn runtime_on(&self, n: u32) -> f64 {
+        let n = if self.max_procs > 0 { n.min(self.max_procs) } else { n };
+        self.speedup.runtime(self.seq_runtime, n.max(1))
+    }
+
+    /// The allocation in `1..=limit` that minimizes runtime (ties go to the smaller
+    /// allocation, which wastes fewer processors).
+    pub fn best_allocation(&self, limit: u32) -> u32 {
+        let limit = if self.max_procs > 0 { limit.min(self.max_procs) } else { limit };
+        let mut best = 1u32;
+        let mut best_rt = self.runtime_on(1);
+        for n in 2..=limit.max(1) {
+            let rt = self.runtime_on(n);
+            if rt < best_rt - 1e-9 {
+                best = n;
+                best_rt = rt;
+            }
+        }
+        best
+    }
+}
+
+/// The internal-structure strawman of [23]: the application is a sequence of
+/// barrier-separated phases executed by `processes` processes; each phase does
+/// `granularity` seconds of computation per process (with some variance across
+/// processes) and then synchronizes at a barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InternalStructure {
+    /// Number of processes (threads of the parallel job).
+    pub processes: u32,
+    /// Number of barriers (phases) in the application.
+    pub barriers: u32,
+    /// Mean computation time between barriers per process, seconds.
+    pub granularity: f64,
+    /// Coefficient of variation of the per-process phase lengths (load imbalance).
+    pub variance: f64,
+}
+
+impl InternalStructure {
+    /// Expected runtime when all processes run concurrently and synchronize at each
+    /// barrier: each phase costs the *maximum* of the per-process times, which grows
+    /// with the imbalance. A simple order-statistics approximation is used: the
+    /// expected maximum of `p` samples with CV `v` is `granularity * (1 + v * sqrt(2 ln p))`.
+    pub fn coscheduled_runtime(&self) -> f64 {
+        let p = self.processes.max(1) as f64;
+        let imbalance = 1.0 + self.variance.max(0.0) * (2.0 * p.ln().max(0.0)).sqrt();
+        self.barriers.max(1) as f64 * self.granularity * imbalance
+    }
+
+    /// Expected runtime when the processes are *not* coscheduled and every barrier
+    /// additionally waits for a fraction of the scheduling quantum: fine-grained
+    /// applications suffer, coarse-grained ones barely notice (Section 2.2's
+    /// discussion of gang scheduling versus uncoordinated time slicing).
+    pub fn uncoordinated_runtime(&self, quantum: f64, miss_probability: f64) -> f64 {
+        let per_barrier_penalty = miss_probability.clamp(0.0, 1.0) * quantum.max(0.0) / 2.0;
+        self.coscheduled_runtime() + self.barriers.max(1) as f64 * per_barrier_penalty
+    }
+
+    /// Slowdown of uncoordinated scheduling relative to coscheduling.
+    pub fn uncoordinated_slowdown(&self, quantum: f64, miss_probability: f64) -> f64 {
+        self.uncoordinated_runtime(quantum, miss_probability) / self.coscheduled_runtime()
+    }
+}
+
+/// Sample a random internal structure from the strawman's four parameters, given
+/// their means and variances.
+pub fn sample_internal_structure<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean_processes: f64,
+    mean_barriers: f64,
+    mean_granularity: f64,
+    variance: f64,
+) -> InternalStructure {
+    let processes = crate::dist::log_uniform(rng, 1.0, (2.0 * mean_processes).max(2.0)).round() as u32;
+    let barriers = crate::dist::log_uniform(rng, 1.0, (2.0 * mean_barriers).max(2.0)).round() as u32;
+    let granularity = crate::dist::exponential(rng, mean_granularity.max(1e-6));
+    InternalStructure {
+        processes: processes.max(1),
+        barriers: barriers.max(1),
+        granularity,
+        variance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn downey_speedup_basic_properties() {
+        let sp = DowneySpeedup { a: 32.0, sigma: 0.5 };
+        assert!((sp.speedup(1) - 1.0).abs() < 1e-6);
+        // monotone non-decreasing in n
+        let mut prev = 0.0;
+        for n in 1..=256 {
+            let s = sp.speedup(n);
+            assert!(s + 1e-9 >= prev, "speedup not monotone at n={n}: {s} < {prev}");
+            assert!(s <= n as f64 + 1e-9, "superlinear speedup at n={n}");
+            prev = s;
+        }
+        // saturates at A
+        assert!(sp.speedup(1000) <= 32.0 + 1e-9);
+    }
+
+    #[test]
+    fn downey_sigma_zero_is_ideal_up_to_a() {
+        let sp = DowneySpeedup { a: 16.0, sigma: 0.0 };
+        assert_eq!(sp.speedup(8), 8.0);
+        assert_eq!(sp.speedup(16), 16.0);
+        assert_eq!(sp.speedup(64), 16.0);
+    }
+
+    #[test]
+    fn downey_higher_sigma_means_lower_speedup() {
+        let lo = DowneySpeedup { a: 32.0, sigma: 0.2 };
+        let hi = DowneySpeedup { a: 32.0, sigma: 2.0 };
+        for n in [4u32, 16, 32, 64] {
+            assert!(lo.speedup(n) >= hi.speedup(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn sevcik_speedup_amdahl_limit() {
+        let sp = SevcikSpeedup { sequential_fraction: 0.1, overhead_per_proc: 0.0 };
+        assert!((sp.speedup(1) - 1.0).abs() < 1e-9);
+        assert!(sp.speedup(1_000) < 10.0 + 1e-9); // Amdahl bound 1/f
+        assert!(sp.speedup(1_000) > 9.0);
+        // overhead makes very large allocations counterproductive
+        let oh = SevcikSpeedup { sequential_fraction: 0.05, overhead_per_proc: 0.01 };
+        assert!(oh.speedup(200) < oh.speedup(20));
+    }
+
+    #[test]
+    fn efficiency_decreases_with_allocation() {
+        let sp = DowneySpeedup { a: 64.0, sigma: 1.0 };
+        assert!(sp.efficiency(4) > sp.efficiency(64));
+        assert!(sp.efficiency(1) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn moldable_job_runtime_and_best_allocation() {
+        let job = MoldableJob {
+            job_id: 1,
+            submit_time: 0,
+            seq_runtime: 6400.0,
+            speedup: DowneySpeedup { a: 32.0, sigma: 0.0 },
+            max_procs: 0,
+        };
+        assert_eq!(job.runtime_on(1), 6400.0);
+        assert_eq!(job.runtime_on(32), 200.0);
+        // Beyond A the runtime stops improving, so the best allocation is A.
+        assert_eq!(job.best_allocation(128), 32);
+        // A cap on the job limits the allocation.
+        let capped = MoldableJob { max_procs: 8, ..job };
+        assert_eq!(capped.best_allocation(128), 8);
+        assert_eq!(capped.runtime_on(64), capped.runtime_on(8));
+    }
+
+    #[test]
+    fn internal_structure_runtimes() {
+        let fine = InternalStructure {
+            processes: 32,
+            barriers: 1000,
+            granularity: 0.01,
+            variance: 0.1,
+        };
+        let coarse = InternalStructure {
+            processes: 32,
+            barriers: 10,
+            granularity: 100.0,
+            variance: 0.1,
+        };
+        // Coscheduled runtimes are roughly barriers * granularity (plus imbalance).
+        assert!(fine.coscheduled_runtime() >= 10.0);
+        assert!(coarse.coscheduled_runtime() >= 1000.0);
+        // Uncoordinated scheduling hurts the fine-grained job far more (relative).
+        let q = 0.1; // 100 ms quantum
+        let fine_slow = fine.uncoordinated_slowdown(q, 0.5);
+        let coarse_slow = coarse.uncoordinated_slowdown(q, 0.5);
+        assert!(fine_slow > 2.0, "fine-grained slowdown {fine_slow}");
+        assert!(coarse_slow < 1.01, "coarse-grained slowdown {coarse_slow}");
+    }
+
+    #[test]
+    fn imbalance_increases_runtime() {
+        let balanced = InternalStructure { processes: 64, barriers: 100, granularity: 1.0, variance: 0.0 };
+        let imbalanced = InternalStructure { variance: 0.5, ..balanced };
+        assert!(imbalanced.coscheduled_runtime() > balanced.coscheduled_runtime());
+        assert_eq!(balanced.coscheduled_runtime(), 100.0);
+    }
+
+    #[test]
+    fn sample_internal_structure_is_positive_and_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let s = sample_internal_structure(&mut rng, 32.0, 50.0, 1.0, 0.2);
+            assert!(s.processes >= 1);
+            assert!(s.barriers >= 1);
+            assert!(s.granularity > 0.0);
+        }
+        let a = {
+            let mut r = StdRng::seed_from_u64(9);
+            sample_internal_structure(&mut r, 32.0, 50.0, 1.0, 0.2)
+        };
+        let b = {
+            let mut r = StdRng::seed_from_u64(9);
+            sample_internal_structure(&mut r, 32.0, 50.0, 1.0, 0.2)
+        };
+        assert_eq!(a, b);
+    }
+}

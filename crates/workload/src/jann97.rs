@@ -1,0 +1,225 @@
+//! The Jann et al. '97 model ("Modeling of workload in MPPs").
+//!
+//! Jann et al. fit *hyper-Erlang distributions of common order* to the interarrival
+//! times and service times of the CTC SP2 workload, separately for each job-size
+//! class (1, 2, 3–4, 5–8, 9–16, ... processors). This module reproduces that
+//! structure: a size-class table, and per class a two-branch hyper-Erlang for the
+//! interarrival time and one for the runtime. The default parameters are chosen to
+//! give the qualitative shape of the published fit (small jobs dominate, large jobs
+//! run longer, high runtime variance) rather than the exact SP2 coefficients.
+
+use crate::dist::hyper_erlang;
+use crate::model::{assemble_log, model_rng, CommonParams, GeneratedJob, WorkloadModel};
+use psbench_swf::SwfLog;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One size class of the Jann model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizeClass {
+    /// Smallest size in the class (processors).
+    pub min_procs: u32,
+    /// Largest size in the class (processors).
+    pub max_procs: u32,
+    /// Relative probability of this class.
+    pub weight: f64,
+    /// Hyper-Erlang parameters for the runtime of jobs in this class:
+    /// `(p, k1, mean1, k2, mean2)`.
+    pub runtime: (f64, u32, f64, u32, f64),
+    /// Hyper-Erlang parameters for the *extra* interarrival gap contributed by jobs
+    /// of this class (the model interleaves the per-class arrival streams).
+    pub interarrival: (f64, u32, f64, u32, f64),
+}
+
+/// Parameters of the Jann '97 model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Jann97 {
+    /// Parameters shared by all models.
+    pub common: CommonParams,
+    /// The size-class table.
+    pub classes: Vec<SizeClass>,
+    /// Global scaling of all interarrival times (1.0 = as parameterized). Lowering
+    /// this value raises the offered load.
+    pub interarrival_scale: f64,
+}
+
+fn default_classes(machine_size: u32) -> Vec<SizeClass> {
+    // Class boundaries follow the powers-of-two structure of the published model.
+    // Weights and means are qualitative: most jobs are small; bigger jobs are rarer
+    // and run longer, with high variance (two Erlang branches far apart).
+    let mut classes = Vec::new();
+    let specs: [(u32, u32, f64, f64); 7] = [
+        (1, 1, 0.25, 900.0),
+        (2, 2, 0.10, 1200.0),
+        (3, 4, 0.15, 1800.0),
+        (5, 8, 0.18, 2400.0),
+        (9, 16, 0.14, 3600.0),
+        (17, 64, 0.12, 5400.0),
+        (65, u32::MAX, 0.06, 9000.0),
+    ];
+    for (lo, hi, weight, mean_rt) in specs {
+        if lo > machine_size {
+            break;
+        }
+        let hi = hi.min(machine_size);
+        classes.push(SizeClass {
+            min_procs: lo,
+            max_procs: hi,
+            weight,
+            runtime: (0.7, 2, mean_rt * 0.4, 1, mean_rt * 2.4),
+            interarrival: (0.8, 2, 2400.0, 1, 14_400.0),
+        });
+    }
+    classes
+}
+
+impl Default for Jann97 {
+    fn default() -> Self {
+        let common = CommonParams::default();
+        Jann97 {
+            classes: default_classes(common.machine_size),
+            common,
+            interarrival_scale: 1.0,
+        }
+    }
+}
+
+impl Jann97 {
+    /// Model with default parameters on a machine of the given size.
+    pub fn with_machine_size(machine_size: u32) -> Self {
+        let common = CommonParams::default().with_machine_size(machine_size);
+        Jann97 {
+            classes: default_classes(machine_size),
+            common,
+            interarrival_scale: 1.0,
+        }
+    }
+
+    fn pick_class<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let weights: Vec<f64> = self.classes.iter().map(|c| c.weight).collect();
+        crate::dist::discrete(rng, &weights)
+    }
+
+    fn sample_size<R: Rng + ?Sized>(&self, rng: &mut R, class: &SizeClass) -> u32 {
+        if class.min_procs >= class.max_procs {
+            return class.min_procs;
+        }
+        // Sizes within a class favour the class's power-of-two upper boundary.
+        if rng.gen_bool(0.6) && class.max_procs.is_power_of_two() {
+            class.max_procs
+        } else {
+            rng.gen_range(class.min_procs..=class.max_procs)
+        }
+    }
+}
+
+impl WorkloadModel for Jann97 {
+    fn name(&self) -> &'static str {
+        "jann97"
+    }
+
+    fn machine_size(&self) -> u32 {
+        self.common.machine_size
+    }
+
+    fn generate(&self, n_jobs: usize, seed: u64) -> SwfLog {
+        assert!(!self.classes.is_empty(), "Jann97 needs at least one size class");
+        let mut rng = model_rng(seed);
+        let mut jobs = Vec::with_capacity(n_jobs);
+        let mut t = 0.0f64;
+        // The per-class streams are interleaved by scaling each class's interarrival
+        // by its probability: the aggregate stream then has the right class mix.
+        let total_weight: f64 = self.classes.iter().map(|c| c.weight).sum();
+        for _ in 0..n_jobs {
+            let ci = self.pick_class(&mut rng);
+            let class = &self.classes[ci];
+            let (p, k1, m1, k2, m2) = class.interarrival;
+            let class_gap = hyper_erlang(&mut rng, p, k1, m1, k2, m2);
+            // Aggregate gap: the class stream is a fraction weight/total of all jobs.
+            let gap = class_gap * (class.weight / total_weight) * self.interarrival_scale;
+            t += gap;
+            let (p, k1, m1, k2, m2) = class.runtime;
+            let runtime = hyper_erlang(&mut rng, p, k1, m1, k2, m2).ceil() as i64;
+            jobs.push(GeneratedJob {
+                submit_time: t.round() as i64,
+                run_time: runtime.max(1),
+                procs: self.sample_size(&mut rng, class),
+                interactive: false,
+            });
+        }
+        assemble_log(&mut rng, self.name(), &self.common, jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psbench_metrics::stats::workload_features;
+    use psbench_swf::validate;
+
+    #[test]
+    fn generates_conforming_log() {
+        let log = Jann97::default().generate(2_000, 21);
+        assert_eq!(log.len(), 2_000);
+        assert!(validate(&log).is_clean());
+    }
+
+    #[test]
+    fn class_structure_present() {
+        let model = Jann97::default();
+        assert!(model.classes.len() >= 5);
+        // classes cover 1..=machine_size without gaps
+        let mut expected_min = 1;
+        for c in &model.classes {
+            assert_eq!(c.min_procs, expected_min);
+            assert!(c.max_procs >= c.min_procs);
+            expected_min = c.max_procs + 1;
+        }
+    }
+
+    #[test]
+    fn larger_jobs_run_longer_on_average() {
+        let log = Jann97::default().generate(6_000, 22);
+        let mut small = Vec::new();
+        let mut large = Vec::new();
+        for j in log.summaries() {
+            let p = j.procs().unwrap();
+            let r = j.run_time.unwrap() as f64;
+            if p <= 2 {
+                small.push(r);
+            } else if p >= 17 {
+                large.push(r);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(mean(&large) > mean(&small) * 1.5, "small {} large {}", mean(&small), mean(&large));
+    }
+
+    #[test]
+    fn runtime_variance_is_high() {
+        let log = Jann97::default().generate(4_000, 23);
+        let f = workload_features("jann", &log);
+        assert!(f.runtime_cv > 0.9, "runtime CV {}", f.runtime_cv);
+    }
+
+    #[test]
+    fn interarrival_scale_changes_load() {
+        let base = Jann97::default().generate(1_500, 24);
+        let mut fast = Jann97::default();
+        fast.interarrival_scale = 0.25;
+        let compressed = fast.generate(1_500, 24);
+        assert!(compressed.duration() < base.duration());
+        assert!(compressed.offered_load().unwrap() > base.offered_load().unwrap());
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_respects_machine() {
+        let m = Jann97::with_machine_size(64);
+        let a = m.generate(400, 1);
+        let b = m.generate(400, 1);
+        assert_eq!(a.jobs, b.jobs);
+        assert!(a.jobs.iter().all(|j| j.procs().unwrap() <= 64));
+        assert_eq!(m.name(), "jann97");
+        assert_eq!(m.machine_size(), 64);
+    }
+}

@@ -1,0 +1,92 @@
+//! # psbench-workload — workload models for parallel job scheduler evaluation
+//!
+//! Section 2 of the paper surveys the state of the art in workload modelling for
+//! parallel systems and argues for standard, representative workloads. This crate
+//! implements the models the paper cites, all emitting conforming SWF logs:
+//!
+//! * [`feitelson96`] — the Feitelson '96 rigid model (small / power-of-two jobs,
+//!   repeated runs, size–runtime correlation).
+//! * [`jann97`] — the Jann et al. '97 hyper-Erlang-per-size-class model.
+//! * [`downey97`] — the Downey '97 log-uniform model (and speedup profiles).
+//! * [`lublin99`] — the Lublin '99 model the paper singles out as most representative.
+//! * [`flexible`] — moldable/malleable jobs (Downey and Sevcik speedup functions)
+//!   and the internal-structure strawman (processes, barriers, granularity, variance).
+//! * [`feedback`] — user sessions, think times, dependency inference and closed-loop
+//!   session workloads (SWF fields 17/18).
+//! * [`rawlog`] — synthetic raw accounting-log dialects for the conversion pipeline.
+//! * [`outagegen`] — synthetic failure / maintenance logs in the standard outage format.
+//! * [`arrival`] / [`dist`] — arrival processes and random-variate samplers.
+//! * [`model`] — the common [`model::WorkloadModel`] interface and log assembly.
+
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod dist;
+pub mod downey97;
+pub mod feedback;
+pub mod feitelson96;
+pub mod flexible;
+pub mod jann97;
+pub mod lublin99;
+pub mod model;
+pub mod outagegen;
+pub mod rawlog;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::arrival::{
+        ArrivalProcess, BurstyArrivals, DailyCycleArrivals, PoissonArrivals, SECONDS_PER_DAY,
+    };
+    pub use crate::downey97::Downey97;
+    pub use crate::feedback::{
+        dependency_chains, infer_dependencies, strip_dependencies, InferenceParams,
+        InferenceReport, SessionModel,
+    };
+    pub use crate::feitelson96::Feitelson96;
+    pub use crate::flexible::{
+        sample_internal_structure, DowneySpeedup, InternalStructure, MoldableJob, SevcikSpeedup,
+        SpeedupModel,
+    };
+    pub use crate::jann97::Jann97;
+    pub use crate::lublin99::Lublin99;
+    pub use crate::model::{
+        assemble_log, model_rng, CommonParams, EstimateModel, GeneratedJob, WorkloadModel,
+    };
+    pub use crate::outagegen::OutageGenerator;
+    pub use crate::rawlog::{emit_raw, generate_raw_log, RawLogProfile};
+}
+
+pub use prelude::*;
+
+/// All four rigid-job models with default parameters on a machine of the given
+/// size, for experiments that sweep over models (E3, E8).
+pub fn standard_models(machine_size: u32) -> Vec<Box<dyn model::WorkloadModel>> {
+    vec![
+        Box::new(feitelson96::Feitelson96::with_machine_size(machine_size)),
+        Box::new(jann97::Jann97::with_machine_size(machine_size)),
+        Box::new(downey97::Downey97::with_machine_size(machine_size)),
+        Box::new(lublin99::Lublin99::with_machine_size(machine_size)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psbench_swf::validate;
+
+    #[test]
+    fn standard_models_all_generate_valid_logs() {
+        let models = standard_models(64);
+        assert_eq!(models.len(), 4);
+        let mut names = Vec::new();
+        for m in &models {
+            let log = m.generate(200, 99);
+            assert_eq!(log.len(), 200, "model {}", m.name());
+            assert!(validate(&log).is_clean(), "model {}", m.name());
+            assert_eq!(m.machine_size(), 64);
+            names.push(m.name());
+        }
+        names.sort_unstable();
+        assert_eq!(names, vec!["downey97", "feitelson96", "jann97", "lublin99"]);
+    }
+}

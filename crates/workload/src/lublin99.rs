@@ -1,0 +1,279 @@
+//! The Lublin '99 model (Lublin & Feitelson, "A workload model for parallel
+//! computer systems").
+//!
+//! The paper singles this model out: "a statistical analysis shows that the one
+//! proposed by Lublin is relatively representative of multiple workloads". Its
+//! structure, reproduced here:
+//!
+//! * two job populations — interactive and batch — with different runtimes and
+//!   arrival behaviour;
+//! * job sizes: a probability of serial jobs, a strong preference for powers of two,
+//!   and a two-stage (log-)uniform distribution over the exponent;
+//! * runtimes: a hyper-gamma distribution whose mixing probability depends on the
+//!   job size, producing the size–runtime correlation;
+//! * arrivals: gamma-distributed interarrival gaps modulated by a daily cycle.
+//!
+//! The default constants are qualitative approximations of the published fit, chosen
+//! to reproduce its shape (serial fraction ≈ a quarter, power-of-two fraction ≈
+//! three quarters, high runtime CV, pronounced daily cycle) rather than its exact
+//! coefficients; every constant is a public field so studies can refit them.
+
+use crate::arrival::DailyCycleArrivals;
+use crate::dist::{gamma, hyper_gamma};
+use crate::model::{assemble_log, model_rng, CommonParams, GeneratedJob, WorkloadModel};
+use psbench_swf::SwfLog;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one job population (interactive or batch).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Population {
+    /// Fraction of all jobs belonging to this population.
+    pub fraction: f64,
+    /// Probability of a serial job.
+    pub p_serial: f64,
+    /// Probability that a parallel job's size is a power of two.
+    pub p_power_of_two: f64,
+    /// Mean of the uniform distribution over log2(size) for parallel jobs.
+    pub size_log2_mean: f64,
+    /// Half-width of the uniform distribution over log2(size).
+    pub size_log2_halfwidth: f64,
+    /// Hyper-gamma runtime: shape of the "short" branch.
+    pub runtime_shape_short: f64,
+    /// Hyper-gamma runtime: scale of the "short" branch (seconds).
+    pub runtime_scale_short: f64,
+    /// Hyper-gamma runtime: shape of the "long" branch.
+    pub runtime_shape_long: f64,
+    /// Hyper-gamma runtime: scale of the "long" branch (seconds).
+    pub runtime_scale_long: f64,
+    /// Probability of the short branch for a serial job; the probability shifts
+    /// toward the long branch as the size grows.
+    pub p_short_serial: f64,
+    /// How much the short-branch probability decreases per doubling of the size.
+    pub p_short_slope: f64,
+    /// Mean interarrival time of this population, seconds (before the daily cycle).
+    pub mean_interarrival: f64,
+    /// Shape of the gamma interarrival distribution (1 = exponential; < 1 burstier).
+    pub interarrival_shape: f64,
+}
+
+/// Parameters of the Lublin '99 model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Lublin99 {
+    /// Parameters shared by all models.
+    pub common: CommonParams,
+    /// The interactive population.
+    pub interactive: Population,
+    /// The batch population.
+    pub batch: Population,
+    /// Peak-to-trough ratio of the daily arrival cycle.
+    pub daily_peak_to_trough: f64,
+    /// Hour of day at which arrivals peak.
+    pub daily_peak_hour: u32,
+}
+
+impl Default for Lublin99 {
+    fn default() -> Self {
+        Lublin99 {
+            common: CommonParams::default(),
+            interactive: Population {
+                fraction: 0.35,
+                p_serial: 0.4,
+                p_power_of_two: 0.7,
+                size_log2_mean: 1.5,
+                size_log2_halfwidth: 1.5,
+                runtime_shape_short: 2.0,
+                runtime_scale_short: 30.0,
+                runtime_shape_long: 2.0,
+                runtime_scale_long: 600.0,
+                p_short_serial: 0.85,
+                p_short_slope: 0.05,
+                mean_interarrival: 600.0,
+                interarrival_shape: 0.7,
+            },
+            batch: Population {
+                fraction: 0.65,
+                p_serial: 0.2,
+                p_power_of_two: 0.8,
+                size_log2_mean: 3.5,
+                size_log2_halfwidth: 2.5,
+                runtime_shape_short: 2.5,
+                runtime_scale_short: 900.0,
+                runtime_shape_long: 2.0,
+                runtime_scale_long: 12_000.0,
+                p_short_serial: 0.7,
+                p_short_slope: 0.06,
+                mean_interarrival: 1100.0,
+                interarrival_shape: 0.8,
+            },
+            daily_peak_to_trough: 4.0,
+            daily_peak_hour: 14,
+        }
+    }
+}
+
+impl Lublin99 {
+    /// Model with default parameters on a machine of the given size.
+    pub fn with_machine_size(machine_size: u32) -> Self {
+        Lublin99 {
+            common: CommonParams::default().with_machine_size(machine_size),
+            ..Lublin99::default()
+        }
+    }
+
+    fn sample_size<R: Rng + ?Sized>(&self, rng: &mut R, pop: &Population) -> u32 {
+        let max = self.common.machine_size;
+        if max == 1 || rng.gen_bool(pop.p_serial.clamp(0.0, 1.0)) {
+            return 1;
+        }
+        let max_log2 = (max as f64).log2();
+        let lo = (pop.size_log2_mean - pop.size_log2_halfwidth).max(0.5);
+        let hi = (pop.size_log2_mean + pop.size_log2_halfwidth).min(max_log2);
+        let e: f64 = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+        let size = if rng.gen_bool(pop.p_power_of_two.clamp(0.0, 1.0)) {
+            1u32 << (e.round() as u32).min(max_log2.floor() as u32)
+        } else {
+            (2f64.powf(e).round() as u32).max(2)
+        };
+        size.clamp(2, max)
+    }
+
+    fn sample_runtime<R: Rng + ?Sized>(&self, rng: &mut R, pop: &Population, size: u32) -> i64 {
+        // The probability of the short branch decreases with log2(size): bigger jobs
+        // are more likely to be long, giving the size–runtime correlation.
+        let p_short =
+            (pop.p_short_serial - pop.p_short_slope * (size as f64).log2()).clamp(0.05, 0.95);
+        let rt = hyper_gamma(
+            rng,
+            p_short,
+            pop.runtime_shape_short,
+            pop.runtime_scale_short,
+            pop.runtime_shape_long,
+            pop.runtime_scale_long,
+        );
+        rt.ceil().max(1.0) as i64
+    }
+}
+
+impl WorkloadModel for Lublin99 {
+    fn name(&self) -> &'static str {
+        "lublin99"
+    }
+
+    fn machine_size(&self) -> u32 {
+        self.common.machine_size
+    }
+
+    fn generate(&self, n_jobs: usize, seed: u64) -> SwfLog {
+        let mut rng = model_rng(seed);
+        let cycle = DailyCycleArrivals {
+            mean_interarrival: 1.0, // multiplier only; per-population means applied below
+            peak_to_trough: self.daily_peak_to_trough,
+            peak_hour: self.daily_peak_hour,
+        };
+        let mut jobs = Vec::with_capacity(n_jobs);
+        // Two independent arrival streams, merged by always advancing the earlier one.
+        let mut t_inter = 0.0f64;
+        let mut t_batch = 0.0f64;
+        let frac_inter = self.interactive.fraction
+            / (self.interactive.fraction + self.batch.fraction).max(f64::EPSILON);
+        while jobs.len() < n_jobs {
+            let interactive = rng.gen_bool(frac_inter);
+            let pop = if interactive { &self.interactive } else { &self.batch };
+            let t = if interactive { &mut t_inter } else { &mut t_batch };
+            // Gamma interarrival with the population's shape, scaled by the daily cycle
+            // at the current time of day.
+            let mult = cycle.rate_multiplier(t.round() as i64).max(0.1);
+            let mean = pop.mean_interarrival / mult;
+            let shape = pop.interarrival_shape.max(0.05);
+            let gap = gamma(&mut rng, shape, mean / shape);
+            *t += gap;
+            let submit = t.round() as i64;
+            let size = self.sample_size(&mut rng, pop);
+            let runtime = self.sample_runtime(&mut rng, pop, size);
+            jobs.push(GeneratedJob {
+                submit_time: submit,
+                run_time: runtime,
+                procs: size,
+                interactive,
+            });
+        }
+        assemble_log(&mut rng, self.name(), &self.common, jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::SECONDS_PER_DAY;
+    use psbench_metrics::stats::workload_features;
+    use psbench_swf::validate;
+
+    #[test]
+    fn generates_conforming_log() {
+        let log = Lublin99::default().generate(3_000, 41);
+        assert_eq!(log.len(), 3_000);
+        assert!(validate(&log).is_clean());
+    }
+
+    #[test]
+    fn size_distribution_shape() {
+        let log = Lublin99::default().generate(6_000, 42);
+        let f = workload_features("lublin", &log);
+        assert!(f.serial_fraction > 0.15 && f.serial_fraction < 0.45, "serial {}", f.serial_fraction);
+        assert!(f.power_of_two_fraction > 0.6, "pow2 {}", f.power_of_two_fraction);
+        assert!(f.mean_procs > 2.0 && f.mean_procs < 64.0, "mean procs {}", f.mean_procs);
+    }
+
+    #[test]
+    fn runtime_distribution_shape() {
+        let log = Lublin99::default().generate(6_000, 43);
+        let f = workload_features("lublin", &log);
+        assert!(f.runtime_cv > 1.0, "runtime CV {}", f.runtime_cv);
+        assert!(f.size_runtime_correlation > 0.0, "corr {}", f.size_runtime_correlation);
+    }
+
+    #[test]
+    fn interactive_jobs_are_shorter() {
+        let log = Lublin99::default().generate(6_000, 44);
+        let mean_rt = |q: u32| {
+            let v: Vec<f64> = log
+                .summaries()
+                .filter(|j| j.queue_id == Some(q))
+                .map(|j| j.run_time.unwrap() as f64)
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        let interactive = mean_rt(0);
+        let batch = mean_rt(1);
+        assert!(batch > interactive * 3.0, "interactive {interactive} batch {batch}");
+        // both populations are present
+        assert!(log.summaries().any(|j| j.queue_id == Some(0)));
+        assert!(log.summaries().any(|j| j.queue_id == Some(1)));
+    }
+
+    #[test]
+    fn arrivals_follow_daily_cycle() {
+        let log = Lublin99::default().generate(8_000, 45);
+        let day: usize = log
+            .summaries()
+            .filter(|j| {
+                let h = (j.submit_time.rem_euclid(SECONDS_PER_DAY)) / 3600;
+                (9..=19).contains(&h)
+            })
+            .count();
+        let frac = day as f64 / log.len() as f64;
+        assert!(frac > 0.52, "working-hours fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_and_respects_machine_size() {
+        let m = Lublin99::with_machine_size(64);
+        let a = m.generate(500, 5);
+        let b = m.generate(500, 5);
+        assert_eq!(a.jobs, b.jobs);
+        assert!(a.jobs.iter().all(|j| j.procs().unwrap() <= 64));
+        assert_eq!(m.name(), "lublin99");
+        assert_eq!(m.machine_size(), 64);
+    }
+}

@@ -1,0 +1,231 @@
+//! Generators of outage logs in the standard outage format.
+//!
+//! The paper proposes (Section 2.2) that outage data — node failures, network
+//! interruptions, scheduled maintenance, dedicated time — be collected in a standard
+//! format keyed to the job trace. Production outage archives are not publicly
+//! available, so this module synthesizes them: per-node exponential failures with
+//! exponential repair, weekly maintenance windows, and occasional dedicated time,
+//! emitted as [`psbench_swf::outage::OutageLog`].
+
+use crate::dist::exponential;
+use crate::model::model_rng;
+use psbench_swf::outage::{OutageKind, OutageLog, OutageRecord};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic failure / maintenance process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OutageGenerator {
+    /// Machine size (number of nodes).
+    pub machine_size: u32,
+    /// Mean time between failures of a single node, seconds.
+    pub node_mtbf: f64,
+    /// Mean repair time of a failed node, seconds.
+    pub mean_repair: f64,
+    /// Fraction of failures that are announced in advance (most are surprises).
+    pub announced_failure_fraction: f64,
+    /// Interval between scheduled maintenance windows, seconds (0 disables them).
+    pub maintenance_interval: i64,
+    /// Duration of each maintenance window, seconds.
+    pub maintenance_duration: i64,
+    /// Fraction of the machine taken down by maintenance (1.0 = whole machine).
+    pub maintenance_fraction: f64,
+    /// How far in advance maintenance is announced, seconds.
+    pub maintenance_notice: i64,
+}
+
+impl Default for OutageGenerator {
+    fn default() -> Self {
+        OutageGenerator {
+            machine_size: 128,
+            node_mtbf: 60.0 * 86_400.0, // two months per node
+            mean_repair: 4.0 * 3600.0,
+            announced_failure_fraction: 0.1,
+            maintenance_interval: 7 * 86_400,
+            maintenance_duration: 6 * 3600,
+            maintenance_fraction: 1.0,
+            maintenance_notice: 3 * 86_400,
+        }
+    }
+}
+
+impl OutageGenerator {
+    /// Generator with the default parameters for a machine of the given size.
+    pub fn for_machine(machine_size: u32) -> Self {
+        OutageGenerator {
+            machine_size,
+            ..OutageGenerator::default()
+        }
+    }
+
+    /// Generate an outage log covering `[0, horizon)` seconds.
+    pub fn generate(&self, horizon: i64, seed: u64) -> OutageLog {
+        let mut rng = model_rng(seed);
+        let mut records = Vec::new();
+
+        // Independent per-node failure/repair processes.
+        for node in 0..self.machine_size {
+            let mut t = 0.0f64;
+            loop {
+                t += exponential(&mut rng, self.node_mtbf);
+                if t >= horizon as f64 {
+                    break;
+                }
+                let repair = exponential(&mut rng, self.mean_repair).max(60.0);
+                let start = t.round() as i64;
+                let end = ((t + repair).round() as i64).min(horizon);
+                let announced = if rng.gen_bool(self.announced_failure_fraction.clamp(0.0, 1.0)) {
+                    Some((start - 3600).max(0))
+                } else {
+                    Some(start)
+                };
+                let kind = if rng.gen_bool(0.8) {
+                    OutageKind::CpuFailure
+                } else if rng.gen_bool(0.5) {
+                    OutageKind::NetworkFailure
+                } else {
+                    OutageKind::StorageFailure
+                };
+                records.push(OutageRecord {
+                    outage_id: 0,
+                    announced_time: announced,
+                    start_time: start,
+                    end_time: end,
+                    kind,
+                    nodes_affected: Some(1),
+                    components: vec![node],
+                });
+                t += repair;
+            }
+        }
+
+        // Scheduled maintenance windows.
+        if self.maintenance_interval > 0 {
+            let affected =
+                ((self.machine_size as f64) * self.maintenance_fraction.clamp(0.0, 1.0)).round() as u32;
+            let mut t = self.maintenance_interval;
+            while t < horizon {
+                records.push(OutageRecord {
+                    outage_id: 0,
+                    announced_time: Some((t - self.maintenance_notice).max(0)),
+                    start_time: t,
+                    end_time: (t + self.maintenance_duration).min(horizon),
+                    kind: OutageKind::Maintenance,
+                    nodes_affected: Some(affected),
+                    components: (0..affected).collect(),
+                });
+                t += self.maintenance_interval;
+            }
+        }
+
+        OutageLog::from_records(records)
+    }
+
+    /// Expected fraction of machine capacity lost to node failures alone
+    /// (repair / (MTBF + repair)), for sanity checks and reports.
+    pub fn expected_failure_unavailability(&self) -> f64 {
+        self.mean_repair / (self.node_mtbf + self.mean_repair)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WEEK: i64 = 7 * 86_400;
+
+    #[test]
+    fn generates_failures_and_maintenance() {
+        let gen = OutageGenerator::default();
+        let log = gen.generate(8 * WEEK, 1);
+        assert!(!log.is_empty());
+        let failures = log
+            .outages
+            .iter()
+            .filter(|o| !o.kind.is_scheduled())
+            .count();
+        let maint = log
+            .outages
+            .iter()
+            .filter(|o| o.kind == OutageKind::Maintenance)
+            .count();
+        assert!(failures > 20, "failures {failures}");
+        assert_eq!(maint, 7); // weekly maintenance, 8 weeks horizon, first at t=1 week
+    }
+
+    #[test]
+    fn outages_sorted_and_within_horizon() {
+        let log = OutageGenerator::default().generate(4 * WEEK, 2);
+        assert!(log.outages.windows(2).all(|w| w[0].start_time <= w[1].start_time));
+        assert!(log.outages.iter().all(|o| o.start_time >= 0 && o.end_time <= 4 * WEEK));
+        assert!(log.outages.iter().all(|o| o.end_time >= o.start_time));
+        // ids renumbered 1..n
+        assert!(log
+            .outages
+            .iter()
+            .enumerate()
+            .all(|(i, o)| o.outage_id == i as u64 + 1));
+    }
+
+    #[test]
+    fn maintenance_is_announced_failures_mostly_not() {
+        let log = OutageGenerator::default().generate(8 * WEEK, 3);
+        for o in &log.outages {
+            if o.kind == OutageKind::Maintenance {
+                assert!(o.was_announced_in_advance());
+                assert!(o.warning_time() >= 2 * 86_400);
+            }
+        }
+        let surprise = log
+            .outages
+            .iter()
+            .filter(|o| !o.kind.is_scheduled() && !o.was_announced_in_advance())
+            .count();
+        let announced = log
+            .outages
+            .iter()
+            .filter(|o| !o.kind.is_scheduled() && o.was_announced_in_advance())
+            .count();
+        assert!(surprise > announced, "surprise {surprise} announced {announced}");
+    }
+
+    #[test]
+    fn lost_capacity_roughly_matches_expectation() {
+        let gen = OutageGenerator {
+            maintenance_interval: 0, // failures only for this check
+            machine_size: 256,
+            ..OutageGenerator::default()
+        };
+        let horizon = 26 * WEEK;
+        let log = gen.generate(horizon, 4);
+        let lost = log.lost_node_seconds(horizon) as f64;
+        let capacity = (gen.machine_size as i64 * horizon) as f64;
+        let observed = lost / capacity;
+        let expected = gen.expected_failure_unavailability();
+        assert!(
+            (observed - expected).abs() / expected < 0.5,
+            "observed {observed}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn no_maintenance_when_disabled() {
+        let gen = OutageGenerator {
+            maintenance_interval: 0,
+            ..OutageGenerator::default()
+        };
+        let log = gen.generate(4 * WEEK, 5);
+        assert!(log.outages.iter().all(|o| o.kind != OutageKind::Maintenance));
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_round_trips() {
+        let gen = OutageGenerator::for_machine(64);
+        let a = gen.generate(2 * WEEK, 9);
+        let b = gen.generate(2 * WEEK, 9);
+        assert_eq!(a, b);
+        let text = a.write_string();
+        let back = OutageLog::parse(&text).unwrap();
+        assert_eq!(back.outages, a.outages);
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: generate a standard workload, write it in SWF, simulate two
+//! schedulers on it, and compare them with the standard metrics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use psbench::metrics::{objectives_disagree, rank_by_objective, Objective};
+use psbench::sched::by_name;
+use psbench::sim::{SimConfig, SimJob, Simulation};
+use psbench::swf::{validate, write_string};
+use psbench::workload::{Lublin99, WorkloadModel};
+
+fn main() {
+    // 1. Generate a canonical workload with the Lublin '99 model on 128 nodes.
+    let model = Lublin99::default();
+    let log = model.generate(2_000, 1999);
+    println!(
+        "generated {} jobs, offered load {:.2}, machine {} nodes",
+        log.len(),
+        log.offered_load().unwrap_or(0.0),
+        log.machine_size()
+    );
+
+    // 2. It is a conforming Standard Workload Format log: validate and serialize it.
+    let report = validate(&log);
+    println!("validation violations: {}", report.violations.len());
+    let text = write_string(&log);
+    println!("SWF text: {} bytes, first line: {}", text.len(), text.lines().next().unwrap());
+
+    // 3. Replay it through two schedulers.
+    let jobs = SimJob::from_log(&log);
+    let mut results = Vec::new();
+    for name in ["fcfs", "easy"] {
+        let mut sched = by_name(name, log.machine_size()).unwrap();
+        let result = Simulation::new(SimConfig::new(log.machine_size()), jobs.clone())
+            .run(sched.as_mut());
+        println!(
+            "{:>6}: mean wait {:>8.0} s, mean response {:>8.0} s, bounded slowdown {:>6.1}, utilization {:.2}",
+            name,
+            result.aggregate().wait_time.mean,
+            result.mean_response_time(),
+            result.mean_bounded_slowdown(),
+            result.system().utilization
+        );
+        results.push(result.scheduler_result());
+    }
+
+    // 4. Rank them under two standard objectives and check whether they disagree.
+    let by_response = rank_by_objective(&results, Objective::MeanResponseTime);
+    let by_slowdown = rank_by_objective(&results, Objective::MeanBoundedSlowdown);
+    println!("ranking by response time : {by_response:?}");
+    println!("ranking by slowdown      : {by_slowdown:?}");
+    println!(
+        "metrics disagree: {}",
+        objectives_disagree(&results, Objective::MeanResponseTime, Objective::MeanBoundedSlowdown)
+    );
+}

@@ -1,0 +1,23 @@
+//! # psbench — benchmarks and standards for the evaluation of parallel job schedulers
+//!
+//! Facade crate re-exporting the whole psbench workspace. See the individual crates
+//! for details:
+//!
+//! * [`swf`] — the Standard Workload Format (SWF v2) and the standard outage format.
+//! * [`metrics`] — per-job and aggregate metrics, objective functions, statistics.
+//! * [`workload`] — workload models (Feitelson96, Jann97, Downey97, Lublin99),
+//!   flexible jobs, feedback sessions, raw-log emulation, outage generation.
+//! * [`sim`] — the discrete-event cluster simulator.
+//! * [`sched`] — the scheduler zoo (FCFS, backfilling, gang scheduling, ...).
+//! * [`metasim`] — the metacomputing / WARMstones-style evaluation environment.
+//! * [`core`] — the canonical benchmark suite, experiment harness, and reports.
+
+#![warn(missing_docs)]
+
+pub use psbench_core as core;
+pub use psbench_metasim as metasim;
+pub use psbench_metrics as metrics;
+pub use psbench_sched as sched;
+pub use psbench_sim as sim;
+pub use psbench_swf as swf;
+pub use psbench_workload as workload;

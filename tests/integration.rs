@@ -1,0 +1,154 @@
+//! Integration tests spanning the whole workspace: model → SWF → simulator →
+//! metrics → experiment harness, exercised through the public facade crate.
+
+use psbench::core::{run_experiment, Scale, Scenario, WorkloadDef, WorkloadKind};
+use psbench::metrics::{outcomes_from_log, AggregateMetrics};
+use psbench::sched::{by_name, standard_schedulers};
+use psbench::sim::{SimConfig, SimJob, Simulation};
+use psbench::swf::{parse, validate, write_string};
+use psbench::workload::{
+    infer_dependencies, standard_models, InferenceParams, OutageGenerator, WorkloadModel,
+};
+
+fn tiny_scale() -> Scale {
+    Scale {
+        jobs: 100,
+        sweep_points: 2,
+        requests: 6,
+    }
+}
+
+#[test]
+fn full_pipeline_model_to_metrics() {
+    // Generate → serialize → parse → simulate → analyze, for every standard model.
+    for model in standard_models(64) {
+        let log = model.generate(250, 4242);
+        assert!(validate(&log).is_clean(), "model {}", model.name());
+        let text = write_string(&log);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.jobs, log.jobs);
+
+        let jobs = SimJob::from_log(&parsed);
+        assert_eq!(jobs.len(), 250);
+        let mut sched = by_name("easy", 64).unwrap();
+        let result = Simulation::new(SimConfig::new(64), jobs).run(sched.as_mut());
+        assert_eq!(result.finished.len(), 250, "model {}", model.name());
+
+        let agg = result.aggregate();
+        assert_eq!(agg.jobs, 250);
+        assert!(agg.response_time.mean > 0.0);
+        let sys = result.system();
+        assert!(sys.utilization > 0.0 && sys.utilization <= 1.0);
+    }
+}
+
+#[test]
+fn simulated_schedule_exports_back_to_valid_swf() {
+    let def = WorkloadDef::new(WorkloadKind::Jann97, 64, 200, 99);
+    let result = Scenario::new("export", def, "conservative").run();
+    let exported = result.to_swf();
+    assert_eq!(exported.len(), 200);
+    assert!(validate(&exported).is_clean());
+    // The exported trace can itself feed the metrics pipeline.
+    let outcomes = outcomes_from_log(&exported);
+    let agg = AggregateMetrics::from_outcomes(&outcomes);
+    assert_eq!(agg.jobs, 200);
+}
+
+#[test]
+fn every_standard_scheduler_conserves_jobs_on_every_model() {
+    for model in standard_models(64) {
+        let log = model.generate(150, 7);
+        let jobs = SimJob::from_log(&log);
+        for sched in standard_schedulers(64).iter_mut() {
+            let result = Simulation::new(SimConfig::new(64), jobs.clone()).run(sched.as_mut());
+            assert_eq!(
+                result.finished.len() + result.unfinished + result.discarded,
+                jobs.len(),
+                "model {} scheduler {}",
+                model.name(),
+                sched.name()
+            );
+            assert_eq!(result.unfinished, 0, "model {} scheduler {}", model.name(), sched.name());
+        }
+    }
+}
+
+#[test]
+fn closed_loop_feedback_run_end_to_end() {
+    let def = WorkloadDef::new(WorkloadKind::Sessions, 128, 300, 5);
+    let mut closed = Scenario::new("closed", def, "easy");
+    closed.closed_loop = true;
+    let open = Scenario::new("open", def, "easy");
+    let closed_result = closed.run();
+    let open_result = open.run();
+    assert_eq!(closed_result.finished.len(), 300);
+    assert_eq!(open_result.finished.len(), 300);
+    // The closed loop defers dependent submissions, so its trace ends no earlier.
+    assert!(closed_result.end_time >= open_result.end_time * 0.5);
+}
+
+#[test]
+fn dependency_inference_then_closed_loop_replay() {
+    let model = psbench::workload::Lublin99::with_machine_size(64);
+    let mut log = model.generate(300, 11);
+    let report = infer_dependencies(&mut log, &InferenceParams::default());
+    assert!(report.dependent_jobs > 0);
+    assert!(validate(&log).is_clean());
+    let jobs = SimJob::from_log(&log);
+    let mut sched = by_name("easy", 64).unwrap();
+    let result = Simulation::new(SimConfig::new(64).closed_loop(), jobs).run(sched.as_mut());
+    assert_eq!(result.finished.len(), 300);
+}
+
+#[test]
+fn outage_run_conserves_jobs_and_counts_lost_capacity() {
+    let def = WorkloadDef::new(WorkloadKind::Lublin99, 128, 300, 13);
+    let log = def.generate();
+    let outages = OutageGenerator::for_machine(128).generate(log.duration() + 86_400, 13);
+    let jobs = SimJob::from_log(&log);
+    let mut sched = by_name("draining-easy", 128).unwrap();
+    let config = SimConfig::new(128).with_outages(outages);
+    let result = Simulation::new(config, jobs).run(sched.as_mut());
+    assert_eq!(result.finished.len() + result.unfinished, 300);
+    assert!(result.lost_node_seconds > 0.0);
+}
+
+#[test]
+fn experiment_catalogue_smoke() {
+    // Every experiment except the full cross-product (E8) runs at tiny scale and
+    // produces a non-empty table.
+    for id in psbench::core::experiment_ids() {
+        if *id == "E8" {
+            continue;
+        }
+        let table = run_experiment(id, tiny_scale()).unwrap();
+        assert!(!table.rows.is_empty(), "experiment {id}");
+        assert!(!table.headers.is_empty(), "experiment {id}");
+        assert!(table.to_markdown().contains(&table.title));
+    }
+}
+
+#[test]
+fn e8_cross_product_at_reduced_scale() {
+    let table = run_experiment("E8", tiny_scale()).unwrap();
+    // 5 canonical workloads x 6 canonical schedulers.
+    assert_eq!(table.rows.len(), 5);
+    assert_eq!(table.headers.len(), 7);
+    for row in &table.rows {
+        assert_eq!(row.len(), 7);
+    }
+}
+
+#[test]
+fn backfilling_beats_fcfs_on_the_canonical_workload() {
+    // The qualitative result that motivates the whole benchmark exercise.
+    let def = WorkloadDef {
+        interarrival_scale: 0.5,
+        ..WorkloadDef::new(WorkloadKind::Lublin99, 128, 500, 1999)
+    };
+    let fcfs = Scenario::new("fcfs", def, "fcfs").run();
+    let easy = Scenario::new("easy", def, "easy").run();
+    assert!(easy.mean_response_time() <= fcfs.mean_response_time());
+    assert!(easy.system().loss_of_capacity <= fcfs.system().loss_of_capacity + 1e-9);
+}
