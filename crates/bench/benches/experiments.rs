@@ -42,8 +42,12 @@ fn bench_swf_parsing(c: &mut Criterion) {
     let text = write_string(&log);
     let mut group = c.benchmark_group("swf");
     group.throughput(criterion::Throughput::Elements(log.len() as u64));
-    group.bench_function("parse_5k_jobs", |b| b.iter(|| black_box(parse(&text).unwrap())));
-    group.bench_function("write_5k_jobs", |b| b.iter(|| black_box(write_string(&log))));
+    group.bench_function("parse_5k_jobs", |b| {
+        b.iter(|| black_box(parse(&text).unwrap()))
+    });
+    group.bench_function("write_5k_jobs", |b| {
+        b.iter(|| black_box(write_string(&log)))
+    });
     group.finish();
 }
 

@@ -6,7 +6,7 @@
 //! back the Criterion benches in `psbench-bench` and the tables recorded in
 //! EXPERIMENTS.md.
 
-use crate::harness::{fmt, Table};
+use crate::harness::{default_threads, fmt, parallel_map, run_all_parallel, Table};
 use crate::suite::{canonical_schedulers, canonical_suite, Scenario, WorkloadDef, WorkloadKind};
 use psbench_metasim::{
     coallocate_via_queues, coallocate_via_reservations, standard_metasystem, CoallocationRequest,
@@ -56,13 +56,16 @@ impl Scale {
     }
 }
 
-fn run_workload(def: WorkloadDef, scheduler: &str, closed_loop: bool) -> psbench_sim::SimulationResult {
+/// Build the scenario for one (workload, scheduler) cell. Experiments that
+/// sweep many independent cells collect batches of these and hand them to
+/// [`run_all_parallel`], which preserves input order and bit-identical results.
+fn scenario_for(def: WorkloadDef, scheduler: &str, closed_loop: bool) -> Scenario {
     let mut scenario = Scenario::new(format!("{}-{}", def.kind.name(), scheduler), def, scheduler);
     scenario.closed_loop = closed_loop;
-    scenario.run()
+    scenario
 }
 
-/// E1 — metric disagreement (Section 1.2, [30]): the ranking of two schedulers can
+/// E1 — metric disagreement (Section 1.2, \[30\]): the ranking of two schedulers can
 /// flip between mean response time and mean bounded slowdown as the load varies.
 pub fn e1_metric_disagreement(scale: Scale) -> Table {
     let mut table = Table::new(
@@ -79,13 +82,24 @@ pub fn e1_metric_disagreement(scale: Scale) -> Table {
         ],
     );
     let scales = [1.0, 0.6, 0.4, 0.3, 0.25, 0.2];
-    for &s in scales.iter().take(scale.sweep_points.max(2)) {
-        let def = WorkloadDef {
-            interarrival_scale: s,
-            ..WorkloadDef::new(WorkloadKind::Lublin99, 128, scale.jobs, 1999)
-        };
-        let easy = run_workload(def, "easy", false);
-        let sjf = run_workload(def, "sjf", false);
+    let points: Vec<f64> = scales
+        .iter()
+        .take(scale.sweep_points.max(2))
+        .copied()
+        .collect();
+    let scenarios: Vec<Scenario> = points
+        .iter()
+        .flat_map(|&s| {
+            let def = WorkloadDef {
+                interarrival_scale: s,
+                ..WorkloadDef::new(WorkloadKind::Lublin99, 128, scale.jobs, 1999)
+            };
+            ["easy", "sjf"].map(|sched| scenario_for(def, sched, false))
+        })
+        .collect();
+    let runs = run_all_parallel(&scenarios, default_threads());
+    for (i, &s) in points.iter().enumerate() {
+        let (easy, sjf) = (&runs[2 * i].1, &runs[2 * i + 1].1);
         let results = vec![easy.scheduler_result(), sjf.scheduler_result()];
         let by_resp = psbench_metrics::rank_by_objective(&results, Objective::MeanResponseTime);
         let by_slow = psbench_metrics::rank_by_objective(&results, Objective::MeanBoundedSlowdown);
@@ -103,7 +117,7 @@ pub fn e1_metric_disagreement(scale: Scale) -> Table {
     table
 }
 
-/// E2 — owner-weighted objective functions (Section 1.2, [41]): the best scheduler
+/// E2 — owner-weighted objective functions (Section 1.2, \[41\]): the best scheduler
 /// changes as the weight between the user-centric and system-centric terms moves.
 pub fn e2_objective_weights(scale: Scale) -> Table {
     let def = WorkloadDef {
@@ -111,10 +125,15 @@ pub fn e2_objective_weights(scale: Scale) -> Table {
         ..WorkloadDef::new(WorkloadKind::Jann97, 128, scale.jobs, 1997)
     };
     let schedulers = ["fcfs", "sjf", "easy", "conservative"];
-    let results: Vec<psbench_metrics::SchedulerResult> = schedulers
+    let scenarios: Vec<Scenario> = schedulers
         .iter()
-        .map(|s| run_workload(def, s, false).scheduler_result())
+        .map(|s| scenario_for(def, s, false))
         .collect();
+    let results: Vec<psbench_metrics::SchedulerResult> =
+        run_all_parallel(&scenarios, default_threads())
+            .iter()
+            .map(|(_, r)| r.scheduler_result())
+            .collect();
     let mut table = Table::new(
         "E2 — winner of the weighted objective as the user weight varies",
         &["user weight", "winner", "second"],
@@ -128,14 +147,14 @@ pub fn e2_objective_weights(scale: Scale) -> Table {
     table
 }
 
-/// E3 — workload-model comparison (Section 2.1, [58]): co-plot-style feature
+/// E3 — workload-model comparison (Section 2.1, \[58\]): co-plot-style feature
 /// distances between the four rigid-job models.
 pub fn e3_model_comparison(scale: Scale) -> Table {
     let models = psbench_workload::standard_models(128);
-    let features: Vec<_> = models
-        .iter()
-        .map(|m| workload_features(m.name(), &m.generate(scale.jobs, 58)))
-        .collect();
+    let features: Vec<_> = parallel_map(models.len(), default_threads(), |i| {
+        let m = &models[i];
+        workload_features(m.name(), &m.generate(scale.jobs, 58))
+    });
     let matrix = compare_workloads(&features);
     let mut table = Table::new(
         "E3 — workload model features and pairwise distances",
@@ -180,7 +199,13 @@ pub fn e4_feedback(scale: Scale) -> Table {
         ],
     );
     let scales = [1.0, 0.5, 0.25, 0.15, 0.1];
-    for &s in scales.iter().take(scale.sweep_points.max(2)) {
+    let points: Vec<f64> = scales
+        .iter()
+        .take(scale.sweep_points.max(2))
+        .copied()
+        .collect();
+    let rows = parallel_map(points.len(), default_threads(), |i| {
+        let s = points[i];
         let model = SessionModel::default();
         let mut log = model.generate(scale.jobs, 1998);
         log.scale_interarrivals(s);
@@ -192,19 +217,21 @@ pub fn e4_feedback(scale: Scale) -> Table {
         let mut easy = by_name("easy", 128).unwrap();
         let open = Simulation::new(SimConfig::new(128), open_jobs).run(easy.as_mut());
         let mut easy2 = by_name("easy", 128).unwrap();
-        let closed =
-            Simulation::new(SimConfig::new(128).closed_loop(), jobs).run(easy2.as_mut());
+        let closed = Simulation::new(SimConfig::new(128).closed_loop(), jobs).run(easy2.as_mut());
         let ratio = if closed.mean_response_time() > 0.0 {
             open.mean_response_time() / closed.mean_response_time()
         } else {
             0.0
         };
-        table.push_row(vec![
+        vec![
             fmt(s),
             fmt(open.mean_response_time()),
             fmt(closed.mean_response_time()),
             fmt(ratio),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
     }
     table
 }
@@ -231,24 +258,30 @@ pub fn e5_outages(scale: Scale) -> Table {
             "utilization",
         ],
     );
-    let mut run = |name: &str, sched: &str, with_outages: bool| {
+    let cases = [
+        ("no outages", "easy", false),
+        ("outages, outage-blind scheduler", "easy", true),
+        ("outages, draining scheduler", "draining-easy", true),
+    ];
+    let rows = parallel_map(cases.len(), default_threads(), |i| {
+        let (name, sched, with_outages) = cases[i];
         let mut config = SimConfig::new(128);
         if with_outages {
             config = config.with_outages(outages.clone());
         }
         let mut s = by_name(sched, 128).unwrap();
         let r = Simulation::new(config, jobs.clone()).run(s.as_mut());
-        table.push_row(vec![
+        vec![
             name.to_string(),
             sched.to_string(),
             r.kills.to_string(),
             fmt(r.mean_response_time()),
             fmt(r.system().utilization),
-        ]);
-    };
-    run("no outages", "easy", false);
-    run("outages, outage-blind scheduler", "easy", true);
-    run("outages, draining scheduler", "draining-easy", true);
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
+    }
     table
 }
 
@@ -266,22 +299,32 @@ pub fn e6_swf_pipeline(scale: Scale) -> Table {
             "round-trip identical?",
         ],
     );
-    for &dialect in Dialect::all() {
+    let dialects = Dialect::all();
+    let rows = parallel_map(dialects.len(), default_threads(), |i| {
+        let dialect = dialects[i];
         let profile = RawLogProfile::canonical(dialect);
         let raw = generate_raw_log(&profile, scale.jobs, 6);
-        let conv = convert(&raw, dialect, Some(profile.machine_size), &ConvertOptions::default())
-            .expect("conversion succeeds");
+        let conv = convert(
+            &raw,
+            dialect,
+            Some(profile.machine_size),
+            &ConvertOptions::default(),
+        )
+        .expect("conversion succeeds");
         let report = validate(&conv.log);
         let text = psbench_swf::write_string(&conv.log);
         let back = psbench_swf::parse(&text).expect("writer output parses");
-        table.push_row(vec![
+        vec![
             dialect.name().to_string(),
             scale.jobs.to_string(),
             conv.log.len().to_string(),
             conv.skipped.to_string(),
             report.violations.len().to_string(),
             (back.jobs == conv.log.jobs).to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
     }
     table
 }
@@ -348,10 +391,17 @@ pub fn e8_warmstones(scale: Scale) -> Table {
             headers
         },
     );
-    for def in canonical_suite(scale.jobs) {
+    let suite = canonical_suite(scale.jobs);
+    let scheds = canonical_schedulers();
+    let scenarios: Vec<Scenario> = suite
+        .iter()
+        .flat_map(|def| scheds.iter().map(|sched| scenario_for(*def, sched, false)))
+        .collect();
+    let runs = run_all_parallel(&scenarios, default_threads());
+    for (w, def) in suite.iter().enumerate() {
         let mut row = vec![def.kind.name().to_string()];
-        for sched in canonical_schedulers() {
-            let r = run_workload(def, sched, false);
+        for i in 0..scheds.len() {
+            let r = &runs[w * scheds.len() + i].1;
             row.push(format!(
                 "{} | {}",
                 fmt(r.mean_bounded_slowdown()),
@@ -401,11 +451,13 @@ pub fn e9_flexible(scale: Scale) -> Table {
     let rigid_jobs: Vec<SimJob> = log.summaries().filter_map(SimJob::from_swf).collect();
 
     let mut adaptive = by_name("adaptive", 128).unwrap();
-    let r_adaptive =
-        Simulation::new(SimConfig::new(128), moldable_jobs).run(adaptive.as_mut());
+    let r_adaptive = Simulation::new(SimConfig::new(128), moldable_jobs).run(adaptive.as_mut());
     let mut easy = by_name("easy", 128).unwrap();
     let r_rigid = Simulation::new(SimConfig::new(128), rigid_jobs).run(easy.as_mut());
-    for (name, r) in [("adaptive (moldable)", &r_adaptive), ("easy (rigid)", &r_rigid)] {
+    for (name, r) in [
+        ("adaptive (moldable)", &r_adaptive),
+        ("easy (rigid)", &r_rigid),
+    ] {
         table.push_row(vec![
             name.to_string(),
             r.finished.len().to_string(),

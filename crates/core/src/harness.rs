@@ -5,6 +5,7 @@ use crate::suite::Scenario;
 use parking_lot::Mutex;
 use psbench_sim::SimulationResult;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A simple report table: a title, column headers, and string rows. Every
 //  experiment renders into this so EXPERIMENTS.md and the benches print the same thing.
@@ -39,7 +40,11 @@ impl Table {
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
         out.push_str(&format!(
             "|{}|\n",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
@@ -69,37 +74,72 @@ pub fn fmt(v: f64) -> String {
     }
 }
 
+/// Number of worker threads the parallel entry points use by default: one per
+/// available hardware thread.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `0..n` on a small work-stealing pool of scoped threads.
+///
+/// Workers pull the next undone index from a shared atomic counter, so long
+/// and short tasks balance across threads. Results come back in input order,
+/// and each call `f(i)` sees exactly the same inputs as in a sequential loop —
+/// every run seeds its own RNG from data carried by the task itself, so the
+/// output is bit-identical to `(0..n).map(f).collect()`.
+///
+/// # Panics
+/// Propagates a panic from any worker once all threads have been joined.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                results.lock()[i] = Some(value);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index produces a result"))
+        .collect()
+}
+
 /// Run a batch of scenarios sequentially, returning `(scenario, result)` pairs in
 /// input order.
 pub fn run_all(scenarios: &[Scenario]) -> Vec<(Scenario, SimulationResult)> {
     scenarios.iter().map(|s| (s.clone(), s.run())).collect()
 }
 
-/// Run a batch of scenarios in parallel using one thread per scenario batch
-/// (crossbeam scoped threads; results come back in input order).
-pub fn run_all_parallel(scenarios: &[Scenario], threads: usize) -> Vec<(Scenario, SimulationResult)> {
-    let threads = threads.max(1).min(scenarios.len().max(1));
-    let results: Mutex<Vec<Option<(Scenario, SimulationResult)>>> =
-        Mutex::new(vec![None; scenarios.len()]);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                if i >= scenarios.len() {
-                    break;
-                }
-                let result = scenarios[i].run();
-                results.lock()[i] = Some((scenarios[i].clone(), result));
-            });
-        }
+/// Run a batch of scenarios on a work-stealing pool of `threads` scoped
+/// threads; results come back in input order.
+///
+/// Every scenario carries its own workload seed, so a run is a pure function
+/// of the scenario and the results are bit-identical to [`run_all`].
+pub fn run_all_parallel(
+    scenarios: &[Scenario],
+    threads: usize,
+) -> Vec<(Scenario, SimulationResult)> {
+    parallel_map(scenarios.len(), threads, |i| {
+        (scenarios[i].clone(), scenarios[i].run())
     })
-    .expect("scenario worker thread panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every scenario produces a result"))
-        .collect()
 }
 
 /// Build a comparison table (one row per scenario) from a set of results.

@@ -18,7 +18,9 @@ pub mod suite;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::experiments::{experiment_ids, run_experiment, Scale};
-    pub use crate::harness::{fmt, results_table, run_all, run_all_parallel, Table};
+    pub use crate::harness::{
+        default_threads, fmt, parallel_map, results_table, run_all, run_all_parallel, Table,
+    };
     pub use crate::suite::{
         canonical_machines, canonical_schedulers, canonical_suite, Scenario, WorkloadDef,
         WorkloadKind,

@@ -9,9 +9,7 @@
 use psbench_sched::by_name;
 use psbench_sim::{SimConfig, SimJob, Simulation, SimulationResult};
 use psbench_swf::SwfLog;
-use psbench_workload::{
-    Downey97, Feitelson96, Jann97, Lublin99, SessionModel, WorkloadModel,
-};
+use psbench_workload::{Downey97, Feitelson96, Jann97, Lublin99, SessionModel, WorkloadModel};
 use serde::{Deserialize, Serialize};
 
 /// Which workload model a scenario draws from.
@@ -60,8 +58,7 @@ impl WorkloadKind {
             WorkloadKind::Downey97 => Box::new(Downey97::with_machine_size(machine_size)),
             WorkloadKind::Lublin99 => Box::new(Lublin99::with_machine_size(machine_size)),
             WorkloadKind::Sessions => Box::new(SessionModel {
-                common: psbench_workload::CommonParams::default()
-                    .with_machine_size(machine_size),
+                common: psbench_workload::CommonParams::default().with_machine_size(machine_size),
                 ..SessionModel::default()
             }),
         }
@@ -98,7 +95,10 @@ impl WorkloadDef {
 
     /// Generate the SWF log this definition describes.
     pub fn generate(&self) -> SwfLog {
-        let mut log = self.kind.model(self.machine_size).generate(self.jobs, self.seed);
+        let mut log = self
+            .kind
+            .model(self.machine_size)
+            .generate(self.jobs, self.seed);
         if (self.interarrival_scale - 1.0).abs() > 1e-12 {
             log.scale_interarrivals(self.interarrival_scale);
         }

@@ -98,9 +98,9 @@ impl AppGraph {
     /// True if the edges form a DAG over valid module indices with `from < to`
     /// (the canonical topological numbering used throughout this crate).
     pub fn is_well_formed(&self) -> bool {
-        self.edges.iter().all(|e| {
-            e.from < self.modules.len() && e.to < self.modules.len() && e.from < e.to
-        })
+        self.edges
+            .iter()
+            .all(|e| e.from < self.modules.len() && e.to < self.modules.len() && e.from < e.to)
     }
 }
 
@@ -138,7 +138,7 @@ impl MicroBenchmark {
                     .map(|id| Module {
                         id,
                         work: log_uniform(&mut rng, 10_000.0, 500_000.0),
-                        procs: 1 << rng.gen_range(4..8),
+                        procs: 1u32 << rng.gen_range(4..8),
                         device: None,
                     })
                     .collect();
@@ -153,7 +153,7 @@ impl MicroBenchmark {
                     .map(|id| Module {
                         id,
                         work: exponential(&mut rng, 20_000.0),
-                        procs: 1 << rng.gen_range(3..6),
+                        procs: 1u32 << rng.gen_range(3..6),
                         device: None,
                     })
                     .collect();
@@ -176,7 +176,7 @@ impl MicroBenchmark {
                     .map(|id| Module {
                         id,
                         work: exponential(&mut rng, 30_000.0),
-                        procs: 1 << rng.gen_range(2..6),
+                        procs: 1u32 << rng.gen_range(2..6),
                         device: Some(devices[id % devices.len()]),
                     })
                     .collect();
@@ -214,7 +214,12 @@ pub fn mixed_workload(
             t += exponential(&mut rng, mean_interarrival.max(1.0));
             let idx = psbench_workload::dist::discrete(&mut rng, &ws);
             let modules = rng.gen_range(3..10);
-            (t, weights[idx].0.generate(modules, seed.wrapping_add(i as u64)))
+            (
+                t,
+                weights[idx]
+                    .0
+                    .generate(modules, seed.wrapping_add(i as u64)),
+            )
         })
         .collect()
 }
@@ -318,7 +323,10 @@ mod tests {
         let t = net.transfer_time(1, 2, 100.0);
         assert!((t - (0.05 + 10.0)).abs() < 1e-9);
         // a faster network moves the same data sooner
-        let fast = Network { latency: 0.01, bandwidth_mb_per_s: 1000.0 };
+        let fast = Network {
+            latency: 0.01,
+            bandwidth_mb_per_s: 1000.0,
+        };
         assert!(fast.transfer_time(1, 2, 100.0) < t);
     }
 }

@@ -198,7 +198,10 @@ impl AppScheduler {
                     .find(|e| e.from == pred && e.to == module.id)
                     .map(|e| e.data_mb)
                     .unwrap_or(0.0);
-                let arrive = p.end + self.network.transfer_time(p.site, sites[site_idx].spec.id, data);
+                let arrive = p.end
+                    + self
+                        .network
+                        .transfer_time(p.site, sites[site_idx].spec.id, data);
                 ready_with_transfers = ready_with_transfers.max(arrive);
             }
             let placement = sites[site_idx].submit(ready_with_transfers, module.work, module.procs);
@@ -266,7 +269,10 @@ pub fn coallocate_via_queues(
         .map(|&i| sites[i].submit(now, work, req.procs))
         .collect();
     let latest_start = placements.iter().map(|p| p.start).fold(0.0, f64::max);
-    let earliest_start = placements.iter().map(|p| p.start).fold(f64::INFINITY, f64::min);
+    let earliest_start = placements
+        .iter()
+        .map(|p| p.start)
+        .fold(f64::INFINITY, f64::min);
     let wasted: f64 = placements
         .iter()
         .map(|p| (latest_start - p.start) * p.procs as f64)
@@ -302,10 +308,7 @@ pub fn coallocate_via_reservations(
     let mut t = now + lead_time.max(0.0);
     for _ in 0..24 * 14 {
         let ok = chosen.iter().all(|&i| {
-            sites[i]
-                .calendar
-                .max_reserved_during(t, t + req.duration)
-                + req.procs
+            sites[i].calendar.max_reserved_during(t, t + req.duration) + req.procs
                 <= sites[i].spec.procs
         });
         if ok {
@@ -438,7 +441,8 @@ mod tests {
         let mut sites = standard_metasystem(3, 13);
         let devices = DeviceMap::spread_over(&sites);
         let app = MicroBenchmark::DeviceConstrained.generate(6, 3);
-        let mut sched = AppScheduler::new(PlacementStrategy::LeastPredictedWait, Network::default());
+        let mut sched =
+            AppScheduler::new(PlacementStrategy::LeastPredictedWait, Network::default());
         let schedule = sched.schedule(&app, &mut sites, &devices, 0.0);
         for (module, placement) in app.modules.iter().zip(&schedule.placements) {
             let expected = devices.site_of(module.device.unwrap()).unwrap();
@@ -463,7 +467,10 @@ mod tests {
         let cheap_schedule = cheap.schedule(&app, &mut sites.clone(), &devices, 0.0);
         let fast_schedule = fast.schedule(&app, &mut sites.clone(), &devices, 0.0);
         assert!(cheap_schedule.cost < fast_schedule.cost);
-        assert!(cheap_schedule.placements.iter().all(|p| p.site == sites[0].spec.id));
+        assert!(cheap_schedule
+            .placements
+            .iter()
+            .all(|p| p.site == sites[0].spec.id));
     }
 
     #[test]
@@ -498,7 +505,13 @@ mod tests {
         assert!(via_queues.wasted_node_seconds > 0.0);
         assert!(!via_queues.synchronized);
         // Reservations are actually booked on the sites.
-        assert!(r_sites.iter().filter(|s| !s.calendar.reservations.is_empty()).count() >= 3);
+        assert!(
+            r_sites
+                .iter()
+                .filter(|s| !s.calendar.reservations.is_empty())
+                .count()
+                >= 3
+        );
     }
 
     #[test]
@@ -525,7 +538,10 @@ mod tests {
         assert_eq!(count(EntityKind::User), 4);
         // users submit to meta- and application schedulers, which submit to machine
         // schedulers, which drive node schedulers
-        let user = entities.iter().find(|e| e.kind == EntityKind::User).unwrap();
+        let user = entities
+            .iter()
+            .find(|e| e.kind == EntityKind::User)
+            .unwrap();
         assert_eq!(user.children.len(), 2);
         let meta = entities
             .iter()
@@ -534,7 +550,10 @@ mod tests {
         assert_eq!(meta.children.len(), 2);
         for &c in &meta.children {
             assert_eq!(entities[c].kind, EntityKind::MachineScheduler);
-            assert_eq!(entities[entities[c].children[0]].kind, EntityKind::NodeScheduler);
+            assert_eq!(
+                entities[entities[c].children[0]].kind,
+                EntityKind::NodeScheduler
+            );
         }
     }
 }

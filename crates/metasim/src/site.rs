@@ -121,7 +121,11 @@ impl Site {
         let mean = self.spec.base_wait * fraction * load_factor * 0.5;
         let backlog_wait = (self.backlog_until - now).max(0.0);
         let err = self.spec.prediction_error.max(0.0);
-        let noise: f64 = if err > 0.0 { self.rng.gen_range(-err..err) } else { 0.0 };
+        let noise: f64 = if err > 0.0 {
+            self.rng.gen_range(-err..err)
+        } else {
+            0.0
+        };
         ((mean + backlog_wait) * (1.0 + noise)).max(0.0)
     }
 
@@ -158,7 +162,12 @@ impl Site {
 
     /// Run a request inside a previously booked reservation: it starts exactly at
     /// the reservation start (no queue wait).
-    pub fn run_reserved(&mut self, start: f64, work_proc_seconds: f64, procs: u32) -> SitePlacement {
+    pub fn run_reserved(
+        &mut self,
+        start: f64,
+        work_proc_seconds: f64,
+        procs: u32,
+    ) -> SitePlacement {
         let procs = procs.min(self.spec.procs).max(1);
         let runtime = self.runtime_of(work_proc_seconds, procs);
         SitePlacement {
@@ -230,9 +239,7 @@ mod tests {
         let mut light = Site::new(light_spec, 7);
         let mut heavy = Site::new(heavy_spec, 7);
         let n = 300;
-        let mean = |s: &mut Site| {
-            (0..n).map(|_| s.sample_wait(0.0, 64)).sum::<f64>() / n as f64
-        };
+        let mean = |s: &mut Site| (0..n).map(|_| s.sample_wait(0.0, 64)).sum::<f64>() / n as f64;
         assert!(mean(&mut heavy) > mean(&mut light) * 2.0);
     }
 
@@ -271,7 +278,10 @@ mod tests {
         let mut noisy = Site::new(spec, 9);
         for _ in 0..100 {
             let p = noisy.predict_wait(0.0, 64);
-            assert!(p >= expected * 0.49 && p <= expected * 1.51, "prediction {p}");
+            assert!(
+                p >= expected * 0.49 && p <= expected * 1.51,
+                "prediction {p}"
+            );
         }
     }
 

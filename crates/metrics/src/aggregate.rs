@@ -135,9 +135,9 @@ impl ConfidenceInterval {
 /// Approximate two-sided 95% Student-t critical values indexed by degrees of freedom.
 fn t_critical_95(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     if df == 0 {
         f64::INFINITY
@@ -165,7 +165,11 @@ pub fn batch_means_ci(values: &[f64], batches: usize) -> ConfidenceInterval {
     let mut means = Vec::with_capacity(b);
     for i in 0..b {
         let start = i * batch_size;
-        let end = if i == b - 1 { clean.len() } else { start + batch_size };
+        let end = if i == b - 1 {
+            clean.len()
+        } else {
+            start + batch_size
+        };
         let slice = &clean[start..end];
         means.push(slice.iter().sum::<f64>() / slice.len() as f64);
     }
@@ -177,7 +181,8 @@ pub fn batch_means_ci(values: &[f64], batches: usize) -> ConfidenceInterval {
             batches: means.len(),
         };
     }
-    let var = means.iter().map(|m| (m - grand) * (m - grand)).sum::<f64>() / (means.len() - 1) as f64;
+    let var =
+        means.iter().map(|m| (m - grand) * (m - grand)).sum::<f64>() / (means.len() - 1) as f64;
     let half = t_critical_95(means.len() - 1) * (var / means.len() as f64).sqrt();
     ConfidenceInterval {
         mean: grand,
@@ -323,9 +328,21 @@ mod tests {
 
     #[test]
     fn confidence_interval_overlap() {
-        let a = ConfidenceInterval { mean: 10.0, half_width: 2.0, batches: 5 };
-        let b = ConfidenceInterval { mean: 13.0, half_width: 2.0, batches: 5 };
-        let c = ConfidenceInterval { mean: 20.0, half_width: 1.0, batches: 5 };
+        let a = ConfidenceInterval {
+            mean: 10.0,
+            half_width: 2.0,
+            batches: 5,
+        };
+        let b = ConfidenceInterval {
+            mean: 13.0,
+            half_width: 2.0,
+            batches: 5,
+        };
+        let c = ConfidenceInterval {
+            mean: 20.0,
+            half_width: 1.0,
+            batches: 5,
+        };
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c));
         assert_eq!(a.low(), 8.0);
@@ -337,7 +354,10 @@ mod tests {
         let outcomes = vec![
             outcome(0.0, 0.0, 100.0, 10),   // wait 0, resp 100, slowdown 1
             outcome(0.0, 100.0, 200.0, 10), // wait 100, resp 200, slowdown 2
-            JobOutcome { completed: false, ..outcome(0.0, 0.0, 1000.0, 1) },
+            JobOutcome {
+                completed: false,
+                ..outcome(0.0, 0.0, 1000.0, 1)
+            },
         ];
         let agg = AggregateMetrics::from_outcomes(&outcomes);
         assert_eq!(agg.jobs, 2);
@@ -353,5 +373,57 @@ mod tests {
         let agg = AggregateMetrics::from_outcomes(&[]);
         assert_eq!(agg.jobs, 0);
         assert_eq!(agg.wait_time.count, 0);
+        assert_eq!(agg.area_weighted_wait, 0.0);
+        assert_eq!(agg, AggregateMetrics::default());
+    }
+
+    #[test]
+    fn aggregate_metrics_single_job() {
+        // With one job every summary collapses onto that job's value.
+        let agg = AggregateMetrics::from_outcomes(&[outcome(0.0, 30.0, 90.0, 8)]);
+        assert_eq!(agg.jobs, 1);
+        assert_eq!(agg.wait_time.mean, 30.0);
+        assert_eq!(agg.wait_time.min, 30.0);
+        assert_eq!(agg.wait_time.max, 30.0);
+        assert_eq!(agg.wait_time.median, 30.0);
+        assert_eq!(agg.wait_time.p99, 30.0);
+        assert_eq!(agg.wait_time.std_dev, 0.0);
+        assert_eq!(agg.response_time.mean, 90.0);
+        assert_eq!(agg.slowdown.mean, 1.5);
+        assert_eq!(agg.area_weighted_wait, 30.0);
+    }
+
+    #[test]
+    fn aggregate_metrics_zero_runtime_job() {
+        // Zero runtime: raw slowdown is infinite and must be excluded from its
+        // summary; bounded slowdown stays finite via the threshold; zero area
+        // means the job cannot contribute to the area-weighted wait.
+        let zero = outcome(0.0, 50.0, 50.0, 4);
+        assert_eq!(zero.slowdown(), f64::INFINITY);
+        let agg = AggregateMetrics::from_outcomes(&[zero]);
+        assert_eq!(agg.jobs, 1);
+        assert_eq!(agg.slowdown.count, 0);
+        assert_eq!(agg.bounded_slowdown.count, 1);
+        assert_eq!(agg.bounded_slowdown.mean, 5.0); // response 50 / threshold 10
+        assert_eq!(agg.area_weighted_wait, 0.0);
+    }
+
+    #[test]
+    fn bounded_slowdown_threshold_behaviour() {
+        // Below the 10 s threshold the denominator clamps to the threshold…
+        let short = outcome(0.0, 10.0, 11.0, 1); // wait 10, run 1, response 11
+        assert_eq!(short.slowdown(), 11.0);
+        assert_eq!(short.bounded_slowdown(), 1.1); // 11 / max(1, 10)
+                                                   // …exactly at the threshold bounded and raw slowdown agree…
+        let at = outcome(0.0, 10.0, 20.0, 1); // run 10, response 20
+        assert_eq!(at.bounded_slowdown(), at.slowdown());
+        // …and above it the bound has no effect.
+        let long = outcome(0.0, 100.0, 1100.0, 1); // run 1000, response 1100
+        assert!((long.bounded_slowdown() - long.slowdown()).abs() < 1e-12);
+        // The metric is floored at 1 even when response < threshold.
+        let instant = outcome(0.0, 0.0, 5.0, 1); // response 5 → 5/10 < 1
+        assert_eq!(instant.bounded_slowdown(), 1.0);
+        // An explicit threshold reproduces the raw slowdown.
+        assert_eq!(short.bounded_slowdown_with(1.0), 11.0);
     }
 }

@@ -1,7 +1,7 @@
 //! Per-job metrics.
 //!
 //! The paper (and its companion "Metrics and benchmarking for parallel job
-//! scheduling" [23]) uses a small set of per-job quantities as the raw material of
+//! scheduling" \[23\]) uses a small set of per-job quantities as the raw material of
 //! every objective function: wait time, response time, slowdown, and bounded
 //! slowdown. This module computes them from completed-job records.
 

@@ -36,8 +36,8 @@ pub mod prelude {
         WeightedObjective,
     };
     pub use crate::stats::{
-        compare_workloads, moments, pearson_correlation, workload_features, ComparisonMatrix,
-        Ecdf, Moments, WorkloadFeatures,
+        compare_workloads, moments, pearson_correlation, workload_features, ComparisonMatrix, Ecdf,
+        Moments, WorkloadFeatures,
     };
     pub use crate::system::{system_metrics, CostModel, SystemMetrics, SystemObservation};
 }

@@ -2,8 +2,8 @@
 //!
 //! Section 1.2 of the paper discusses whether the objective function itself should
 //! be standardized: different metrics can rank the same schedulers differently
-//! ([30]), and owner-defined weighted objectives change rankings as the weights move
-//! ([41]). This module provides the standard single-metric objectives, weighted
+//! (\[30\]), and owner-defined weighted objectives change rankings as the weights move
+//! (\[41\]). This module provides the standard single-metric objectives, weighted
 //! composite objectives, and ranking utilities used by experiments E1 and E2.
 
 use crate::aggregate::AggregateMetrics;
@@ -92,7 +92,7 @@ impl Objective {
 }
 
 /// A weighted composite objective in the spirit of the owner-policy objectives of
-/// Krallmann, Schwiegelshohn and Yahyapour [41]: a convex combination of a
+/// Krallmann, Schwiegelshohn and Yahyapour \[41\]: a convex combination of a
 /// user-centric term (bounded slowdown, normalized) and a system-centric term
 /// (1 − utilization).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -149,8 +149,15 @@ pub fn rank_by_objective(results: &[SchedulerResult], objective: Objective) -> V
         .enumerate()
         .map(|(i, r)| (i, objective.badness(&r.aggregate, &r.system)))
         .collect();
-    indexed.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
-    indexed.into_iter().map(|(i, _)| results[i].name.clone()).collect()
+    indexed.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    indexed
+        .into_iter()
+        .map(|(i, _)| results[i].name.clone())
+        .collect()
 }
 
 /// Rank schedulers under a weighted objective; best first.
@@ -160,12 +167,19 @@ pub fn rank_by_weighted(results: &[SchedulerResult], objective: &WeightedObjecti
         .enumerate()
         .map(|(i, r)| (i, objective.badness(&r.aggregate, &r.system)))
         .collect();
-    indexed.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
-    indexed.into_iter().map(|(i, _)| results[i].name.clone()).collect()
+    indexed.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    indexed
+        .into_iter()
+        .map(|(i, _)| results[i].name.clone())
+        .collect()
 }
 
 /// Report whether two objectives *disagree* on the relative order of any pair of
-/// schedulers — the phenomenon the paper highlights from [30].
+/// schedulers — the phenomenon the paper highlights from \[30\].
 pub fn objectives_disagree(results: &[SchedulerResult], a: Objective, b: Objective) -> bool {
     let ra = rank_by_objective(results, a);
     let rb = rank_by_objective(results, b);
@@ -224,9 +238,18 @@ mod tests {
     fn ranking_minimizes_or_maximizes_correctly() {
         let results = vec![result("A", 100.0, 5.0, 0.9), result("B", 50.0, 20.0, 0.7)];
         // B is better on response time, A better on slowdown and utilization.
-        assert_eq!(rank_by_objective(&results, Objective::MeanResponseTime), vec!["B", "A"]);
-        assert_eq!(rank_by_objective(&results, Objective::MeanSlowdown), vec!["A", "B"]);
-        assert_eq!(rank_by_objective(&results, Objective::Utilization), vec!["A", "B"]);
+        assert_eq!(
+            rank_by_objective(&results, Objective::MeanResponseTime),
+            vec!["B", "A"]
+        );
+        assert_eq!(
+            rank_by_objective(&results, Objective::MeanSlowdown),
+            vec!["A", "B"]
+        );
+        assert_eq!(
+            rank_by_objective(&results, Objective::Utilization),
+            vec!["A", "B"]
+        );
     }
 
     #[test]
@@ -247,7 +270,10 @@ mod tests {
     #[test]
     fn weighted_objective_moves_ranking_with_weight() {
         // A: great utilization, terrible slowdown. B: mediocre both.
-        let results = vec![result("A", 200.0, 90.0, 0.95), result("B", 100.0, 10.0, 0.6)];
+        let results = vec![
+            result("A", 200.0, 90.0, 0.95),
+            result("B", 100.0, 10.0, 0.6),
+        ];
         let user_heavy = rank_by_weighted(&results, &WeightedObjective::with_user_weight(1.0));
         let system_heavy = rank_by_weighted(&results, &WeightedObjective::with_user_weight(0.0));
         assert_eq!(user_heavy, vec!["B", "A"]);
@@ -274,6 +300,9 @@ mod tests {
     #[test]
     fn tie_preserves_input_order() {
         let results = vec![result("X", 100.0, 5.0, 0.5), result("Y", 100.0, 5.0, 0.5)];
-        assert_eq!(rank_by_objective(&results, Objective::MeanResponseTime), vec!["X", "Y"]);
+        assert_eq!(
+            rank_by_objective(&results, Objective::MeanResponseTime),
+            vec!["X", "Y"]
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! Distribution statistics used to compare workloads and models.
 //!
 //! Section 2.1 of the paper cites a statistical comparison of workload models and
-//! logs ("comparing logs and models ... using the co-plot method" [58]) and the
+//! logs ("comparing logs and models ... using the co-plot method" \[58\]) and the
 //! model-selection question ("Lublin is relatively representative"). This module
 //! provides the machinery experiment E3 needs: empirical CDFs, Kolmogorov–Smirnov
 //! distances, moments, correlations, and a normalized multi-workload comparison
@@ -56,7 +56,11 @@ impl Ecdf {
     /// difference of the two distribution functions, evaluated at all sample points.
     pub fn ks_distance(&self, other: &Ecdf) -> f64 {
         if self.is_empty() || other.is_empty() {
-            return if self.is_empty() && other.is_empty() { 0.0 } else { 1.0 };
+            return if self.is_empty() && other.is_empty() {
+                0.0
+            } else {
+                1.0
+            };
         }
         let mut d: f64 = 0.0;
         for &x in self.sorted.iter().chain(other.sorted.iter()) {
@@ -173,10 +177,13 @@ pub fn workload_features(name: &str, log: &psbench_swf::SwfLog) -> WorkloadFeatu
     let pow2 = if sizes.is_empty() {
         0.0
     } else {
-        sizes.iter().filter(|&&s| {
-            let p = s as u64;
-            p > 0 && (p & (p - 1)) == 0
-        }).count() as f64
+        sizes
+            .iter()
+            .filter(|&&s| {
+                let p = s as u64;
+                p > 0 && (p & (p - 1)) == 0
+            })
+            .count() as f64
             / sizes.len() as f64
     };
     let serial = if sizes.is_empty() {
@@ -266,10 +273,17 @@ pub fn compare_workloads(features: &[WorkloadFeatures]) -> ComparisonMatrix {
     let mut normalized = vectors.clone();
     for d in 0..8 {
         let min = vectors.iter().map(|v| v[d]).fold(f64::INFINITY, f64::min);
-        let max = vectors.iter().map(|v| v[d]).fold(f64::NEG_INFINITY, f64::max);
+        let max = vectors
+            .iter()
+            .map(|v| v[d])
+            .fold(f64::NEG_INFINITY, f64::max);
         let range = max - min;
         for (i, v) in vectors.iter().enumerate() {
-            normalized[i][d] = if range > 1e-300 { (v[d] - min) / range } else { 0.0 };
+            normalized[i][d] = if range > 1e-300 {
+                (v[d] - min) / range
+            } else {
+                0.0
+            };
         }
     }
     let mut distance = vec![vec![0.0; n]; n];
@@ -377,6 +391,34 @@ mod tests {
     }
 
     #[test]
+    fn workload_features_empty_log() {
+        let f = workload_features("empty", &SwfLog::default());
+        assert_eq!(f.mean_procs, 0.0);
+        assert_eq!(f.power_of_two_fraction, 0.0);
+        assert_eq!(f.serial_fraction, 0.0);
+        for v in f.vector() {
+            assert!(
+                v.is_finite(),
+                "feature vector must stay finite on an empty log"
+            );
+        }
+    }
+
+    #[test]
+    fn workload_features_single_job() {
+        // One job: means collapse to the job, spreads and correlations to zero.
+        let f = workload_features("one", &tiny_log(&[4], &[100]));
+        assert_eq!(f.mean_procs, 4.0);
+        assert_eq!(f.mean_runtime, 100.0);
+        assert_eq!(f.runtime_cv, 0.0);
+        assert_eq!(f.mean_interarrival, 0.0);
+        assert_eq!(f.size_runtime_correlation, 0.0);
+        for v in f.vector() {
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
     fn workload_features_from_log() {
         let log = tiny_log(&[1, 2, 4, 3], &[10, 20, 40, 30]);
         let f = workload_features("tiny", &log);
@@ -394,7 +436,10 @@ mod tests {
     fn comparison_matrix_identifies_similar_workloads() {
         let a = workload_features("a", &tiny_log(&[1, 2, 4, 8], &[10, 20, 40, 80]));
         let b = workload_features("b", &tiny_log(&[1, 2, 4, 8], &[11, 21, 41, 81]));
-        let c = workload_features("c", &tiny_log(&[128, 256, 512, 300], &[50_000, 60_000, 70_000, 1_000]));
+        let c = workload_features(
+            "c",
+            &tiny_log(&[128, 256, 512, 300], &[50_000, 60_000, 70_000, 1_000]),
+        );
         let m = compare_workloads(&[a, b, c]);
         assert_eq!(m.names, vec!["a", "b", "c"]);
         // a is closer to b than to c

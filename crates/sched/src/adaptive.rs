@@ -51,7 +51,11 @@ impl Scheduler for AdaptivePartition {
         let target = self.target_allocation(ctx);
         let mut free = ctx.free_capacity();
         let mut queue: Vec<_> = ctx.queue.iter().collect();
-        queue.sort_by(|a, b| a.queued_at.total_cmp(&b.queued_at).then(a.job.id.cmp(&b.job.id)));
+        queue.sort_by(|a, b| {
+            a.queued_at
+                .total_cmp(&b.queued_at)
+                .then(a.job.id.cmp(&b.job.id))
+        });
         let mut out = Vec::new();
         for q in queue {
             if free < 1.0 - 1e-9 {
@@ -104,7 +108,8 @@ mod tests {
     #[test]
     fn lone_moldable_job_gets_a_large_partition() {
         let job = moldable(1, 0.0, 6400.0, 64.0);
-        let result = Simulation::new(SimConfig::new(64), vec![job]).run(&mut AdaptivePartition::default());
+        let result =
+            Simulation::new(SimConfig::new(64), vec![job]).run(&mut AdaptivePartition::default());
         let f = &result.finished[0];
         assert_eq!(f.procs, 64);
         assert!((f.end - 100.0).abs() < 1e-6);
@@ -116,7 +121,8 @@ mod tests {
         // first finds an idle machine and takes it all, but the jobs queued behind it
         // are started side by side in shrunken partitions once it completes.
         let jobs: Vec<SimJob> = (0..4).map(|i| moldable(i + 1, 0.0, 1600.0, 64.0)).collect();
-        let result = Simulation::new(SimConfig::new(64), jobs).run(&mut AdaptivePartition::default());
+        let result =
+            Simulation::new(SimConfig::new(64), jobs).run(&mut AdaptivePartition::default());
         assert_eq!(result.finished.len(), 4);
         let small: Vec<&psbench_sim::FinishedJob> =
             result.finished.iter().filter(|f| f.procs <= 32).collect();
@@ -134,23 +140,25 @@ mod tests {
         // A job with average parallelism 8 gets at most 8 processors even on an idle
         // 64-processor machine.
         let job = moldable(1, 0.0, 800.0, 8.0);
-        let result = Simulation::new(SimConfig::new(64), vec![job]).run(&mut AdaptivePartition::default());
+        let result =
+            Simulation::new(SimConfig::new(64), vec![job]).run(&mut AdaptivePartition::default());
         assert_eq!(result.finished[0].procs, 8);
         assert!((result.finished[0].end - 100.0).abs() < 1e-6);
     }
 
     #[test]
-    fn adaptive_beats_rigid_fcfs_on_moldable_burst(){
+    fn adaptive_beats_rigid_fcfs_on_moldable_burst() {
         // Eight moldable jobs (average parallelism 16) arrive at once. Submitting
         // them rigidly at 64 processors wastes three quarters of the machine and
         // serializes the burst; adaptive partitioning caps each at its useful
         // parallelism and runs four side by side.
-        let moldable_jobs: Vec<SimJob> = (0..8).map(|i| moldable(i + 1, 0.0, 1600.0, 16.0)).collect();
+        let moldable_jobs: Vec<SimJob> =
+            (0..8).map(|i| moldable(i + 1, 0.0, 1600.0, 16.0)).collect();
         let rigid_jobs: Vec<SimJob> = (0..8)
             .map(|i| SimJob::rigid(i + 1, 0.0, 100.0, 64)) // 1600/16 = 100 s, padded to 64 procs
             .collect();
-        let adaptive =
-            Simulation::new(SimConfig::new(64), moldable_jobs).run(&mut AdaptivePartition::default());
+        let adaptive = Simulation::new(SimConfig::new(64), moldable_jobs)
+            .run(&mut AdaptivePartition::default());
         let rigid = Simulation::new(SimConfig::new(64), rigid_jobs).run(&mut Fcfs);
         assert_eq!(adaptive.finished.len(), 8);
         assert_eq!(rigid.finished.len(), 8);
@@ -164,15 +172,22 @@ mod tests {
 
     #[test]
     fn rigid_jobs_pass_through_unchanged() {
-        let jobs = vec![SimJob::rigid(1, 0.0, 100.0, 16), SimJob::rigid(2, 0.0, 100.0, 16)];
-        let result = Simulation::new(SimConfig::new(64), jobs).run(&mut AdaptivePartition::default());
+        let jobs = vec![
+            SimJob::rigid(1, 0.0, 100.0, 16),
+            SimJob::rigid(2, 0.0, 100.0, 16),
+        ];
+        let result =
+            Simulation::new(SimConfig::new(64), jobs).run(&mut AdaptivePartition::default());
         assert!(result.finished.iter().all(|f| f.procs == 16));
         assert_eq!(result.rejected_decisions, 0);
     }
 
     #[test]
     fn min_and_max_alloc_respected() {
-        let mut policy = AdaptivePartition { min_alloc: 4, max_alloc: 16 };
+        let mut policy = AdaptivePartition {
+            min_alloc: 4,
+            max_alloc: 16,
+        };
         let jobs: Vec<SimJob> = (0..2).map(|i| moldable(i + 1, 0.0, 1600.0, 64.0)).collect();
         let result = Simulation::new(SimConfig::new(64), jobs).run(&mut policy);
         for f in &result.finished {

@@ -95,7 +95,11 @@ impl Profile {
 
 fn queue_in_arrival_order<'a>(ctx: &'a SchedulerContext<'_>) -> Vec<&'a QueuedJob> {
     let mut queue: Vec<&QueuedJob> = ctx.queue.iter().collect();
-    queue.sort_by(|a, b| a.queued_at.total_cmp(&b.queued_at).then(a.job.id.cmp(&b.job.id)));
+    queue.sort_by(|a, b| {
+        a.queued_at
+            .total_cmp(&b.queued_at)
+            .then(a.job.id.cmp(&b.job.id))
+    });
     queue
 }
 
@@ -263,19 +267,30 @@ mod tests {
     fn easy_does_not_backfill_job_that_would_delay_head() {
         // A long 8-proc job would end after the head's shadow time and would eat the
         // processors the head needs -> must not be backfilled.
-        let js = jobs(&[(1, 0.0, 100.0, 60), (2, 1.0, 200.0, 64), (3, 2.0, 1000.0, 8)]);
+        let js = jobs(&[
+            (1, 0.0, 100.0, 60),
+            (2, 1.0, 200.0, 64),
+            (3, 2.0, 1000.0, 8),
+        ]);
         let result = Simulation::new(SimConfig::new(64), js).run(&mut EasyBackfill);
         let j2 = result.finished.iter().find(|f| f.id == 2).unwrap();
         assert_eq!(j2.start, 100.0, "head must start at its reservation");
         let j3 = result.finished.iter().find(|f| f.id == 3).unwrap();
-        assert!(j3.start >= 100.0, "backfill that delays the head must be refused");
+        assert!(
+            j3.start >= 100.0,
+            "backfill that delays the head must be refused"
+        );
     }
 
     #[test]
     fn easy_backfills_into_extra_processors() {
         // Head needs 32 of 64; 16 procs remain free even when the head starts, so a
         // long 16-proc job may backfill into that "extra" space.
-        let js = jobs(&[(1, 0.0, 100.0, 48), (2, 1.0, 200.0, 32), (3, 2.0, 5000.0, 16)]);
+        let js = jobs(&[
+            (1, 0.0, 100.0, 48),
+            (2, 1.0, 200.0, 32),
+            (3, 2.0, 5000.0, 16),
+        ]);
         let result = Simulation::new(SimConfig::new(64), js).run(&mut EasyBackfill);
         let j3 = result.finished.iter().find(|f| f.id == 3).unwrap();
         assert_eq!(j3.start, 2.0);
@@ -287,7 +302,11 @@ mod tests {
     fn conservative_never_delays_earlier_job() {
         // With conservative backfilling, job 3 (arrived later) must not push job 2
         // beyond the start it would get from the profile at its arrival.
-        let js = jobs(&[(1, 0.0, 100.0, 60), (2, 1.0, 200.0, 64), (3, 2.0, 1000.0, 4)]);
+        let js = jobs(&[
+            (1, 0.0, 100.0, 60),
+            (2, 1.0, 200.0, 64),
+            (3, 2.0, 1000.0, 4),
+        ]);
         let result = Simulation::new(SimConfig::new(64), js).run(&mut ConservativeBackfill);
         let j2 = result.finished.iter().find(|f| f.id == 2).unwrap();
         assert_eq!(j2.start, 100.0);
@@ -306,7 +325,8 @@ mod tests {
         use psbench_workload::{Lublin99, WorkloadModel};
         let log = Lublin99::default().generate(800, 1234);
         let js = SimJob::from_log(&log);
-        let fcfs = Simulation::new(SimConfig::new(128), js.clone()).run(&mut crate::queue_order::Fcfs);
+        let fcfs =
+            Simulation::new(SimConfig::new(128), js.clone()).run(&mut crate::queue_order::Fcfs);
         let easy = Simulation::new(SimConfig::new(128), js.clone()).run(&mut EasyBackfill);
         let cons = Simulation::new(SimConfig::new(128), js).run(&mut ConservativeBackfill);
         assert_eq!(fcfs.finished.len(), 800);
@@ -335,7 +355,10 @@ mod tests {
                 .with_estimate(60.0 + (i % 9) as f64 * 300.0)
             })
             .collect();
-        for sched in [&mut EasyBackfill as &mut dyn Scheduler, &mut ConservativeBackfill] {
+        for sched in [
+            &mut EasyBackfill as &mut dyn Scheduler,
+            &mut ConservativeBackfill,
+        ] {
             let result = Simulation::new(SimConfig::new(64), js.clone()).run(sched);
             assert_eq!(result.finished.len(), 200, "{}", sched.name());
             assert_eq!(result.rejected_decisions, 0, "{}", sched.name());

@@ -50,12 +50,7 @@ impl DrainingEasy {
     /// Would starting `procs` processors now, for `duration` seconds, collide with a
     /// future capacity drop? The test is conservative: during the overlap the
     /// machine must still hold the already-running load plus this job plus the drop.
-    fn collides(
-        &self,
-        ctx: &SchedulerContext<'_>,
-        procs: f64,
-        duration: f64,
-    ) -> bool {
+    fn collides(&self, ctx: &SchedulerContext<'_>, procs: f64, duration: f64) -> bool {
         let from = ctx.now;
         let to = ctx.now + duration;
         let promised = self.promised_away(ctx, from, to);
@@ -92,7 +87,11 @@ impl Scheduler for DrainingEasy {
         let mut out = Vec::new();
         for d in proposed {
             match d {
-                Decision::Start { job_id, procs, share } => {
+                Decision::Start {
+                    job_id,
+                    procs,
+                    share,
+                } => {
                     let job = ctx.queue.iter().find(|q| q.job.id == job_id);
                     let keep = match job {
                         Some(q) => {
@@ -138,8 +137,11 @@ mod tests {
         // holds it until after the outage.
         let outages = maintenance(0, 100, 200, 64);
         let jobs = vec![SimJob::rigid(1, 10.0, 500.0, 32)];
-        let easy = Simulation::new(SimConfig::new(64).with_outages(outages.clone()), jobs.clone())
-            .run(&mut EasyBackfill);
+        let easy = Simulation::new(
+            SimConfig::new(64).with_outages(outages.clone()),
+            jobs.clone(),
+        )
+        .run(&mut EasyBackfill);
         let drain = Simulation::new(SimConfig::new(64).with_outages(outages), jobs)
             .run(&mut DrainingEasy::new());
         // Plain EASY starts it at t=10, loses it to the outage, restarts at 200.

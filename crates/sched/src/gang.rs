@@ -109,7 +109,11 @@ impl Scheduler for GangScheduler {
         }
         // Admit queued jobs into the matrix.
         let mut queue: Vec<_> = ctx.queue.iter().collect();
-        queue.sort_by(|a, b| a.queued_at.total_cmp(&b.queued_at).then(a.job.id.cmp(&b.job.id)));
+        queue.sort_by(|a, b| {
+            a.queued_at
+                .total_cmp(&b.queued_at)
+                .then(a.job.id.cmp(&b.job.id))
+        });
         let mut to_start: Vec<(u64, u32)> = Vec::new();
         for q in queue {
             let procs = q.job.procs.min(self.machine).max(1);
@@ -195,7 +199,11 @@ mod tests {
 
     #[test]
     fn max_rows_limits_multiprogramming() {
-        let js = jobs(&[(1, 0.0, 100.0, 64), (2, 0.0, 100.0, 64), (3, 0.0, 100.0, 64)]);
+        let js = jobs(&[
+            (1, 0.0, 100.0, 64),
+            (2, 0.0, 100.0, 64),
+            (3, 0.0, 100.0, 64),
+        ]);
         let mut g = GangScheduler::new(64, 2, Packing::FirstFit);
         let result = Simulation::new(SimConfig::new(64), js).run(&mut g);
         assert_eq!(result.finished.len(), 3);
@@ -242,7 +250,14 @@ mod tests {
     #[test]
     fn matrix_bookkeeping_on_large_workload() {
         let js: Vec<SimJob> = (0..120)
-            .map(|i| SimJob::rigid(i + 1, (i * 10) as f64, 100.0 + (i % 4) as f64 * 200.0, 1 + (i % 64) as u32))
+            .map(|i| {
+                SimJob::rigid(
+                    i + 1,
+                    (i * 10) as f64,
+                    100.0 + (i % 4) as f64 * 200.0,
+                    1 + (i % 64) as u32,
+                )
+            })
             .collect();
         let mut g = GangScheduler::new(64, 5, Packing::BestFit);
         let result = Simulation::new(SimConfig::new(64), js).run(&mut g);

@@ -58,7 +58,11 @@ pub fn by_name(name: &str, machine_size: u32) -> Option<Box<dyn Scheduler>> {
         "greedy-fcfs" => Some(Box::new(SortedGreedy::greedy_fcfs())),
         "easy" => Some(Box::new(EasyBackfill)),
         "conservative" => Some(Box::new(ConservativeBackfill)),
-        "gang" => Some(Box::new(GangScheduler::new(machine_size, 4, Packing::FirstFit))),
+        "gang" => Some(Box::new(GangScheduler::new(
+            machine_size,
+            4,
+            Packing::FirstFit,
+        ))),
         "adaptive" => Some(Box::new(AdaptivePartition::default())),
         "draining-easy" => Some(Box::new(DrainingEasy::new())),
         _ => None,
@@ -73,7 +77,14 @@ mod tests {
     #[test]
     fn standard_schedulers_all_run() {
         let jobs: Vec<SimJob> = (0..100)
-            .map(|i| SimJob::rigid(i + 1, (i * 30) as f64, 100.0 + (i % 3) as f64 * 300.0, 1 + (i % 32) as u32))
+            .map(|i| {
+                SimJob::rigid(
+                    i + 1,
+                    (i * 30) as f64,
+                    100.0 + (i % 3) as f64 * 300.0,
+                    1 + (i % 32) as u32,
+                )
+            })
             .collect();
         let mut scheds = standard_schedulers(64);
         assert_eq!(scheds.len(), 6);

@@ -22,7 +22,11 @@ impl Scheduler for Fcfs {
         let mut free = ctx.free_capacity();
         let mut out = Vec::new();
         let mut queue: Vec<_> = ctx.queue.iter().collect();
-        queue.sort_by(|a, b| a.queued_at.total_cmp(&b.queued_at).then(a.job.id.cmp(&b.job.id)));
+        queue.sort_by(|a, b| {
+            a.queued_at
+                .total_cmp(&b.queued_at)
+                .then(a.job.id.cmp(&b.job.id))
+        });
         for q in queue {
             if (q.job.procs as f64) <= free + 1e-9 {
                 free -= q.job.procs as f64;
@@ -60,23 +64,33 @@ pub struct SortedGreedy {
 impl SortedGreedy {
     /// Shortest-job-first (by user estimate).
     pub fn sjf() -> Self {
-        SortedGreedy { order: Order::ShortestFirst }
+        SortedGreedy {
+            order: Order::ShortestFirst,
+        }
     }
     /// Longest-job-first.
     pub fn ljf() -> Self {
-        SortedGreedy { order: Order::LongestFirst }
+        SortedGreedy {
+            order: Order::LongestFirst,
+        }
     }
     /// Widest-first (biggest processor request first).
     pub fn widest() -> Self {
-        SortedGreedy { order: Order::WidestFirst }
+        SortedGreedy {
+            order: Order::WidestFirst,
+        }
     }
     /// Narrowest-first.
     pub fn narrowest() -> Self {
-        SortedGreedy { order: Order::NarrowestFirst }
+        SortedGreedy {
+            order: Order::NarrowestFirst,
+        }
     }
     /// Greedy first-fit in arrival order.
     pub fn greedy_fcfs() -> Self {
-        SortedGreedy { order: Order::ArrivalOrder }
+        SortedGreedy {
+            order: Order::ArrivalOrder,
+        }
     }
 }
 
@@ -94,21 +108,29 @@ impl Scheduler for SortedGreedy {
     fn react(&mut self, ctx: &SchedulerContext<'_>, _event: SchedulerEvent) -> Vec<Decision> {
         let mut queue: Vec<_> = ctx.queue.iter().collect();
         match self.order {
-            Order::ShortestFirst => {
-                queue.sort_by(|a, b| a.job.estimate.total_cmp(&b.job.estimate).then(a.job.id.cmp(&b.job.id)))
-            }
-            Order::LongestFirst => {
-                queue.sort_by(|a, b| b.job.estimate.total_cmp(&a.job.estimate).then(a.job.id.cmp(&b.job.id)))
-            }
+            Order::ShortestFirst => queue.sort_by(|a, b| {
+                a.job
+                    .estimate
+                    .total_cmp(&b.job.estimate)
+                    .then(a.job.id.cmp(&b.job.id))
+            }),
+            Order::LongestFirst => queue.sort_by(|a, b| {
+                b.job
+                    .estimate
+                    .total_cmp(&a.job.estimate)
+                    .then(a.job.id.cmp(&b.job.id))
+            }),
             Order::NarrowestFirst => {
                 queue.sort_by(|a, b| a.job.procs.cmp(&b.job.procs).then(a.job.id.cmp(&b.job.id)))
             }
             Order::WidestFirst => {
                 queue.sort_by(|a, b| b.job.procs.cmp(&a.job.procs).then(a.job.id.cmp(&b.job.id)))
             }
-            Order::ArrivalOrder => {
-                queue.sort_by(|a, b| a.queued_at.total_cmp(&b.queued_at).then(a.job.id.cmp(&b.job.id)))
-            }
+            Order::ArrivalOrder => queue.sort_by(|a, b| {
+                a.queued_at
+                    .total_cmp(&b.queued_at)
+                    .then(a.job.id.cmp(&b.job.id))
+            }),
         }
         let mut free = ctx.free_capacity();
         let mut out = Vec::new();
@@ -140,7 +162,11 @@ mod tests {
         let js = jobs(&[(1, 0.0, 100.0, 64), (2, 1.0, 100.0, 64), (3, 2.0, 10.0, 1)]);
         let result = Simulation::new(SimConfig::new(64), js).run(&mut Fcfs);
         let j3 = result.finished.iter().find(|f| f.id == 3).unwrap();
-        assert!(j3.start >= 200.0, "strict FCFS must not backfill, start {}", j3.start);
+        assert!(
+            j3.start >= 200.0,
+            "strict FCFS must not backfill, start {}",
+            j3.start
+        );
     }
 
     #[test]
@@ -171,13 +197,20 @@ mod tests {
     #[test]
     fn sjf_prefers_short_jobs() {
         // All jobs need the whole machine; SJF orders by estimate.
-        let mut js = jobs(&[(1, 0.0, 1000.0, 64), (2, 1.0, 10.0, 64), (3, 2.0, 100.0, 64)]);
+        let mut js = jobs(&[
+            (1, 0.0, 1000.0, 64),
+            (2, 1.0, 10.0, 64),
+            (3, 2.0, 100.0, 64),
+        ]);
         // make job 1 running first impossible to avoid: it arrives first alone.
         js[0].submit = 0.0;
         let result = Simulation::new(SimConfig::new(64), js).run(&mut SortedGreedy::sjf());
         let j2 = result.finished.iter().find(|f| f.id == 2).unwrap();
         let j3 = result.finished.iter().find(|f| f.id == 3).unwrap();
-        assert!(j2.start < j3.start, "SJF should run the 10s job before the 100s job");
+        assert!(
+            j2.start < j3.start,
+            "SJF should run the 10s job before the 100s job"
+        );
     }
 
     #[test]
@@ -186,13 +219,17 @@ mod tests {
         let result = Simulation::new(SimConfig::new(64), js).run(&mut SortedGreedy::ljf());
         let j2 = result.finished.iter().find(|f| f.id == 2).unwrap();
         let j3 = result.finished.iter().find(|f| f.id == 3).unwrap();
-        assert!(j3.start < j2.start, "LJF should run the 100s job before the 10s job");
+        assert!(
+            j3.start < j2.start,
+            "LJF should run the 100s job before the 10s job"
+        );
     }
 
     #[test]
     fn widest_and_narrowest_order_by_size() {
         let js = jobs(&[(1, 0.0, 10.0, 64), (2, 1.0, 10.0, 8), (3, 2.0, 10.0, 32)]);
-        let widest = Simulation::new(SimConfig::new(64), js.clone()).run(&mut SortedGreedy::widest());
+        let widest =
+            Simulation::new(SimConfig::new(64), js.clone()).run(&mut SortedGreedy::widest());
         let narrow = Simulation::new(SimConfig::new(64), js).run(&mut SortedGreedy::narrowest());
         let order = |r: &psbench_sim::SimulationResult, id: u64| {
             r.finished.iter().find(|f| f.id == id).unwrap().start
@@ -206,7 +243,14 @@ mod tests {
     #[test]
     fn all_jobs_complete_under_every_policy() {
         let js: Vec<SimJob> = (0..150)
-            .map(|i| SimJob::rigid(i + 1, (i * 20) as f64, 30.0 + (i % 5) as f64 * 200.0, 1 + (i % 60) as u32))
+            .map(|i| {
+                SimJob::rigid(
+                    i + 1,
+                    (i * 20) as f64,
+                    30.0 + (i % 5) as f64 * 200.0,
+                    1 + (i % 60) as u32,
+                )
+            })
             .collect();
         let mut policies: Vec<Box<dyn Scheduler>> = vec![
             Box::new(Fcfs),

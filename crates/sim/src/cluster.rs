@@ -173,7 +173,12 @@ mod tests {
 
     #[test]
     fn reservation_overlap_and_active() {
-        let r = Reservation { id: 1, start: 100.0, end: 200.0, procs: 16 };
+        let r = Reservation {
+            id: 1,
+            start: 100.0,
+            end: 200.0,
+            procs: 16,
+        };
         assert!(r.overlaps(150.0, 160.0));
         assert!(r.overlaps(0.0, 101.0));
         assert!(!r.overlaps(200.0, 300.0));

@@ -178,7 +178,10 @@ impl Simulation {
         for i in 0..self.jobs.len() {
             let job = &self.jobs[i];
             let dependent = self.config.closed_loop
-                && job.preceding.map(|p| ids.contains(&p) && p != job.id).unwrap_or(false);
+                && job
+                    .preceding
+                    .map(|p| ids.contains(&p) && p != job.id)
+                    .unwrap_or(false);
             if dependent {
                 let pred = job.preceding.unwrap();
                 self.dependents.entry(pred).or_default().push(i);
@@ -307,8 +310,16 @@ impl Simulation {
     fn apply_decisions(&mut self, decisions: Vec<Decision>) {
         for d in decisions {
             match d {
-                Decision::Start { job_id, procs, share } => {
-                    let share = if share.is_finite() { share.clamp(0.0, 1.0) } else { 0.0 };
+                Decision::Start {
+                    job_id,
+                    procs,
+                    share,
+                } => {
+                    let share = if share.is_finite() {
+                        share.clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
                     let pos = self.queue.iter().position(|q| q.job.id == job_id);
                     let (pos, ok) = match pos {
                         Some(p) => {
@@ -347,7 +358,11 @@ impl Simulation {
                     }
                 }
                 Decision::SetShare { job_id, share } => {
-                    let share = if share.is_finite() { share.clamp(0.0, 1.0) } else { 0.0 };
+                    let share = if share.is_finite() {
+                        share.clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
                     let used_others: f64 = self
                         .running
                         .iter()
@@ -574,7 +589,11 @@ mod tests {
 
     #[test]
     fn parallel_execution_when_capacity_allows() {
-        let jobs = rigid_jobs(&[(1, 0.0, 100.0, 16), (2, 0.0, 100.0, 16), (3, 0.0, 100.0, 16)]);
+        let jobs = rigid_jobs(&[
+            (1, 0.0, 100.0, 16),
+            (2, 0.0, 100.0, 16),
+            (3, 0.0, 100.0, 16),
+        ]);
         let result = Simulation::new(SimConfig::new(64), jobs).run(&mut TestFcfs);
         assert!(result.finished.iter().all(|f| f.start == 0.0));
         assert!(result.finished.iter().all(|f| f.end == 100.0));
@@ -680,7 +699,10 @@ mod tests {
             }
             fn react(&mut self, ctx: &SchedulerContext<'_>, _e: SchedulerEvent) -> Vec<Decision> {
                 // Try to start everything regardless of capacity.
-                ctx.queue.iter().map(|q| Decision::start(q.job.id)).collect()
+                ctx.queue
+                    .iter()
+                    .map(|q| Decision::start(q.job.id))
+                    .collect()
             }
         }
         let jobs = rigid_jobs(&[(1, 0.0, 100.0, 64), (2, 0.0, 100.0, 64)]);
@@ -709,10 +731,17 @@ mod tests {
                 let mut out: Vec<Decision> = ctx
                     .running
                     .iter()
-                    .map(|r| Decision::SetShare { job_id: r.job.id, share })
+                    .map(|r| Decision::SetShare {
+                        job_id: r.job.id,
+                        share,
+                    })
                     .collect();
                 for q in ctx.queue {
-                    out.push(Decision::Start { job_id: q.job.id, procs: None, share });
+                    out.push(Decision::Start {
+                        job_id: q.job.id,
+                        procs: None,
+                        share,
+                    });
                 }
                 out
             }
@@ -736,26 +765,40 @@ mod tests {
             fn name(&self) -> &str {
                 "preempt-once"
             }
-            fn react(&mut self, ctx: &SchedulerContext<'_>, event: SchedulerEvent) -> Vec<Decision> {
+            fn react(
+                &mut self,
+                ctx: &SchedulerContext<'_>,
+                event: SchedulerEvent,
+            ) -> Vec<Decision> {
                 match event {
                     SchedulerEvent::Timer if !self.preempted => {
                         self.preempted = true;
                         let id = ctx.running[0].job.id;
-                        vec![Decision::Preempt { job_id: id }, Decision::Wakeup { at: ctx.now + 50.0 }]
+                        vec![
+                            Decision::Preempt { job_id: id },
+                            Decision::Wakeup { at: ctx.now + 50.0 },
+                        ]
                     }
                     SchedulerEvent::Timer => {
                         // restart whatever is queued
-                        ctx.queue.iter().map(|q| Decision::start(q.job.id)).collect()
+                        ctx.queue
+                            .iter()
+                            .map(|q| Decision::start(q.job.id))
+                            .collect()
                     }
                     SchedulerEvent::JobArrived { job_id } => {
-                        vec![Decision::start(job_id), Decision::Wakeup { at: ctx.now + 40.0 }]
+                        vec![
+                            Decision::start(job_id),
+                            Decision::Wakeup { at: ctx.now + 40.0 },
+                        ]
                     }
                     _ => Vec::new(),
                 }
             }
         }
         let jobs = rigid_jobs(&[(1, 0.0, 100.0, 32)]);
-        let result = Simulation::new(SimConfig::new(64), jobs).run(&mut PreemptOnce { preempted: false });
+        let result =
+            Simulation::new(SimConfig::new(64), jobs).run(&mut PreemptOnce { preempted: false });
         assert_eq!(result.finished.len(), 1);
         let f = &result.finished[0];
         // Ran 0..40 (40 s of work), preempted 40..90, resumed at 90 for the remaining 60 s.
@@ -777,7 +820,10 @@ mod tests {
                     .collect()
             }
         }
-        let job = SimJob::rigid(1, 0.0, 3200.0, 1).moldable(DowneySpeedup { a: 64.0, sigma: 0.0 });
+        let job = SimJob::rigid(1, 0.0, 3200.0, 1).moldable(DowneySpeedup {
+            a: 64.0,
+            sigma: 0.0,
+        });
         let result = Simulation::new(SimConfig::new(64), vec![job]).run(&mut GiveAll);
         // 3200 s of sequential work on 32 ideal processors -> 100 s.
         assert!((result.finished[0].end - 100.0).abs() < 1e-6);
@@ -797,7 +843,14 @@ mod tests {
     #[test]
     fn deterministic_results() {
         let jobs: Vec<SimJob> = (0..200)
-            .map(|i| SimJob::rigid(i as u64 + 1, (i * 13 % 997) as f64, 50.0 + (i % 7) as f64 * 100.0, 1 + (i % 32) as u32))
+            .map(|i| {
+                SimJob::rigid(
+                    i as u64 + 1,
+                    (i * 13 % 997) as f64,
+                    50.0 + (i % 7) as f64 * 100.0,
+                    1 + (i % 32) as u32,
+                )
+            })
             .collect();
         let a = Simulation::new(SimConfig::new(64), jobs.clone()).run(&mut TestFcfs);
         let b = Simulation::new(SimConfig::new(64), jobs).run(&mut TestFcfs);

@@ -231,7 +231,10 @@ mod tests {
 
     #[test]
     fn moldable_job_runtime_follows_speedup() {
-        let j = SimJob::rigid(1, 0.0, 6400.0, 32).moldable(DowneySpeedup { a: 32.0, sigma: 0.0 });
+        let j = SimJob::rigid(1, 0.0, 6400.0, 32).moldable(DowneySpeedup {
+            a: 32.0,
+            sigma: 0.0,
+        });
         assert_eq!(j.runtime_on(1), 6400.0);
         assert_eq!(j.runtime_on(32), 200.0);
         assert_eq!(j.runtime_on(64), 200.0); // saturates at A
@@ -239,7 +242,9 @@ mod tests {
 
     #[test]
     fn builder_methods() {
-        let j = SimJob::rigid(2, 10.0, 100.0, 4).with_estimate(500.0).with_user(7);
+        let j = SimJob::rigid(2, 10.0, 100.0, 4)
+            .with_estimate(500.0)
+            .with_user(7);
         assert_eq!(j.estimate, 500.0);
         assert_eq!(j.user, Some(7));
     }

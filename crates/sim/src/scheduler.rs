@@ -255,11 +255,19 @@ mod tests {
     fn decision_helpers() {
         assert_eq!(
             Decision::start(5),
-            Decision::Start { job_id: 5, procs: None, share: 1.0 }
+            Decision::Start {
+                job_id: 5,
+                procs: None,
+                share: 1.0
+            }
         );
         assert_eq!(
             Decision::start_on(5, 16),
-            Decision::Start { job_id: 5, procs: Some(16), share: 1.0 }
+            Decision::Start {
+                job_id: 5,
+                procs: Some(16),
+                share: 1.0
+            }
         );
     }
 }

@@ -97,7 +97,10 @@ impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CheckpointError::MissingSummary { job } => {
-                write!(f, "job {job}: partial execution lines without a summary line")
+                write!(
+                    f,
+                    "job {job}: partial execution lines without a summary line"
+                )
             }
             CheckpointError::BurstAfterTerminal { job } => {
                 write!(f, "job {job}: burst after a terminal burst")
@@ -256,9 +259,11 @@ mod tests {
     #[test]
     fn assemble_rejects_orphan_partials() {
         let mut log = checkpointed_log();
-        log.jobs.push(burst_record(9, 0, 5, CompletionStatus::PartialContinued));
+        log.jobs
+            .push(burst_record(9, 0, 5, CompletionStatus::PartialContinued));
         // Add a terminal burst so the error we hit is the missing summary.
-        log.jobs.push(burst_record(9, 0, 5, CompletionStatus::PartialCompleted));
+        log.jobs
+            .push(burst_record(9, 0, 5, CompletionStatus::PartialCompleted));
         assert_eq!(
             assemble(&log).unwrap_err(),
             CheckpointError::MissingSummary { job: 9 }
@@ -268,7 +273,8 @@ mod tests {
     #[test]
     fn assemble_rejects_burst_after_terminal() {
         let mut log = checkpointed_log();
-        log.jobs.push(burst_record(1, 1, 5, CompletionStatus::PartialContinued));
+        log.jobs
+            .push(burst_record(1, 1, 5, CompletionStatus::PartialContinued));
         assert_eq!(
             assemble(&log).unwrap_err(),
             CheckpointError::BurstAfterTerminal { job: 1 }
@@ -283,7 +289,10 @@ mod tests {
             .allocated_procs(1)
             .status(CompletionStatus::Completed)
             .build();
-        let jobs = vec![summary, burst_record(1, 0, 10, CompletionStatus::PartialContinued)];
+        let jobs = vec![
+            summary,
+            burst_record(1, 0, 10, CompletionStatus::PartialContinued),
+        ];
         let log = SwfLog::new(SwfHeader::default(), jobs);
         assert_eq!(
             assemble(&log).unwrap_err(),
@@ -306,15 +315,27 @@ mod tests {
     fn summarize_bursts_computes_totals() {
         let template = SwfRecordBuilder::new(7, 100).allocated_procs(8).build();
         let bursts = vec![
-            Burst { wait_time: 5, run_time: 30, outcome: BurstOutcome::Continued },
-            Burst { wait_time: 12, run_time: 20, outcome: BurstOutcome::Completed },
+            Burst {
+                wait_time: 5,
+                run_time: 30,
+                outcome: BurstOutcome::Continued,
+            },
+            Burst {
+                wait_time: 12,
+                run_time: 20,
+                outcome: BurstOutcome::Completed,
+            },
         ];
         let s = summarize_bursts(&template, &bursts);
         assert_eq!(s.run_time, Some(50));
         assert_eq!(s.wait_time, Some(5));
         assert_eq!(s.status, CompletionStatus::Completed);
 
-        let killed = vec![Burst { wait_time: 0, run_time: 9, outcome: BurstOutcome::Killed }];
+        let killed = vec![Burst {
+            wait_time: 0,
+            run_time: 9,
+            outcome: BurstOutcome::Killed,
+        }];
         let s2 = summarize_bursts(&template, &killed);
         assert_eq!(s2.status, CompletionStatus::Failed);
     }

@@ -218,10 +218,12 @@ fn parse_sp2(line: &str, line_no: usize) -> Result<RawJob, ConvertError> {
     let mut job = RawJob::default();
     let mut saw_submit = false;
     for pair in line.split_whitespace() {
-        let (key, value) = pair.split_once('=').ok_or_else(|| ConvertError::MalformedRecord {
-            line: line_no,
-            reason: format!("token {pair:?} is not key=value"),
-        })?;
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| ConvertError::MalformedRecord {
+                line: line_no,
+                reason: format!("token {pair:?} is not key=value"),
+            })?;
         match key {
             "job" => {}
             "user" => job.user = Some(value.to_string()),
@@ -362,9 +364,10 @@ pub fn convert(
         max_nodes,
         ..SwfHeader::default()
     };
-    header
-        .notes
-        .push(format!("Converted from synthetic {} dialect", dialect.name()));
+    header.notes.push(format!(
+        "Converted from synthetic {} dialect",
+        dialect.name()
+    ));
 
     let mut log = SwfLog::new(header, jobs);
     // densify_ids is idempotent here (ids are already dense) but shields against
@@ -411,7 +414,13 @@ job=3 user=u1 group=g2 class=batch submit=300 start=500 end=5500 procs=128 wall_
 
     #[test]
     fn converts_nasa_dialect() {
-        let c = convert(NASA, Dialect::NasaIpsc, Some(128), &ConvertOptions::default()).unwrap();
+        let c = convert(
+            NASA,
+            Dialect::NasaIpsc,
+            Some(128),
+            &ConvertOptions::default(),
+        )
+        .unwrap();
         assert_eq!(c.log.len(), 3);
         assert_eq!(c.skipped, 0);
         assert!(validate(&c.log).is_clean());
@@ -431,7 +440,13 @@ job=3 user=u1 group=g2 class=batch submit=300 start=500 end=5500 procs=128 wall_
 
     #[test]
     fn converts_paragon_dialect() {
-        let c = convert(PARAGON, Dialect::SdscParagon, Some(416), &ConvertOptions::default()).unwrap();
+        let c = convert(
+            PARAGON,
+            Dialect::SdscParagon,
+            Some(416),
+            &ConvertOptions::default(),
+        )
+        .unwrap();
         assert_eq!(c.log.len(), 3);
         assert!(validate(&c.log).is_clean());
         // interactive job mapped to queue 0
@@ -457,7 +472,13 @@ job=3 user=u1 group=g2 class=batch submit=300 start=500 end=5500 procs=128 wall_
 
     #[test]
     fn converts_cm5_dialect() {
-        let c = convert(CM5, Dialect::LanlCm5, Some(1024), &ConvertOptions::default()).unwrap();
+        let c = convert(
+            CM5,
+            Dialect::LanlCm5,
+            Some(1024),
+            &ConvertOptions::default(),
+        )
+        .unwrap();
         assert_eq!(c.log.len(), 3);
         assert!(validate(&c.log).is_clean());
         assert_eq!(c.log.jobs[0].allocated_procs, Some(32));
@@ -472,24 +493,46 @@ job=3 user=u1 group=g2 class=batch submit=300 start=500 end=5500 procs=128 wall_
     #[test]
     fn lenient_skips_garbage_strict_rejects() {
         let noisy = format!("{NASA}\nthis line is garbage\n");
-        let c = convert(&noisy, Dialect::NasaIpsc, Some(128), &ConvertOptions::default()).unwrap();
+        let c = convert(
+            &noisy,
+            Dialect::NasaIpsc,
+            Some(128),
+            &ConvertOptions::default(),
+        )
+        .unwrap();
         assert_eq!(c.log.len(), 3);
         assert_eq!(c.skipped, 1);
-        let err = convert(&noisy, Dialect::NasaIpsc, Some(128), &ConvertOptions { strict: true })
-            .unwrap_err();
+        let err = convert(
+            &noisy,
+            Dialect::NasaIpsc,
+            Some(128),
+            &ConvertOptions { strict: true },
+        )
+        .unwrap_err();
         assert!(matches!(err, ConvertError::MalformedRecord { .. }));
     }
 
     #[test]
     fn empty_input_is_an_error() {
-        let err = convert("# nothing\n", Dialect::NasaIpsc, None, &ConvertOptions::default())
-            .unwrap_err();
+        let err = convert(
+            "# nothing\n",
+            Dialect::NasaIpsc,
+            None,
+            &ConvertOptions::default(),
+        )
+        .unwrap_err();
         assert_eq!(err, ConvertError::EmptyLog);
     }
 
     #[test]
     fn conversion_output_round_trips_through_swf_text() {
-        let c = convert(PARAGON, Dialect::SdscParagon, Some(416), &ConvertOptions::default()).unwrap();
+        let c = convert(
+            PARAGON,
+            Dialect::SdscParagon,
+            Some(416),
+            &ConvertOptions::default(),
+        )
+        .unwrap();
         let text = crate::write::write_string(&c.log);
         let back = crate::parse::parse(&text).unwrap();
         assert_eq!(back.jobs, c.log.jobs);
@@ -501,8 +544,18 @@ job=3 user=u1 group=g2 class=batch submit=300 start=500 end=5500 procs=128 wall_
 2 bob qcd 64 1100 1200 1200 ok
 1 alice cfd 32 1000 1010 600 ok
 ";
-        let c = convert(shuffled, Dialect::NasaIpsc, Some(128), &ConvertOptions::default()).unwrap();
-        assert!(c.log.jobs.windows(2).all(|w| w[0].submit_time <= w[1].submit_time));
+        let c = convert(
+            shuffled,
+            Dialect::NasaIpsc,
+            Some(128),
+            &ConvertOptions::default(),
+        )
+        .unwrap();
+        assert!(c
+            .log
+            .jobs
+            .windows(2)
+            .all(|w| w[0].submit_time <= w[1].submit_time));
         assert_eq!(c.log.jobs[0].job_id, 1);
     }
 

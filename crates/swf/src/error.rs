@@ -69,10 +69,9 @@ impl fmt::Display for ParseError {
                 f,
                 "line {line}: expected {expected} fields but found {found}"
             ),
-            ParseError::InvalidInteger { line, field, token } => write!(
-                f,
-                "line {line}: field {field} is not an integer: {token:?}"
-            ),
+            ParseError::InvalidInteger { line, field, token } => {
+                write!(f, "line {line}: field {field} is not an integer: {token:?}")
+            }
             ParseError::OutOfRange {
                 line,
                 field,
@@ -86,7 +85,10 @@ impl fmt::Display for ParseError {
                 write!(f, "line {line}: unknown header label {label:?}")
             }
             ParseError::InvalidHeaderValue { line, label, value } => {
-                write!(f, "line {line}: invalid value for header {label:?}: {value:?}")
+                write!(
+                    f,
+                    "line {line}: invalid value for header {label:?}: {value:?}"
+                )
             }
             ParseError::EmptyLog => write!(f, "log contains no job records"),
             ParseError::Io(msg) => write!(f, "i/o error: {msg}"),
@@ -140,7 +142,10 @@ impl fmt::Display for ConvertError {
                 write!(f, "raw line {line}: bad timestamp {token:?}")
             }
             ConvertError::DialectMismatch { found, requested } => {
-                write!(f, "dialect mismatch: data looks like {found}, requested {requested}")
+                write!(
+                    f,
+                    "dialect mismatch: data looks like {found}, requested {requested}"
+                )
             }
             ConvertError::EmptyLog => write!(f, "conversion produced no job records"),
         }

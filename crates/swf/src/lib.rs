@@ -15,11 +15,11 @@
 //! * [`record`] — the typed job record and completion codes.
 //! * [`header`] — typed header comments.
 //! * [`log`] — a whole workload (header + records) and workload-level utilities.
-//! * [`parse`] / [`write`] — lenient and strict parsing, canonical serialization.
-//! * [`validate`] — the standard's consistency rules, plus a cleaner that repairs logs.
+//! * [`mod@parse`] / [`mod@write`] — lenient and strict parsing, canonical serialization.
+//! * [`mod@validate`] — the standard's consistency rules, plus a cleaner that repairs logs.
 //! * [`anonymize`] — densification of user/group/executable identifiers.
 //! * [`checkpoint`] — multi-line records for checkpointed / swapped jobs.
-//! * [`convert`] — converters from raw accounting-log dialects to SWF.
+//! * [`mod@convert`] — converters from raw accounting-log dialects to SWF.
 //! * [`outage`] — the standard outage format (announced/start/end, type, nodes).
 //!
 //! ## Quick example
@@ -57,14 +57,16 @@ pub mod write;
 pub mod prelude {
     pub use crate::anonymize::{densify_ids, AnonymizationKey, IdMap};
     pub use crate::checkpoint::{assemble, expand, Burst, BurstOutcome, CheckpointedJob};
-    pub use crate::convert::{convert, ConvertOptions, Conversion, Dialect};
+    pub use crate::convert::{convert, Conversion, ConvertOptions, Dialect};
     pub use crate::error::{ConvertError, OutageParseError, ParseError};
     pub use crate::header::{RequestedTimeKind, SwfHeader, FORMAT_VERSION};
     pub use crate::log::SwfLog;
     pub use crate::outage::{OutageKind, OutageLog, OutageRecord};
     pub use crate::parse::{parse, parse_reader, parse_str, ParseOptions};
     pub use crate::record::{CompletionStatus, SwfRecord, SwfRecordBuilder, FIELD_COUNT, UNKNOWN};
-    pub use crate::validate::{clean, clean_and_validate, validate, CleaningReport, ValidationReport, Violation};
+    pub use crate::validate::{
+        clean, clean_and_validate, validate, CleaningReport, ValidationReport, Violation,
+    };
     pub use crate::write::{record_line, write_string, write_to};
 }
 

@@ -67,13 +67,19 @@ impl SwfLog {
 
     /// The largest processor count requested or allocated by any job.
     pub fn max_job_procs(&self) -> u32 {
-        self.jobs.iter().filter_map(|j| j.procs()).max().unwrap_or(0)
+        self.jobs
+            .iter()
+            .filter_map(|j| j.procs())
+            .max()
+            .unwrap_or(0)
     }
 
     /// The machine size to use for utilization computations: the header's `MaxNodes`
     /// if present, otherwise the largest job size observed.
     pub fn machine_size(&self) -> u32 {
-        self.header.max_nodes.unwrap_or_else(|| self.max_job_procs())
+        self.header
+            .max_nodes
+            .unwrap_or_else(|| self.max_job_procs())
     }
 
     /// Offered load of the log: total work area divided by machine capacity over the
@@ -98,8 +104,7 @@ impl SwfLog {
     /// Sort records by ascending submit time, breaking ties by job id. A conforming
     /// log is already sorted; this restores the invariant after edits.
     pub fn sort_by_submit(&mut self) {
-        self.jobs
-            .sort_by(|a, b| (a.submit_time, a.job_id).cmp(&(b.submit_time, b.job_id)));
+        self.jobs.sort_by_key(|j| (j.submit_time, j.job_id));
     }
 
     /// Shift all submit times so the earliest submit becomes zero, as the standard
@@ -194,8 +199,10 @@ mod tests {
     use crate::record::SwfRecordBuilder;
 
     fn sample_log() -> SwfLog {
-        let mut header = SwfHeader::default();
-        header.max_nodes = Some(8);
+        let header = SwfHeader {
+            max_nodes: Some(8),
+            ..SwfHeader::default()
+        };
         let jobs = vec![
             SwfRecordBuilder::new(1, 0)
                 .wait_time(0)
@@ -281,8 +288,10 @@ mod tests {
     fn renumber_remaps_dependencies() {
         let mut log = SwfLog::default();
         log.jobs.push(SwfRecordBuilder::new(10, 0).build());
-        log.jobs.push(SwfRecordBuilder::new(20, 5).depends_on(10, 60).build());
-        log.jobs.push(SwfRecordBuilder::new(30, 9).depends_on(99, 5).build());
+        log.jobs
+            .push(SwfRecordBuilder::new(20, 5).depends_on(10, 60).build());
+        log.jobs
+            .push(SwfRecordBuilder::new(30, 9).depends_on(99, 5).build());
         log.renumber();
         assert_eq!(log.jobs[0].job_id, 1);
         assert_eq!(log.jobs[1].job_id, 2);
@@ -312,7 +321,10 @@ mod tests {
         let log = sample_log();
         let done = log.completed_only();
         assert_eq!(done.len(), 2);
-        assert!(done.jobs.iter().all(|j| j.status == CompletionStatus::Completed));
+        assert!(done
+            .jobs
+            .iter()
+            .all(|j| j.status == CompletionStatus::Completed));
     }
 
     #[test]

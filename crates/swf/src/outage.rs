@@ -113,8 +113,7 @@ impl OutageRecord {
 
     /// Number of nodes affected, falling back to the component list length.
     pub fn effective_nodes_affected(&self) -> u32 {
-        self.nodes_affected
-            .unwrap_or(self.components.len() as u32)
+        self.nodes_affected.unwrap_or(self.components.len() as u32)
     }
 
     /// True if the outage is in effect at time `t`.
@@ -386,7 +385,11 @@ mod tests {
     fn parse_rejects_malformed_lines() {
         assert!(matches!(
             OutageRecord::from_line("1 2 3", 4),
-            Err(OutageParseError::WrongFieldCount { line: 4, found: 3, .. })
+            Err(OutageParseError::WrongFieldCount {
+                line: 4,
+                found: 3,
+                ..
+            })
         ));
         assert!(matches!(
             OutageRecord::from_line("1 x 10 20 0 -1 -1", 1),

@@ -93,7 +93,11 @@ pub fn parse_record_line(
     Ok(SwfRecord::from_raw(&raw))
 }
 
-fn validate_raw(raw: &[i64; FIELD_COUNT], line_no: usize, opts: &ParseOptions) -> Result<(), ParseError> {
+fn validate_raw(
+    raw: &[i64; FIELD_COUNT],
+    line_no: usize,
+    opts: &ParseOptions,
+) -> Result<(), ParseError> {
     // Field 1 (job id) must be positive in strict mode.
     if opts.strict && raw[0] < 1 {
         return Err(ParseError::OutOfRange {
@@ -337,7 +341,8 @@ mod tests {
     #[test]
     fn parse_reader_matches_parse_str() {
         let from_str = parse(SAMPLE).unwrap();
-        let from_reader = parse_reader(std::io::Cursor::new(SAMPLE), &ParseOptions::default()).unwrap();
+        let from_reader =
+            parse_reader(std::io::Cursor::new(SAMPLE), &ParseOptions::default()).unwrap();
         assert_eq!(from_str, from_reader);
     }
 

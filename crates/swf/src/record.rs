@@ -506,7 +506,10 @@ mod tests {
     fn estimate_falls_back_to_runtime() {
         let r = SwfRecordBuilder::new(1, 0).run_time(55).build();
         assert_eq!(r.estimate_or_runtime(), Some(55));
-        let r2 = SwfRecordBuilder::new(1, 0).run_time(55).requested_time(100).build();
+        let r2 = SwfRecordBuilder::new(1, 0)
+            .run_time(55)
+            .requested_time(100)
+            .build();
         assert_eq!(r2.estimate_or_runtime(), Some(100));
     }
 

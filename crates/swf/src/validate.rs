@@ -143,7 +143,9 @@ pub fn validate(log: &SwfLog) -> ValidationReport {
     // Rule: lines sorted by ascending submit time.
     for i in 1..jobs.len() {
         if jobs[i].submit_time < jobs[i - 1].submit_time {
-            report.violations.push(Violation::UnsortedSubmitTimes { index: i });
+            report
+                .violations
+                .push(Violation::UnsortedSubmitTimes { index: i });
             break;
         }
     }
@@ -151,9 +153,9 @@ pub fn validate(log: &SwfLog) -> ValidationReport {
     // Rule: the earliest submit time is zero.
     let first = jobs.iter().map(|j| j.submit_time).min().unwrap_or(0);
     if first != 0 {
-        report
-            .violations
-            .push(Violation::NonZeroFirstSubmit { first_submit: first });
+        report.violations.push(Violation::NonZeroFirstSubmit {
+            first_submit: first,
+        });
     }
 
     // Rule: summary job ids are 1..n consecutive.
@@ -241,13 +243,17 @@ pub fn validate(log: &SwfLog) -> ValidationReport {
         }
         if j.is_summary() {
             if j.procs().is_none() {
-                report.violations.push(Violation::MissingProcessors { job: j.job_id });
+                report
+                    .violations
+                    .push(Violation::MissingProcessors { job: j.job_id });
             }
             if j.run_time.is_none()
                 && j.status != CompletionStatus::Cancelled
                 && j.status != CompletionStatus::Unknown
             {
-                report.violations.push(Violation::MissingRuntime { job: j.job_id });
+                report
+                    .violations
+                    .push(Violation::MissingRuntime { job: j.job_id });
             }
         }
     }
@@ -262,7 +268,9 @@ pub fn validate(log: &SwfLog) -> ValidationReport {
             *partial_sums.entry(j.job_id).or_insert(0) += r;
         }
         if !summary_ids.contains_key(&j.job_id) {
-            report.violations.push(Violation::OrphanPartial { job: j.job_id });
+            report
+                .violations
+                .push(Violation::OrphanPartial { job: j.job_id });
         }
     }
     for (id, sum) in &partial_sums {
@@ -312,7 +320,8 @@ pub fn clean(log: &mut SwfLog) -> CleaningReport {
 
     // Drop hopeless records first.
     let before = log.jobs.len();
-    log.jobs.retain(|j| !(j.is_summary() && j.procs().is_none()));
+    log.jobs
+        .retain(|j| !(j.is_summary() && j.procs().is_none()));
     // Drop orphan partial records.
     let ids: std::collections::HashSet<u64> = log
         .jobs
@@ -320,7 +329,8 @@ pub fn clean(log: &mut SwfLog) -> CleaningReport {
         .filter(|j| j.is_summary())
         .map(|j| j.job_id)
         .collect();
-    log.jobs.retain(|j| j.is_summary() || ids.contains(&j.job_id));
+    log.jobs
+        .retain(|j| j.is_summary() || ids.contains(&j.job_id));
     report.dropped = before - log.jobs.len();
 
     // Sort and rebase.
@@ -338,15 +348,12 @@ pub fn clean(log: &mut SwfLog) -> CleaningReport {
     }
 
     // Renumber if summary ids are not consecutive from 1.
-    let mut expected = 1u64;
-    let mut needs_renumber = false;
-    for j in log.jobs.iter().filter(|j| j.is_summary()) {
-        if j.job_id != expected {
-            needs_renumber = true;
-            break;
-        }
-        expected += 1;
-    }
+    let needs_renumber = log
+        .jobs
+        .iter()
+        .filter(|j| j.is_summary())
+        .zip(1u64..)
+        .any(|(j, expected)| j.job_id != expected);
     if needs_renumber {
         // Every summary record gets a fresh sequential id (this also resolves
         // duplicate ids, which SwfLog::renumber would collapse); partial lines take
@@ -609,17 +616,29 @@ mod tests {
     #[test]
     fn detects_orphan_partials_and_mismatched_sums() {
         let mut log = conforming_log();
-        let mut orphan = SwfRecordBuilder::new(9, 20).run_time(5).allocated_procs(1).build();
+        let mut orphan = SwfRecordBuilder::new(9, 20)
+            .run_time(5)
+            .allocated_procs(1)
+            .build();
         orphan.status = CompletionStatus::PartialContinued;
         log.jobs.push(orphan);
         let report = validate(&log);
-        assert_eq!(report.count_where(|v| matches!(v, Violation::OrphanPartial { .. })), 1);
+        assert_eq!(
+            report.count_where(|v| matches!(v, Violation::OrphanPartial { .. })),
+            1
+        );
 
         // Now a checkpointed job whose partial runtimes do not add up.
         let mut log2 = conforming_log();
-        let mut p1 = SwfRecordBuilder::new(1, 0).run_time(30).allocated_procs(8).build();
+        let mut p1 = SwfRecordBuilder::new(1, 0)
+            .run_time(30)
+            .allocated_procs(8)
+            .build();
         p1.status = CompletionStatus::PartialContinued;
-        let mut p2 = SwfRecordBuilder::new(1, 0).run_time(30).allocated_procs(8).build();
+        let mut p2 = SwfRecordBuilder::new(1, 0)
+            .run_time(30)
+            .allocated_procs(8)
+            .build();
         p2.status = CompletionStatus::PartialCompleted;
         log2.jobs.push(p1);
         log2.jobs.push(p2);
@@ -637,8 +656,14 @@ mod tests {
         log.jobs[0].requested_procs = None;
         log.jobs[1].run_time = None;
         let report = validate(&log);
-        assert_eq!(report.count_where(|v| matches!(v, Violation::MissingProcessors { .. })), 1);
-        assert_eq!(report.count_where(|v| matches!(v, Violation::MissingRuntime { .. })), 1);
+        assert_eq!(
+            report.count_where(|v| matches!(v, Violation::MissingProcessors { .. })),
+            1
+        );
+        assert_eq!(
+            report.count_where(|v| matches!(v, Violation::MissingRuntime { .. })),
+            1
+        );
     }
 
     #[test]

@@ -50,10 +50,12 @@ mod tests {
     use crate::record::{CompletionStatus, SwfRecordBuilder};
 
     fn sample_log() -> SwfLog {
-        let mut header = SwfHeader::default();
-        header.computer = Some("Test Machine".to_string());
-        header.version = Some(2);
-        header.max_nodes = Some(64);
+        let mut header = SwfHeader {
+            computer: Some("Test Machine".to_string()),
+            version: Some(2),
+            max_nodes: Some(64),
+            ..SwfHeader::default()
+        };
         header.notes.push("synthetic".to_string());
         let jobs = vec![
             SwfRecordBuilder::new(1, 0)
@@ -126,8 +128,14 @@ mod tests {
 
     #[test]
     fn unknown_values_serialize_as_minus_one() {
-        let log = SwfLog::new(SwfHeader::default(), vec![SwfRecordBuilder::new(3, 7).build()]);
+        let log = SwfLog::new(
+            SwfHeader::default(),
+            vec![SwfRecordBuilder::new(3, 7).build()],
+        );
         let text = write_string(&log);
-        assert_eq!(text.trim(), "3 7 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1");
+        assert_eq!(
+            text.trim(),
+            "3 7 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1"
+        );
     }
 }

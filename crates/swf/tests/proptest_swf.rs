@@ -80,15 +80,95 @@ fn arb_log(max_jobs: usize) -> impl Strategy<Value = SwfLog> {
             .map(|(i, s)| arb_record(i as u64 + 1, s))
             .collect();
         records.prop_map(|jobs| {
-            let mut header = SwfHeader::default();
-            header.version = Some(FORMAT_VERSION);
-            header.max_nodes = Some(4096);
+            let header = SwfHeader {
+                version: Some(FORMAT_VERSION),
+                max_nodes: Some(4096),
+                ..SwfHeader::default()
+            };
             SwfLog::new(header, jobs)
         })
     })
 }
 
+/// Characters safe inside header values, notes, and free comments: no newlines
+/// (line structure), no `:` (a free comment containing `word: text` would
+/// reparse as a labelled line), no `;`, and no leading/trailing whitespace
+/// issues (values are trimmed by the parser).
+const HEADER_ALPHABET: &[char] = &[
+    'a', 'b', 'c', 'x', 'y', 'z', 'A', 'M', 'Z', '0', '1', '9', '.', '_', '-', '/', '(', ')', '#',
+];
+
+fn arb_header_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..HEADER_ALPHABET.len(), 1..16)
+        .prop_map(|ix| ix.into_iter().map(|i| HEADER_ALPHABET[i]).collect())
+}
+
+fn opt_text() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![Just(None), arb_header_text().prop_map(Some)]
+}
+
+prop_compose! {
+    /// A header exercising typed labels, notes, unknown labelled lines, and
+    /// free comments — everything the writer has to carry through a round trip.
+    fn arb_header()(
+        computer in opt_text(),
+        installation in opt_text(),
+        version in prop_oneof![Just(None), (1u32..10).prop_map(Some)],
+        max_nodes in opt_procs(),
+        max_runtime in opt_secs(),
+        allow_overuse in prop_oneof![Just(None), Just(Some(true)), Just(Some(false))],
+        queues in opt_text(),
+        notes in prop::collection::vec(arb_header_text(), 0..4),
+        unknown_values in prop::collection::vec(arb_header_text(), 0..3),
+        comments in prop::collection::vec(arb_header_text(), 0..4),
+    ) -> SwfHeader {
+        let mut header = SwfHeader {
+            computer,
+            installation,
+            version,
+            max_nodes,
+            max_runtime,
+            allow_overuse,
+            queues,
+            notes,
+            ..SwfHeader::default()
+        };
+        for (i, value) in unknown_values.into_iter().enumerate() {
+            // Unknown labels are preserved verbatim in raw_lines.
+            header.apply(&format!("X-Custom{i}"), &value);
+        }
+        for text in comments {
+            header.add_free_comment(&text);
+        }
+        header
+    }
+}
+
+/// A log combining an arbitrary rich header with arbitrary records.
+fn arb_rich_log() -> impl Strategy<Value = SwfLog> {
+    (arb_header(), arb_log(20)).prop_map(|(header, log)| SwfLog::new(header, log.jobs))
+}
+
 proptest! {
+    #[test]
+    fn parse_write_parse_is_idempotent(log in arb_rich_log()) {
+        // One write→parse pass normalizes a log; after that, parse∘write must be
+        // the identity on both the text and the parsed structure — records,
+        // typed header fields, notes, unknown labels, and free comments alike.
+        let text1 = write_string(&log);
+        let once = parse(&text1).unwrap();
+        let text2 = write_string(&once);
+        prop_assert_eq!(&text2, &text1, "writer not stable under reparse");
+        let twice = parse(&text2).unwrap();
+        prop_assert_eq!(&twice, &once, "parse∘write not idempotent");
+        // The first trip already preserves the data exactly.
+        prop_assert_eq!(&once.jobs, &log.jobs);
+        prop_assert_eq!(&once.header.computer, &log.header.computer);
+        prop_assert_eq!(&once.header.notes, &log.header.notes);
+        prop_assert_eq!(&once.header.version, &log.header.version);
+        prop_assert_eq!(&once.header.allow_overuse, &log.header.allow_overuse);
+    }
+
     #[test]
     fn record_raw_round_trip(rec in arb_record(7, 123)) {
         let raw = rec.to_raw();

@@ -141,7 +141,11 @@ impl ArrivalProcess for BurstyArrivals {
             t += exponential(rng, mean);
             while t > state_ends {
                 bursty = !bursty;
-                let dur = if bursty { self.burst_duration } else { self.calm_duration };
+                let dur = if bursty {
+                    self.burst_duration
+                } else {
+                    self.calm_duration
+                };
                 state_ends += exponential(rng, dur);
             }
             out.push(t.round() as i64);
@@ -153,7 +157,12 @@ impl ArrivalProcess for BurstyArrivals {
 /// Scale a list of arrival times so that a workload of total work `work_area`
 /// (processor-seconds) offers the target load on a machine of `machine_size`
 /// processors. Returns the scaled arrival times (the first arrival is preserved).
-pub fn scale_to_load(arrivals: &[i64], work_area: f64, machine_size: u32, target_load: f64) -> Vec<i64> {
+pub fn scale_to_load(
+    arrivals: &[i64],
+    work_area: f64,
+    machine_size: u32,
+    target_load: f64,
+) -> Vec<i64> {
     assert!(target_load > 0.0 && machine_size > 0);
     if arrivals.len() < 2 {
         return arrivals.to_vec();

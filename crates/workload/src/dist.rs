@@ -30,7 +30,10 @@ pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
 /// Sample a gamma variate with shape `alpha > 0` and scale `beta > 0`
 /// (mean = `alpha * beta`), using the Marsaglia–Tsang method.
 pub fn gamma<R: Rng + ?Sized>(rng: &mut R, alpha: f64, beta: f64) -> f64 {
-    assert!(alpha > 0.0 && beta > 0.0, "gamma parameters must be positive");
+    assert!(
+        alpha > 0.0 && beta > 0.0,
+        "gamma parameters must be positive"
+    );
     if alpha < 1.0 {
         // Boost: Gamma(alpha) = Gamma(alpha+1) * U^(1/alpha)
         let u: f64 = rng.gen_range(f64::EPSILON..1.0);
@@ -62,12 +65,7 @@ pub fn erlang<R: Rng + ?Sized>(rng: &mut R, k: u32, mean_total: f64) -> f64 {
 /// A two-branch hyper-exponential: with probability `p` sample an exponential of
 /// mean `mean1`, otherwise of mean `mean2`. Produces the high coefficients of
 /// variation observed in runtime distributions.
-pub fn hyper_exponential<R: Rng + ?Sized>(
-    rng: &mut R,
-    p: f64,
-    mean1: f64,
-    mean2: f64,
-) -> f64 {
+pub fn hyper_exponential<R: Rng + ?Sized>(rng: &mut R, p: f64, mean1: f64, mean2: f64) -> f64 {
     if rng.gen_bool(p.clamp(0.0, 1.0)) {
         exponential(rng, mean1)
     } else {
@@ -123,12 +121,7 @@ pub fn log_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
 /// `[1, max]`: with probability `p_pow2` the size is a uniformly chosen power of
 /// two, otherwise it is a uniformly chosen integer. With probability `p_serial`
 /// (checked first) the job is serial.
-pub fn job_size<R: Rng + ?Sized>(
-    rng: &mut R,
-    max: u32,
-    p_serial: f64,
-    p_pow2: f64,
-) -> u32 {
+pub fn job_size<R: Rng + ?Sized>(rng: &mut R, max: u32, p_serial: f64, p_pow2: f64) -> u32 {
     assert!(max >= 1);
     if max == 1 || rng.gen_bool(p_serial.clamp(0.0, 1.0)) {
         return 1;
@@ -271,13 +264,18 @@ mod tests {
             .collect();
         let expected = 0.3 * 20.0 + 0.7 * 500.0;
         let m2 = mean_of(&hg);
-        assert!((m2 - expected).abs() / expected < 0.07, "hyper-gamma mean {m2}");
+        assert!(
+            (m2 - expected).abs() / expected < 0.07,
+            "hyper-gamma mean {m2}"
+        );
     }
 
     #[test]
     fn log_uniform_within_bounds_and_skewed_small() {
         let mut r = rng();
-        let samples: Vec<f64> = (0..20_000).map(|_| log_uniform(&mut r, 1.0, 10_000.0)).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| log_uniform(&mut r, 1.0, 10_000.0))
+            .collect();
         assert!(samples.iter().all(|&x| (1.0..=10_000.0).contains(&x)));
         // median should be near geometric mean sqrt(1*10000)=100, far below arithmetic midpoint
         let mut sorted = samples.clone();
@@ -289,15 +287,14 @@ mod tests {
     #[test]
     fn job_size_respects_bounds_and_biases() {
         let mut r = rng();
-        let sizes: Vec<u32> = (0..20_000).map(|_| job_size(&mut r, 128, 0.25, 0.75)).collect();
+        let sizes: Vec<u32> = (0..20_000)
+            .map(|_| job_size(&mut r, 128, 0.25, 0.75))
+            .collect();
         assert!(sizes.iter().all(|&s| (1..=128).contains(&s)));
         let serial = sizes.iter().filter(|&&s| s == 1).count() as f64 / sizes.len() as f64;
         assert!(serial > 0.2 && serial < 0.35, "serial fraction {serial}");
-        let pow2 = sizes
-            .iter()
-            .filter(|&&s| s.is_power_of_two())
-            .count() as f64
-            / sizes.len() as f64;
+        let pow2 =
+            sizes.iter().filter(|&&s| s.is_power_of_two()).count() as f64 / sizes.len() as f64;
         assert!(pow2 > 0.6, "power-of-two fraction {pow2}");
         // size-1 machine always yields serial jobs
         assert_eq!(job_size(&mut r, 1, 0.0, 0.0), 1);

@@ -128,7 +128,10 @@ mod tests {
         let log = Downey97::default().generate(4_000, 33);
         let min = log.summaries().map(|j| j.run_time.unwrap()).min().unwrap();
         let max = log.summaries().map(|j| j.run_time.unwrap()).max().unwrap();
-        assert!(max as f64 / min.max(1) as f64 > 100.0, "min {min} max {max}");
+        assert!(
+            max as f64 / min.max(1) as f64 > 100.0,
+            "min {min} max {max}"
+        );
         let f = workload_features("d97", &log);
         assert!(f.runtime_cv > 1.0, "cv {}", f.runtime_cv);
     }

@@ -220,7 +220,9 @@ impl WorkloadModel for SessionModel {
                 if records.len() >= n_jobs {
                     break;
                 }
-                let runtime = crate::dist::exponential(&mut rng, self.mean_runtime).ceil().max(1.0);
+                let runtime = crate::dist::exponential(&mut rng, self.mean_runtime)
+                    .ceil()
+                    .max(1.0);
                 let procs = if rng.gen_bool(self.p_serial) {
                     1
                 } else {
@@ -238,7 +240,8 @@ impl WorkloadModel for SessionModel {
                     Some(self.common.max_runtime),
                 );
                 if let Some((pid, _)) = prev {
-                    let think = crate::dist::exponential(&mut rng, self.mean_think_time).round() as i64;
+                    let think =
+                        crate::dist::exponential(&mut rng, self.mean_think_time).round() as i64;
                     rec.preceding_job = Some(pid);
                     rec.think_time = Some(think);
                 }
@@ -344,7 +347,11 @@ mod tests {
     fn infer_dependencies_on_model_output_finds_sessions() {
         let mut log = Lublin99::default().generate(3_000, 77);
         let report = infer_dependencies(&mut log, &InferenceParams::default());
-        assert!(report.dependent_jobs > 100, "dependent {}", report.dependent_jobs);
+        assert!(
+            report.dependent_jobs > 100,
+            "dependent {}",
+            report.dependent_jobs
+        );
         assert!(validate(&log).is_clean());
     }
 
@@ -372,7 +379,10 @@ mod tests {
         let log = model.generate(1_000, 13);
         assert_eq!(log.len(), 1_000);
         assert!(validate(&log).is_clean());
-        let dependent = log.summaries().filter(|j| j.preceding_job.is_some()).count();
+        let dependent = log
+            .summaries()
+            .filter(|j| j.preceding_job.is_some())
+            .count();
         assert!(dependent > 300, "dependent jobs {dependent}");
         // every dependency points backwards
         for j in log.summaries() {
@@ -398,7 +408,10 @@ mod tests {
         let mut log = SessionModel::default().generate(500, 4);
         let n = strip_dependencies(&mut log);
         assert!(n > 0);
-        assert!(log.jobs.iter().all(|j| j.preceding_job.is_none() && j.think_time.is_none()));
+        assert!(log
+            .jobs
+            .iter()
+            .all(|j| j.preceding_job.is_none() && j.think_time.is_none()));
         assert_eq!(strip_dependencies(&mut log), 0);
     }
 }

@@ -147,7 +147,11 @@ mod tests {
     fn sizes_are_small_and_power_of_two_biased() {
         let log = Feitelson96::default().generate(4_000, 5);
         let f = workload_features("f96", &log);
-        assert!(f.power_of_two_fraction > 0.6, "pow2 {}", f.power_of_two_fraction);
+        assert!(
+            f.power_of_two_fraction > 0.6,
+            "pow2 {}",
+            f.power_of_two_fraction
+        );
         assert!(f.serial_fraction > 0.08, "serial {}", f.serial_fraction);
         assert!(f.mean_procs < 64.0, "mean size {}", f.mean_procs);
     }
@@ -173,7 +177,10 @@ mod tests {
             .windows(2)
             .filter(|w| w[0].procs() == w[1].procs())
             .count();
-        assert!(same_size_pairs > 150, "same-size consecutive pairs {same_size_pairs}");
+        assert!(
+            same_size_pairs > 150,
+            "same-size consecutive pairs {same_size_pairs}"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!    lets a scheduler choose the allocation (moldable jobs, used by adaptive
 //!    partitioning in experiment E9);
 //! 2. an explicit model of the *internal structure* of the application — the
-//!    strawman of [23]: number of processes, number of barriers, granularity, and
+//!    strawman of \[23\]: number of processes, number of barriers, granularity, and
 //!    the variance of these attributes — which lets a simulator model the
 //!    interaction between scheduling and synchronization (gang scheduling).
 
@@ -110,14 +110,22 @@ pub struct MoldableJob {
 impl MoldableJob {
     /// Runtime (seconds) if allocated `n` processors.
     pub fn runtime_on(&self, n: u32) -> f64 {
-        let n = if self.max_procs > 0 { n.min(self.max_procs) } else { n };
+        let n = if self.max_procs > 0 {
+            n.min(self.max_procs)
+        } else {
+            n
+        };
         self.speedup.runtime(self.seq_runtime, n.max(1))
     }
 
     /// The allocation in `1..=limit` that minimizes runtime (ties go to the smaller
     /// allocation, which wastes fewer processors).
     pub fn best_allocation(&self, limit: u32) -> u32 {
-        let limit = if self.max_procs > 0 { limit.min(self.max_procs) } else { limit };
+        let limit = if self.max_procs > 0 {
+            limit.min(self.max_procs)
+        } else {
+            limit
+        };
         let mut best = 1u32;
         let mut best_rt = self.runtime_on(1);
         for n in 2..=limit.max(1) {
@@ -131,7 +139,7 @@ impl MoldableJob {
     }
 }
 
-/// The internal-structure strawman of [23]: the application is a sequence of
+/// The internal-structure strawman of \[23\]: the application is a sequence of
 /// barrier-separated phases executed by `processes` processes; each phase does
 /// `granularity` seconds of computation per process (with some variance across
 /// processes) and then synchronizes at a barrier.
@@ -182,8 +190,10 @@ pub fn sample_internal_structure<R: Rng + ?Sized>(
     mean_granularity: f64,
     variance: f64,
 ) -> InternalStructure {
-    let processes = crate::dist::log_uniform(rng, 1.0, (2.0 * mean_processes).max(2.0)).round() as u32;
-    let barriers = crate::dist::log_uniform(rng, 1.0, (2.0 * mean_barriers).max(2.0)).round() as u32;
+    let processes =
+        crate::dist::log_uniform(rng, 1.0, (2.0 * mean_processes).max(2.0)).round() as u32;
+    let barriers =
+        crate::dist::log_uniform(rng, 1.0, (2.0 * mean_barriers).max(2.0)).round() as u32;
     let granularity = crate::dist::exponential(rng, mean_granularity.max(1e-6));
     InternalStructure {
         processes: processes.max(1),
@@ -201,13 +211,19 @@ mod tests {
 
     #[test]
     fn downey_speedup_basic_properties() {
-        let sp = DowneySpeedup { a: 32.0, sigma: 0.5 };
+        let sp = DowneySpeedup {
+            a: 32.0,
+            sigma: 0.5,
+        };
         assert!((sp.speedup(1) - 1.0).abs() < 1e-6);
         // monotone non-decreasing in n
         let mut prev = 0.0;
         for n in 1..=256 {
             let s = sp.speedup(n);
-            assert!(s + 1e-9 >= prev, "speedup not monotone at n={n}: {s} < {prev}");
+            assert!(
+                s + 1e-9 >= prev,
+                "speedup not monotone at n={n}: {s} < {prev}"
+            );
             assert!(s <= n as f64 + 1e-9, "superlinear speedup at n={n}");
             prev = s;
         }
@@ -217,7 +233,10 @@ mod tests {
 
     #[test]
     fn downey_sigma_zero_is_ideal_up_to_a() {
-        let sp = DowneySpeedup { a: 16.0, sigma: 0.0 };
+        let sp = DowneySpeedup {
+            a: 16.0,
+            sigma: 0.0,
+        };
         assert_eq!(sp.speedup(8), 8.0);
         assert_eq!(sp.speedup(16), 16.0);
         assert_eq!(sp.speedup(64), 16.0);
@@ -225,8 +244,14 @@ mod tests {
 
     #[test]
     fn downey_higher_sigma_means_lower_speedup() {
-        let lo = DowneySpeedup { a: 32.0, sigma: 0.2 };
-        let hi = DowneySpeedup { a: 32.0, sigma: 2.0 };
+        let lo = DowneySpeedup {
+            a: 32.0,
+            sigma: 0.2,
+        };
+        let hi = DowneySpeedup {
+            a: 32.0,
+            sigma: 2.0,
+        };
         for n in [4u32, 16, 32, 64] {
             assert!(lo.speedup(n) >= hi.speedup(n), "n={n}");
         }
@@ -234,18 +259,27 @@ mod tests {
 
     #[test]
     fn sevcik_speedup_amdahl_limit() {
-        let sp = SevcikSpeedup { sequential_fraction: 0.1, overhead_per_proc: 0.0 };
+        let sp = SevcikSpeedup {
+            sequential_fraction: 0.1,
+            overhead_per_proc: 0.0,
+        };
         assert!((sp.speedup(1) - 1.0).abs() < 1e-9);
         assert!(sp.speedup(1_000) < 10.0 + 1e-9); // Amdahl bound 1/f
         assert!(sp.speedup(1_000) > 9.0);
         // overhead makes very large allocations counterproductive
-        let oh = SevcikSpeedup { sequential_fraction: 0.05, overhead_per_proc: 0.01 };
+        let oh = SevcikSpeedup {
+            sequential_fraction: 0.05,
+            overhead_per_proc: 0.01,
+        };
         assert!(oh.speedup(200) < oh.speedup(20));
     }
 
     #[test]
     fn efficiency_decreases_with_allocation() {
-        let sp = DowneySpeedup { a: 64.0, sigma: 1.0 };
+        let sp = DowneySpeedup {
+            a: 64.0,
+            sigma: 1.0,
+        };
         assert!(sp.efficiency(4) > sp.efficiency(64));
         assert!(sp.efficiency(1) <= 1.0 + 1e-9);
     }
@@ -256,7 +290,10 @@ mod tests {
             job_id: 1,
             submit_time: 0,
             seq_runtime: 6400.0,
-            speedup: DowneySpeedup { a: 32.0, sigma: 0.0 },
+            speedup: DowneySpeedup {
+                a: 32.0,
+                sigma: 0.0,
+            },
             max_procs: 0,
         };
         assert_eq!(job.runtime_on(1), 6400.0);
@@ -264,7 +301,10 @@ mod tests {
         // Beyond A the runtime stops improving, so the best allocation is A.
         assert_eq!(job.best_allocation(128), 32);
         // A cap on the job limits the allocation.
-        let capped = MoldableJob { max_procs: 8, ..job };
+        let capped = MoldableJob {
+            max_procs: 8,
+            ..job
+        };
         assert_eq!(capped.best_allocation(128), 8);
         assert_eq!(capped.runtime_on(64), capped.runtime_on(8));
     }
@@ -296,8 +336,16 @@ mod tests {
 
     #[test]
     fn imbalance_increases_runtime() {
-        let balanced = InternalStructure { processes: 64, barriers: 100, granularity: 1.0, variance: 0.0 };
-        let imbalanced = InternalStructure { variance: 0.5, ..balanced };
+        let balanced = InternalStructure {
+            processes: 64,
+            barriers: 100,
+            granularity: 1.0,
+            variance: 0.0,
+        };
+        let imbalanced = InternalStructure {
+            variance: 0.5,
+            ..balanced
+        };
         assert!(imbalanced.coscheduled_runtime() > balanced.coscheduled_runtime());
         assert_eq!(balanced.coscheduled_runtime(), 100.0);
     }

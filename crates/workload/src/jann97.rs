@@ -123,7 +123,10 @@ impl WorkloadModel for Jann97 {
     }
 
     fn generate(&self, n_jobs: usize, seed: u64) -> SwfLog {
-        assert!(!self.classes.is_empty(), "Jann97 needs at least one size class");
+        assert!(
+            !self.classes.is_empty(),
+            "Jann97 needs at least one size class"
+        );
         let mut rng = model_rng(seed);
         let mut jobs = Vec::with_capacity(n_jobs);
         let mut t = 0.0f64;
@@ -192,7 +195,12 @@ mod tests {
             }
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-        assert!(mean(&large) > mean(&small) * 1.5, "small {} large {}", mean(&small), mean(&large));
+        assert!(
+            mean(&large) > mean(&small) * 1.5,
+            "small {} large {}",
+            mean(&small),
+            mean(&large)
+        );
     }
 
     #[test]
@@ -205,8 +213,10 @@ mod tests {
     #[test]
     fn interarrival_scale_changes_load() {
         let base = Jann97::default().generate(1_500, 24);
-        let mut fast = Jann97::default();
-        fast.interarrival_scale = 0.25;
+        let fast = Jann97 {
+            interarrival_scale: 0.25,
+            ..Jann97::default()
+        };
         let compressed = fast.generate(1_500, 24);
         assert!(compressed.duration() < base.duration());
         assert!(compressed.offered_load().unwrap() > base.offered_load().unwrap());

@@ -179,8 +179,16 @@ impl WorkloadModel for Lublin99 {
             / (self.interactive.fraction + self.batch.fraction).max(f64::EPSILON);
         while jobs.len() < n_jobs {
             let interactive = rng.gen_bool(frac_inter);
-            let pop = if interactive { &self.interactive } else { &self.batch };
-            let t = if interactive { &mut t_inter } else { &mut t_batch };
+            let pop = if interactive {
+                &self.interactive
+            } else {
+                &self.batch
+            };
+            let t = if interactive {
+                &mut t_inter
+            } else {
+                &mut t_batch
+            };
             // Gamma interarrival with the population's shape, scaled by the daily cycle
             // at the current time of day.
             let mult = cycle.rate_multiplier(t.round() as i64).max(0.1);
@@ -220,9 +228,21 @@ mod tests {
     fn size_distribution_shape() {
         let log = Lublin99::default().generate(6_000, 42);
         let f = workload_features("lublin", &log);
-        assert!(f.serial_fraction > 0.15 && f.serial_fraction < 0.45, "serial {}", f.serial_fraction);
-        assert!(f.power_of_two_fraction > 0.6, "pow2 {}", f.power_of_two_fraction);
-        assert!(f.mean_procs > 2.0 && f.mean_procs < 64.0, "mean procs {}", f.mean_procs);
+        assert!(
+            f.serial_fraction > 0.15 && f.serial_fraction < 0.45,
+            "serial {}",
+            f.serial_fraction
+        );
+        assert!(
+            f.power_of_two_fraction > 0.6,
+            "pow2 {}",
+            f.power_of_two_fraction
+        );
+        assert!(
+            f.mean_procs > 2.0 && f.mean_procs < 64.0,
+            "mean procs {}",
+            f.mean_procs
+        );
     }
 
     #[test]
@@ -230,7 +250,11 @@ mod tests {
         let log = Lublin99::default().generate(6_000, 43);
         let f = workload_features("lublin", &log);
         assert!(f.runtime_cv > 1.0, "runtime CV {}", f.runtime_cv);
-        assert!(f.size_runtime_correlation > 0.0, "corr {}", f.size_runtime_correlation);
+        assert!(
+            f.size_runtime_correlation > 0.0,
+            "corr {}",
+            f.size_runtime_correlation
+        );
     }
 
     #[test]
@@ -246,7 +270,10 @@ mod tests {
         };
         let interactive = mean_rt(0);
         let batch = mean_rt(1);
-        assert!(batch > interactive * 3.0, "interactive {interactive} batch {batch}");
+        assert!(
+            batch > interactive * 3.0,
+            "interactive {interactive} batch {batch}"
+        );
         // both populations are present
         assert!(log.summaries().any(|j| j.queue_id == Some(0)));
         assert!(log.summaries().any(|j| j.queue_id == Some(1)));

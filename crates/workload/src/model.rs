@@ -12,7 +12,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// A generator of rigid-job workloads in the standard format.
-pub trait WorkloadModel {
+pub trait WorkloadModel: Send + Sync {
     /// A short, stable name used in reports and benchmark suites.
     fn name(&self) -> &'static str;
 
@@ -50,7 +50,12 @@ impl Default for EstimateModel {
 
 impl EstimateModel {
     /// Produce an estimate for a job of the given runtime.
-    pub fn estimate<R: Rng + ?Sized>(&self, rng: &mut R, runtime: i64, max_runtime: Option<i64>) -> Option<i64> {
+    pub fn estimate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        runtime: i64,
+        max_runtime: Option<i64>,
+    ) -> Option<i64> {
         let est = match self {
             EstimateModel::None => return None,
             EstimateModel::Exact => runtime,
@@ -128,7 +133,9 @@ pub fn assemble_log<R: Rng + ?Sized>(
         let runtime = j.run_time.clamp(1, common.max_runtime);
         let procs = j.procs.clamp(1, common.machine_size);
         let mut rec = SwfRecord::rigid(i as u64 + 1, j.submit_time, runtime, procs);
-        rec.requested_time = common.estimates.estimate(rng, runtime, Some(common.max_runtime));
+        rec.requested_time = common
+            .estimates
+            .estimate(rng, runtime, Some(common.max_runtime));
         // Users follow a skewed (zipf-ish) popularity: a few users submit most jobs.
         let u = zipf_like(rng, common.users.max(1));
         rec.user_id = Some(u);
@@ -183,7 +190,10 @@ mod tests {
     fn estimate_models() {
         let mut rng = model_rng(1);
         assert_eq!(EstimateModel::None.estimate(&mut rng, 100, None), None);
-        assert_eq!(EstimateModel::Exact.estimate(&mut rng, 100, None), Some(100));
+        assert_eq!(
+            EstimateModel::Exact.estimate(&mut rng, 100, None),
+            Some(100)
+        );
         for _ in 0..200 {
             let e = EstimateModel::UniformOverestimate { max_over: 4.0 }
                 .estimate(&mut rng, 100, Some(1000))
@@ -200,7 +210,7 @@ mod tests {
     #[test]
     fn zipf_like_is_skewed_and_bounded() {
         let mut rng = model_rng(2);
-        let mut counts = vec![0usize; 16];
+        let mut counts = [0usize; 16];
         for _ in 0..20_000 {
             let k = zipf_like(&mut rng, 16);
             assert!((1..=16).contains(&k));
@@ -227,8 +237,14 @@ mod tests {
         assert_eq!(log.len(), 200);
         assert!(validate(&log).is_clean());
         assert_eq!(log.first_submit(), 0);
-        assert!(log.jobs.iter().all(|j| j.procs().unwrap() <= common.machine_size));
-        assert!(log.jobs.iter().all(|j| j.run_time.unwrap() <= common.max_runtime));
+        assert!(log
+            .jobs
+            .iter()
+            .all(|j| j.procs().unwrap() <= common.machine_size));
+        assert!(log
+            .jobs
+            .iter()
+            .all(|j| j.run_time.unwrap() <= common.max_runtime));
         assert!(log.jobs.iter().all(|j| j.user_id.unwrap() <= common.users));
         assert!(log.jobs.iter().any(|j| j.queue_id == Some(0)));
         assert!(log.jobs.iter().any(|j| j.queue_id == Some(1)));

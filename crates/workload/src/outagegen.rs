@@ -101,8 +101,8 @@ impl OutageGenerator {
 
         // Scheduled maintenance windows.
         if self.maintenance_interval > 0 {
-            let affected =
-                ((self.machine_size as f64) * self.maintenance_fraction.clamp(0.0, 1.0)).round() as u32;
+            let affected = ((self.machine_size as f64) * self.maintenance_fraction.clamp(0.0, 1.0))
+                .round() as u32;
             let mut t = self.maintenance_interval;
             while t < horizon {
                 records.push(OutageRecord {
@@ -156,8 +156,14 @@ mod tests {
     #[test]
     fn outages_sorted_and_within_horizon() {
         let log = OutageGenerator::default().generate(4 * WEEK, 2);
-        assert!(log.outages.windows(2).all(|w| w[0].start_time <= w[1].start_time));
-        assert!(log.outages.iter().all(|o| o.start_time >= 0 && o.end_time <= 4 * WEEK));
+        assert!(log
+            .outages
+            .windows(2)
+            .all(|w| w[0].start_time <= w[1].start_time));
+        assert!(log
+            .outages
+            .iter()
+            .all(|o| o.start_time >= 0 && o.end_time <= 4 * WEEK));
         assert!(log.outages.iter().all(|o| o.end_time >= o.start_time));
         // ids renumbered 1..n
         assert!(log
@@ -186,7 +192,10 @@ mod tests {
             .iter()
             .filter(|o| !o.kind.is_scheduled() && o.was_announced_in_advance())
             .count();
-        assert!(surprise > announced, "surprise {surprise} announced {announced}");
+        assert!(
+            surprise > announced,
+            "surprise {surprise} announced {announced}"
+        );
     }
 
     #[test]
@@ -215,7 +224,10 @@ mod tests {
             ..OutageGenerator::default()
         };
         let log = gen.generate(4 * WEEK, 5);
-        assert!(log.outages.iter().all(|o| o.kind != OutageKind::Maintenance));
+        assert!(log
+            .outages
+            .iter()
+            .all(|o| o.kind != OutageKind::Maintenance));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! We do not ship the Parallel Workloads Archive traces; instead this module emits
 //! *raw-format* text logs (NASA iPSC/860-, SDSC Paragon-, CTC SP2-, and LANL
 //! CM-5-style) from an underlying synthetic workload, so the SWF conversion pipeline
-//! of [`psbench_swf::convert`] can be exercised and benchmarked end to end
+//! of [`mod@psbench_swf::convert`] can be exercised and benchmarked end to end
 //! (experiment E6). The emitted dialects match what the converters expect.
 
 use crate::lublin99::Lublin99;
@@ -28,10 +28,10 @@ impl RawLogProfile {
     /// The historical machine size of the system each dialect mimics.
     pub fn canonical(dialect: Dialect) -> Self {
         let (machine_size, base_epoch) = match dialect {
-            Dialect::NasaIpsc => (128, 749_400_000),     // iPSC/860, late 1993
-            Dialect::SdscParagon => (416, 757_400_000),  // Paragon, 1994
-            Dialect::CtcSp2 => (430, 835_000_000),       // SP2, 1996
-            Dialect::LanlCm5 => (1024, 749_000_000),     // CM-5, 1994
+            Dialect::NasaIpsc => (128, 749_400_000), // iPSC/860, late 1993
+            Dialect::SdscParagon => (416, 757_400_000), // Paragon, 1994
+            Dialect::CtcSp2 => (430, 835_000_000),   // SP2, 1996
+            Dialect::LanlCm5 => (1024, 749_000_000), // CM-5, 1994
         };
         RawLogProfile {
             dialect,
@@ -52,7 +52,14 @@ fn user_name(dialect: Dialect, id: u32) -> String {
 
 fn exe_name(id: u32) -> String {
     const NAMES: [&str; 8] = [
-        "cfd_solver", "qcd_lattice", "climate", "nbody", "render", "fft_bench", "md_sim", "ocean",
+        "cfd_solver",
+        "qcd_lattice",
+        "climate",
+        "nbody",
+        "render",
+        "fft_bench",
+        "md_sim",
+        "ocean",
     ];
     format!("{}_{id}", NAMES[(id as usize - 1) % NAMES.len()])
 }
@@ -64,9 +71,7 @@ fn exe_name(id: u32) -> String {
 pub fn emit_raw(log: &SwfLog, profile: &RawLogProfile) -> String {
     let mut out = String::new();
     match profile.dialect {
-        Dialect::NasaIpsc => {
-            out.push_str("# jobid user exe nodes submit start runtime status\n")
-        }
+        Dialect::NasaIpsc => out.push_str("# jobid user exe nodes submit start runtime status\n"),
         Dialect::SdscParagon => out.push_str(
             "# jobid|user|group|queue|partition|submit|start|end|nodes|cpu_secs|mem_kb|status\n",
         ),
@@ -106,7 +111,11 @@ pub fn emit_raw(log: &SwfLog, profile: &RawLogProfile) -> String {
                 ));
             }
             Dialect::SdscParagon => {
-                let queue = if j.queue_id == Some(0) { "interactive" } else { "batch" };
+                let queue = if j.queue_id == Some(0) {
+                    "interactive"
+                } else {
+                    "batch"
+                };
                 out.push_str(&format!(
                     "{}|{}|g{}|{}|main|{}|{}|{}|{}|{}|{}|{}\n",
                     emitted,
@@ -123,7 +132,11 @@ pub fn emit_raw(log: &SwfLog, profile: &RawLogProfile) -> String {
                 ));
             }
             Dialect::CtcSp2 => {
-                let class = if j.queue_id == Some(0) { "interactive" } else { "batch" };
+                let class = if j.queue_id == Some(0) {
+                    "interactive"
+                } else {
+                    "batch"
+                };
                 let req = j.requested_time.unwrap_or(run * 2);
                 out.push_str(&format!(
                     "job={} user={} group=g{} class={} submit={} start={} end={} procs={} req_procs={} wall_req={} mem_used={} cpu={} exe={} completion={}\n",
@@ -206,8 +219,13 @@ mod tests {
             let profile = RawLogProfile::canonical(d);
             let raw = generate_raw_log(&profile, 300, 7);
             assert!(!raw.is_empty());
-            let conv = convert(&raw, d, Some(profile.machine_size), &ConvertOptions::default())
-                .unwrap_or_else(|e| panic!("dialect {d:?}: {e}"));
+            let conv = convert(
+                &raw,
+                d,
+                Some(profile.machine_size),
+                &ConvertOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("dialect {d:?}: {e}"));
             assert_eq!(conv.skipped, 0, "dialect {d:?} skipped lines");
             assert_eq!(conv.log.len(), 300, "dialect {d:?}");
             assert!(validate(&conv.log).is_clean(), "dialect {d:?}");
@@ -221,7 +239,12 @@ mod tests {
         let profile = RawLogProfile::canonical(Dialect::NasaIpsc);
         let raw = generate_raw_log(&profile, 50, 3);
         let first_data = raw.lines().find(|l| !l.starts_with('#')).unwrap();
-        let submit: i64 = first_data.split_whitespace().nth(4).unwrap().parse().unwrap();
+        let submit: i64 = first_data
+            .split_whitespace()
+            .nth(4)
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!(submit >= profile.base_epoch);
     }
 

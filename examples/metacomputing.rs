@@ -27,7 +27,12 @@ fn main() {
 
     println!("\n== Figure 1: entities involved in scheduling ==");
     for e in build_hierarchy(&sites, 2) {
-        println!("{:?} {:>28} -> {} downstream", e.kind, e.name, e.children.len());
+        println!(
+            "{:?} {:>28} -> {} downstream",
+            e.kind,
+            e.name,
+            e.children.len()
+        );
     }
 
     println!("\n== placement strategies on a mixed micro-benchmark workload ==");

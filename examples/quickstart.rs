@@ -24,15 +24,19 @@ fn main() {
     let report = validate(&log);
     println!("validation violations: {}", report.violations.len());
     let text = write_string(&log);
-    println!("SWF text: {} bytes, first line: {}", text.len(), text.lines().next().unwrap());
+    println!(
+        "SWF text: {} bytes, first line: {}",
+        text.len(),
+        text.lines().next().unwrap()
+    );
 
     // 3. Replay it through two schedulers.
     let jobs = SimJob::from_log(&log);
     let mut results = Vec::new();
     for name in ["fcfs", "easy"] {
         let mut sched = by_name(name, log.machine_size()).unwrap();
-        let result = Simulation::new(SimConfig::new(log.machine_size()), jobs.clone())
-            .run(sched.as_mut());
+        let result =
+            Simulation::new(SimConfig::new(log.machine_size()), jobs.clone()).run(sched.as_mut());
         println!(
             "{:>6}: mean wait {:>8.0} s, mean response {:>8.0} s, bounded slowdown {:>6.1}, utilization {:.2}",
             name,
@@ -51,6 +55,10 @@ fn main() {
     println!("ranking by slowdown      : {by_slowdown:?}");
     println!(
         "metrics disagree: {}",
-        objectives_disagree(&results, Objective::MeanResponseTime, Objective::MeanBoundedSlowdown)
+        objectives_disagree(
+            &results,
+            Objective::MeanResponseTime,
+            Objective::MeanBoundedSlowdown
+        )
     );
 }

@@ -12,8 +12,13 @@ fn main() {
     for &dialect in Dialect::all() {
         let profile = RawLogProfile::canonical(dialect);
         let raw = generate_raw_log(&profile, 1_000, 7);
-        let conv = convert(&raw, dialect, Some(profile.machine_size), &ConvertOptions::default())
-            .expect("conversion succeeds");
+        let conv = convert(
+            &raw,
+            dialect,
+            Some(profile.machine_size),
+            &ConvertOptions::default(),
+        )
+        .expect("conversion succeeds");
         let report = validate(&conv.log);
         println!(
             "{:>14}: {} raw lines -> {} SWF jobs, {} users, {} executables, {} violations, cleaned: dropped={} clamped_procs={}",

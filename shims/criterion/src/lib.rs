@@ -1,0 +1,191 @@
+//! Offline micro-benchmark harness standing in for `criterion`.
+//!
+//! The container has no crates.io access, so this shim provides the small
+//! slice of the criterion API the workspace's benches use. Like the real
+//! crate, it distinguishes `cargo bench` (cargo passes `--bench`; closures run
+//! in a timed loop and a mean time per iteration is printed) from `cargo test`
+//! (each benchmark body runs exactly once as a smoke test). There are no
+//! statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Top-level benchmark driver, handed to each `criterion_group!` target.
+pub struct Criterion {
+    bench_mode: bool,
+    default_sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let iters = if self.bench_mode {
+            self.default_sample_size
+        } else {
+            1
+        };
+        run_one(&id.to_string(), self.bench_mode, iters, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1) as u64);
+        self
+    }
+
+    /// Record throughput metadata (accepted and ignored by this shim).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under `group-name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let iters = self.iters();
+        run_one(&label, self.criterion.bench_mode, iters, f);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        let iters = self.iters();
+        run_one(&label, self.criterion.bench_mode, iters, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op; provided for API parity).
+    pub fn finish(self) {}
+
+    fn iters(&self) -> u64 {
+        if self.criterion.bench_mode {
+            self.sample_size
+                .unwrap_or(self.criterion.default_sample_size)
+        } else {
+            1
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, bench_mode: bool, iters: u64, mut f: F) {
+    let mut bencher = Bencher {
+        iters,
+        elapsed_ns: 0,
+        timed_iters: 0,
+    };
+    f(&mut bencher);
+    if bench_mode && bencher.timed_iters > 0 {
+        let per_iter = bencher.elapsed_ns / bencher.timed_iters as u128;
+        println!(
+            "bench: {label:<50} {:>12} ns/iter ({} iters)",
+            per_iter, bencher.timed_iters
+        );
+    } else {
+        println!("bench: {label:<50} ok (smoke)");
+    }
+}
+
+/// Times a closure over the configured number of iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+    timed_iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, timing the loop (once in smoke mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        if self.iters <= 1 {
+            self.timed_iters = 0;
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+        self.timed_iters = self.iters;
+    }
+}
+
+/// Identifies a benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Throughput metadata (accepted for API parity; not reported by this shim).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Run every benchmark in this group.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

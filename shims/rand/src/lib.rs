@@ -1,0 +1,239 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace builds in a container with no crates.io access, so this shim
+//! reimplements the small slice of the rand 0.8 API the workload models use:
+//! [`Rng::gen_range`] over integer and float ranges, [`Rng::gen_bool`],
+//! [`SeedableRng::seed_from_u64`], and [`rngs::StdRng`].
+//!
+//! `StdRng` here is a SplitMix64 generator — deterministic, seedable, fast,
+//! and statistically solid for simulation workloads. It intentionally does
+//! not match the byte streams of the real `rand::rngs::StdRng`; all canonical
+//! seeds in this repository are defined against *this* generator.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range` (`a..b` or `a..=b`, integer or float).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Return `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Map 64 random bits to a uniform `f64` in `[0, 1)` using the top 53 bits.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that knows how to sample a uniform value of `T` from an RNG.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + (unit_f64(rng.next_u64()) as $t) * (self.end - self.start)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                start + (unit_f64(rng.next_u64()) as $t) * (end - start)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// An RNG constructible from a fixed seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64`, spreading it over the raw seed bytes.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let bytes = seed.as_mut();
+        let mut x = state;
+        for chunk in bytes.chunks_mut(8) {
+            // SplitMix64 step so every chunk differs even for small seeds.
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (b, s) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut state = 0u64;
+            for chunk in seed.chunks(8) {
+                let mut word = [0u8; 8];
+                word[..chunk.len()].copy_from_slice(chunk);
+                state ^= u64::from_le_bytes(word).rotate_left(17);
+            }
+            StdRng { state }
+        }
+    }
+}
+
+pub use rngs::StdRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let i = rng.gen_range(3i64..17);
+            assert!((3..17).contains(&i));
+            let u = rng.gen_range(1u32..=8);
+            assert!((1..=8).contains(&u));
+            let f = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "hits {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn take<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let via_ref = take(&mut rng);
+        let mut rng2 = StdRng::seed_from_u64(3);
+        assert_eq!(via_ref, rng2.next_u64());
+    }
+}

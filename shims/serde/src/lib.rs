@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the real
+//! serde cannot be vendored. The workspace only *derives* `Serialize` /
+//! `Deserialize` (no code serializes anything yet), so this shim keeps the
+//! derive surface compiling: the traits are empty markers with blanket
+//! implementations and the derive macros expand to nothing. Swapping the real
+//! serde back in is a one-line change in each manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,20 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data types so
+//! that a real serde can be dropped in later; until then the traits in the
+//! sibling `serde` shim are blanket-implemented and these derives expand to
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented in the shim.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented in the shim.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -69,7 +69,13 @@ fn every_standard_scheduler_conserves_jobs_on_every_model() {
                 model.name(),
                 sched.name()
             );
-            assert_eq!(result.unfinished, 0, "model {} scheduler {}", model.name(), sched.name());
+            assert_eq!(
+                result.unfinished,
+                0,
+                "model {} scheduler {}",
+                model.name(),
+                sched.name()
+            );
         }
     }
 }
@@ -137,6 +143,55 @@ fn e8_cross_product_at_reduced_scale() {
     assert_eq!(table.headers.len(), 7);
     for row in &table.rows {
         assert_eq!(row.len(), 7);
+    }
+}
+
+#[test]
+fn fixed_seed_runs_are_byte_identical_for_every_standard_scheduler() {
+    // Same seed + same workload model → byte-identical SimulationResult, run twice.
+    // SimulationResult derives PartialEq over every field, so this compares the
+    // full result (per-job outcomes, integrals, counters), not a summary.
+    let def = WorkloadDef::new(WorkloadKind::Lublin99, 64, 150, 777);
+    for sched in standard_schedulers(64) {
+        let name = sched.name();
+        let run = || {
+            let jobs = SimJob::from_log(&def.generate());
+            let mut s = by_name(name, 64).unwrap();
+            Simulation::new(SimConfig::new(64), jobs).run(s.as_mut())
+        };
+        assert_eq!(run(), run(), "scheduler {name} is not deterministic");
+    }
+}
+
+#[test]
+fn sequential_and_parallel_harness_paths_agree() {
+    // The work-stealing pool must return bit-identical results in input order,
+    // whatever the thread count. One scenario per standard scheduler, twice over
+    // (so there are more tasks than threads and stealing actually happens).
+    use psbench::core::{run_all, run_all_parallel};
+    let mut scenarios = Vec::new();
+    for round in 0..2u64 {
+        for sched in standard_schedulers(64) {
+            let def = WorkloadDef::new(WorkloadKind::Jann97, 64, 120, 31 + round);
+            scenarios.push(Scenario::new(
+                format!("{}-{round}", sched.name()),
+                def,
+                sched.name(),
+            ));
+        }
+    }
+    let seq = run_all(&scenarios);
+    for threads in [1, 3, 8] {
+        let par = run_all_parallel(&scenarios, threads);
+        assert_eq!(seq.len(), par.len());
+        for ((s_a, r_a), (s_b, r_b)) in seq.iter().zip(par.iter()) {
+            assert_eq!(s_a.name, s_b.name, "order changed at {threads} threads");
+            assert_eq!(
+                r_a, r_b,
+                "scenario {} differs at {threads} threads",
+                s_a.name
+            );
+        }
     }
 }
 
