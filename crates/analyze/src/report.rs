@@ -1,0 +1,449 @@
+//! Deterministic rendering of profiles and fidelity reports.
+//!
+//! Markdown for humans, CSV for spreadsheets, JSON for tooling. All numbers
+//! are formatted with fixed rules from the exact accumulator state, so two
+//! runs over the same trace — sequential or parallel, any thread count —
+//! produce byte-identical output.
+
+use crate::distance::FidelityReport;
+use crate::profile::WorkloadProfile;
+use crate::sketch::MarginalSketch;
+use std::fmt::Write as _;
+
+/// Output format of a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// GitHub-flavoured markdown tables.
+    #[default]
+    Markdown,
+    /// Comma-separated values, one table per section separated by blank lines.
+    Csv,
+    /// A single JSON object.
+    Json,
+}
+
+impl Format {
+    /// Parse a format name (`md` / `markdown`, `csv`, `json`).
+    pub fn parse(s: &str) -> Option<Format> {
+        match s.to_ascii_lowercase().as_str() {
+            "md" | "markdown" => Some(Format::Markdown),
+            "csv" => Some(Format::Csv),
+            "json" => Some(Format::Json),
+            _ => None,
+        }
+    }
+}
+
+/// Format a float for tables: more fractional digits for smaller magnitudes.
+/// This is the workspace's single table-number rule — the experiment
+/// harness's `fmt` delegates here.
+pub fn fmt_num(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// A rendered section: a title, headers, and string rows. Intermediate form
+/// shared by the markdown and CSV renderers.
+struct Section {
+    title: String,
+    headers: Vec<&'static str>,
+    rows: Vec<Vec<String>>,
+}
+
+fn to_markdown(sections: &[Section]) -> String {
+    let mut out = String::new();
+    for s in sections {
+        let _ = writeln!(out, "### {}\n", s.title);
+        let _ = writeln!(out, "| {} |", s.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            s.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &s.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn to_csv(sections: &[Section]) -> String {
+    let mut out = String::new();
+    for s in sections {
+        let _ = writeln!(out, "{}", s.headers.join(","));
+        for row in &s.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Escape a string for inclusion in a JSON document (quotes, backslashes,
+/// and all control characters per RFC 8259).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a finite float as a JSON number (six fractional digits, trailing
+/// zeros trimmed), falling back to 0 for non-finite values.
+fn json_num(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    let s = format!("{v:.6}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() || s == "-" {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+fn marginal_row(name: &str, unit: &str, m: &MarginalSketch) -> Vec<String> {
+    if m.count() == 0 {
+        return vec![
+            name.to_string(),
+            unit.to_string(),
+            "0".to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ];
+    }
+    vec![
+        name.to_string(),
+        unit.to_string(),
+        m.count().to_string(),
+        fmt_num(m.moments.mean()),
+        fmt_num(m.moments.cv()),
+        m.moments.min.to_string(),
+        fmt_num(m.histogram.quantile(0.5)),
+        fmt_num(m.histogram.quantile(0.95)),
+        m.moments.max.to_string(),
+    ]
+}
+
+fn marginals_of(p: &WorkloadProfile) -> [(&'static str, &'static str, &MarginalSketch); 4] {
+    [
+        ("interarrival", "s", &p.interarrival),
+        ("runtime", "s", &p.runtime),
+        ("size", "procs", &p.size),
+        ("accuracy", "per-mille", &p.accuracy),
+    ]
+}
+
+fn profile_sections(p: &WorkloadProfile) -> Vec<Section> {
+    let overview = Section {
+        title: format!("Workload profile — {}", p.name),
+        headers: vec!["property", "value"],
+        rows: vec![
+            vec!["jobs".into(), p.jobs.to_string()],
+            vec!["submit span [s]".into(), p.submit_span().to_string()],
+            vec!["users".into(), p.users().to_string()],
+            vec!["groups".into(), p.groups().to_string()],
+            vec![
+                "size-runtime correlation".into(),
+                fmt_num(p.size_runtime.pearson()),
+            ],
+        ],
+    };
+    let marginals = Section {
+        title: "Marginal distributions".to_string(),
+        headers: vec![
+            "marginal", "unit", "count", "mean", "cv", "min", "p50", "p95", "max",
+        ],
+        rows: marginals_of(p)
+            .iter()
+            .map(|(n, u, m)| marginal_row(n, u, m))
+            .collect(),
+    };
+    let cycles = Section {
+        title: "Arrival cycles (submit counts)".to_string(),
+        headers: vec!["cycle", "counts"],
+        rows: vec![
+            vec![
+                "hour-of-day".into(),
+                p.diurnal
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            ],
+            vec![
+                "day-of-week".into(),
+                p.weekly
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            ],
+        ],
+    };
+    let top = Section {
+        title: "Heaviest users".to_string(),
+        headers: vec!["user", "jobs", "area [proc-s]", "mean runtime [s]"],
+        rows: p
+            .top_users(10)
+            .iter()
+            .map(|(u, s)| {
+                vec![
+                    u.to_string(),
+                    s.jobs.to_string(),
+                    s.area.to_string(),
+                    fmt_num(s.runtime.mean()),
+                ]
+            })
+            .collect(),
+    };
+    vec![overview, marginals, cycles, top]
+}
+
+fn profile_json(p: &WorkloadProfile) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"jobs\":{},\"submit_span_s\":{},\"users\":{},\"groups\":{},\"size_runtime_correlation\":{},\"marginals\":{{",
+        json_escape(&p.name),
+        p.jobs,
+        p.submit_span(),
+        p.users(),
+        p.groups(),
+        json_num(p.size_runtime.pearson()),
+    );
+    for (i, (name, unit, m)) in marginals_of(p).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{}\":{{\"unit\":\"{}\",\"count\":{},\"mean\":{},\"cv\":{},\"min\":{},\"p50\":{},\"p95\":{},\"max\":{}}}",
+            name,
+            unit,
+            m.count(),
+            json_num(m.moments.mean()),
+            json_num(m.moments.cv()),
+            if m.count() == 0 { 0 } else { m.moments.min },
+            json_num(m.histogram.quantile(0.5)),
+            json_num(m.histogram.quantile(0.95)),
+            if m.count() == 0 { 0 } else { m.moments.max },
+        );
+    }
+    let nums = |v: &[u64]| {
+        v.iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let _ = write!(
+        out,
+        "}},\"diurnal\":[{}],\"weekly\":[{}],\"top_users\":[",
+        nums(&p.diurnal),
+        nums(&p.weekly)
+    );
+    for (i, (u, s)) in p.top_users(10).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"user\":{},\"jobs\":{},\"area\":{},\"mean_runtime\":{}}}",
+            u,
+            s.jobs,
+            s.area,
+            json_num(s.runtime.mean())
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render a workload profile in the requested format.
+pub fn render_profile(p: &WorkloadProfile, format: Format) -> String {
+    match format {
+        Format::Markdown => to_markdown(&profile_sections(p)),
+        Format::Csv => to_csv(&profile_sections(p)),
+        Format::Json => profile_json(p),
+    }
+}
+
+fn fidelity_sections(r: &FidelityReport) -> Vec<Section> {
+    let mut rows: Vec<Vec<String>> = r
+        .marginals
+        .iter()
+        .map(|m| {
+            vec![
+                m.marginal.clone(),
+                m.unit.to_string(),
+                fmt_num(m.ks),
+                fmt_num(m.emd),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "mean".into(),
+        "-".into(),
+        fmt_num(r.mean_ks()),
+        "-".into(),
+    ]);
+    vec![Section {
+        title: format!(
+            "Model fidelity — {} vs {} ({} / {} jobs)",
+            r.candidate, r.reference, r.jobs.1, r.jobs.0
+        ),
+        headers: vec!["marginal", "unit", "KS", "EMD"],
+        rows,
+    }]
+}
+
+fn fidelity_json(r: &FidelityReport) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"reference\":\"{}\",\"candidate\":\"{}\",\"jobs\":[{},{}],\"marginals\":[",
+        json_escape(&r.reference),
+        json_escape(&r.candidate),
+        r.jobs.0,
+        r.jobs.1
+    );
+    for (i, m) in r.marginals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"marginal\":\"{}\",\"unit\":\"{}\",\"ks\":{},\"emd\":{}}}",
+            json_escape(&m.marginal),
+            m.unit,
+            json_num(m.ks),
+            json_num(m.emd)
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"mean_ks\":{},\"max_ks\":{}}}",
+        json_num(r.mean_ks()),
+        json_num(r.max_ks())
+    );
+    out
+}
+
+/// Render a fidelity report in the requested format.
+pub fn render_fidelity(r: &FidelityReport, format: Format) -> String {
+    match format {
+        Format::Markdown => to_markdown(&fidelity_sections(r)),
+        Format::Csv => to_csv(&fidelity_sections(r)),
+        Format::Json => fidelity_json(r),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::FidelityReport;
+    use psbench_workload::{Lublin99, WorkloadModel};
+
+    fn profile() -> WorkloadProfile {
+        WorkloadProfile::of_log("lublin99", &Lublin99::default().generate(300, 5))
+    }
+
+    #[test]
+    fn format_parsing() {
+        assert_eq!(Format::parse("md"), Some(Format::Markdown));
+        assert_eq!(Format::parse("Markdown"), Some(Format::Markdown));
+        assert_eq!(Format::parse("CSV"), Some(Format::Csv));
+        assert_eq!(Format::parse("json"), Some(Format::Json));
+        assert_eq!(Format::parse("yaml"), None);
+    }
+
+    #[test]
+    fn markdown_profile_has_all_sections() {
+        let md = render_profile(&profile(), Format::Markdown);
+        assert!(md.contains("Workload profile — lublin99"));
+        assert!(md.contains("| interarrival |"));
+        assert!(md.contains("hour-of-day"));
+        assert!(md.contains("Heaviest users"));
+    }
+
+    #[test]
+    fn csv_profile_is_tabular() {
+        let csv = render_profile(&profile(), Format::Csv);
+        assert!(csv.contains("marginal,unit,count,mean,cv,min,p50,p95,max"));
+        assert!(csv.lines().any(|l| l.starts_with("runtime,s,300,")));
+    }
+
+    #[test]
+    fn json_profile_is_well_formed_enough() {
+        let json = render_profile(&profile(), Format::Json);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"jobs\":300"));
+        assert!(json.contains("\"diurnal\":["));
+        // every quote is balanced; crude but catches broken escaping
+        assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn fidelity_rendering_round_trip() {
+        let p = profile();
+        let q = WorkloadProfile::of_log("other", &Lublin99::default().generate(300, 6));
+        let r = FidelityReport::compare(&p, &q);
+        let md = render_fidelity(&r, Format::Markdown);
+        assert!(md.contains("Model fidelity — other vs lublin99"));
+        assert!(md.contains("| interarrival |"));
+        assert!(md.contains("| mean |"));
+        let json = render_fidelity(&r, Format::Json);
+        assert!(json.contains("\"mean_ks\":"));
+        let csv = render_fidelity(&r, Format::Csv);
+        assert!(csv.starts_with("marginal,unit,KS,EMD"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let p = profile();
+        for f in [Format::Markdown, Format::Csv, Format::Json] {
+            assert_eq!(render_profile(&p, f), render_profile(&p, f));
+        }
+    }
+
+    #[test]
+    fn json_num_trims_and_handles_specials() {
+        assert_eq!(json_num(1.5), "1.5");
+        assert_eq!(json_num(2.0), "2");
+        assert_eq!(json_num(0.0), "0");
+        assert_eq!(json_num(f64::NAN), "0");
+        assert_eq!(json_num(-0.25), "-0.25");
+    }
+
+    #[test]
+    fn json_escape_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,464 @@
+//! Mergeable, exactly-associative streaming sketches.
+//!
+//! Every accumulator in this module keeps **integer** state only (counts and
+//! `i128` power sums), so merging chunk sketches is associative *bit for bit*:
+//! integer addition has no rounding, and the floating point summaries (mean,
+//! CV, quantiles) are derived from the exact state only when queried. That is
+//! what lets a trace analysis pass run chunked in parallel and still produce
+//! byte-identical reports to a sequential single pass.
+
+use serde::{Deserialize, Serialize};
+
+/// Exact running moments of an integer-valued sample: count, sum, sum of
+/// squares, minimum and maximum.
+///
+/// All state is integral, so [`Moments::merge`] is associative and commutative
+/// with exact equality — not just approximately. `i128` power sums hold
+/// 2^63-sized values squared across more jobs than any trace contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Moments {
+    /// Number of observations.
+    pub count: u64,
+    /// Exact sum of observations.
+    pub sum: i128,
+    /// Exact sum of squared observations.
+    pub sum_sq: i128,
+    /// Smallest observation (`i64::MAX` when empty).
+    pub min: i64,
+    /// Largest observation (`i64::MIN` when empty).
+    pub max: i64,
+}
+
+impl Default for Moments {
+    fn default() -> Self {
+        Moments {
+            count: 0,
+            sum: 0,
+            sum_sq: 0,
+            min: i64::MAX,
+            max: i64::MIN,
+        }
+    }
+}
+
+impl Moments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Moments::default()
+    }
+
+    /// Record one observation.
+    ///
+    /// The sum of squares saturates at `i128::MAX` rather than overflowing;
+    /// since squared terms are non-negative, saturating addition is still
+    /// exactly associative (`min(Σ, MAX)` whatever the grouping).
+    pub fn add(&mut self, v: i64) {
+        self.count += 1;
+        self.sum += v as i128;
+        self.sum_sq = self.sum_sq.saturating_add((v as i128) * (v as i128));
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another accumulator into this one. Exactly associative.
+    pub fn merge(&mut self, other: &Moments) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq = self.sum_sq.saturating_add(other.sum_sq);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Population variance (0 when empty).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let mean = self.mean();
+        (self.sum_sq as f64 / n - mean * mean).max(0.0)
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation (std dev / mean; 0 when the mean is 0).
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m.abs() > 1e-300 {
+            self.std_dev() / m
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Sub-bins per octave (power of two) of the logarithmic histogram.
+const SUBBINS: u64 = 4;
+/// Highest octave: positive `i64` values span octaves 0..=62.
+const OCTAVES: u64 = 63;
+/// Number of bins: one underflow bin for values ≤ 0 plus 4 per octave.
+pub const HISTOGRAM_BINS: usize = (1 + OCTAVES * SUBBINS) as usize;
+
+/// A fixed-shape logarithmic histogram over `i64` observations.
+///
+/// Bin 0 collects values ≤ 0; every octave `[2^k, 2^(k+1))` is split into four
+/// sub-bins with boundaries computed purely in integer arithmetic, so the bin
+/// index of a value is deterministic across platforms. Because the binning is
+/// fixed (no data-dependent splits), merging two histograms is element-wise
+/// `u64` addition: exactly associative, ideal for chunked parallel analysis,
+/// and two histograms are directly comparable bin by bin for KS/EMD distances.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: vec![0; HISTOGRAM_BINS],
+            total: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bin index of a value. Integer arithmetic only.
+    pub fn bin_of(v: i64) -> usize {
+        if v <= 0 {
+            return 0;
+        }
+        let v = v as u64;
+        let octave = 63 - v.leading_zeros() as u64; // 2^octave <= v < 2^(octave+1)
+        let base = 1u64 << octave;
+        // Which quarter of the octave the value falls in: ((v-base)*4)/base,
+        // computed without overflow since v-base < base <= 2^62.
+        let sub = ((v - base) * SUBBINS) >> octave;
+        (1 + octave * SUBBINS + sub) as usize
+    }
+
+    /// The inclusive lower edge of a bin, as the quantity's value.
+    pub fn bin_lower(bin: usize) -> f64 {
+        if bin == 0 {
+            return 0.0;
+        }
+        let octave = (bin as u64 - 1) / SUBBINS;
+        let sub = (bin as u64 - 1) % SUBBINS;
+        let base = 2f64.powi(octave as i32);
+        base + base * sub as f64 / SUBBINS as f64
+    }
+
+    /// A representative value for a bin: the midpoint of its edges (0 for the
+    /// underflow bin).
+    pub fn bin_value(bin: usize) -> f64 {
+        if bin == 0 {
+            0.0
+        } else {
+            (Self::bin_lower(bin) + Self::bin_lower(bin + 1)) / 2.0
+        }
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, v: i64) {
+        self.counts[Self::bin_of(v)] += 1;
+        self.total += 1;
+    }
+
+    /// Fold another histogram into this one. Exactly associative.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.total += other.total;
+    }
+
+    /// Number of observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// True if no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The `q`-quantile (q in `[0,1]`) estimated from the bin representative
+    /// values. Returns 0 for an empty histogram. Monotone in `q` by
+    /// construction (a cumulative walk over non-negative counts).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (bin, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Self::bin_value(bin);
+            }
+        }
+        Self::bin_value(HISTOGRAM_BINS - 1)
+    }
+}
+
+/// A marginal distribution sketch: exact moments plus the log-binned histogram
+/// of one quantity (interarrival, runtime, ...). Merging is exactly associative
+/// because both members are.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct MarginalSketch {
+    /// Exact moment accumulator.
+    pub moments: Moments,
+    /// Log-binned histogram for quantiles and distribution distances.
+    pub histogram: Histogram,
+}
+
+impl MarginalSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        MarginalSketch::default()
+    }
+
+    /// Record one observation in both members.
+    pub fn add(&mut self, v: i64) {
+        self.moments.add(v);
+        self.histogram.add(v);
+    }
+
+    /// Fold another sketch into this one.
+    pub fn merge(&mut self, other: &MarginalSketch) {
+        self.moments.merge(&other.moments);
+        self.histogram.merge(&other.histogram);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.moments.count
+    }
+}
+
+/// Exact accumulator for the Pearson correlation of two integer-valued
+/// quantities (e.g. job size and runtime). Keeps `i128` cross sums, so merges
+/// are exactly associative; the coefficient is derived only when queried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Correlation {
+    /// Number of (x, y) pairs.
+    pub count: u64,
+    sum_x: i128,
+    sum_y: i128,
+    sum_xx: i128,
+    sum_yy: i128,
+    sum_xy: i128,
+}
+
+impl Correlation {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Correlation::default()
+    }
+
+    /// Record one (x, y) pair.
+    pub fn add(&mut self, x: i64, y: i64) {
+        self.count += 1;
+        let (x, y) = (x as i128, y as i128);
+        self.sum_x += x;
+        self.sum_y += y;
+        self.sum_xx += x * x;
+        self.sum_yy += y * y;
+        self.sum_xy += x * y;
+    }
+
+    /// Fold another accumulator into this one. Exactly associative.
+    pub fn merge(&mut self, other: &Correlation) {
+        self.count += other.count;
+        self.sum_x += other.sum_x;
+        self.sum_y += other.sum_y;
+        self.sum_xx += other.sum_xx;
+        self.sum_yy += other.sum_yy;
+        self.sum_xy += other.sum_xy;
+    }
+
+    /// Pearson correlation coefficient; 0 when either marginal is degenerate.
+    pub fn pearson(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let cov = self.sum_xy as f64 / n - (self.sum_x as f64 / n) * (self.sum_y as f64 / n);
+        let vx = self.sum_xx as f64 / n - (self.sum_x as f64 / n).powi(2);
+        let vy = self.sum_yy as f64 / n - (self.sum_y as f64 / n).powi(2);
+        if vx <= 0.0 || vy <= 0.0 {
+            return 0.0;
+        }
+        (cov / (vx.sqrt() * vy.sqrt())).clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_match_direct_computation() {
+        let data = [3i64, 1, 4, 1, 5, 9, 2, 6];
+        let mut m = Moments::new();
+        for &v in &data {
+            m.add(v);
+        }
+        assert_eq!(m.count, 8);
+        assert_eq!(m.min, 1);
+        assert_eq!(m.max, 9);
+        let mean = data.iter().sum::<i64>() as f64 / 8.0;
+        assert!((m.mean() - mean).abs() < 1e-12);
+        let var = data.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / 8.0;
+        assert!((m.variance() - var).abs() < 1e-9);
+        assert!(m.cv() > 0.0);
+    }
+
+    #[test]
+    fn moments_merge_is_exact() {
+        let data: Vec<i64> = (0..1000).map(|i| (i * 7919) % 4093).collect();
+        let mut whole = Moments::new();
+        for &v in &data {
+            whole.add(v);
+        }
+        let mut left = Moments::new();
+        let mut right = Moments::new();
+        for &v in &data[..317] {
+            left.add(v);
+        }
+        for &v in &data[317..] {
+            right.add(v);
+        }
+        left.merge(&right);
+        assert_eq!(left, whole); // exact equality, not approximate
+    }
+
+    #[test]
+    fn empty_moments_are_neutral() {
+        let mut m = Moments::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.cv(), 0.0);
+        let mut other = Moments::new();
+        other.add(5);
+        m.merge(&other);
+        assert_eq!(m, other);
+    }
+
+    #[test]
+    fn histogram_bins_are_monotone_in_value() {
+        let mut prev = 0usize;
+        for v in [0i64, 1, 2, 3, 4, 5, 7, 8, 100, 1 << 20, i64::MAX] {
+            let b = Histogram::bin_of(v);
+            assert!(b >= prev, "bin_of({v}) = {b} < {prev}");
+            assert!(b < HISTOGRAM_BINS);
+            prev = b;
+        }
+        assert_eq!(Histogram::bin_of(-5), 0);
+        assert_eq!(Histogram::bin_of(1), 1);
+    }
+
+    #[test]
+    fn bin_edges_bracket_their_values() {
+        for v in [1i64, 2, 3, 5, 9, 100, 12345, 1 << 40] {
+            let b = Histogram::bin_of(v);
+            assert!(Histogram::bin_lower(b) <= v as f64);
+            assert!((v as f64) < Histogram::bin_lower(b + 1));
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded() {
+        let mut h = Histogram::new();
+        for i in 1..=1000i64 {
+            h.add(i);
+        }
+        assert_eq!(h.total(), 1000);
+        let q50 = h.quantile(0.5);
+        let q90 = h.quantile(0.9);
+        assert!(q50 <= q90);
+        // log-binned: the estimate is within one sub-bin (25%) of the truth
+        assert!(q50 > 300.0 && q50 < 700.0, "median estimate {q50}");
+        assert_eq!(Histogram::new().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_pass() {
+        let data: Vec<i64> = (0..5000).map(|i| (i * 31) % 10_000).collect();
+        let mut whole = Histogram::new();
+        for &v in &data {
+            whole.add(v);
+        }
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &v in &data[..1234] {
+            a.add(v);
+        }
+        for &v in &data[1234..] {
+            b.add(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn correlation_detects_linear_relation() {
+        let mut c = Correlation::new();
+        for i in 0..100i64 {
+            c.add(i, 3 * i + 7);
+        }
+        assert!((c.pearson() - 1.0).abs() < 1e-9);
+        let mut anti = Correlation::new();
+        for i in 0..100i64 {
+            anti.add(i, -i);
+        }
+        assert!((anti.pearson() + 1.0).abs() < 1e-9);
+        let mut flat = Correlation::new();
+        for i in 0..100i64 {
+            flat.add(i, 42);
+        }
+        assert_eq!(flat.pearson(), 0.0);
+        assert_eq!(Correlation::new().pearson(), 0.0);
+    }
+
+    #[test]
+    fn correlation_merge_is_exact() {
+        let mut whole = Correlation::new();
+        let mut a = Correlation::new();
+        let mut b = Correlation::new();
+        for i in 0..500i64 {
+            let (x, y) = ((i * 13) % 97, (i * 29) % 89);
+            whole.add(x, y);
+            if i < 200 {
+                a.add(x, y);
+            } else {
+                b.add(x, y);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+}

@@ -1,0 +1,47 @@
+//! Benches for the trace-analysis subsystem: SWF parsing throughput and the
+//! single-pass characterization of a 100k-job trace, sequential and chunked
+//! parallel, plus the KS/EMD fidelity comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psbench_analyze::{FidelityReport, WorkloadProfile};
+use psbench_core::{default_threads, profile_parallel};
+use psbench_swf::{parse, write_string};
+use psbench_workload::{Lublin99, WorkloadModel};
+use std::hint::black_box;
+
+/// The trace every bench in this file works on: 100k Lublin99 jobs.
+const TRACE_JOBS: usize = 100_000;
+
+fn bench_swf_parse_throughput(c: &mut Criterion) {
+    let log = Lublin99::default().generate(TRACE_JOBS, 42);
+    let text = write_string(&log);
+    let mut group = c.benchmark_group("swf_throughput");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Bytes(text.len() as u64));
+    group.bench_function("parse_100k_jobs", |b| {
+        b.iter(|| black_box(parse(&text).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_analyze_pass(c: &mut Criterion) {
+    let log = Lublin99::default().generate(TRACE_JOBS, 42);
+    let mut group = c.benchmark_group("analyze");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(log.len() as u64));
+    group.bench_function("profile_100k_sequential", |b| {
+        b.iter(|| black_box(WorkloadProfile::of_log("bench", &log)))
+    });
+    group.bench_function("profile_100k_parallel", |b| {
+        b.iter(|| black_box(profile_parallel("bench", &log, default_threads())))
+    });
+    let reference = WorkloadProfile::of_log("ref", &log);
+    let candidate = WorkloadProfile::of_log("cand", &Lublin99::default().generate(TRACE_JOBS, 43));
+    group.bench_function("fidelity_compare", |b| {
+        b.iter(|| black_box(FidelityReport::compare(&reference, &candidate)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_swf_parse_throughput, bench_analyze_pass);
+criterion_main!(benches);

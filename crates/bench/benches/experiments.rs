@@ -1,6 +1,6 @@
 //! Criterion benches that regenerate every experiment of EXPERIMENTS.md.
 //!
-//! Each benchmark group runs one experiment (E1..E9) at the quick scale and prints
+//! Each benchmark group runs one experiment (E1..E10) at the quick scale and prints
 //! its table once, so `cargo bench` both measures the harness and reproduces the
 //! rows recorded in EXPERIMENTS.md. Component micro-benchmarks (SWF parsing,
 //! workload generation, the simulation engine, backfilling cost) follow.

@@ -6,8 +6,11 @@
 //! back the Criterion benches in `psbench-bench` and the tables recorded in
 //! EXPERIMENTS.md.
 
-use crate::harness::{default_threads, fmt, parallel_map, run_all_parallel, Table};
+use crate::harness::{
+    default_threads, fmt, parallel_map, profile_parallel, run_all_parallel, Table,
+};
 use crate::suite::{canonical_schedulers, canonical_suite, Scenario, WorkloadDef, WorkloadKind};
+use psbench_analyze::FidelityReport;
 use psbench_metasim::{
     coallocate_via_queues, coallocate_via_reservations, standard_metasystem, CoallocationRequest,
 };
@@ -469,9 +472,69 @@ pub fn e9_flexible(scale: Scale) -> Table {
     table
 }
 
+/// E10 — model fidelity (Section 2.1): every rigid-job workload model scored
+/// against a reference trace by the KS and EMD distances of its marginal
+/// distributions (interarrival, runtime, size, estimate accuracy, diurnal
+/// cycle). The reference is a pinned Lublin99 workload standing in for an
+/// archive log, so the Lublin99 model itself (at a different seed) should
+/// score best — the "relatively representative" claim as a measurement.
+pub fn e10_model_fidelity(scale: Scale) -> Table {
+    let reference_def = WorkloadDef::new(WorkloadKind::Lublin99, 128, scale.jobs, 424_242);
+    let reference = profile_parallel(
+        "reference(lublin99)",
+        &reference_def.generate(),
+        default_threads(),
+    );
+    let models = psbench_workload::standard_models(128);
+    let reports: Vec<FidelityReport> = parallel_map(models.len(), default_threads(), |i| {
+        let m = &models[i];
+        let profile = profile_parallel(m.name(), &m.generate(scale.jobs, 58), 1);
+        FidelityReport::compare(&reference, &profile)
+    });
+    let mut table = Table::new(
+        "E10 — model fidelity against a reference trace (KS per marginal, EMD for runtime)",
+        &[
+            "model",
+            "KS interarrival",
+            "KS runtime",
+            "KS size",
+            "KS accuracy",
+            "KS diurnal",
+            "EMD runtime [s]",
+            "mean KS",
+        ],
+    );
+    for r in &reports {
+        let ks = |name: &str| {
+            r.marginals
+                .iter()
+                .find(|m| m.marginal == name)
+                .map(|m| m.ks)
+                .unwrap_or(1.0)
+        };
+        let emd_runtime = r
+            .marginals
+            .iter()
+            .find(|m| m.marginal == "runtime")
+            .map(|m| m.emd)
+            .unwrap_or(0.0);
+        table.push_row(vec![
+            r.candidate.clone(),
+            fmt(ks("interarrival")),
+            fmt(ks("runtime")),
+            fmt(ks("size")),
+            fmt(ks("accuracy")),
+            fmt(ks("diurnal")),
+            fmt(emd_runtime),
+            fmt(r.mean_ks()),
+        ]);
+    }
+    table
+}
+
 /// Identifiers of all experiments, in EXPERIMENTS.md order.
 pub fn experiment_ids() -> &'static [&'static str] {
-    &["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"]
+    &["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"]
 }
 
 /// Run one experiment by id at the given scale.
@@ -486,6 +549,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Table> {
         "E7" => Some(e7_coallocation(scale)),
         "E8" => Some(e8_warmstones(scale)),
         "E9" => Some(e9_flexible(scale)),
+        "E10" => Some(e10_model_fidelity(scale)),
         _ => None,
     }
 }
@@ -566,6 +630,31 @@ mod tests {
     fn e9_compares_adaptive_and_rigid() {
         let t = e9_flexible(tiny());
         assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn e10_ranks_the_reference_model_first() {
+        let t = e10_model_fidelity(tiny());
+        assert_eq!(t.rows.len(), 4); // the four rigid-job models
+        assert_eq!(t.headers.len(), 8);
+        let mean_ks = |row: &Vec<String>| row[7].parse::<f64>().unwrap();
+        let lublin = t.rows.iter().find(|r| r[0] == "lublin99").unwrap();
+        for row in t.rows.iter().filter(|r| r[0] != "lublin99") {
+            assert!(
+                mean_ks(lublin) <= mean_ks(row),
+                "lublin99 ({}) should score no worse than {} ({})",
+                lublin[7],
+                row[0],
+                row[7],
+            );
+        }
+        // KS columns stay in [0, 1]
+        for row in &t.rows {
+            for col in 1..=5 {
+                let v: f64 = row[col].parse().unwrap();
+                assert!((0.0..=1.0).contains(&v), "{}[{col}] = {v}", row[0]);
+            }
+        }
     }
 
     #[test]

@@ -3,7 +3,9 @@
 
 use crate::suite::Scenario;
 use parking_lot::Mutex;
+use psbench_analyze::WorkloadProfile;
 use psbench_sim::SimulationResult;
+use psbench_swf::SwfLog;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -63,15 +65,11 @@ impl Table {
     }
 }
 
-/// Format a float with three significant decimals for tables.
+/// Format a float for tables: more fractional digits for smaller magnitudes.
+/// One rule for the whole workspace — this delegates to the analyze crate's
+/// formatter so experiment tables and trace reports can never drift apart.
 pub fn fmt(v: f64) -> String {
-    if v.abs() >= 1000.0 {
-        format!("{v:.0}")
-    } else if v.abs() >= 10.0 {
-        format!("{v:.1}")
-    } else {
-        format!("{v:.3}")
-    }
+    psbench_analyze::fmt_num(v)
 }
 
 /// Number of worker threads the parallel entry points use by default: one per
@@ -140,6 +138,24 @@ pub fn run_all_parallel(
     parallel_map(scenarios.len(), threads, |i| {
         (scenarios[i].clone(), scenarios[i].run())
     })
+}
+
+/// Characterize a workload trace on `threads` worker threads: the record list
+/// is cut into contiguous chunks (a few per thread, so long chunks balance),
+/// each chunk is profiled independently on the [`parallel_map`] pool, and the
+/// chunk profiles are folded in input order.
+///
+/// The analyze sketches keep integer-exact, associatively-mergeable state and
+/// the merge re-adds the interarrival gap at every chunk boundary, so the
+/// result — and any report rendered from it — is **bit-identical** to the
+/// sequential single pass `WorkloadProfile::of_log` for any thread count.
+pub fn profile_parallel(name: &str, log: &SwfLog, threads: usize) -> WorkloadProfile {
+    let threads = threads.max(1);
+    if threads == 1 {
+        return WorkloadProfile::of_log(name, log);
+    }
+    let chunks = (threads * 4).min(log.jobs.len().max(1));
+    psbench_analyze::profile_chunked(name, log, chunks, |n, f| parallel_map(n, threads, f))
 }
 
 /// Build a comparison table (one row per scenario) from a set of results.
@@ -220,6 +236,23 @@ mod tests {
             // Determinism: identical seeds and jobs, so identical outcomes.
             assert_eq!(r_a.finished, r_b.finished);
         }
+    }
+
+    #[test]
+    fn parallel_profile_is_bit_identical_to_sequential() {
+        let def = WorkloadDef::new(WorkloadKind::Lublin99, 64, 300, 77);
+        let log = def.generate();
+        let seq = profile_parallel("w", &log, 1);
+        for threads in [2, 3, 8, 64] {
+            let par = profile_parallel("w", &log, threads);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+        // ... and the rendered report is byte-identical, too.
+        use psbench_analyze::{render_profile, Format};
+        assert_eq!(
+            render_profile(&profile_parallel("w", &log, 4), Format::Markdown),
+            render_profile(&seq, Format::Markdown),
+        );
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! of experiments that regenerate every claim discussed in EXPERIMENTS.md.
 //!
 //! * [`suite`] — the canonical workloads, scenario definitions, scheduler line-up.
-//! * [`harness`] — scenario sweeps (sequential or parallel) and table rendering.
-//! * [`experiments`] — E1..E9, each returning a [`harness::Table`].
+//! * [`harness`] — scenario sweeps (sequential or parallel), parallel trace
+//!   profiling, and table rendering.
+//! * [`experiments`] — E1..E10, each returning a [`harness::Table`].
 
 #![warn(missing_docs)]
 
@@ -19,7 +20,8 @@ pub mod suite;
 pub mod prelude {
     pub use crate::experiments::{experiment_ids, run_experiment, Scale};
     pub use crate::harness::{
-        default_threads, fmt, parallel_map, results_table, run_all, run_all_parallel, Table,
+        default_threads, fmt, parallel_map, profile_parallel, results_table, run_all,
+        run_all_parallel, Table,
     };
     pub use crate::suite::{
         canonical_machines, canonical_schedulers, canonical_suite, Scenario, WorkloadDef,

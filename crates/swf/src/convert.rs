@@ -167,13 +167,12 @@ fn parse_u32(tok: &str, line: usize) -> Result<u32, ConvertError> {
 
 fn parse_nasa(line: &str, line_no: usize) -> Result<RawJob, ConvertError> {
     // jobid user exe nodes submit_epoch start_epoch runtime status
-    let f: Vec<&str> = line.split_whitespace().collect();
-    if f.len() != 8 {
-        return Err(ConvertError::MalformedRecord {
+    let f = crate::parse::split_exact::<8>(line.split_ascii_whitespace()).map_err(|found| {
+        ConvertError::MalformedRecord {
             line: line_no,
-            reason: format!("expected 8 fields, found {}", f.len()),
-        });
-    }
+            reason: format!("expected 8 fields, found {found}"),
+        }
+    })?;
     Ok(RawJob {
         user: Some(f[1].to_string()),
         executable: Some(f[2].to_string()),
@@ -188,13 +187,12 @@ fn parse_nasa(line: &str, line_no: usize) -> Result<RawJob, ConvertError> {
 
 fn parse_paragon(line: &str, line_no: usize) -> Result<RawJob, ConvertError> {
     // jobid|user|group|queue|partition|submit|start|end|nodes|cpu_secs|mem_kb|status
-    let f: Vec<&str> = line.split('|').collect();
-    if f.len() != 12 {
-        return Err(ConvertError::MalformedRecord {
+    let f = crate::parse::split_exact::<12>(line.split('|')).map_err(|found| {
+        ConvertError::MalformedRecord {
             line: line_no,
-            reason: format!("expected 12 pipe-separated fields, found {}", f.len()),
-        });
-    }
+            reason: format!("expected 12 pipe-separated fields, found {found}"),
+        }
+    })?;
     let queue = f[3].trim().to_string();
     Ok(RawJob {
         user: Some(f[1].trim().to_string()),
@@ -262,13 +260,12 @@ fn parse_sp2(line: &str, line_no: usize) -> Result<RawJob, ConvertError> {
 
 fn parse_cm5(line: &str, line_no: usize) -> Result<RawJob, ConvertError> {
     // jobid,user,group,exe,partition_size,submit,start,end,avg_cpu,mem_kb,outcome
-    let f: Vec<&str> = line.split(',').collect();
-    if f.len() != 11 {
-        return Err(ConvertError::MalformedRecord {
+    let f = crate::parse::split_exact::<11>(line.split(',')).map_err(|found| {
+        ConvertError::MalformedRecord {
             line: line_no,
-            reason: format!("expected 11 comma-separated fields, found {}", f.len()),
-        });
-    }
+            reason: format!("expected 11 comma-separated fields, found {found}"),
+        }
+    })?;
     // The CM-5 allocated fixed power-of-two partitions; the partition size doubles as
     // the processor count and the partition identity.
     let psize = parse_u32(f[4], line_no)?;

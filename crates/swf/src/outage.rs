@@ -146,14 +146,14 @@ impl OutageRecord {
 
     /// Parse a single data line.
     pub fn from_line(line: &str, line_no: usize) -> Result<Self, OutageParseError> {
-        let fields: Vec<&str> = line.split_whitespace().collect();
-        if fields.len() != 7 {
-            return Err(OutageParseError::WrongFieldCount {
-                line: line_no,
-                found: fields.len(),
-                expected: 7,
-            });
-        }
+        let fields =
+            crate::parse::split_exact::<7>(line.split_ascii_whitespace()).map_err(|found| {
+                OutageParseError::WrongFieldCount {
+                    line: line_no,
+                    found,
+                    expected: 7,
+                }
+            })?;
         let parse_int = |idx: usize| -> Result<i64, OutageParseError> {
             fields[idx]
                 .parse::<i64>()

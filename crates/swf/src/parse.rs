@@ -47,10 +47,36 @@ impl ParseOptions {
     }
 }
 
+/// Split a line into exactly `N` separator-delimited fields without touching
+/// the heap: the hot path of every per-line parser in this crate iterates
+/// borrowed `&str` slices into a fixed-size array instead of collecting a
+/// vector. Returns `Err(found)` with the actual field count on mismatch.
+pub(crate) fn split_exact<'a, const N: usize>(
+    mut tokens: impl Iterator<Item = &'a str>,
+) -> Result<[&'a str; N], usize> {
+    let mut out = [""; N];
+    let mut count = 0usize;
+    for tok in tokens.by_ref() {
+        if count == N {
+            return Err(N + 1 + tokens.count());
+        }
+        out[count] = tok;
+        count += 1;
+    }
+    if count == N {
+        Ok(out)
+    } else {
+        Err(count)
+    }
+}
+
 /// Parse a single data line (without comments) into a record.
 ///
 /// `line_no` is used only for error reporting. In lenient mode fractional values are
 /// truncated towards zero and out-of-range values map to unknown.
+///
+/// This is the parser's hot path: fields are consumed as borrowed `&str`
+/// slices from an ASCII whitespace split, with no per-line heap allocation.
 pub fn parse_record_line(
     line: &str,
     line_no: usize,
@@ -58,7 +84,7 @@ pub fn parse_record_line(
 ) -> Result<SwfRecord, ParseError> {
     let mut raw = [crate::record::UNKNOWN; FIELD_COUNT];
     let mut count = 0usize;
-    for (idx, tok) in line.split_whitespace().enumerate() {
+    for (idx, tok) in line.split_ascii_whitespace().enumerate() {
         if idx >= FIELD_COUNT {
             count = idx + 1;
             continue;
@@ -353,6 +379,17 @@ mod tests {
         assert_eq!(rec.job_id, 5);
         assert_eq!(rec.submit_time, 9);
         assert_eq!(rec.to_raw()[2..], [UNKNOWN; 16]);
+    }
+
+    #[test]
+    fn split_exact_counts_fields_without_allocating() {
+        assert_eq!(
+            split_exact::<3>("a b c".split_ascii_whitespace()),
+            Ok(["a", "b", "c"])
+        );
+        assert_eq!(split_exact::<3>("a b".split_ascii_whitespace()), Err(2));
+        assert_eq!(split_exact::<2>("a b c d".split_ascii_whitespace()), Err(4));
+        assert_eq!(split_exact::<2>("x|y".split('|')), Ok(["x", "y"]));
     }
 
     #[test]

@@ -1,0 +1,434 @@
+//! `psbench` — the command-line front-end of the workspace.
+//!
+//! Wires the full swf → workload → sim → sched → metrics → analyze pipeline
+//! end to end:
+//!
+//! ```text
+//! psbench stats    <INPUT>                  characterize a workload trace
+//! psbench compare  <REFERENCE> <CANDIDATE>  score a workload against a reference (KS/EMD)
+//! psbench validate <INPUT>                  check SWF conformance
+//! psbench convert  --dialect <D> <RAWFILE>  convert a raw accounting log to SWF
+//! psbench simulate <INPUT> [--scheduler S]  run a trace through a scheduler
+//! psbench sweep    [ID...|all]              run experiments E1..E10
+//! ```
+//!
+//! An `<INPUT>` is either a path to an SWF file or a model spec
+//! `model:<name>` (`feitelson96`, `jann97`, `downey97`, `lublin99`,
+//! `sessions`), generated with `--jobs`, `--seed` and `--machine`. Reports are
+//! rendered deterministically: the same inputs produce byte-identical output
+//! for any `--threads` value.
+
+use psbench::analyze::{json_escape, render_fidelity, render_profile, FidelityReport, Format};
+use psbench::core::{
+    default_threads, fmt, profile_parallel, run_experiment, Scale, Table, WorkloadKind,
+};
+use psbench::sched::by_name;
+use psbench::sim::{SimConfig, SimJob, Simulation};
+use psbench::swf::{
+    convert, validate, write_string, ConvertOptions, Dialect, ParseOptions, SwfLog,
+};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+psbench — benchmarks and standards for the evaluation of parallel job schedulers
+
+USAGE:
+    psbench <SUBCOMMAND> [ARGS] [OPTIONS]
+
+SUBCOMMANDS:
+    stats    <INPUT>                   characterize a workload (marginals, cycles, users)
+    compare  <REFERENCE> <CANDIDATE>   KS/EMD fidelity of a workload vs a reference trace
+    validate <INPUT>                   check conformance to the SWF standard
+    convert  --dialect <D> <RAWFILE>   convert a raw accounting log to SWF
+                                       (dialects: nasa-ipsc860, sdsc-paragon, ctc-sp2, lanl-cm5)
+    simulate <INPUT>                   run a trace through a scheduler, report metrics
+    sweep    [ID ... | all]            run experiments E1..E10 (default: all)
+
+INPUTS:
+    Either a path to an SWF file, or `model:<name>` with <name> one of
+    feitelson96, jann97, downey97, lublin99, sessions — generated on the fly
+    from --jobs / --seed / --machine.
+
+OPTIONS:
+    --jobs <N>        jobs to generate for model inputs        [default: 1000]
+    --seed <N>        RNG seed for model inputs                [default: 1]
+    --machine <N>     machine size in processors               [default: 128]
+    --format <F>      output format: md, csv, json             [default: md]
+    --threads <N>     analysis worker threads                  [default: all hardware threads]
+    --scheduler <S>   scheduler for `simulate`                 [default: easy]
+    --dialect <D>     raw-log dialect for `convert`
+    --scale <S>       experiment scale for `sweep`: quick|full [default: quick]
+    --out <FILE>      write the report to FILE instead of stdout
+    --strict          strict parsing / conversion
+    -h, --help        print this help
+";
+
+/// Parsed command-line options shared by all subcommands.
+struct Opts {
+    positional: Vec<String>,
+    jobs: usize,
+    seed: u64,
+    machine: u32,
+    format: Format,
+    threads: usize,
+    scheduler: String,
+    dialect: Option<String>,
+    scale: String,
+    out: Option<String>,
+    strict: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        positional: Vec::new(),
+        jobs: 1000,
+        seed: 1,
+        machine: 128,
+        format: Format::Markdown,
+        threads: default_threads(),
+        scheduler: "easy".to_string(),
+        dialect: None,
+        scale: "quick".to_string(),
+        out: None,
+        strict: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        match arg.as_str() {
+            "--jobs" => opts.jobs = num(&value("--jobs")?)?,
+            "--seed" => opts.seed = num(&value("--seed")?)?,
+            "--machine" => opts.machine = num(&value("--machine")?)?,
+            "--threads" => opts.threads = num::<usize>(&value("--threads")?)?.max(1),
+            "--format" => {
+                let v = value("--format")?;
+                opts.format = Format::parse(&v).ok_or_else(|| format!("unknown format {v:?}"))?;
+            }
+            "--scheduler" => opts.scheduler = value("--scheduler")?,
+            "--dialect" => opts.dialect = Some(value("--dialect")?),
+            "--scale" => opts.scale = value("--scale")?,
+            "--out" => opts.out = Some(value("--out")?),
+            "--strict" => opts.strict = true,
+            other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
+            other => opts.positional.push(other.to_string()),
+        }
+    }
+    if opts.machine == 0 {
+        return Err("--machine must be at least 1 processor".to_string());
+    }
+    Ok(opts)
+}
+
+fn num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid number {s:?}"))
+}
+
+/// Resolve an input spec — `model:<name>` or a file path — into a named log.
+fn resolve_input(spec: &str, opts: &Opts) -> Result<(String, SwfLog), String> {
+    if let Some(name) = spec.strip_prefix("model:") {
+        let kind = WorkloadKind::all()
+            .iter()
+            .find(|k| k.name() == name)
+            .ok_or_else(|| {
+                format!(
+                    "unknown model {name:?}; expected one of {}",
+                    WorkloadKind::all()
+                        .iter()
+                        .map(|k| k.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })?;
+        let log = kind.model(opts.machine).generate(opts.jobs, opts.seed);
+        return Ok((spec.to_string(), log));
+    }
+    let text = std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec:?}: {e}"))?;
+    let parse_opts = if opts.strict {
+        ParseOptions::strict()
+    } else {
+        ParseOptions::default()
+    };
+    let log = psbench::swf::parse_str(&text, &parse_opts)
+        .map_err(|e| format!("cannot parse {spec:?}: {e}"))?;
+    let name = std::path::Path::new(spec)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(spec)
+        .to_string();
+    Ok((name, log))
+}
+
+/// Render a harness table in the CLI's output format.
+fn render_table(table: &Table, format: Format) -> String {
+    match format {
+        Format::Markdown => table.to_markdown(),
+        Format::Csv => table.to_csv(),
+        Format::Json => {
+            let mut out = String::new();
+            out.push_str("{\"title\":\"");
+            out.push_str(&json_escape(&table.title));
+            out.push_str("\",\"headers\":[");
+            for (i, h) in table.headers.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&json_escape(h));
+                out.push('"');
+            }
+            out.push_str("],\"rows\":[");
+            for (i, row) in table.rows.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                for (j, cell) in row.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&json_escape(cell));
+                    out.push('"');
+                }
+                out.push(']');
+            }
+            out.push_str("]}");
+            out
+        }
+    }
+}
+
+fn emit(opts: &Opts, content: &str) -> Result<(), String> {
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, content).map_err(|e| format!("cannot write {path:?}: {e}"))
+        }
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_stats(opts: &Opts) -> Result<ExitCode, String> {
+    let spec = opts
+        .positional
+        .first()
+        .ok_or("stats expects an <INPUT> (file path or model:<name>)")?;
+    let (name, log) = resolve_input(spec, opts)?;
+    let profile = profile_parallel(&name, &log, opts.threads);
+    emit(opts, &render_profile(&profile, opts.format))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_compare(opts: &Opts) -> Result<ExitCode, String> {
+    let [reference, candidate] = opts.positional.as_slice() else {
+        return Err("compare expects exactly <REFERENCE> and <CANDIDATE> inputs".to_string());
+    };
+    let (ref_name, ref_log) = resolve_input(reference, opts)?;
+    let (cand_name, cand_log) = resolve_input(candidate, opts)?;
+    let ref_profile = profile_parallel(&ref_name, &ref_log, opts.threads);
+    let cand_profile = profile_parallel(&cand_name, &cand_log, opts.threads);
+    let report = FidelityReport::compare(&ref_profile, &cand_profile);
+    emit(opts, &render_fidelity(&report, opts.format))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_validate(opts: &Opts) -> Result<ExitCode, String> {
+    let spec = opts
+        .positional
+        .first()
+        .ok_or("validate expects an <INPUT> (file path or model:<name>)")?;
+    let (name, log) = resolve_input(spec, opts)?;
+    let report = validate(&log);
+    let mut table = Table::new(
+        format!("SWF conformance — {name}"),
+        &["records", "violations", "clean?"],
+    );
+    table.push_row(vec![
+        report.records.to_string(),
+        report.violations.len().to_string(),
+        report.is_clean().to_string(),
+    ]);
+    let mut out = render_table(&table, opts.format);
+    if !report.is_clean() && opts.format != Format::Json {
+        out.push('\n');
+        for v in report.violations.iter().take(20) {
+            out.push_str(&format!("violation: {v:?}\n"));
+        }
+        if report.violations.len() > 20 {
+            out.push_str(&format!("... and {} more\n", report.violations.len() - 20));
+        }
+    }
+    emit(opts, &out)?;
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_convert(opts: &Opts) -> Result<ExitCode, String> {
+    let spec = opts
+        .positional
+        .first()
+        .ok_or("convert expects a <RAWFILE> path")?;
+    let dialect_name = opts
+        .dialect
+        .as_deref()
+        .ok_or("convert requires --dialect <D>")?;
+    let dialect = Dialect::all()
+        .iter()
+        .find(|d| d.name() == dialect_name)
+        .copied()
+        .ok_or_else(|| {
+            format!(
+                "unknown dialect {dialect_name:?}; expected one of {}",
+                Dialect::all()
+                    .iter()
+                    .map(|d| d.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })?;
+    let raw = std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec:?}: {e}"))?;
+    let conversion = convert(
+        &raw,
+        dialect,
+        Some(opts.machine),
+        &ConvertOptions {
+            strict: opts.strict,
+        },
+    )
+    .map_err(|e| format!("conversion failed: {e}"))?;
+    if conversion.skipped > 0 {
+        eprintln!("warning: skipped {} unparseable lines", conversion.skipped);
+    }
+    emit(opts, &write_string(&conversion.log))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_simulate(opts: &Opts) -> Result<ExitCode, String> {
+    let spec = opts
+        .positional
+        .first()
+        .ok_or("simulate expects an <INPUT> (file path or model:<name>)")?;
+    let (name, log) = resolve_input(spec, opts)?;
+    let machine = if spec.starts_with("model:") {
+        opts.machine
+    } else {
+        log.machine_size().max(1)
+    };
+    let mut scheduler = by_name(&opts.scheduler, machine)
+        .ok_or_else(|| format!("unknown scheduler {:?}", opts.scheduler))?;
+    let jobs = SimJob::from_log(&log);
+    let result = Simulation::new(SimConfig::new(machine), jobs).run(scheduler.as_mut());
+    let agg = result.aggregate();
+    let sys = result.system();
+    let mut table = Table::new(
+        format!(
+            "Simulation — {name} under {} on {machine} procs",
+            opts.scheduler
+        ),
+        &[
+            "jobs",
+            "mean wait [s]",
+            "mean response [s]",
+            "mean bounded slowdown",
+            "utilization",
+            "loss of capacity",
+        ],
+    );
+    table.push_row(vec![
+        agg.jobs.to_string(),
+        fmt(agg.wait_time.mean),
+        fmt(agg.response_time.mean),
+        fmt(agg.bounded_slowdown.mean),
+        fmt(sys.utilization),
+        fmt(sys.loss_of_capacity),
+    ]);
+    emit(opts, &render_table(&table, opts.format))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_sweep(opts: &Opts) -> Result<ExitCode, String> {
+    let scale = match opts.scale.as_str() {
+        "quick" => Scale::quick(),
+        "full" => Scale::full(),
+        other => return Err(format!("unknown scale {other:?}; expected quick or full")),
+    };
+    let ids: Vec<String> =
+        if opts.positional.is_empty() || opts.positional.iter().any(|p| p == "all") {
+            psbench::core::experiment_ids()
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        } else {
+            opts.positional.clone()
+        };
+    // JSON output is one document: an array with one object per experiment.
+    let mut out = String::new();
+    if opts.format == Format::Json {
+        out.push('[');
+    }
+    for (i, id) in ids.iter().enumerate() {
+        let table =
+            run_experiment(id, scale).ok_or_else(|| format!("unknown experiment {id:?}"))?;
+        if i > 0 {
+            out.push(if opts.format == Format::Json {
+                ','
+            } else {
+                '\n'
+            });
+        }
+        out.push_str(&render_table(&table, opts.format));
+        if opts.format != Format::Json {
+            out.push('\n');
+        }
+    }
+    if opts.format == Format::Json {
+        out.push(']');
+    }
+    emit(opts, &out)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(sub) = args.first() else {
+        return Err(String::new());
+    };
+    if args.iter().any(|a| a == "-h" || a == "--help") || sub == "help" {
+        print!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let opts = parse_opts(&args[1..])?;
+    match sub.as_str() {
+        "stats" => cmd_stats(&opts),
+        "compare" => cmd_compare(&opts),
+        "validate" => cmd_validate(&opts),
+        "convert" => cmd_convert(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "sweep" => cmd_sweep(&opts),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            if msg.is_empty() {
+                eprint!("{USAGE}");
+            } else {
+                eprintln!("error: {msg}");
+                eprintln!("run `psbench --help` for usage");
+            }
+            ExitCode::from(2)
+        }
+    }
+}

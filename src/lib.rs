@@ -4,6 +4,8 @@
 //! for details:
 //!
 //! * [`swf`] — the Standard Workload Format (SWF v2) and the standard outage format.
+//! * [`analyze`] — workload characterization (mergeable streaming sketches) and
+//!   model validation (KS / earth-mover's distances, fidelity reports).
 //! * [`metrics`] — per-job and aggregate metrics, objective functions, statistics.
 //! * [`workload`] — workload models (Feitelson96, Jann97, Downey97, Lublin99),
 //!   flexible jobs, feedback sessions, raw-log emulation, outage generation.
@@ -14,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub use psbench_analyze as analyze;
 pub use psbench_core as core;
 pub use psbench_metasim as metasim;
 pub use psbench_metrics as metrics;

@@ -1,0 +1,221 @@
+//! End-to-end tests of the `psbench` binary: every subcommand, plus the
+//! acceptance property that reports are byte-identical between sequential
+//! (`--threads 1`) and parallel analysis runs.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn psbench(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_psbench"))
+        .args(args)
+        .output()
+        .expect("psbench binary runs")
+}
+
+fn stdout_of(args: &[&str]) -> String {
+    let out = psbench(args);
+    assert!(
+        out.status.success(),
+        "psbench {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+/// A scratch file path unique to this test process.
+fn scratch(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("psbench-cli-{}-{name}", std::process::id()));
+    p
+}
+
+/// Write a reference trace to disk through the library, for file-input tests.
+fn write_reference_trace(name: &str, jobs: usize, seed: u64) -> PathBuf {
+    use psbench::workload::{Lublin99, WorkloadModel};
+    let log = Lublin99::default().generate(jobs, seed);
+    let path = scratch(name);
+    std::fs::write(&path, psbench::swf::write_string(&log)).unwrap();
+    path
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = psbench(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for sub in [
+        "stats", "compare", "validate", "convert", "simulate", "sweep",
+    ] {
+        assert!(text.contains(sub), "usage should mention {sub}");
+    }
+}
+
+#[test]
+fn no_args_is_a_usage_error() {
+    let out = psbench(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = psbench(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn zero_machine_size_is_a_usage_error_not_a_panic() {
+    let out = psbench(&["stats", "model:lublin99", "--machine", "0", "--jobs", "50"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--machine"));
+}
+
+#[test]
+fn stats_is_deterministic_across_runs_and_thread_counts() {
+    let base = ["stats", "model:lublin99", "--jobs", "800", "--seed", "7"];
+    let a = stdout_of(&base);
+    let b = stdout_of(&base);
+    assert_eq!(a, b, "two identical runs must match byte for byte");
+    let seq = stdout_of(&[&base[..], &["--threads", "1"]].concat());
+    let par = stdout_of(&[&base[..], &["--threads", "8"]].concat());
+    assert_eq!(seq, par, "sequential and parallel analysis must match");
+    assert!(a.contains("Workload profile — model:lublin99"));
+    assert!(a.contains("| interarrival |"));
+}
+
+#[test]
+fn stats_reads_swf_files_and_all_formats_render() {
+    let path = write_reference_trace("stats.swf", 300, 42);
+    let p = path.to_str().unwrap();
+    let md = stdout_of(&["stats", p]);
+    assert!(md.contains("| runtime | s | 300 |"));
+    let csv = stdout_of(&["stats", p, "--format", "csv"]);
+    assert!(csv.contains("marginal,unit,count"));
+    let json = stdout_of(&["stats", p, "--format", "json"]);
+    assert!(json.contains("\"jobs\":300"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn compare_scores_lublin99_against_a_reference_trace() {
+    // The acceptance scenario: a Lublin99-generated workload scored against a
+    // reference trace, KS/EMD per marginal, byte-identical seq vs par.
+    let path = write_reference_trace("ref.swf", 600, 424_242);
+    let p = path.to_str().unwrap();
+    let base = [
+        "compare",
+        p,
+        "model:lublin99",
+        "--jobs",
+        "600",
+        "--seed",
+        "58",
+    ];
+    let seq = stdout_of(&[&base[..], &["--threads", "1"]].concat());
+    let par = stdout_of(&[&base[..], &["--threads", "8"]].concat());
+    assert_eq!(
+        seq, par,
+        "fidelity report must be byte-identical between sequential and parallel runs"
+    );
+    for marginal in ["interarrival", "runtime", "size", "accuracy", "diurnal"] {
+        assert!(
+            seq.contains(&format!("| {marginal} |")),
+            "missing {marginal}"
+        );
+    }
+    // Same model, different seed: the fidelity score should be small.
+    let json = stdout_of(&[&base[..], &["--format", "json"]].concat());
+    let mean_ks: f64 = json
+        .split("\"mean_ks\":")
+        .nth(1)
+        .and_then(|s| s.split(&[',', '}'][..]).next())
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        (0.0..0.25).contains(&mean_ks),
+        "same-model mean KS should be small, got {mean_ks}"
+    );
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn validate_passes_clean_logs_and_fails_broken_ones() {
+    let ok = psbench(&["validate", "model:jann97", "--jobs", "120"]);
+    assert!(ok.status.success());
+
+    // A log violating the standard: first submit nonzero, ids not 1..n.
+    let path = scratch("broken.swf");
+    std::fs::write(
+        &path,
+        ";MaxNodes: 64\n7 100 0 50 4 -1 -1 4 60 -1 1 1 1 1 1 1 -1 -1\n",
+    )
+    .unwrap();
+    let bad = psbench(&["validate", path.to_str().unwrap()]);
+    assert_eq!(bad.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&bad.stdout).contains("violation:"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn convert_emits_swf_that_validates() {
+    let raw = scratch("raw.log");
+    std::fs::write(
+        &raw,
+        "1 alice cfd 32 1000 1010 600 ok\n2 bob qcd 64 1100 1200 1200 ok\n",
+    )
+    .unwrap();
+    let swf_out = scratch("converted.swf");
+    let out = psbench(&[
+        "convert",
+        "--dialect",
+        "nasa-ipsc860",
+        raw.to_str().unwrap(),
+        "--machine",
+        "128",
+        "--out",
+        swf_out.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let ok = psbench(&["validate", swf_out.to_str().unwrap()]);
+    assert!(ok.status.success(), "converted output should be clean SWF");
+    let unknown = psbench(&["convert", "--dialect", "vax", raw.to_str().unwrap()]);
+    assert_eq!(unknown.status.code(), Some(2));
+    std::fs::remove_file(raw).ok();
+    std::fs::remove_file(swf_out).ok();
+}
+
+#[test]
+fn simulate_reports_scheduler_metrics() {
+    let md = stdout_of(&[
+        "simulate",
+        "model:lublin99",
+        "--jobs",
+        "150",
+        "--scheduler",
+        "easy",
+    ]);
+    assert!(md.contains("Simulation — model:lublin99 under easy"));
+    assert!(md.contains("| 150 |"));
+    let bad = psbench(&["simulate", "model:lublin99", "--scheduler", "no-such"]);
+    assert_eq!(bad.status.code(), Some(2));
+}
+
+#[test]
+fn sweep_runs_the_fidelity_experiment() {
+    // Uses quick scale; E10 alone keeps the test fast.
+    let md = stdout_of(&["sweep", "E10"]);
+    assert!(md.contains("E10 — model fidelity"));
+    for model in ["feitelson96", "jann97", "downey97", "lublin99"] {
+        assert!(md.contains(model), "sweep output should mention {model}");
+    }
+    let bad = psbench(&["sweep", "E99"]);
+    assert_eq!(bad.status.code(), Some(2));
+}
+
+#[test]
+fn sweep_json_is_one_document() {
+    // Multiple experiments in JSON format must form a single parseable array,
+    // not concatenated objects.
+    let json = stdout_of(&["sweep", "E3", "E10", "--format", "json"]);
+    assert!(json.starts_with('[') && json.ends_with(']'), "not an array");
+    assert_eq!(json.matches("\"title\":").count(), 2);
+    assert!(json.contains("},{"), "objects must be comma-separated");
+    assert_eq!(json.matches('"').count() % 2, 0);
+}
