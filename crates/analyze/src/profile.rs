@@ -16,7 +16,7 @@
 //! approximately.
 
 use crate::sketch::{Correlation, MarginalSketch, Moments};
-use psbench_swf::{SwfLog, SwfRecord};
+use psbench_swf::{JobSource, ParseError, SwfLog, SwfRecord};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -72,8 +72,9 @@ impl GroupStats {
 
 /// The streaming characterization of a workload trace.
 ///
-/// Build one with [`WorkloadProfile::of_log`] (sequential) or by merging
-/// chunk profiles from [`WorkloadProfile::of_job_slice`].
+/// Build one with [`WorkloadProfile::of_source`] (streaming, O(1) record
+/// memory), [`WorkloadProfile::of_log`] (sequential over an in-memory log),
+/// or by merging chunk profiles from [`WorkloadProfile::of_records`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct WorkloadProfile {
     /// Display name of the profiled workload.
@@ -155,22 +156,39 @@ impl WorkloadProfile {
 
     /// Profile a whole log in one sequential pass over its summary records.
     pub fn of_log(name: impl Into<String>, log: &SwfLog) -> Self {
+        WorkloadProfile::of_records(name, &log.jobs)
+    }
+
+    /// Profile a contiguous run of records (summary filtering happens
+    /// inside). This is the chunk primitive: profiles of consecutive runs
+    /// merge back into the whole-trace profile via [`WorkloadProfile::merge`].
+    pub fn of_records(name: impl Into<String>, records: &[SwfRecord]) -> Self {
         let mut p = WorkloadProfile::named(name);
-        for rec in log.summaries() {
+        for rec in records.iter().filter(|r| r.is_summary()) {
             p.add(rec);
         }
         p
     }
 
-    /// Profile one contiguous chunk `jobs[start..end]` of a log's record list
-    /// (summary filtering happens inside). Chunk profiles merge back into the
-    /// whole-trace profile via [`WorkloadProfile::merge`].
-    pub fn of_job_slice(name: impl Into<String>, log: &SwfLog, start: usize, end: usize) -> Self {
-        let mut p = WorkloadProfile::named(name);
-        for rec in log.jobs[start..end].iter().filter(|r| r.is_summary()) {
-            p.add(rec);
+    /// Profile a streaming [`JobSource`] in one sequential pass, in O(1)
+    /// record memory.
+    ///
+    /// The profile takes its display name from the source's metadata, and the
+    /// result is **bit-identical** to [`WorkloadProfile::of_log`] over the
+    /// collected log: streamed, chunk-merged and materialized analyses can
+    /// never disagree. Fails only if the source itself fails (e.g. a malformed
+    /// archive file mid-stream).
+    pub fn of_source<S: JobSource>(mut source: S) -> Result<Self, ParseError> {
+        let mut p = WorkloadProfile::named(source.meta().name.clone());
+        while let Some(rec) = source.next_record() {
+            p.add(&rec?);
         }
-        p
+        Ok(p)
+    }
+
+    /// Profile one contiguous chunk `jobs[start..end]` of a log's record list.
+    pub fn of_job_slice(name: impl Into<String>, log: &SwfLog, start: usize, end: usize) -> Self {
+        WorkloadProfile::of_records(name, &log.jobs[start..end])
     }
 
     /// Fold the profile of the *following* trace chunk into this one.
@@ -336,6 +354,23 @@ mod tests {
             let chunked = profile_chunked("l", &log, chunks, |n, f| (0..n).map(f).collect());
             assert_eq!(chunked, seq, "chunks = {chunks}");
         }
+    }
+
+    #[test]
+    fn streamed_profile_is_bit_identical_to_of_log() {
+        let log = sample_log();
+        let seq = WorkloadProfile::of_log("l", &log);
+        let streamed = WorkloadProfile::of_source(log.as_source("l")).unwrap();
+        assert_eq!(streamed, seq);
+    }
+
+    #[test]
+    fn of_source_surfaces_stream_errors() {
+        use psbench_swf::{ParseOptions, RecordIter};
+        let bad = "1 0 10\n";
+        let err =
+            WorkloadProfile::of_source(RecordIter::new(bad.as_bytes(), ParseOptions::default()));
+        assert!(err.is_err());
     }
 
     #[test]

@@ -304,6 +304,8 @@ fn fidelity_sections(r: &FidelityReport) -> Vec<Section> {
                 m.unit.to_string(),
                 fmt_num(m.ks),
                 fmt_num(m.emd),
+                fmt_num(m.chi2),
+                fmt_num(m.ad),
             ]
         })
         .collect();
@@ -312,13 +314,15 @@ fn fidelity_sections(r: &FidelityReport) -> Vec<Section> {
         "-".into(),
         fmt_num(r.mean_ks()),
         "-".into(),
+        fmt_num(r.mean_chi2()),
+        fmt_num(r.mean_ad()),
     ]);
     vec![Section {
         title: format!(
             "Model fidelity — {} vs {} ({} / {} jobs)",
             r.candidate, r.reference, r.jobs.1, r.jobs.0
         ),
-        headers: vec!["marginal", "unit", "KS", "EMD"],
+        headers: vec!["marginal", "unit", "KS", "EMD", "chi2", "AD"],
         rows,
     }]
 }
@@ -339,18 +343,22 @@ fn fidelity_json(r: &FidelityReport) -> String {
         }
         let _ = write!(
             out,
-            "{{\"marginal\":\"{}\",\"unit\":\"{}\",\"ks\":{},\"emd\":{}}}",
+            "{{\"marginal\":\"{}\",\"unit\":\"{}\",\"ks\":{},\"emd\":{},\"chi2\":{},\"ad\":{}}}",
             json_escape(&m.marginal),
             m.unit,
             json_num(m.ks),
-            json_num(m.emd)
+            json_num(m.emd),
+            json_num(m.chi2),
+            json_num(m.ad)
         );
     }
     let _ = write!(
         out,
-        "],\"mean_ks\":{},\"max_ks\":{}}}",
+        "],\"mean_ks\":{},\"max_ks\":{},\"mean_chi2\":{},\"mean_ad\":{}}}",
         json_num(r.mean_ks()),
-        json_num(r.max_ks())
+        json_num(r.max_ks()),
+        json_num(r.mean_chi2()),
+        json_num(r.mean_ad())
     );
     out
 }

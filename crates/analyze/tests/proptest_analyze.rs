@@ -93,6 +93,59 @@ proptest! {
     }
 
     #[test]
+    fn streamed_chunked_profile_merges_bit_identical_to_sequential(
+        gaps in prop::collection::vec(0i64..50_000, 2..120),
+        cuts in prop::collection::vec(1usize..120, 0..6),
+    ) {
+        // A conforming log built from arbitrary gaps, streamed in arbitrary
+        // contiguous chunks: merging the chunk profiles (the streaming
+        // pipeline's block path) must equal both the sequential stream and
+        // the materialized pass, bit for bit.
+        let mut submit = 0i64;
+        let mut log = psbench_swf::SwfLog::default();
+        for (i, &g) in gaps.iter().enumerate() {
+            submit += g;
+            log.jobs.push(
+                SwfRecordBuilder::new(i as u64 + 1, submit)
+                    .run_time((g % 5000) + 1)
+                    .allocated_procs((g % 64) as u32 + 1)
+                    .requested_time((g % 5000) + 100)
+                    .user_id((g % 7) as u32 + 1)
+                    .build(),
+            );
+        }
+        let seq = WorkloadProfile::of_log("p", &log);
+        let streamed = WorkloadProfile::of_source(log.as_source("p")).unwrap();
+        prop_assert_eq!(&streamed, &seq);
+        // Cut the record list at arbitrary boundaries and merge chunk profiles.
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| c % log.jobs.len()).collect();
+        bounds.push(0);
+        bounds.push(log.jobs.len());
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut merged = WorkloadProfile::named("p");
+        for w in bounds.windows(2) {
+            merged.merge(&WorkloadProfile::of_records("p", &log.jobs[w[0]..w[1]]));
+        }
+        prop_assert_eq!(merged, seq); // bit-identical, not approximate
+    }
+
+    #[test]
+    fn chi_square_and_ad_are_bounded_symmetric_and_reflexive(
+        xs in prop::collection::vec(obs(), 0..200),
+        ys in prop::collection::vec(obs(), 0..200),
+    ) {
+        let (a, b) = (hist_of(&xs), hist_of(&ys));
+        for d in [chi_square(&a, &b), ad_distance(&a, &b)] {
+            prop_assert!((0.0..=1.0).contains(&d), "distance out of range: {d}");
+        }
+        prop_assert_eq!(chi_square(&a, &a), 0.0);
+        prop_assert_eq!(ad_distance(&a, &a), 0.0);
+        prop_assert_eq!(chi_square(&a, &b), chi_square(&b, &a));
+        prop_assert_eq!(ad_distance(&a, &b), ad_distance(&b, &a));
+    }
+
+    #[test]
     fn ks_distance_is_bounded_and_reflexive(
         xs in prop::collection::vec(obs(), 0..200),
         ys in prop::collection::vec(obs(), 0..200),

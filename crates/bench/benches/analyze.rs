@@ -1,11 +1,12 @@
 //! Benches for the trace-analysis subsystem: SWF parsing throughput and the
 //! single-pass characterization of a 100k-job trace, sequential and chunked
-//! parallel, plus the KS/EMD fidelity comparison.
+//! parallel, the KS/EMD fidelity comparison, and the end-to-end streaming
+//! parse+profile pipeline over a 1M-job synthetic log.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use psbench_analyze::{FidelityReport, WorkloadProfile};
-use psbench_core::{default_threads, profile_parallel};
-use psbench_swf::{parse, write_string};
+use psbench_core::{default_threads, profile_parallel, profile_source_parallel};
+use psbench_swf::{parse, write_string, ParseOptions, RecordIter};
 use psbench_workload::{Lublin99, WorkloadModel};
 use std::hint::black_box;
 
@@ -43,5 +44,36 @@ fn bench_analyze_pass(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_swf_parse_throughput, bench_analyze_pass);
+/// The streaming acceptance scenario at benchmark scale: incrementally parse
+/// and profile a 1M-job SWF text through the `JobSource` pipeline, in
+/// O(block) record memory, and compare against the materialize-then-profile
+/// baseline that holds the whole record vector.
+fn bench_streaming_pipeline(c: &mut Criterion) {
+    const STREAM_JOBS: usize = 1_000_000;
+    let text = write_string(&Lublin99::default().generate(STREAM_JOBS, 42));
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(STREAM_JOBS as u64));
+    group.bench_function("stream_parse_profile_1m", |b| {
+        b.iter(|| {
+            let source =
+                RecordIter::new(text.as_bytes(), ParseOptions::default()).with_name("bench");
+            black_box(profile_source_parallel(source, default_threads()).unwrap())
+        })
+    });
+    group.bench_function("materialize_parse_profile_1m", |b| {
+        b.iter(|| {
+            let log = parse(&text).unwrap();
+            black_box(profile_parallel("bench", &log, default_threads()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_swf_parse_throughput,
+    bench_analyze_pass,
+    bench_streaming_pipeline
+);
 criterion_main!(benches);

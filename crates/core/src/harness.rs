@@ -5,7 +5,7 @@ use crate::suite::Scenario;
 use parking_lot::Mutex;
 use psbench_analyze::WorkloadProfile;
 use psbench_sim::SimulationResult;
-use psbench_swf::SwfLog;
+use psbench_swf::{JobSource, ParseError, SwfLog, SwfRecord};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -140,15 +140,78 @@ pub fn run_all_parallel(
     })
 }
 
-/// Characterize a workload trace on `threads` worker threads: the record list
+/// Number of records buffered per streamed block by
+/// [`profile_source_parallel`]: the peak record storage of a streaming
+/// analysis, regardless of trace length.
+pub const PROFILE_BLOCK_LEN: usize = 65_536;
+
+/// Characterize a streaming [`JobSource`] on `threads` worker threads with
+/// peak record storage bounded by [`PROFILE_BLOCK_LEN`].
+///
+/// Records are pulled from the source into a reused block buffer; each block
 /// is cut into contiguous chunks (a few per thread, so long chunks balance),
-/// each chunk is profiled independently on the [`parallel_map`] pool, and the
-/// chunk profiles are folded in input order.
+/// the chunks are profiled independently on the [`parallel_map`] pool, and
+/// the chunk profiles are folded in input order. A multi-million-job archive
+/// log therefore profiles in O([`PROFILE_BLOCK_LEN`]) memory instead of
+/// O(log).
 ///
 /// The analyze sketches keep integer-exact, associatively-mergeable state and
-/// the merge re-adds the interarrival gap at every chunk boundary, so the
-/// result — and any report rendered from it — is **bit-identical** to the
-/// sequential single pass `WorkloadProfile::of_log` for any thread count.
+/// the merge re-adds the interarrival gap at every block and chunk boundary,
+/// so the result — and any report rendered from it — is **bit-identical** to
+/// the sequential single pass `WorkloadProfile::of_source` for any thread
+/// count and any block length.
+pub fn profile_source_parallel<S: JobSource>(
+    mut source: S,
+    threads: usize,
+) -> Result<WorkloadProfile, ParseError> {
+    let threads = threads.max(1);
+    if threads == 1 {
+        return WorkloadProfile::of_source(source);
+    }
+    let name = source.meta().name.clone();
+    let mut whole = WorkloadProfile::named(&name);
+    let mut block: Vec<SwfRecord> = Vec::with_capacity(PROFILE_BLOCK_LEN.min(4096));
+    loop {
+        block.clear();
+        while block.len() < PROFILE_BLOCK_LEN {
+            match source.next_record() {
+                Some(Ok(rec)) => block.push(rec),
+                Some(Err(e)) => return Err(e),
+                None => break,
+            }
+        }
+        if block.is_empty() {
+            break;
+        }
+        let n = block.len();
+        let chunks = (threads * 4).min(n);
+        let bounds: Vec<(usize, usize)> = (0..chunks)
+            .map(|c| (c * n / chunks, (c + 1) * n / chunks))
+            .collect();
+        let block_ref = &block;
+        let parts = parallel_map(chunks, threads, |c| {
+            let (start, end) = bounds[c];
+            WorkloadProfile::of_records(&name, &block_ref[start..end])
+        });
+        for part in &parts {
+            whole.merge(part);
+        }
+        if n < PROFILE_BLOCK_LEN {
+            break;
+        }
+    }
+    Ok(whole)
+}
+
+/// Characterize an in-memory workload trace on `threads` worker threads: the
+/// record list is cut into contiguous chunks (a few per thread, so long
+/// chunks balance), each chunk is profiled in place — zero copies — on the
+/// [`parallel_map`] pool, and the chunk profiles are folded in input order.
+///
+/// This is the materialized twin of [`profile_source_parallel`]: the
+/// sketches' exact merge makes both **bit-identical** to the sequential
+/// single pass `WorkloadProfile::of_log` for any thread count (CI asserts
+/// the CLI-level equivalence via `psbench stats --materialize`).
 pub fn profile_parallel(name: &str, log: &SwfLog, threads: usize) -> WorkloadProfile {
     let threads = threads.max(1);
     if threads == 1 {
@@ -253,6 +316,24 @@ mod tests {
             render_profile(&profile_parallel("w", &log, 4), Format::Markdown),
             render_profile(&seq, Format::Markdown),
         );
+    }
+
+    #[test]
+    fn streamed_profile_is_bit_identical_to_materialized() {
+        use psbench_workload::GeneratedStream;
+        let def = WorkloadDef::new(WorkloadKind::Lublin99, 64, 500, 123);
+        let log = def.generate();
+        let seq = WorkloadProfile::of_log("w", &log);
+        for threads in [1usize, 2, 5, 16] {
+            // Streaming from the in-memory log...
+            let streamed = profile_source_parallel(log.as_source("w"), threads).unwrap();
+            assert_eq!(streamed, seq, "log source, threads = {threads}");
+            // ... and from a lazily generated model stream.
+            let model = WorkloadKind::Lublin99.model(64);
+            let gen = GeneratedStream::new(model, 500, 123).with_name("w");
+            let from_model = profile_source_parallel(gen, threads).unwrap();
+            assert_eq!(from_model, seq, "generated stream, threads = {threads}");
+        }
     }
 
     #[test]

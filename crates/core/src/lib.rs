@@ -20,8 +20,8 @@ pub mod suite;
 pub mod prelude {
     pub use crate::experiments::{experiment_ids, run_experiment, Scale};
     pub use crate::harness::{
-        default_threads, fmt, parallel_map, profile_parallel, results_table, run_all,
-        run_all_parallel, Table,
+        default_threads, fmt, parallel_map, profile_parallel, profile_source_parallel,
+        results_table, run_all, run_all_parallel, Table, PROFILE_BLOCK_LEN,
     };
     pub use crate::suite::{
         canonical_machines, canonical_schedulers, canonical_suite, Scenario, WorkloadDef,

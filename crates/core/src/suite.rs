@@ -137,8 +137,8 @@ impl Scenario {
         let jobs = SimJob::from_log(&log);
         let mut config = SimConfig::new(self.workload.machine_size);
         config.closed_loop = self.closed_loop;
-        let mut scheduler = by_name(&self.scheduler, self.workload.machine_size)
-            .unwrap_or_else(|| panic!("unknown scheduler {:?}", self.scheduler));
+        let mut scheduler =
+            by_name(&self.scheduler, self.workload.machine_size).unwrap_or_else(|e| panic!("{e}"));
         Simulation::new(config, jobs).run(scheduler.as_mut())
     }
 }

@@ -26,6 +26,7 @@ pub mod prelude {
     pub use crate::drain::DrainingEasy;
     pub use crate::gang::{GangScheduler, Packing};
     pub use crate::queue_order::{Fcfs, Order, SortedGreedy};
+    pub use crate::{by_name, scheduler_names, standard_schedulers, UnknownScheduler};
 }
 
 pub use prelude::*;
@@ -46,27 +47,68 @@ pub fn standard_schedulers(machine_size: u32) -> Vec<Box<dyn Scheduler>> {
     ]
 }
 
-/// Construct a scheduler by its registry name (the names reported by
-/// [`Scheduler::name`]); `None` for unknown names.
-pub fn by_name(name: &str, machine_size: u32) -> Option<Box<dyn Scheduler>> {
-    match name {
-        "fcfs" => Some(Box::new(Fcfs)),
-        "sjf" => Some(Box::new(SortedGreedy::sjf())),
-        "ljf" => Some(Box::new(SortedGreedy::ljf())),
-        "widest-first" => Some(Box::new(SortedGreedy::widest())),
-        "narrowest-first" => Some(Box::new(SortedGreedy::narrowest())),
-        "greedy-fcfs" => Some(Box::new(SortedGreedy::greedy_fcfs())),
-        "easy" => Some(Box::new(EasyBackfill)),
-        "conservative" => Some(Box::new(ConservativeBackfill)),
-        "gang" => Some(Box::new(GangScheduler::new(
-            machine_size,
-            4,
-            Packing::FirstFit,
-        ))),
-        "adaptive" => Some(Box::new(AdaptivePartition::default())),
-        "draining-easy" => Some(Box::new(DrainingEasy::new())),
-        _ => None,
+/// Constructor of one registered scheduler, from a machine size.
+type SchedulerCtor = fn(u32) -> Box<dyn Scheduler>;
+
+/// The scheduler registry: every constructible policy, by name, in canonical
+/// order. [`by_name`] and [`scheduler_names`] both derive from this single
+/// table, so a policy added here automatically appears in CLI help and error
+/// messages.
+const REGISTRY: &[(&str, SchedulerCtor)] = &[
+    ("fcfs", |_| Box::new(Fcfs)),
+    ("sjf", |_| Box::new(SortedGreedy::sjf())),
+    ("ljf", |_| Box::new(SortedGreedy::ljf())),
+    ("widest-first", |_| Box::new(SortedGreedy::widest())),
+    ("narrowest-first", |_| Box::new(SortedGreedy::narrowest())),
+    ("greedy-fcfs", |_| Box::new(SortedGreedy::greedy_fcfs())),
+    ("easy", |_| Box::new(EasyBackfill)),
+    ("conservative", |_| Box::new(ConservativeBackfill)),
+    ("gang", |machine_size| {
+        Box::new(GangScheduler::new(machine_size, 4, Packing::FirstFit))
+    }),
+    ("adaptive", |_| Box::new(AdaptivePartition::default())),
+    ("draining-easy", |_| Box::new(DrainingEasy::new())),
+];
+
+/// Registry names of every scheduler [`by_name`] can construct, in canonical
+/// order. This is the single list surfaced by CLI help and error messages.
+pub fn scheduler_names() -> Vec<&'static str> {
+    REGISTRY.iter().map(|(name, _)| *name).collect()
+}
+
+/// The structured error returned by [`by_name`] for an unrecognized registry
+/// name. Its [`std::fmt::Display`] output lists every valid name, so callers
+/// can surface an actionable message without consulting the registry
+/// themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownScheduler {
+    /// The name that did not resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown scheduler {:?}; valid schedulers: {}",
+            self.name,
+            scheduler_names().join(", ")
+        )
     }
+}
+
+impl std::error::Error for UnknownScheduler {}
+
+/// Construct a scheduler by its registry name (the names reported by
+/// [`Scheduler::name`] and listed by [`scheduler_names`]).
+pub fn by_name(name: &str, machine_size: u32) -> Result<Box<dyn Scheduler>, UnknownScheduler> {
+    REGISTRY
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, build)| build(machine_size))
+        .ok_or_else(|| UnknownScheduler {
+            name: name.to_string(),
+        })
 }
 
 #[cfg(test)]
@@ -95,23 +137,38 @@ mod tests {
     }
 
     #[test]
-    fn by_name_round_trips_every_standard_name() {
-        for name in [
-            "fcfs",
-            "sjf",
-            "ljf",
-            "widest-first",
-            "narrowest-first",
-            "greedy-fcfs",
-            "easy",
-            "conservative",
-            "gang",
-            "adaptive",
-            "draining-easy",
-        ] {
-            let s = by_name(name, 128).unwrap_or_else(|| panic!("missing {name}"));
+    fn by_name_round_trips_every_registered_name() {
+        for name in scheduler_names() {
+            let s = by_name(name, 128).unwrap_or_else(|e| panic!("{e}"));
             assert_eq!(s.name(), name);
         }
-        assert!(by_name("not-a-scheduler", 128).is_none());
+    }
+
+    #[test]
+    fn standard_lineup_is_a_subset_of_the_registry() {
+        // Every policy in the benchmark line-up must be reachable by name, so
+        // the registry (and thus CLI help) can never lag behind the line-up.
+        let names = scheduler_names();
+        for s in standard_schedulers(64) {
+            assert!(
+                names.iter().any(|n| *n == s.name()),
+                "{} missing from registry",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_error_lists_every_valid_name() {
+        let err = match by_name("not-a-scheduler", 128) {
+            Err(e) => e,
+            Ok(s) => panic!("unexpectedly resolved {}", s.name()),
+        };
+        assert_eq!(err.name, "not-a-scheduler");
+        let msg = err.to_string();
+        assert!(msg.contains("not-a-scheduler"));
+        for name in scheduler_names() {
+            assert!(msg.contains(name), "error should list {name}");
+        }
     }
 }

@@ -167,6 +167,18 @@ impl Simulation {
         Simulation::new(config, SimJob::from_log(log))
     }
 
+    /// Build the job list by draining a streaming [`psbench_swf::JobSource`]
+    /// — an incrementally parsed archive trace, a lazily generated model
+    /// workload, or an in-memory log — and simulate it. Equivalent to
+    /// [`Simulation::from_log`] over the collected log, but the full SWF
+    /// record vector is never materialized.
+    pub fn from_source<S: psbench_swf::JobSource>(
+        config: SimConfig,
+        source: S,
+    ) -> Result<Self, psbench_swf::ParseError> {
+        Ok(Simulation::new(config, SimJob::from_source(source)?))
+    }
+
     fn push_event(&mut self, time: f64, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;

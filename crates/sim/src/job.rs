@@ -1,6 +1,6 @@
 //! Job descriptions and runtime job state used by the simulator.
 
-use psbench_swf::{SwfLog, SwfRecord};
+use psbench_swf::{JobSource, ParseError, SwfLog, SwfRecord};
 use psbench_workload::flexible::{DowneySpeedup, SpeedupModel};
 use serde::{Deserialize, Serialize};
 
@@ -111,6 +111,23 @@ impl SimJob {
     /// Build the simulator's job list from an SWF log (summary records only).
     pub fn from_log(log: &SwfLog) -> Vec<SimJob> {
         log.summaries().filter_map(SimJob::from_swf).collect()
+    }
+
+    /// Build the simulator's job list from any streaming [`JobSource`]
+    /// (summary records only), without materializing an intermediate
+    /// [`SwfLog`]. The job list is identical to [`SimJob::from_log`] over the
+    /// collected log.
+    pub fn from_source<S: JobSource>(mut source: S) -> Result<Vec<SimJob>, ParseError> {
+        let mut jobs = Vec::new();
+        while let Some(rec) = source.next_record() {
+            let rec = rec?;
+            if rec.is_summary() {
+                if let Some(job) = SimJob::from_swf(&rec) {
+                    jobs.push(job);
+                }
+            }
+        }
+        Ok(jobs)
     }
 }
 
@@ -270,6 +287,28 @@ mod tests {
         assert_eq!(j.think_time, 60.0);
         // missing runtime or procs -> rejected
         assert!(SimJob::from_swf(&SwfRecordBuilder::new(6, 0).build()).is_none());
+    }
+
+    #[test]
+    fn from_source_matches_from_log() {
+        use psbench_swf::SwfLog;
+        let mut log = SwfLog::default();
+        log.jobs.push(
+            SwfRecordBuilder::new(1, 0)
+                .run_time(100)
+                .allocated_procs(4)
+                .build(),
+        );
+        log.jobs.push(SwfRecordBuilder::new(2, 5).build()); // rejected: no runtime
+        let mut partial = SwfRecordBuilder::new(3, 9)
+            .run_time(10)
+            .allocated_procs(1)
+            .build();
+        partial.status = psbench_swf::CompletionStatus::PartialContinued;
+        log.jobs.push(partial); // rejected: not a summary
+        let streamed = SimJob::from_source(log.as_source("s")).unwrap();
+        assert_eq!(streamed, SimJob::from_log(&log));
+        assert_eq!(streamed.len(), 1);
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //! * [`record`] — the typed job record and completion codes.
 //! * [`header`] — typed header comments.
 //! * [`log`] — a whole workload (header + records) and workload-level utilities.
-//! * [`mod@parse`] / [`mod@write`] — lenient and strict parsing, canonical serialization.
+//! * [`source`] — the streaming [`source::JobSource`] abstraction unifying traces,
+//!   in-memory logs, and generated workloads behind one record-stream interface.
+//! * [`mod@parse`] / [`mod@write`] — lenient and strict parsing (one-shot or
+//!   incremental via [`parse::RecordIter`]), canonical serialization.
 //! * [`mod@validate`] — the standard's consistency rules, plus a cleaner that repairs logs.
 //! * [`anonymize`] — densification of user/group/executable identifiers.
 //! * [`checkpoint`] — multi-line records for checkpointed / swapped jobs.
@@ -50,6 +53,7 @@ pub mod log;
 pub mod outage;
 pub mod parse;
 pub mod record;
+pub mod source;
 pub mod validate;
 pub mod write;
 
@@ -62,8 +66,9 @@ pub mod prelude {
     pub use crate::header::{RequestedTimeKind, SwfHeader, FORMAT_VERSION};
     pub use crate::log::SwfLog;
     pub use crate::outage::{OutageKind, OutageLog, OutageRecord};
-    pub use crate::parse::{parse, parse_reader, parse_str, ParseOptions};
+    pub use crate::parse::{parse, parse_reader, parse_str, ParseOptions, RecordIter};
     pub use crate::record::{CompletionStatus, SwfRecord, SwfRecordBuilder, FIELD_COUNT, UNKNOWN};
+    pub use crate::source::{JobSource, LogSource, SourceMeta};
     pub use crate::validate::{
         clean, clean_and_validate, validate, CleaningReport, ValidationReport, Violation,
     };

@@ -2,6 +2,7 @@
 
 use crate::header::SwfHeader;
 use crate::record::{CompletionStatus, SwfRecord};
+use crate::source::LogSource;
 use serde::{Deserialize, Serialize};
 
 /// A workload in the standard format: a typed header and a list of job records in
@@ -39,6 +40,12 @@ impl SwfLog {
     /// Iterate over the partial-execution lines (codes 2/3/4) only.
     pub fn partials(&self) -> impl Iterator<Item = &SwfRecord> {
         self.jobs.iter().filter(|j| !j.is_summary())
+    }
+
+    /// Replay this in-memory log as a streaming [`crate::source::JobSource`],
+    /// so materialized and streamed workloads share one consumer API.
+    pub fn as_source(&self, name: impl Into<String>) -> LogSource<'_> {
+        LogSource::new(name, self)
     }
 
     /// The submit time of the first job, or 0 for an empty log.

@@ -8,9 +8,9 @@
 //! are truncated, unknown completion codes).
 
 use crate::error::ParseError;
-use crate::header::SwfHeader;
 use crate::log::SwfLog;
 use crate::record::{CompletionStatus, SwfRecord, FIELD_COUNT};
+use crate::source::{JobSource, SourceMeta};
 use std::io::BufRead;
 
 /// Options controlling parser behaviour.
@@ -193,46 +193,191 @@ fn classify(line: &str) -> Line<'_> {
     Line::Data(line)
 }
 
-/// Parse a complete SWF file from a string.
-pub fn parse_str(input: &str, opts: &ParseOptions) -> Result<SwfLog, ParseError> {
-    let mut header = SwfHeader::default();
-    let mut jobs: Vec<SwfRecord> = Vec::new();
-    let mut data_lines = 0usize;
-    for (i, line) in input.lines().enumerate() {
-        let line_no = i + 1;
+/// The line-by-line parsing state machine shared by the one-shot parsers and
+/// the incremental [`RecordIter`]: classifies each line, folds header comments
+/// into the [`crate::header::SwfHeader`] carried by a [`SourceMeta`], and
+/// turns data lines into records.
+struct LineParser {
+    opts: ParseOptions,
+    meta: SourceMeta,
+    data_lines: usize,
+}
+
+impl LineParser {
+    fn new(opts: ParseOptions, name: String) -> Self {
+        LineParser {
+            opts,
+            meta: SourceMeta::named(name),
+            data_lines: 0,
+        }
+    }
+
+    /// Feed one input line; `Ok(Some(record))` for data lines, `Ok(None)` for
+    /// header/comment/blank lines.
+    fn feed(&mut self, line: &str, line_no: usize) -> Result<Option<SwfRecord>, ParseError> {
         match classify(line) {
-            Line::Blank => {}
+            Line::Blank => Ok(None),
             Line::HeaderLabel { label, value } => {
-                let known = header.apply(label, value);
-                if !known && opts.strict && data_lines == 0 {
+                let known = self.meta.header.apply(label, value);
+                if !known && self.opts.strict && self.data_lines == 0 {
                     return Err(ParseError::UnknownHeaderLabel {
                         line: line_no,
                         label: label.to_string(),
                     });
                 }
+                Ok(None)
             }
-            Line::Comment(text) => header.add_free_comment(text),
+            Line::Comment(text) => {
+                self.meta.header.add_free_comment(text);
+                Ok(None)
+            }
             Line::Data(text) => {
-                data_lines += 1;
-                let mut rec = parse_record_line(text, line_no, opts)?;
-                if rec.job_id == 0 && opts.assign_missing_ids {
-                    rec.job_id = data_lines as u64;
+                self.data_lines += 1;
+                let mut rec = parse_record_line(text, line_no, &self.opts)?;
+                if rec.job_id == 0 && self.opts.assign_missing_ids {
+                    rec.job_id = self.data_lines as u64;
                 }
-                jobs.push(rec);
+                Ok(Some(rec))
             }
         }
     }
-    if opts.require_jobs && jobs.is_empty() {
-        return Err(ParseError::EmptyLog);
+
+    /// The end-of-input check: an input with zero data lines is an error when
+    /// the options require jobs.
+    fn finish(&self) -> Result<(), ParseError> {
+        if self.opts.require_jobs && self.data_lines == 0 {
+            return Err(ParseError::EmptyLog);
+        }
+        Ok(())
     }
-    Ok(SwfLog::new(header, jobs))
 }
 
-/// Parse a complete SWF file from any buffered reader.
-pub fn parse_reader<R: BufRead>(mut reader: R, opts: &ParseOptions) -> Result<SwfLog, ParseError> {
-    let mut buf = String::new();
-    reader.read_to_string(&mut buf)?;
-    parse_str(&buf, opts)
+/// A bounded-memory incremental SWF parser: reads one line at a time from any
+/// [`BufRead`] and yields records as they are parsed, never holding more than
+/// the current line in memory.
+///
+/// `RecordIter` is the streaming half of the parser ([`parse_str`] and
+/// [`parse_reader`] are thin collecting wrappers over it) and the file-backed
+/// implementation of [`JobSource`]: `psbench stats` profiles multi-million-job
+/// archive logs through it in O(chunk) memory. Header comments are folded into
+/// [`JobSource::meta`] as they are encountered, so the header is complete once
+/// the stream is drained. After the first error the iterator is fused and
+/// yields nothing further.
+///
+/// ```
+/// use psbench_swf::prelude::*;
+///
+/// let text = ";MaxNodes: 64\n1 0 5 100 16 -1 -1 16 200 -1 1 1 1 1 1 1 -1 -1\n";
+/// let mut records = RecordIter::new(text.as_bytes(), ParseOptions::default());
+/// let first = records.next_record().unwrap().unwrap();
+/// assert_eq!(first.job_id, 1);
+/// assert_eq!(records.meta().header.max_nodes, Some(64));
+/// assert!(records.next_record().is_none());
+/// ```
+pub struct RecordIter<R> {
+    reader: R,
+    parser: LineParser,
+    line_no: usize,
+    buf: String,
+    done: bool,
+}
+
+impl<R: BufRead> RecordIter<R> {
+    /// Incrementally parse `reader` with the given options.
+    pub fn new(reader: R, opts: ParseOptions) -> Self {
+        RecordIter {
+            reader,
+            parser: LineParser::new(opts, "swf".to_string()),
+            line_no: 0,
+            buf: String::new(),
+            done: false,
+        }
+    }
+
+    /// Set the display name carried in the stream's [`SourceMeta`].
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.parser.meta.name = name.into();
+        self
+    }
+
+    /// 1-based number of the last line read (0 before the first read), for
+    /// progress reporting on long streams.
+    pub fn line_no(&self) -> usize {
+        self.line_no
+    }
+
+    fn pull(&mut self) -> Option<Result<SwfRecord, ParseError>> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.buf.clear();
+            let n = match self.reader.read_line(&mut self.buf) {
+                Ok(n) => n,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e.into()));
+                }
+            };
+            if n == 0 {
+                self.done = true;
+                return match self.parser.finish() {
+                    Ok(()) => None,
+                    Err(e) => Some(Err(e)),
+                };
+            }
+            self.line_no += 1;
+            match self.parser.feed(&self.buf, self.line_no) {
+                Ok(Some(rec)) => return Some(Ok(rec)),
+                Ok(None) => continue,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+impl<R: BufRead> JobSource for RecordIter<R> {
+    fn meta(&self) -> &SourceMeta {
+        &self.parser.meta
+    }
+
+    fn next_record(&mut self) -> Option<Result<SwfRecord, ParseError>> {
+        self.pull()
+    }
+}
+
+impl<R: BufRead> Iterator for RecordIter<R> {
+    type Item = Result<SwfRecord, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.pull()
+    }
+}
+
+/// Parse a complete SWF file from a string.
+///
+/// A thin collecting wrapper over the same state machine that drives
+/// [`RecordIter`]; the resulting [`SwfLog`] is simply the materialized sink of
+/// the record stream.
+pub fn parse_str(input: &str, opts: &ParseOptions) -> Result<SwfLog, ParseError> {
+    let mut parser = LineParser::new(*opts, String::new());
+    let mut jobs: Vec<SwfRecord> = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        if let Some(rec) = parser.feed(line, i + 1)? {
+            jobs.push(rec);
+        }
+    }
+    parser.finish()?;
+    Ok(SwfLog::new(parser.meta.header, jobs))
+}
+
+/// Parse a complete SWF file from any buffered reader, streaming line by line
+/// through [`RecordIter`] (the input is never buffered whole).
+pub fn parse_reader<R: BufRead>(reader: R, opts: &ParseOptions) -> Result<SwfLog, ParseError> {
+    RecordIter::new(reader, *opts).collect_log()
 }
 
 /// Convenience: parse with default (lenient) options.
@@ -390,6 +535,73 @@ mod tests {
         assert_eq!(split_exact::<3>("a b".split_ascii_whitespace()), Err(2));
         assert_eq!(split_exact::<2>("a b c d".split_ascii_whitespace()), Err(4));
         assert_eq!(split_exact::<2>("x|y".split('|')), Ok(["x", "y"]));
+    }
+
+    #[test]
+    fn record_iter_streams_the_sample_identically_to_parse_str() {
+        let log = parse(SAMPLE).unwrap();
+        let mut iter = RecordIter::new(SAMPLE.as_bytes(), ParseOptions::default());
+        for expected in &log.jobs {
+            let got = iter.next_record().unwrap().unwrap();
+            assert_eq!(&got, expected);
+        }
+        assert!(iter.next_record().is_none());
+        // The header is complete once the stream is drained.
+        assert_eq!(iter.meta().header, log.header);
+        assert_eq!(iter.line_no(), SAMPLE.lines().count());
+    }
+
+    #[test]
+    fn record_iter_collects_into_the_same_log() {
+        let collected = RecordIter::new(SAMPLE.as_bytes(), ParseOptions::default())
+            .with_name("sample")
+            .collect_log()
+            .unwrap();
+        assert_eq!(collected, parse(SAMPLE).unwrap());
+    }
+
+    #[test]
+    fn record_iter_is_fused_after_an_error() {
+        let bad = "1 0 10 100 16 95 -1 16\n2 0 -1 10 1 -1 -1 1 -1 -1 1 1 1 1 1 1 -1 -1\n";
+        let mut iter = RecordIter::new(bad.as_bytes(), ParseOptions::strict());
+        let err = iter.next_record().unwrap().unwrap_err();
+        assert!(matches!(err, ParseError::WrongFieldCount { line: 1, .. }));
+        assert!(iter.next_record().is_none());
+        assert!(iter.next_record().is_none());
+    }
+
+    #[test]
+    fn record_iter_reports_empty_log_when_jobs_required() {
+        let opts = ParseOptions {
+            require_jobs: true,
+            ..ParseOptions::default()
+        };
+        let mut iter = RecordIter::new(";Computer: x\n".as_bytes(), opts);
+        assert_eq!(
+            iter.next_record().unwrap().unwrap_err(),
+            ParseError::EmptyLog
+        );
+        assert!(iter.next_record().is_none());
+    }
+
+    #[test]
+    fn record_iter_handles_crlf_line_endings() {
+        let crlf = SAMPLE.replace('\n', "\r\n");
+        let a = RecordIter::new(crlf.as_bytes(), ParseOptions::default())
+            .collect_log()
+            .unwrap();
+        let b = parse(SAMPLE).unwrap();
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.header.max_nodes, b.header.max_nodes);
+    }
+
+    #[test]
+    fn record_iter_assigns_missing_ids_like_parse_str() {
+        let input = "0 0 -1 10 1 -1 -1 1 -1 -1 1 1 1 1 1 1 -1 -1\n0 5 -1 10 1 -1 -1 1 -1 -1 1 1 1 1 1 1 -1 -1\n";
+        let ids: Vec<u64> = RecordIter::new(input.as_bytes(), ParseOptions::default())
+            .map(|r| r.unwrap().job_id)
+            .collect();
+        assert_eq!(ids, vec![1, 2]);
     }
 
     #[test]

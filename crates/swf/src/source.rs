@@ -1,0 +1,200 @@
+//! The streaming job-source abstraction that unifies every workload input.
+//!
+//! The paper's benchmarking methodology treats archived traces and synthetic
+//! workloads as interchangeable inputs to the same evaluation pipeline. The
+//! [`JobSource`] trait is that interchangeability as an API: a source yields
+//! [`SwfRecord`]s one at a time together with a [`SourceMeta`] header, so
+//! consumers (profilers, validators, simulators) can process multi-million-job
+//! traces without ever materializing a full [`SwfLog`] record vector.
+//!
+//! Implementations in the workspace:
+//!
+//! * [`crate::parse::RecordIter`] — bounded-memory incremental parsing of an
+//!   SWF file from any [`std::io::BufRead`].
+//! * [`LogSource`] — an in-memory [`SwfLog`] replayed record by record.
+//! * `psbench_workload::GeneratedStream` — lazy generation from any workload
+//!   model.
+//!
+//! An [`SwfLog`] is just one *collectable sink* for a source
+//! ([`JobSource::collect_log`]); streaming consumers such as
+//! `psbench_analyze::WorkloadProfile::of_source` never need it.
+
+use crate::error::ParseError;
+use crate::header::SwfHeader;
+use crate::log::SwfLog;
+use crate::record::SwfRecord;
+
+/// Metadata travelling with a job stream: a display name and the typed header.
+///
+/// For incremental sources (a file being parsed, a model not yet realized) the
+/// header fills in as the stream is consumed and is **complete once the stream
+/// has been drained**; for in-memory sources it is complete from the start.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SourceMeta {
+    /// Display name of the source, used in reports.
+    pub name: String,
+    /// The typed SWF header of the stream, as known so far.
+    pub header: SwfHeader,
+}
+
+impl SourceMeta {
+    /// Metadata with a name and an empty header.
+    pub fn named(name: impl Into<String>) -> Self {
+        SourceMeta {
+            name: name.into(),
+            header: SwfHeader::default(),
+        }
+    }
+}
+
+/// A stream of SWF job records with a header: the common input interface of
+/// the whole evaluation pipeline.
+///
+/// Sources are fallible (an archive file can be malformed mid-stream), so
+/// records arrive as `Result`s; infallible sources simply never yield `Err`.
+/// Records are yielded in file/generation order — for a conforming workload
+/// that is ascending submit order, which is exactly what the streaming
+/// profiler requires.
+pub trait JobSource {
+    /// The stream's metadata. The header portion is complete once the stream
+    /// has been drained (see [`SourceMeta`]).
+    fn meta(&self) -> &SourceMeta;
+
+    /// Pull the next record. `None` means the stream is exhausted; an `Err`
+    /// is terminal (implementations yield nothing after an error).
+    fn next_record(&mut self) -> Option<Result<SwfRecord, ParseError>>;
+
+    /// Drain the stream into an [`SwfLog`] — the materializing sink, kept for
+    /// consumers that genuinely need random access to the whole record list.
+    fn collect_log(mut self) -> Result<SwfLog, ParseError>
+    where
+        Self: Sized,
+    {
+        let mut jobs = Vec::new();
+        while let Some(rec) = self.next_record() {
+            jobs.push(rec?);
+        }
+        Ok(SwfLog::new(self.meta().header.clone(), jobs))
+    }
+}
+
+impl<S: JobSource + ?Sized> JobSource for &mut S {
+    fn meta(&self) -> &SourceMeta {
+        (**self).meta()
+    }
+
+    fn next_record(&mut self) -> Option<Result<SwfRecord, ParseError>> {
+        (**self).next_record()
+    }
+}
+
+impl<S: JobSource + ?Sized> JobSource for Box<S> {
+    fn meta(&self) -> &SourceMeta {
+        (**self).meta()
+    }
+
+    fn next_record(&mut self) -> Option<Result<SwfRecord, ParseError>> {
+        (**self).next_record()
+    }
+}
+
+/// An in-memory [`SwfLog`] replayed as a [`JobSource`].
+///
+/// Built with [`SwfLog::as_source`]; records are cloned out one at a time, so
+/// the log itself is untouched and can be reused.
+#[derive(Debug, Clone)]
+pub struct LogSource<'a> {
+    meta: SourceMeta,
+    jobs: std::slice::Iter<'a, SwfRecord>,
+}
+
+impl<'a> LogSource<'a> {
+    /// Replay `log` under the given display name.
+    pub fn new(name: impl Into<String>, log: &'a SwfLog) -> Self {
+        LogSource {
+            meta: SourceMeta {
+                name: name.into(),
+                header: log.header.clone(),
+            },
+            jobs: log.jobs.iter(),
+        }
+    }
+}
+
+impl JobSource for LogSource<'_> {
+    fn meta(&self) -> &SourceMeta {
+        &self.meta
+    }
+
+    fn next_record(&mut self) -> Option<Result<SwfRecord, ParseError>> {
+        self.jobs.next().map(|r| Ok(r.clone()))
+    }
+}
+
+impl Iterator for LogSource<'_> {
+    type Item = Result<SwfRecord, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    const SAMPLE: &str = "\
+;Computer: test
+;MaxNodes: 64
+1 0 5 100 16 -1 -1 16 200 -1 1 1 1 1 1 1 -1 -1
+2 30 0 50 8 -1 -1 8 60 -1 1 2 1 2 1 1 -1 -1
+";
+
+    #[test]
+    fn log_source_replays_records_and_header() {
+        let log = parse(SAMPLE).unwrap();
+        let mut src = log.as_source("sample");
+        assert_eq!(src.meta().name, "sample");
+        assert_eq!(src.meta().header.max_nodes, Some(64));
+        let first = src.next_record().unwrap().unwrap();
+        assert_eq!(first.job_id, 1);
+        let second = src.next_record().unwrap().unwrap();
+        assert_eq!(second.job_id, 2);
+        assert!(src.next_record().is_none());
+        assert!(src.next_record().is_none());
+    }
+
+    #[test]
+    fn collect_log_round_trips_an_in_memory_log() {
+        let log = parse(SAMPLE).unwrap();
+        let back = log.as_source("sample").collect_log().unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn sources_compose_through_mut_and_box() {
+        let log = parse(SAMPLE).unwrap();
+        let mut src = log.as_source("sample");
+        // &mut S is a JobSource too, so adapters can borrow a source.
+        fn drain(mut s: impl JobSource) -> usize {
+            let mut n = 0;
+            while let Some(r) = s.next_record() {
+                r.unwrap();
+                n += 1;
+            }
+            n
+        }
+        assert_eq!(drain(&mut src), 2);
+        let boxed: Box<dyn JobSource> = Box::new(log.as_source("boxed"));
+        assert_eq!(boxed.meta().name, "boxed");
+        assert_eq!(drain(boxed), 2);
+    }
+
+    #[test]
+    fn log_source_is_an_iterator() {
+        let log = parse(SAMPLE).unwrap();
+        let ids: Vec<u64> = log.as_source("it").map(|r| r.unwrap().job_id).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+}

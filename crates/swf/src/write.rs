@@ -37,9 +37,16 @@ pub fn write_string(log: &SwfLog) -> String {
     out
 }
 
-/// Write a complete log to any `io::Write` sink.
+/// Write a complete log to any `io::Write` sink, one line at a time (the log
+/// is never serialized into a single in-memory string).
 pub fn write_to<W: Write>(log: &SwfLog, mut sink: W) -> io::Result<()> {
-    sink.write_all(write_string(log).as_bytes())
+    for line in log.header.render() {
+        writeln!(sink, "{line}")?;
+    }
+    for job in &log.jobs {
+        writeln!(sink, "{}", record_line(job))?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

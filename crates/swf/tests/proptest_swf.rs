@@ -149,7 +149,88 @@ fn arb_rich_log() -> impl Strategy<Value = SwfLog> {
     (arb_header(), arb_log(20)).prop_map(|(header, log)| SwfLog::new(header, log.jobs))
 }
 
+/// One arbitrary input line for the streaming-equivalence property: valid
+/// record lines, dirty near-records (floats, wrong field counts, junk
+/// tokens), header comments, free comments, and blanks — the mix found in
+/// real archive logs.
+fn arb_swf_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // A well-formed record line.
+        (1u64..1000, 0i64..100_000)
+            .prop_flat_map(|(id, submit)| arb_record(id, submit))
+            .prop_map(|r| record_line(&r)),
+        // A record line with a fractional runtime (lenient-tolerated).
+        (1u64..1000, 0i64..100_000, 0u32..1000).prop_map(|(id, s, frac)| format!(
+            "{id} {s} -1 100.{frac} 4 -1 -1 4 -1 -1 1 1 1 1 1 1 -1 -1"
+        )),
+        // Too few / too many fields.
+        (1u64..1000).prop_map(|id| format!("{id} 0 1 2 3")),
+        (1u64..1000).prop_map(|id| format!("{id} 0 -1 10 1 -1 -1 1 -1 -1 1 1 1 1 1 1 -1 -1 99 98")),
+        // Junk tokens.
+        Just("what even is this line".to_string()),
+        // Header labels (known and unknown), free comments, blanks.
+        arb_header_text().prop_map(|v| format!(";MaxNodes: {v}")),
+        arb_header_text().prop_map(|v| format!(";Weather: {v}")),
+        arb_header_text().prop_map(|v| format!("; {v}")),
+        Just(String::new()),
+    ]
+}
+
 proptest! {
+    /// The streaming parser and the one-shot parser are a single code path in
+    /// two shapes: on ANY input — valid or dirty, lenient or strict — they
+    /// agree record for record, header for header, error for error.
+    #[test]
+    fn record_iter_matches_parse_str_on_arbitrary_input(
+        lines in prop::collection::vec(arb_swf_line(), 0..40),
+        strict in prop_oneof![Just(false), Just(true)],
+        require_jobs in prop_oneof![Just(false), Just(true)],
+    ) {
+        let text = lines.join("\n");
+        let opts = ParseOptions {
+            strict,
+            require_jobs,
+            ..if strict { ParseOptions::strict() } else { ParseOptions::default() }
+        };
+        let oneshot = parse_str(&text, &opts);
+        // Record-for-record comparison against the one-shot job list.
+        let mut iter = RecordIter::new(text.as_bytes(), opts);
+        let mut streamed: Vec<SwfRecord> = Vec::new();
+        let mut stream_err = None;
+        for item in &mut iter {
+            match item {
+                Ok(rec) => streamed.push(rec),
+                Err(e) => {
+                    stream_err = Some(e);
+                    break;
+                }
+            }
+        }
+        match oneshot {
+            Ok(log) => {
+                prop_assert_eq!(stream_err, None);
+                prop_assert_eq!(&streamed, &log.jobs);
+                prop_assert_eq!(&iter.meta().header, &log.header);
+            }
+            Err(e) => {
+                prop_assert_eq!(stream_err, Some(e));
+                // Everything before the failure point still streamed out.
+                prop_assert!(streamed.len() <= lines.len());
+            }
+        }
+    }
+
+    /// Collecting the stream is exactly `parse_str` — `SwfLog` is just one
+    /// sink for the record stream.
+    #[test]
+    fn collect_log_is_parse_str(log in arb_rich_log()) {
+        let text = write_string(&log);
+        let collected = RecordIter::new(text.as_bytes(), ParseOptions::default())
+            .collect_log()
+            .unwrap();
+        prop_assert_eq!(collected, parse(&text).unwrap());
+    }
+
     #[test]
     fn parse_write_parse_is_idempotent(log in arb_rich_log()) {
         // One write→parse pass normalizes a log; after that, parse∘write must be

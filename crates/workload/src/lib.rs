@@ -17,6 +17,9 @@
 //! * [`outagegen`] — synthetic failure / maintenance logs in the standard outage format.
 //! * [`arrival`] / [`dist`] — arrival processes and random-variate samplers.
 //! * [`model`] — the common [`model::WorkloadModel`] interface and log assembly.
+//! * [`stream`] — [`stream::GeneratedStream`], the lazy `JobSource` adapter that
+//!   makes every model interchangeable with archived traces in the streaming
+//!   evaluation pipeline.
 
 #![warn(missing_docs)]
 
@@ -31,6 +34,7 @@ pub mod lublin99;
 pub mod model;
 pub mod outagegen;
 pub mod rawlog;
+pub mod stream;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -54,6 +58,7 @@ pub mod prelude {
     };
     pub use crate::outagegen::OutageGenerator;
     pub use crate::rawlog::{emit_raw, generate_raw_log, RawLogProfile};
+    pub use crate::stream::GeneratedStream;
 }
 
 pub use prelude::*;

@@ -1,0 +1,138 @@
+//! Lazy streaming of model-generated workloads.
+//!
+//! [`GeneratedStream`] adapts any [`WorkloadModel`] to the
+//! [`psbench_swf::source::JobSource`] interface, so synthetic workloads and
+//! archived traces are interchangeable inputs to every streaming consumer
+//! (profiler, validator, simulator). Generation is **lazy**: nothing is
+//! sampled until the first record is requested, and consumers that stop early
+//! or only need the metadata pay nothing.
+//!
+//! Rigid-job models assemble a conforming log (sorted, renumbered, rebased —
+//! see [`crate::model::assemble_log`]), which requires the whole job list, so
+//! the adapter realizes the model's records internally on first pull and then
+//! drains them one at a time. Downstream, the pipeline stays O(chunk): no
+//! consumer ever needs to build a second copy as an `SwfLog`.
+
+use crate::model::WorkloadModel;
+use psbench_swf::error::ParseError;
+use psbench_swf::record::SwfRecord;
+use psbench_swf::source::{JobSource, SourceMeta};
+
+/// A [`JobSource`] that lazily generates a workload from a model.
+///
+/// ```
+/// use psbench_swf::JobSource;
+/// use psbench_workload::{GeneratedStream, Lublin99, WorkloadModel};
+///
+/// let model = Lublin99::default();
+/// let mut stream = GeneratedStream::new(Box::new(model), 100, 7);
+/// let first = stream.next_record().unwrap().unwrap();
+/// assert_eq!(first.job_id, 1);
+/// // Collecting the stream reproduces `model.generate` exactly.
+/// let log = GeneratedStream::new(Box::new(model), 100, 7).collect_log().unwrap();
+/// assert_eq!(log, model.generate(100, 7));
+/// ```
+pub struct GeneratedStream {
+    model: Box<dyn WorkloadModel>,
+    n_jobs: usize,
+    seed: u64,
+    meta: SourceMeta,
+    records: Option<std::vec::IntoIter<SwfRecord>>,
+}
+
+impl GeneratedStream {
+    /// Lazily stream `n_jobs` jobs from `model` under the given seed. The
+    /// stream's display name defaults to the model's name.
+    pub fn new(model: Box<dyn WorkloadModel>, n_jobs: usize, seed: u64) -> Self {
+        let meta = SourceMeta::named(model.name());
+        GeneratedStream {
+            model,
+            n_jobs,
+            seed,
+            meta,
+            records: None,
+        }
+    }
+
+    /// Convenience constructor taking the model by value.
+    pub fn of<M: WorkloadModel + 'static>(model: M, n_jobs: usize, seed: u64) -> Self {
+        GeneratedStream::new(Box::new(model), n_jobs, seed)
+    }
+
+    /// Override the display name carried in the stream's [`SourceMeta`].
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.meta.name = name.into();
+        self
+    }
+
+    /// True once the model has been realized (the first record was pulled).
+    pub fn realized(&self) -> bool {
+        self.records.is_some()
+    }
+
+    fn realize(&mut self) -> &mut std::vec::IntoIter<SwfRecord> {
+        if self.records.is_none() {
+            let log = self.model.generate(self.n_jobs, self.seed);
+            self.meta.header = log.header;
+            self.records = Some(log.jobs.into_iter());
+        }
+        self.records.as_mut().expect("records realized above")
+    }
+}
+
+impl JobSource for GeneratedStream {
+    fn meta(&self) -> &SourceMeta {
+        &self.meta
+    }
+
+    fn next_record(&mut self) -> Option<Result<SwfRecord, ParseError>> {
+        self.realize().next().map(Ok)
+    }
+}
+
+impl Iterator for GeneratedStream {
+    type Item = Result<SwfRecord, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lublin99::Lublin99;
+    use crate::standard_models;
+
+    #[test]
+    fn stream_is_lazy_until_first_pull() {
+        let mut s = GeneratedStream::of(Lublin99::with_machine_size(64), 50, 3);
+        assert!(!s.realized());
+        assert_eq!(s.meta().name, "lublin99");
+        s.next_record().unwrap().unwrap();
+        assert!(s.realized());
+    }
+
+    #[test]
+    fn every_standard_model_streams_identically_to_generate() {
+        for model in standard_models(64) {
+            let expected = model.generate(120, 9);
+            let name = model.name();
+            let log = GeneratedStream::new(model, 120, 9).collect_log().unwrap();
+            assert_eq!(log, expected, "model {name}");
+        }
+    }
+
+    #[test]
+    fn with_name_overrides_the_display_name() {
+        let s = GeneratedStream::of(Lublin99::default(), 10, 1).with_name("model:lublin99");
+        assert_eq!(s.meta().name, "model:lublin99");
+    }
+
+    #[test]
+    fn header_is_complete_after_drain() {
+        let mut s = GeneratedStream::of(Lublin99::with_machine_size(32), 20, 5);
+        while s.next_record().is_some() {}
+        assert_eq!(s.meta().header.max_nodes, Some(32));
+    }
+}

@@ -14,30 +14,42 @@
 //!
 //! An `<INPUT>` is either a path to an SWF file or a model spec
 //! `model:<name>` (`feitelson96`, `jann97`, `downey97`, `lublin99`,
-//! `sessions`), generated with `--jobs`, `--seed` and `--machine`. Reports are
-//! rendered deterministically: the same inputs produce byte-identical output
-//! for any `--threads` value.
+//! `sessions`), generated with `--jobs`, `--seed` and `--machine`. Every
+//! input is consumed through the streaming `JobSource` API: files parse
+//! incrementally and `stats`/`compare` profile them in bounded memory, so a
+//! multi-million-job archive log needs O(chunk) rather than O(log) space.
+//! Reports are rendered deterministically: the same inputs produce
+//! byte-identical output for any `--threads` value and for the streaming and
+//! `--materialize`d paths alike.
 
 use psbench::analyze::{json_escape, render_fidelity, render_profile, FidelityReport, Format};
 use psbench::core::{
-    default_threads, fmt, profile_parallel, run_experiment, Scale, Table, WorkloadKind,
+    default_threads, fmt, profile_parallel, profile_source_parallel, run_experiment, Scale, Table,
+    WorkloadKind,
 };
-use psbench::sched::by_name;
+use psbench::sched::{by_name, scheduler_names};
 use psbench::sim::{SimConfig, SimJob, Simulation};
 use psbench::swf::{
-    convert, validate, write_string, ConvertOptions, Dialect, ParseOptions, SwfLog,
+    convert, validate, write_to, ConvertOptions, Dialect, JobSource, ParseError, ParseOptions,
+    RecordIter, SourceMeta, SwfRecord,
 };
+use psbench::workload::GeneratedStream;
+use std::io::BufReader;
 use std::process::ExitCode;
 
-const USAGE: &str = "\
+/// The usage text, with the live scheduler registry folded in.
+fn usage() -> String {
+    format!(
+        "\
 psbench — benchmarks and standards for the evaluation of parallel job schedulers
 
 USAGE:
     psbench <SUBCOMMAND> [ARGS] [OPTIONS]
 
 SUBCOMMANDS:
-    stats    <INPUT>                   characterize a workload (marginals, cycles, users)
-    compare  <REFERENCE> <CANDIDATE>   KS/EMD fidelity of a workload vs a reference trace
+    stats    <INPUT>                   characterize a workload (marginals, cycles, users);
+                                       file inputs stream in bounded memory
+    compare  <REFERENCE> <CANDIDATE>   KS/EMD/chi2/AD fidelity of a workload vs a reference trace
     validate <INPUT>                   check conformance to the SWF standard
     convert  --dialect <D> <RAWFILE>   convert a raw accounting log to SWF
                                        (dialects: nasa-ipsc860, sdsc-paragon, ctc-sp2, lanl-cm5)
@@ -47,7 +59,8 @@ SUBCOMMANDS:
 INPUTS:
     Either a path to an SWF file, or `model:<name>` with <name> one of
     feitelson96, jann97, downey97, lublin99, sessions — generated on the fly
-    from --jobs / --seed / --machine.
+    from --jobs / --seed / --machine. Both are consumed through the streaming
+    JobSource API; archive files are never materialized whole.
 
 OPTIONS:
     --jobs <N>        jobs to generate for model inputs        [default: 1000]
@@ -56,12 +69,18 @@ OPTIONS:
     --format <F>      output format: md, csv, json             [default: md]
     --threads <N>     analysis worker threads                  [default: all hardware threads]
     --scheduler <S>   scheduler for `simulate`                 [default: easy]
+                      one of: {schedulers}
     --dialect <D>     raw-log dialect for `convert`
     --scale <S>       experiment scale for `sweep`: quick|full [default: quick]
     --out <FILE>      write the report to FILE instead of stdout
     --strict          strict parsing / conversion
+    --materialize     collect the input into memory before analysis (debugging
+                      aid; output is byte-identical to the streaming path)
     -h, --help        print this help
-";
+",
+        schedulers = scheduler_names().join(", ")
+    )
+}
 
 /// Parsed command-line options shared by all subcommands.
 struct Opts {
@@ -76,6 +95,7 @@ struct Opts {
     scale: String,
     out: Option<String>,
     strict: bool,
+    materialize: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -91,6 +111,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         scale: "quick".to_string(),
         out: None,
         strict: false,
+        materialize: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -113,6 +134,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--scale" => opts.scale = value("--scale")?,
             "--out" => opts.out = Some(value("--out")?),
             "--strict" => opts.strict = true,
+            "--materialize" => opts.materialize = true,
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
             other => opts.positional.push(other.to_string()),
         }
@@ -127,8 +149,11 @@ fn num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("invalid number {s:?}"))
 }
 
-/// Resolve an input spec — `model:<name>` or a file path — into a named log.
-fn resolve_input(spec: &str, opts: &Opts) -> Result<(String, SwfLog), String> {
+/// Resolve an input spec — `model:<name>` or a file path — into a streaming
+/// [`JobSource`]: the one ingestion path every subcommand shares. Model specs
+/// become lazy [`GeneratedStream`]s; files are parsed incrementally by
+/// [`RecordIter`], so archive logs are never read or materialized whole.
+fn open_source(spec: &str, opts: &Opts) -> Result<Box<dyn JobSource>, String> {
     if let Some(name) = spec.strip_prefix("model:") {
         let kind = WorkloadKind::all()
             .iter()
@@ -143,23 +168,53 @@ fn resolve_input(spec: &str, opts: &Opts) -> Result<(String, SwfLog), String> {
                         .join(", ")
                 )
             })?;
-        let log = kind.model(opts.machine).generate(opts.jobs, opts.seed);
-        return Ok((spec.to_string(), log));
+        let stream =
+            GeneratedStream::new(kind.model(opts.machine), opts.jobs, opts.seed).with_name(spec);
+        return Ok(Box::new(stream));
     }
-    let text = std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec:?}: {e}"))?;
+    let file = std::fs::File::open(spec).map_err(|e| format!("cannot read {spec:?}: {e}"))?;
     let parse_opts = if opts.strict {
         ParseOptions::strict()
     } else {
         ParseOptions::default()
     };
-    let log = psbench::swf::parse_str(&text, &parse_opts)
-        .map_err(|e| format!("cannot parse {spec:?}: {e}"))?;
     let name = std::path::Path::new(spec)
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or(spec)
         .to_string();
-    Ok((name, log))
+    Ok(Box::new(
+        RecordIter::new(BufReader::new(file), parse_opts).with_name(name),
+    ))
+}
+
+/// Render a mid-stream parse failure of input `spec` as a CLI error.
+fn stream_err(spec: &str) -> impl Fn(ParseError) -> String + '_ {
+    move |e| format!("cannot parse {spec:?}: {e}")
+}
+
+/// A pass-through [`JobSource`] adapter that records the largest processor
+/// count seen, so `simulate` can size the machine from a drained stream the
+/// way `SwfLog::machine_size` does from a materialized log.
+struct MaxProcsTap<S> {
+    inner: S,
+    max_procs: u32,
+}
+
+impl<S: JobSource> JobSource for MaxProcsTap<S> {
+    fn meta(&self) -> &SourceMeta {
+        self.inner.meta()
+    }
+
+    fn next_record(&mut self) -> Option<Result<SwfRecord, ParseError>> {
+        let rec = self.inner.next_record();
+        if let Some(Ok(r)) = &rec {
+            if let Some(p) = r.procs() {
+                self.max_procs = self.max_procs.max(p);
+            }
+        }
+        rec
+    }
 }
 
 /// Render a harness table in the CLI's output format.
@@ -214,13 +269,26 @@ fn emit(opts: &Opts, content: &str) -> Result<(), String> {
     }
 }
 
+/// Profile one input through the streaming path (bounded memory), or through
+/// an explicitly materialized log when `--materialize` is given. Both paths
+/// produce byte-identical reports; CI asserts it.
+fn profile_input(spec: &str, opts: &Opts) -> Result<psbench::analyze::WorkloadProfile, String> {
+    let source = open_source(spec, opts)?;
+    if opts.materialize {
+        let name = source.meta().name.clone();
+        let log = source.collect_log().map_err(stream_err(spec))?;
+        Ok(profile_parallel(&name, &log, opts.threads))
+    } else {
+        profile_source_parallel(source, opts.threads).map_err(stream_err(spec))
+    }
+}
+
 fn cmd_stats(opts: &Opts) -> Result<ExitCode, String> {
     let spec = opts
         .positional
         .first()
         .ok_or("stats expects an <INPUT> (file path or model:<name>)")?;
-    let (name, log) = resolve_input(spec, opts)?;
-    let profile = profile_parallel(&name, &log, opts.threads);
+    let profile = profile_input(spec, opts)?;
     emit(opts, &render_profile(&profile, opts.format))?;
     Ok(ExitCode::SUCCESS)
 }
@@ -229,10 +297,8 @@ fn cmd_compare(opts: &Opts) -> Result<ExitCode, String> {
     let [reference, candidate] = opts.positional.as_slice() else {
         return Err("compare expects exactly <REFERENCE> and <CANDIDATE> inputs".to_string());
     };
-    let (ref_name, ref_log) = resolve_input(reference, opts)?;
-    let (cand_name, cand_log) = resolve_input(candidate, opts)?;
-    let ref_profile = profile_parallel(&ref_name, &ref_log, opts.threads);
-    let cand_profile = profile_parallel(&cand_name, &cand_log, opts.threads);
+    let ref_profile = profile_input(reference, opts)?;
+    let cand_profile = profile_input(candidate, opts)?;
     let report = FidelityReport::compare(&ref_profile, &cand_profile);
     emit(opts, &render_fidelity(&report, opts.format))?;
     Ok(ExitCode::SUCCESS)
@@ -243,7 +309,12 @@ fn cmd_validate(opts: &Opts) -> Result<ExitCode, String> {
         .positional
         .first()
         .ok_or("validate expects an <INPUT> (file path or model:<name>)")?;
-    let (name, log) = resolve_input(spec, opts)?;
+    let source = open_source(spec, opts)?;
+    let name = source.meta().name.clone();
+    // Validation checks cross-record rules (sortedness, id numbering,
+    // checkpoint chains), so this is the one subcommand that uses the
+    // materializing sink of the source.
+    let log = source.collect_log().map_err(stream_err(spec))?;
     let report = validate(&log);
     let mut table = Table::new(
         format!("SWF conformance — {name}"),
@@ -308,7 +379,21 @@ fn cmd_convert(opts: &Opts) -> Result<ExitCode, String> {
     if conversion.skipped > 0 {
         eprintln!("warning: skipped {} unparseable lines", conversion.skipped);
     }
-    emit(opts, &write_string(&conversion.log))?;
+    // Stream the converted log to its sink line by line instead of building
+    // the whole serialization in memory first.
+    match &opts.out {
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            write_to(&conversion.log, std::io::BufWriter::new(file))
+                .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        }
+        None => {
+            let stdout = std::io::stdout();
+            write_to(&conversion.log, stdout.lock())
+                .map_err(|e| format!("cannot write to stdout: {e}"))?;
+        }
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -317,15 +402,21 @@ fn cmd_simulate(opts: &Opts) -> Result<ExitCode, String> {
         .positional
         .first()
         .ok_or("simulate expects an <INPUT> (file path or model:<name>)")?;
-    let (name, log) = resolve_input(spec, opts)?;
+    // Stream the input straight into simulator jobs — the SWF record vector
+    // is never materialized. The tap records the largest processor count so
+    // file inputs without a MaxNodes header still get a machine size.
+    let mut tap = MaxProcsTap {
+        inner: open_source(spec, opts)?,
+        max_procs: 0,
+    };
+    let jobs = SimJob::from_source(&mut tap).map_err(stream_err(spec))?;
+    let name = tap.meta().name.clone();
     let machine = if spec.starts_with("model:") {
         opts.machine
     } else {
-        log.machine_size().max(1)
+        tap.meta().header.max_nodes.unwrap_or(tap.max_procs).max(1)
     };
-    let mut scheduler = by_name(&opts.scheduler, machine)
-        .ok_or_else(|| format!("unknown scheduler {:?}", opts.scheduler))?;
-    let jobs = SimJob::from_log(&log);
+    let mut scheduler = by_name(&opts.scheduler, machine).map_err(|e| e.to_string())?;
     let result = Simulation::new(SimConfig::new(machine), jobs).run(scheduler.as_mut());
     let agg = result.aggregate();
     let sys = result.system();
@@ -403,7 +494,7 @@ fn run() -> Result<ExitCode, String> {
         return Err(String::new());
     };
     if args.iter().any(|a| a == "-h" || a == "--help") || sub == "help" {
-        print!("{USAGE}");
+        print!("{}", usage());
         return Ok(ExitCode::SUCCESS);
     }
     let opts = parse_opts(&args[1..])?;
@@ -423,7 +514,7 @@ fn main() -> ExitCode {
         Ok(code) => code,
         Err(msg) => {
             if msg.is_empty() {
-                eprint!("{USAGE}");
+                eprint!("{}", usage());
             } else {
                 eprintln!("error: {msg}");
                 eprintln!("run `psbench --help` for usage");

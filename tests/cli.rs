@@ -136,6 +136,82 @@ fn compare_scores_lublin99_against_a_reference_trace() {
 }
 
 #[test]
+fn stats_streaming_and_materialized_paths_are_byte_identical() {
+    // The acceptance property of the JobSource redesign: the bounded-memory
+    // streaming pipeline and the explicitly materialized one can never
+    // disagree, for file and model inputs, in every format, at any thread
+    // count.
+    let path = write_reference_trace("stream-vs-mat.swf", 700, 99);
+    let p = path.to_str().unwrap();
+    for input in [p, "model:lublin99"] {
+        for format in ["md", "csv", "json"] {
+            for threads in ["1", "6"] {
+                let base = [
+                    "stats",
+                    input,
+                    "--jobs",
+                    "700",
+                    "--seed",
+                    "99",
+                    "--format",
+                    format,
+                    "--threads",
+                    threads,
+                ];
+                let streaming = stdout_of(&base);
+                let materialized = stdout_of(&[&base[..], &["--materialize"]].concat());
+                assert_eq!(
+                    streaming, materialized,
+                    "paths diverge for {input} / {format} / {threads} threads"
+                );
+            }
+        }
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn unknown_scheduler_error_lists_valid_names() {
+    let out = psbench(&[
+        "simulate",
+        "model:lublin99",
+        "--jobs",
+        "20",
+        "--scheduler",
+        "bogus",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown scheduler \"bogus\""), "{stderr}");
+    for name in ["fcfs", "easy", "conservative", "gang", "draining-easy"] {
+        assert!(stderr.contains(name), "error should list {name}: {stderr}");
+    }
+    // --help surfaces the same registry.
+    let help = stdout_of(&["--help"]);
+    assert!(help.contains("draining-easy"));
+}
+
+#[test]
+fn compare_reports_chi2_and_ad_columns() {
+    let md = stdout_of(&["compare", "model:lublin99", "model:jann97", "--jobs", "400"]);
+    assert!(
+        md.contains("| marginal | unit | KS | EMD | chi2 | AD |"),
+        "{md}"
+    );
+    let json = stdout_of(&[
+        "compare",
+        "model:lublin99",
+        "model:jann97",
+        "--jobs",
+        "400",
+        "--format",
+        "json",
+    ]);
+    assert!(json.contains("\"chi2\":"));
+    assert!(json.contains("\"mean_ad\":"));
+}
+
+#[test]
 fn validate_passes_clean_logs_and_fails_broken_ones() {
     let ok = psbench(&["validate", "model:jann97", "--jobs", "120"]);
     assert!(ok.status.success());
