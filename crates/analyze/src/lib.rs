@@ -51,7 +51,9 @@ pub mod prelude {
         MarginalDistance,
     };
     pub use crate::profile::{profile_chunked, GroupStats, WorkloadProfile, ACCURACY_SCALE};
-    pub use crate::report::{fmt_num, json_escape, render_fidelity, render_profile, Format};
+    pub use crate::report::{
+        fmt_num, json_escape, json_num, render_fidelity, render_profile, Format,
+    };
     pub use crate::sketch::{Correlation, Histogram, MarginalSketch, Moments, HISTOGRAM_BINS};
 }
 

@@ -111,7 +111,7 @@ pub fn json_escape(s: &str) -> String {
 
 /// Render a finite float as a JSON number (six fractional digits, trailing
 /// zeros trimmed), falling back to 0 for non-finite values.
-fn json_num(v: f64) -> String {
+pub fn json_num(v: f64) -> String {
     if !v.is_finite() {
         return "0".to_string();
     }

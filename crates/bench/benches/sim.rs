@@ -1,0 +1,159 @@
+//! Benches for the discrete-event simulation engine: the completion-calendar
+//! hot path across schedulers, workload scales (10k / 100k / 1M Lublin99 jobs),
+//! loop modes, and outage handling — plus head-to-head runs against the
+//! seed-style reference engine (per-event linear rescans) that demonstrate the
+//! per-event cost no longer scales with the running-set size.
+//!
+//! `sim-bench` (the companion binary) runs the quick subset of these scenarios
+//! and emits the machine-readable `BENCH_sim.json` snapshot that CI diffs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psbench_sched::by_name;
+use psbench_sim::{EngineKind, SimConfig, SimJob, Simulation};
+use psbench_workload::feedback::{infer_dependencies, InferenceParams};
+use psbench_workload::outagegen::OutageGenerator;
+use psbench_workload::{Lublin99, WorkloadModel};
+use std::hint::black_box;
+
+const MACHINE: u32 = 128;
+
+fn jobs(n: usize, seed: u64) -> Vec<SimJob> {
+    SimJob::from_log(&Lublin99::default().generate(n, seed))
+}
+
+fn run(kind: EngineKind, config: SimConfig, jobs: Vec<SimJob>, sched: &str) -> u64 {
+    let mut scheduler = by_name(sched, MACHINE).expect("scheduler");
+    Simulation::with_engine(config, jobs, kind)
+        .run(scheduler.as_mut())
+        .events_processed
+}
+
+/// Schedulers × scale on the calendar engine: the production hot path.
+fn bench_engine_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let js = jobs(n, 42);
+        group.throughput(criterion::Throughput::Elements(n as u64));
+        for sched in ["fcfs", "easy", "gang"] {
+            group.bench_function(format!("{sched}_{}k_open", n / 1000), |b| {
+                b.iter(|| {
+                    black_box(run(
+                        EngineKind::Calendar,
+                        SimConfig::new(MACHINE),
+                        js.clone(),
+                        sched,
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Closed-loop and outage-driven variants at 100k jobs.
+fn bench_engine_modes(c: &mut Criterion) {
+    const N: usize = 100_000;
+    let mut group = c.benchmark_group("sim_modes");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(N as u64));
+
+    let mut log = Lublin99::default().generate(N, 42);
+    let open_jobs = SimJob::from_log(&log);
+    infer_dependencies(&mut log, &InferenceParams::default());
+    let closed_jobs = SimJob::from_log(&log);
+    let horizon = open_jobs.iter().map(|j| j.submit as i64).max().unwrap_or(0) + 86_400;
+    let outages = OutageGenerator::for_machine(MACHINE).generate(horizon, 4242);
+
+    group.bench_function("easy_100k_closed", |b| {
+        b.iter(|| {
+            black_box(run(
+                EngineKind::Calendar,
+                SimConfig::new(MACHINE).closed_loop(),
+                closed_jobs.clone(),
+                "easy",
+            ))
+        })
+    });
+    group.bench_function("easy_100k_outages", |b| {
+        b.iter(|| {
+            black_box(run(
+                EngineKind::Calendar,
+                SimConfig::new(MACHINE).with_outages(outages.clone()),
+                open_jobs.clone(),
+                "easy",
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// Calendar vs the seed-style reference engine: the acceptance comparison. The
+/// reference does O(running) work per event, so its time grows with machine
+/// saturation; the calendar's does not.
+fn bench_calendar_vs_reference(c: &mut Criterion) {
+    const N: usize = 100_000;
+    let js = jobs(N, 42);
+    let mut group = c.benchmark_group("sim_engine_comparison");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(N as u64));
+    for sched in ["fcfs", "easy"] {
+        group.bench_function(format!("calendar_{sched}_100k"), |b| {
+            b.iter(|| {
+                black_box(run(
+                    EngineKind::Calendar,
+                    SimConfig::new(MACHINE),
+                    js.clone(),
+                    sched,
+                ))
+            })
+        });
+    }
+    let mut small = group;
+    small.sample_size(2);
+    for sched in ["fcfs", "easy"] {
+        small.bench_function(format!("reference_{sched}_100k"), |b| {
+            b.iter(|| {
+                black_box(run(
+                    EngineKind::Reference,
+                    SimConfig::new(MACHINE),
+                    js.clone(),
+                    sched,
+                ))
+            })
+        });
+    }
+    small.finish();
+}
+
+/// The archive-scale end-to-end scenario: a 1M-job month-scale trace through
+/// FCFS and EASY on the calendar engine.
+fn bench_million_jobs(c: &mut Criterion) {
+    const N: usize = 1_000_000;
+    let js = jobs(N, 42);
+    let mut group = c.benchmark_group("sim_1m");
+    group.sample_size(2);
+    group.throughput(criterion::Throughput::Elements(N as u64));
+    for sched in ["fcfs", "easy"] {
+        group.bench_function(format!("{sched}_1m_open"), |b| {
+            b.iter(|| {
+                black_box(run(
+                    EngineKind::Calendar,
+                    SimConfig::new(MACHINE),
+                    js.clone(),
+                    sched,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_scale,
+    bench_engine_modes,
+    bench_calendar_vs_reference,
+    bench_million_jobs
+);
+criterion_main!(benches);

@@ -1,0 +1,343 @@
+//! `sim-bench` — the simulation-engine benchmark snapshot tool.
+//!
+//! Runs a fixed, deterministic set of simulation scenarios (schedulers ×
+//! workload scales × loop modes × outages, on both the calendar and the
+//! reference engine) and emits a machine-readable JSON snapshot with, per
+//! scenario, the event count, result fingerprint, wall time and events/sec.
+//! The committed `BENCH_sim.json` is such a snapshot; CI regenerates a quick
+//! run and diffs it against the baseline:
+//!
+//! * **result drift** (event count / finished jobs / mean response changed) is
+//!   an error — simulation results are machine-independent, so a mismatch means
+//!   an engine or scheduler behavior change that must be acknowledged by
+//!   regenerating the baseline;
+//! * **performance regressions** (> 20% drop in events/sec) produce warnings —
+//!   absolute speed varies across machines, so they do not fail the build.
+//!
+//! ```text
+//! sim-bench [--scale quick|full] [--out BENCH_sim.json] [--baseline BENCH_sim.json] [--repeat N]
+//! ```
+
+use psbench_analyze::report::{json_escape, json_num};
+use psbench_sched::by_name;
+use psbench_sim::{EngineKind, SimConfig, SimJob, Simulation};
+use psbench_workload::feedback::{infer_dependencies, InferenceParams};
+use psbench_workload::outagegen::OutageGenerator;
+use psbench_workload::{Lublin99, WorkloadModel};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const MACHINE: u32 = 128;
+
+struct Scenario {
+    name: String,
+    scheduler: &'static str,
+    engine: EngineKind,
+    config: SimConfig,
+    jobs: Vec<SimJob>,
+}
+
+struct Measurement {
+    name: String,
+    scheduler: String,
+    engine: &'static str,
+    jobs: usize,
+    events: u64,
+    finished: usize,
+    mean_response: f64,
+    wall_ms: f64,
+    events_per_sec: f64,
+}
+
+fn lublin_jobs(n: usize, seed: u64) -> Vec<SimJob> {
+    SimJob::from_log(&Lublin99::default().generate(n, seed))
+}
+
+/// A dense narrow-job workload on a wide machine: thousands of jobs run
+/// concurrently, so per-event O(running) work is catastrophic. This is the
+/// scenario that demonstrates the calendar's per-event cost does not scale
+/// with the running-set size.
+fn wide_machine_jobs(n: usize) -> Vec<SimJob> {
+    (0..n)
+        .map(|i| {
+            SimJob::rigid(
+                i as u64 + 1,
+                i as f64 * 0.5,                 // one arrival every 500 ms
+                900.0 + (i % 7) as f64 * 120.0, // ~15-30 min runtimes
+                1 + (i % 4) as u32,             // 1-4 processors
+            )
+        })
+        .collect()
+}
+
+fn scenarios(scale: &str) -> Vec<Scenario> {
+    let sizes: &[usize] = match scale {
+        "full" => &[10_000, 100_000, 1_000_000],
+        _ => &[10_000],
+    };
+    let mut out = Vec::new();
+    for &n in sizes {
+        let js = lublin_jobs(n, 42);
+        let tag = if n >= 1_000_000 {
+            format!("{}m", n / 1_000_000)
+        } else {
+            format!("{}k", n / 1000)
+        };
+        for sched in ["fcfs", "easy", "gang"] {
+            out.push(Scenario {
+                name: format!("{sched}_{tag}_open"),
+                scheduler: sched,
+                engine: EngineKind::Calendar,
+                config: SimConfig::new(MACHINE),
+                jobs: js.clone(),
+            });
+        }
+        // Closed loop and outage-driven variants under EASY.
+        let mut log = Lublin99::default().generate(n, 42);
+        infer_dependencies(&mut log, &InferenceParams::default());
+        out.push(Scenario {
+            name: format!("easy_{tag}_closed"),
+            scheduler: "easy",
+            engine: EngineKind::Calendar,
+            config: SimConfig::new(MACHINE).closed_loop(),
+            jobs: SimJob::from_log(&log),
+        });
+        let horizon = js.iter().map(|j| j.submit as i64).max().unwrap_or(0) + 86_400;
+        let outages = OutageGenerator::for_machine(MACHINE).generate(horizon, 4242);
+        out.push(Scenario {
+            name: format!("easy_{tag}_outages"),
+            scheduler: "easy",
+            engine: EngineKind::Calendar,
+            config: SimConfig::new(MACHINE).with_outages(outages),
+            jobs: js.clone(),
+        });
+        // Reference-engine (seed-complexity) baselines; skipped at 1M where the
+        // linear rescans take impractically long.
+        if n <= 100_000 {
+            for sched in ["fcfs", "easy"] {
+                out.push(Scenario {
+                    name: format!("reference_{sched}_{tag}_open"),
+                    scheduler: sched,
+                    engine: EngineKind::Reference,
+                    config: SimConfig::new(MACHINE),
+                    jobs: js.clone(),
+                });
+            }
+        }
+    }
+    // The running-set scaling probe: ~1 800 concurrent jobs on a wide machine.
+    let wide_n = if scale == "full" { 60_000 } else { 20_000 };
+    for (engine, label) in [
+        (EngineKind::Calendar, "calendar"),
+        (EngineKind::Reference, "reference"),
+    ] {
+        out.push(Scenario {
+            name: format!("widemachine_{label}_{}k", wide_n / 1000),
+            scheduler: "greedy-fcfs",
+            engine,
+            config: SimConfig::new(8192),
+            jobs: wide_machine_jobs(wide_n),
+        });
+    }
+    out
+}
+
+fn measure(s: &Scenario, repeat: usize) -> Measurement {
+    let mut best_ms = f64::INFINITY;
+    let mut events = 0;
+    let mut finished = 0;
+    let mut mean_response = 0.0;
+    for _ in 0..repeat.max(1) {
+        let machine = s.config.machine_size;
+        let mut scheduler = by_name(s.scheduler, machine).expect("known scheduler");
+        let sim = Simulation::with_engine(s.config.clone(), s.jobs.clone(), s.engine);
+        let t0 = Instant::now();
+        let result = sim.run(scheduler.as_mut());
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        best_ms = best_ms.min(wall);
+        events = result.events_processed;
+        finished = result.finished.len();
+        mean_response = result.mean_response_time();
+    }
+    Measurement {
+        name: s.name.clone(),
+        scheduler: s.scheduler.to_string(),
+        engine: match s.engine {
+            EngineKind::Calendar => "calendar",
+            EngineKind::Reference => "reference",
+        },
+        jobs: s.jobs.len(),
+        events,
+        finished,
+        mean_response,
+        wall_ms: best_ms,
+        events_per_sec: events as f64 / (best_ms / 1e3).max(1e-9),
+    }
+}
+
+fn render_json(scale: &str, ms: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", json_escape(scale)));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, m) in ms.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scheduler\": \"{}\", \"engine\": \"{}\", \"jobs\": {}, \"events\": {}, \"finished\": {}, \"mean_response\": {}, \"wall_ms\": {}, \"events_per_sec\": {}}}{}\n",
+            json_escape(&m.name),
+            json_escape(&m.scheduler),
+            m.engine,
+            m.jobs,
+            m.events,
+            m.finished,
+            json_num(m.mean_response),
+            json_num((m.wall_ms * 1000.0).round() / 1000.0),
+            json_num(m.events_per_sec.round()),
+            if i + 1 == ms.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Pull one scenario field out of a baseline snapshot produced by this tool.
+/// (Line-oriented: every scenario is a single JSON object line.)
+fn baseline_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"').to_string())
+}
+
+fn compare_to_baseline(baseline: &str, ms: &[Measurement]) -> (usize, usize) {
+    let mut drifted = 0;
+    let mut regressed = 0;
+    // A measured scenario with no baseline entry is drift too: result-drift
+    // detection must cover every scenario, so adding or renaming one requires
+    // regenerating the snapshot.
+    for m in ms {
+        let pat = format!("\"name\": \"{}\"", json_escape(&m.name));
+        if !baseline.contains(&pat) {
+            println!(
+                "::error::sim-bench: `{}` is measured but missing from the baseline — regenerate BENCH_sim.json",
+                m.name
+            );
+            drifted += 1;
+        }
+    }
+    for line in baseline.lines() {
+        let Some(name) = baseline_field(line, "name") else {
+            continue;
+        };
+        let Some(m) = ms.iter().find(|m| m.name == name) else {
+            println!("::warning::sim-bench: baseline scenario `{name}` no longer measured");
+            continue;
+        };
+        let events: u64 = baseline_field(line, "events")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let finished: usize = baseline_field(line, "finished")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        // Compare the canonical rendering, not a re-parsed f64: the snapshot
+        // stores mean_response at 6 fractional digits.
+        let mean_response = baseline_field(line, "mean_response").unwrap_or_default();
+        if events != m.events
+            || finished != m.finished
+            || mean_response != json_num(m.mean_response)
+        {
+            println!(
+                "::error::sim-bench: `{name}` result drift: events {} -> {}, finished {} -> {}, mean_response {} -> {}",
+                events,
+                m.events,
+                finished,
+                m.finished,
+                mean_response,
+                json_num(m.mean_response)
+            );
+            drifted += 1;
+        }
+        let base_eps: f64 = baseline_field(line, "events_per_sec")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.0);
+        if base_eps > 0.0 && m.events_per_sec < 0.8 * base_eps {
+            println!(
+                "::warning::sim-bench: `{name}` events/sec regressed >20%: {:.0} (baseline {:.0})",
+                m.events_per_sec, base_eps
+            );
+            regressed += 1;
+        }
+    }
+    (drifted, regressed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = "quick".to_string();
+    let mut out_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut repeat = 3usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => scale = it.next().cloned().unwrap_or_else(|| "quick".into()),
+            "--out" => out_path = it.next().cloned(),
+            "--baseline" => baseline_path = it.next().cloned(),
+            "--repeat" => repeat = it.next().and_then(|v| v.parse().ok()).unwrap_or(3),
+            "-h" | "--help" => {
+                println!(
+                    "sim-bench [--scale quick|full] [--out FILE] [--baseline FILE] [--repeat N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sim-bench: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let ms: Vec<Measurement> = scenarios(&scale)
+        .iter()
+        .map(|s| {
+            let m = measure(s, repeat);
+            println!(
+                "{:<32} {:>9} events {:>10.1} ms {:>12.0} events/sec",
+                m.name, m.events, m.wall_ms, m.events_per_sec
+            );
+            m
+        })
+        .collect();
+
+    let json = render_json(&scale, &ms);
+    match &out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(p, &json) {
+                eprintln!("sim-bench: cannot write {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {p}");
+        }
+        None => print!("{json}"),
+    }
+
+    if let Some(p) = baseline_path {
+        match std::fs::read_to_string(&p) {
+            Ok(base) => {
+                let (drifted, regressed) = compare_to_baseline(&base, &ms);
+                println!(
+                    "baseline {p}: {drifted} result drift(s), {regressed} perf regression warning(s)"
+                );
+                if drifted > 0 {
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("sim-bench: cannot read baseline {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

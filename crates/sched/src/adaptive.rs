@@ -50,14 +50,8 @@ impl Scheduler for AdaptivePartition {
     fn react(&mut self, ctx: &SchedulerContext<'_>, _event: SchedulerEvent) -> Vec<Decision> {
         let target = self.target_allocation(ctx);
         let mut free = ctx.free_capacity();
-        let mut queue: Vec<_> = ctx.queue.iter().collect();
-        queue.sort_by(|a, b| {
-            a.queued_at
-                .total_cmp(&b.queued_at)
-                .then(a.job.id.cmp(&b.job.id))
-        });
         let mut out = Vec::new();
-        for q in queue {
+        for q in ctx.queue.iter() {
             if free < 1.0 - 1e-9 {
                 break;
             }

@@ -6,7 +6,7 @@
 //! delay it; conservative backfilling gives every queued job a reservation and
 //! backfills only into the resulting profile.
 
-use psbench_sim::{Decision, QueuedJob, Scheduler, SchedulerContext, SchedulerEvent};
+use psbench_sim::{Decision, Scheduler, SchedulerContext, SchedulerEvent};
 
 /// A step function of free processors over time, used to plan future starts.
 #[derive(Debug, Clone)]
@@ -18,19 +18,13 @@ pub(crate) struct Profile {
 
 impl Profile {
     /// Build the profile of free capacity from the running jobs' estimated
-    /// completion times.
+    /// completion times. [`SchedulerContext::completion_profile`] arrives sorted
+    /// and already carries the proc·share each completion releases, so this is a
+    /// single O(running) pass — no re-sort, no per-completion lookup.
     pub(crate) fn from_running(ctx: &SchedulerContext<'_>) -> Self {
         let mut steps = vec![(ctx.now, ctx.free_capacity())];
-        let mut completions = ctx.estimated_completions();
-        completions.sort_by(|a, b| a.1.total_cmp(&b.1));
         let mut free = ctx.free_capacity();
-        for (id, end) in completions {
-            let procs = ctx
-                .running
-                .iter()
-                .find(|r| r.job.id == id)
-                .map(|r| r.proc_share())
-                .unwrap_or(0.0);
+        for (_, end, procs) in ctx.completion_profile() {
             free += procs;
             steps.push((end.max(ctx.now), free));
         }
@@ -93,96 +87,239 @@ impl Profile {
     }
 }
 
-fn queue_in_arrival_order<'a>(ctx: &'a SchedulerContext<'_>) -> Vec<&'a QueuedJob> {
-    let mut queue: Vec<&QueuedJob> = ctx.queue.iter().collect();
-    queue.sort_by(|a, b| {
-        a.queued_at
-            .total_cmp(&b.queued_at)
-            .then(a.job.id.cmp(&b.job.id))
-    });
-    queue
-}
-
 /// EASY (aggressive) backfilling: jobs start in arrival order; when the head does
 /// not fit it gets a reservation at the earliest time enough processors will be
 /// free (based on user estimates), and later jobs may be backfilled if they fit now
 /// and do not delay that reservation.
+///
+/// # Incremental arrivals
+///
+/// A full plan walks the whole backlog, which is O(queue) per react and turns
+/// quadratic on saturated archive-scale traces. But between two consecutive
+/// *arrival* consults nothing a full replan depends on can change: free
+/// capacity is untouched, the blocked head is still blocked, the running jobs'
+/// estimated completion times are fixed *absolute* instants
+/// (`started_at + estimate`), and every job that failed the backfill test
+/// before fails it again (the shadow test only gets harder as `now` advances,
+/// and the extra budget never grows). So after a full plan the scheduler
+/// caches the blocked head and the `(shadow, extra)` pair, and a pure-arrival
+/// react tests **only the arriving job** in O(1). Any other event — a
+/// completion, an outage, a kill, a backfill actually starting, or a running
+/// job outliving its estimate (which makes its estimated end drift) — falls
+/// back to a full replan that refreshes the cache.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct EasyBackfill;
+pub struct EasyBackfill {
+    cache: Option<EasyCache>,
+    /// `(now, free, queue len, running len)` of the last full plan that emitted
+    /// no decision. When several jobs complete at the same instant the engine
+    /// consults once per job, but the first consult already saw all the freed
+    /// capacity; if the state is bit-identical to that planless plan, the
+    /// plan's (deterministic) result is too, so the scan is skipped.
+    idle_snapshot: Option<(f64, f64, usize, usize)>,
+}
 
-impl Scheduler for EasyBackfill {
-    fn name(&self) -> &str {
-        "easy"
-    }
+/// The state a pure-arrival react needs from the last full plan.
+#[derive(Debug, Clone, Copy)]
+struct EasyCache {
+    /// Id of the blocked queue head the shadow was computed for.
+    head_id: u64,
+    /// Width of the blocked head, processors.
+    head_procs: u32,
+    /// Absolute time at which enough capacity frees for the head (by estimates).
+    shadow: f64,
+    /// Processors still free at the shadow time after the head starts.
+    extra: f64,
+    /// Earliest estimated completion over the jobs running at plan time
+    /// (including the plan's own starts). Once the clock passes it, some job
+    /// has outlived its estimate — its estimated end starts drifting with the
+    /// clock, moving the shadow — so the cache is stale.
+    min_est_end: f64,
+}
 
-    fn react(&mut self, ctx: &SchedulerContext<'_>, _event: SchedulerEvent) -> Vec<Decision> {
-        let queue = queue_in_arrival_order(ctx);
+impl EasyBackfill {
+    /// Full three-phase plan over the whole backlog; refreshes the cache.
+    fn full_plan(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Decision> {
+        self.idle_snapshot = None;
+        // One streaming pass over the queue's compact scheduling keys (already
+        // in arrival order): phase 1 consumes the fitting prefix, phase 2
+        // computes the head's shadow from the completion profile, and phase 3
+        // continues the same iteration over the remaining jobs. No sort, no
+        // queue materialization, no full-job memory traffic.
+        self.cache = None;
+        let mut queue = ctx.queue.iter_keys();
         let mut out = Vec::new();
         let mut free = ctx.free_capacity();
-        // Local copy of (procs, estimated end) for the shadow computation, updated
-        // as we decide to start jobs in this very call.
+        // Local copy of (estimated end, procs) for the shadow computation, updated
+        // as we decide to start jobs in this very call. The context's profile is
+        // sorted once per react and carries the released proc·share directly.
         let mut completions: Vec<(f64, f64)> = ctx
-            .estimated_completions()
+            .completion_profile()
             .into_iter()
-            .filter_map(|(id, end)| {
-                ctx.running
-                    .iter()
-                    .find(|r| r.job.id == id)
-                    .map(|r| (end, r.proc_share()))
-            })
+            .map(|(_, end, procs)| (end, procs))
             .collect();
 
-        let mut idx = 0;
         // Phase 1: start jobs from the head while they fit.
-        while idx < queue.len() {
-            let q = queue[idx];
-            if (q.job.procs as f64) <= free + 1e-9 {
-                free -= q.job.procs as f64;
-                completions.push((ctx.now + q.job.estimate.max(1.0), q.job.procs as f64));
-                out.push(Decision::start(q.job.id));
-                idx += 1;
+        let mut head = None;
+        for q in queue.by_ref() {
+            if (q.procs as f64) <= free + 1e-9 {
+                free -= q.procs as f64;
+                completions.push((ctx.now + q.estimate.max(1.0), q.procs as f64));
+                out.push(Decision::start(q.id));
             } else {
+                head = Some(q);
                 break;
             }
         }
-        if idx >= queue.len() {
+        let Some(head) = head else {
             return out;
-        }
+        };
 
         // Phase 2: reservation (shadow time) for the head job that did not fit.
-        let head = queue[idx];
         completions.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut avail = free;
         let mut shadow = f64::INFINITY;
         let mut extra = 0.0;
         for &(end, procs) in &completions {
             avail += procs;
-            if avail + 1e-9 >= head.job.procs as f64 {
+            if avail + 1e-9 >= head.procs as f64 {
                 shadow = end;
-                extra = avail - head.job.procs as f64;
+                extra = avail - head.procs as f64;
                 break;
             }
         }
 
         // Phase 3: backfill later jobs that fit now and do not delay the head:
-        // either they finish (by estimate) before the shadow time, or they use only
-        // the processors that will still be free when the head starts.
-        for q in queue.iter().skip(idx + 1) {
-            let procs = q.job.procs as f64;
-            if procs > free + 1e-9 {
+        // either they finish (by estimate) before the shadow time, or they use
+        // only the processors that will still be free when the head starts.
+        //
+        // This scan is the hot loop of a saturated simulation, so the capacity
+        // comparisons are hoisted to integer floors: `procs` is integral, so
+        // `procs ≤ x + 1e-9  ⟺  procs ≤ ⌊x + 1e-9⌋` exactly, and the floors
+        // only change when a backfill actually starts.
+        let mut free_floor = (free + 1e-9).floor();
+        let mut extra_floor = (extra + 1e-9).floor();
+        let shadow_budget = shadow + 1e-9 - ctx.now; // estimate budget
+                                                     // Phase-3 starts are not folded into `completions`, but their
+                                                     // estimated ends still bound the cache's overdue horizon.
+        let mut min_backfill_end = f64::INFINITY;
+        for q in queue {
+            // Every job needs ≥ 1 processor (a `SimJob` invariant), so once less
+            // than one is free nothing further down the queue can be backfilled.
+            if free_floor < 1.0 {
+                break;
+            }
+            let procs = q.procs as f64;
+            if procs > free_floor {
                 continue;
             }
-            let ends_before_shadow = ctx.now + q.job.estimate <= shadow + 1e-9;
-            let fits_in_extra = procs <= extra + 1e-9;
+            let fits_in_extra = procs <= extra_floor;
+            let ends_before_shadow = q.estimate <= shadow_budget;
             if ends_before_shadow || fits_in_extra {
                 free -= procs;
+                free_floor = (free + 1e-9).floor();
                 if !ends_before_shadow {
                     extra -= procs;
+                    extra_floor = (extra + 1e-9).floor();
                 }
-                out.push(Decision::start(q.job.id));
+                min_backfill_end = min_backfill_end.min(ctx.now + q.estimate.max(1.0));
+                out.push(Decision::start(q.id));
             }
         }
+        self.cache = Some(EasyCache {
+            head_id: head.id,
+            head_procs: head.procs,
+            shadow,
+            extra,
+            // `completions` (sorted by end time) holds every running job plus
+            // phase 1's starts; phase 3's starts are folded in separately.
+            min_est_end: completions
+                .first()
+                .map_or(f64::INFINITY, |c| c.0)
+                .min(min_backfill_end),
+        });
+        if out.is_empty() {
+            self.idle_snapshot = Some((
+                ctx.now,
+                ctx.free_capacity(),
+                ctx.queue.len(),
+                ctx.running.len(),
+            ));
+        }
         out
+    }
+
+    /// Is the cached plan still exactly what a full replan would produce?
+    /// True only if the head is still blocked at the queue front and no
+    /// running job has outlived its estimate (which would move its estimated
+    /// completion, and with it the shadow). O(1): the overdue test compares
+    /// the clock against the cached earliest estimated completion.
+    fn cache_valid(&self, ctx: &SchedulerContext<'_>) -> Option<EasyCache> {
+        let cache = self.cache?;
+        let head_key = ctx.queue.iter_keys().next()?;
+        if head_key.id != cache.head_id
+            || (cache.head_procs as f64) <= ctx.free_capacity() + 1e-9
+            || ctx.now > cache.min_est_end
+        {
+            return None;
+        }
+        Some(cache)
+    }
+
+    /// Drop the cached plan. Wrapping policies that veto this scheduler's
+    /// proposed starts (e.g. [`crate::drain::DrainingEasy`]) must call this
+    /// whenever they drop a decision: the cache assumes every proposed start
+    /// was applied, so a veto leaves it describing a state that never
+    /// happened.
+    pub fn invalidate(&mut self) {
+        self.cache = None;
+        self.idle_snapshot = None;
+    }
+}
+
+impl Scheduler for EasyBackfill {
+    fn name(&self) -> &str {
+        "easy"
+    }
+
+    fn react(&mut self, ctx: &SchedulerContext<'_>, event: SchedulerEvent) -> Vec<Decision> {
+        if matches!(event, SchedulerEvent::JobCompleted { .. })
+            && self.idle_snapshot
+                == Some((
+                    ctx.now,
+                    ctx.free_capacity(),
+                    ctx.queue.len(),
+                    ctx.running.len(),
+                ))
+        {
+            // Same instant, bit-identical state, and the plan for it already
+            // came back empty: replanning would produce the same nothing.
+            return Vec::new();
+        }
+        if let SchedulerEvent::JobArrived { job_id } = event {
+            if let Some(cache) = self.cache_valid(ctx) {
+                // O(1) path: only the arriving job can have become startable.
+                let Some(q) = ctx.queue.get(job_id) else {
+                    return Vec::new();
+                };
+                let procs = q.job.procs as f64;
+                let free = ctx.free_capacity();
+                if procs > free + 1e-9 {
+                    return Vec::new();
+                }
+                // Bit-identical to full_plan's phase-3 test: same expression
+                // shape (`est <= shadow + 1e-9 - now`), same shadow value.
+                let ends_before_shadow = q.job.estimate <= cache.shadow + 1e-9 - ctx.now;
+                let fits_in_extra = procs <= cache.extra + 1e-9;
+                if ends_before_shadow || fits_in_extra {
+                    // Starting a job adds a completion the cached shadow did
+                    // not see; the next arrival must replan.
+                    self.cache = None;
+                    return vec![Decision::start(job_id)];
+                }
+                return Vec::new();
+            }
+        }
+        self.full_plan(ctx)
     }
 }
 
@@ -198,16 +335,15 @@ impl Scheduler for ConservativeBackfill {
     }
 
     fn react(&mut self, ctx: &SchedulerContext<'_>, _event: SchedulerEvent) -> Vec<Decision> {
-        let queue = queue_in_arrival_order(ctx);
         let mut profile = Profile::from_running(ctx);
         let mut out = Vec::new();
-        for q in queue {
-            let procs = q.job.procs as f64;
-            let duration = q.job.estimate.max(1.0);
+        for q in ctx.queue.iter_keys() {
+            let procs = q.procs as f64;
+            let duration = q.estimate.max(1.0);
             let start = profile.earliest_start(ctx.now, procs, duration);
             profile.reserve(start, duration, procs);
             if start <= ctx.now + 1e-9 {
-                out.push(Decision::start(q.job.id));
+                out.push(Decision::start(q.id));
             }
         }
         out
@@ -251,7 +387,8 @@ mod tests {
         // Head job (64) blocked behind a 48-proc job; a 10s/8-proc job can backfill
         // because it finishes before the head's reservation.
         let js = jobs(&[(1, 0.0, 100.0, 48), (2, 1.0, 200.0, 64), (3, 2.0, 10.0, 8)]);
-        let result = Simulation::new(SimConfig::new(64), js.clone()).run(&mut EasyBackfill);
+        let result =
+            Simulation::new(SimConfig::new(64), js.clone()).run(&mut EasyBackfill::default());
         let j3 = result.finished.iter().find(|f| f.id == 3).unwrap();
         assert_eq!(j3.start, 2.0, "EASY should backfill job 3 immediately");
         // And the head job is not delayed: it starts when job 1 ends.
@@ -272,7 +409,7 @@ mod tests {
             (2, 1.0, 200.0, 64),
             (3, 2.0, 1000.0, 8),
         ]);
-        let result = Simulation::new(SimConfig::new(64), js).run(&mut EasyBackfill);
+        let result = Simulation::new(SimConfig::new(64), js).run(&mut EasyBackfill::default());
         let j2 = result.finished.iter().find(|f| f.id == 2).unwrap();
         assert_eq!(j2.start, 100.0, "head must start at its reservation");
         let j3 = result.finished.iter().find(|f| f.id == 3).unwrap();
@@ -291,7 +428,7 @@ mod tests {
             (2, 1.0, 200.0, 32),
             (3, 2.0, 5000.0, 16),
         ]);
-        let result = Simulation::new(SimConfig::new(64), js).run(&mut EasyBackfill);
+        let result = Simulation::new(SimConfig::new(64), js).run(&mut EasyBackfill::default());
         let j3 = result.finished.iter().find(|f| f.id == 3).unwrap();
         assert_eq!(j3.start, 2.0);
         let j2 = result.finished.iter().find(|f| f.id == 2).unwrap();
@@ -327,7 +464,8 @@ mod tests {
         let js = SimJob::from_log(&log);
         let fcfs =
             Simulation::new(SimConfig::new(128), js.clone()).run(&mut crate::queue_order::Fcfs);
-        let easy = Simulation::new(SimConfig::new(128), js.clone()).run(&mut EasyBackfill);
+        let easy =
+            Simulation::new(SimConfig::new(128), js.clone()).run(&mut EasyBackfill::default());
         let cons = Simulation::new(SimConfig::new(128), js).run(&mut ConservativeBackfill);
         assert_eq!(fcfs.finished.len(), 800);
         assert_eq!(easy.finished.len(), 800);
@@ -356,7 +494,7 @@ mod tests {
             })
             .collect();
         for sched in [
-            &mut EasyBackfill as &mut dyn Scheduler,
+            &mut EasyBackfill::default() as &mut dyn Scheduler,
             &mut ConservativeBackfill,
         ] {
             let result = Simulation::new(SimConfig::new(64), js.clone()).run(sched);

@@ -85,6 +85,7 @@ impl Scheduler for DrainingEasy {
         // capacity drop or an advance reservation.
         let proposed = self.inner.react(ctx, event);
         let mut out = Vec::new();
+        let mut vetoed = false;
         for d in proposed {
             match d {
                 Decision::Start {
@@ -92,7 +93,7 @@ impl Scheduler for DrainingEasy {
                     procs,
                     share,
                 } => {
-                    let job = ctx.queue.iter().find(|q| q.job.id == job_id);
+                    let job = ctx.queue.get(job_id);
                     let keep = match job {
                         Some(q) => {
                             let p = procs.unwrap_or(q.job.procs) as f64 * share;
@@ -102,10 +103,17 @@ impl Scheduler for DrainingEasy {
                     };
                     if keep {
                         out.push(d);
+                    } else {
+                        vetoed = true;
                     }
                 }
                 other => out.push(other),
             }
+        }
+        if vetoed {
+            // The inner planner's caches assume its proposed starts happened;
+            // a vetoed start leaves them describing a state that never did.
+            self.inner.invalidate();
         }
         out
     }
@@ -141,7 +149,7 @@ mod tests {
             SimConfig::new(64).with_outages(outages.clone()),
             jobs.clone(),
         )
-        .run(&mut EasyBackfill);
+        .run(&mut EasyBackfill::default());
         let drain = Simulation::new(SimConfig::new(64).with_outages(outages), jobs)
             .run(&mut DrainingEasy::new());
         // Plain EASY starts it at t=10, loses it to the outage, restarts at 200.
@@ -194,11 +202,13 @@ mod tests {
             c
         };
         let d = DrainingEasy::new();
+        let queue = psbench_sim::JobQueue::new();
         let ctx = SchedulerContext {
             now: 0.0,
             cluster: &cluster,
-            queue: &[],
+            queue: &queue,
             running: &[],
+            used_procs: 0.0,
         };
         assert!(d.collides(&ctx, long.procs as f64, long.estimate));
         assert!(!d.collides(&ctx, short.procs as f64, short.estimate));

@@ -19,6 +19,14 @@ pub enum Packing {
     BestFit,
 }
 
+/// One row of the Ousterhout matrix, with its occupancy maintained
+/// incrementally so packing decisions don't re-sum the row per candidate.
+#[derive(Debug, Clone, Default)]
+struct Row {
+    jobs: Vec<(u64, u32)>, // (job id, procs)
+    used: u32,
+}
+
 /// An Ousterhout-matrix gang scheduler.
 #[derive(Debug, Clone)]
 pub struct GangScheduler {
@@ -26,7 +34,7 @@ pub struct GangScheduler {
     pub packing: Packing,
     /// Maximum number of rows (multiprogramming level); jobs queue when exceeded.
     pub max_rows: usize,
-    rows: Vec<Vec<(u64, u32)>>, // (job id, procs) per row
+    rows: Vec<Row>,
     machine: u32,
 }
 
@@ -41,38 +49,44 @@ impl GangScheduler {
         }
     }
 
-    fn row_used(&self, row: &[(u64, u32)]) -> u32 {
-        row.iter().map(|(_, p)| p).sum()
+    fn push_to_row(&mut self, row: usize, job_id: u64, procs: u32) {
+        self.rows[row].jobs.push((job_id, procs));
+        self.rows[row].used += procs;
     }
 
     fn find_row(&self, procs: u32) -> Option<usize> {
-        let mut candidates: Vec<(usize, u32)> = self
+        let fits = self
             .rows
             .iter()
             .enumerate()
-            .filter_map(|(i, row)| {
-                let used = self.row_used(row);
-                if used + procs <= self.machine {
-                    Some((i, self.machine - used - procs))
-                } else {
-                    None
-                }
-            })
-            .collect();
+            .filter(|(_, row)| row.used + procs <= self.machine);
         match self.packing {
-            Packing::FirstFit => candidates.first().map(|(i, _)| *i),
-            Packing::BestFit => {
-                candidates.sort_by_key(|&(i, slack)| (slack, i));
-                candidates.first().map(|(i, _)| *i)
-            }
+            Packing::FirstFit => fits.map(|(i, _)| i).next(),
+            // Least remaining space first; ties by lowest row index.
+            Packing::BestFit => fits
+                .min_by_key(|&(i, row)| (self.machine - row.used - procs, i))
+                .map(|(i, _)| i),
         }
     }
 
     fn remove_job(&mut self, job_id: u64) {
+        // Remove *every* entry for the job: a queued-but-unstartable job can be
+        // re-admitted on successive reacts and accumulate duplicate entries
+        // (even within one row), and leaving any behind would permanently
+        // inflate the row's occupancy and depress every share.
         for row in &mut self.rows {
-            row.retain(|(id, _)| *id != job_id);
+            let removed: u32 = row
+                .jobs
+                .iter()
+                .filter(|(id, _)| *id == job_id)
+                .map(|(_, procs)| *procs)
+                .sum();
+            if removed > 0 {
+                row.jobs.retain(|(id, _)| *id != job_id);
+                row.used -= removed;
+            }
         }
-        self.rows.retain(|row| !row.is_empty());
+        self.rows.retain(|row| !row.jobs.is_empty());
     }
 
     /// Current number of rows (the multiprogramming level).
@@ -86,13 +100,17 @@ impl GangScheduler {
 
     fn rebalance(&self, ctx: &SchedulerContext<'_>) -> Vec<Decision> {
         let share = self.share();
-        ctx.running
+        // Sorted by id so the decision order (and hence the engine's ledger
+        // arithmetic) is independent of the running-set layout.
+        let mut ids: Vec<u64> = ctx
+            .running
             .iter()
             .filter(|r| (r.share - share).abs() > 1e-9)
-            .map(|r| Decision::SetShare {
-                job_id: r.job.id,
-                share,
-            })
+            .map(|r| r.job.id)
+            .collect();
+        ids.sort_unstable();
+        ids.into_iter()
+            .map(|job_id| Decision::SetShare { job_id, share })
             .collect()
     }
 }
@@ -107,25 +125,23 @@ impl Scheduler for GangScheduler {
         if let SchedulerEvent::JobCompleted { job_id } = event {
             self.remove_job(job_id);
         }
-        // Admit queued jobs into the matrix.
-        let mut queue: Vec<_> = ctx.queue.iter().collect();
-        queue.sort_by(|a, b| {
-            a.queued_at
-                .total_cmp(&b.queued_at)
-                .then(a.job.id.cmp(&b.job.id))
-        });
+        // Admit queued jobs into the matrix, in arrival order (the queue view
+        // is already sorted by `(queued_at, id)`).
         let mut to_start: Vec<(u64, u32)> = Vec::new();
-        for q in queue {
-            let procs = q.job.procs.min(self.machine).max(1);
+        for q in ctx.queue.iter_keys() {
+            let procs = q.procs.min(self.machine).max(1);
             let row = self.find_row(procs);
             match row {
                 Some(r) => {
-                    self.rows[r].push((q.job.id, procs));
-                    to_start.push((q.job.id, procs));
+                    self.push_to_row(r, q.id, procs);
+                    to_start.push((q.id, procs));
                 }
                 None if self.rows.len() < self.max_rows => {
-                    self.rows.push(vec![(q.job.id, procs)]);
-                    to_start.push((q.job.id, procs));
+                    self.rows.push(Row {
+                        jobs: vec![(q.id, procs)],
+                        used: procs,
+                    });
+                    to_start.push((q.id, procs));
                 }
                 None => {} // matrix full: job waits in the queue
             }
@@ -221,8 +237,14 @@ mod tests {
         let mut ff = GangScheduler::new(64, 4, Packing::FirstFit);
         let mut bf = GangScheduler::new(64, 4, Packing::BestFit);
         for g in [&mut ff, &mut bf] {
-            g.rows.push(vec![(1, 32)]);
-            g.rows.push(vec![(2, 48)]);
+            g.rows.push(Row {
+                jobs: vec![(1, 32)],
+                used: 32,
+            });
+            g.rows.push(Row {
+                jobs: vec![(2, 48)],
+                used: 48,
+            });
         }
         assert_eq!(ff.find_row(16), Some(0));
         assert_eq!(bf.find_row(16), Some(1));
@@ -245,6 +267,28 @@ mod tests {
             r.finished.iter().find(|f| f.id == id).unwrap().response()
         };
         assert!(resp(&gang, 2) < resp(&fcfs, 2) / 10.0);
+    }
+
+    #[test]
+    fn remove_job_purges_duplicate_matrix_entries() {
+        // A queued-but-unstartable job can be re-admitted on successive reacts
+        // and accumulate duplicate entries, even within one row; completion
+        // must purge them all or the row's occupancy stays inflated forever.
+        let mut g = GangScheduler::new(64, 4, Packing::FirstFit);
+        g.rows.push(Row {
+            jobs: vec![(1, 16), (1, 16), (2, 8)],
+            used: 40,
+        });
+        g.rows.push(Row {
+            jobs: vec![(1, 16)],
+            used: 16,
+        });
+        g.remove_job(1);
+        assert_eq!(g.rows.len(), 1);
+        assert_eq!(g.rows[0].jobs, vec![(2, 8)]);
+        assert_eq!(g.rows[0].used, 8);
+        g.remove_job(2);
+        assert_eq!(g.rows(), 0);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub fn standard_schedulers(machine_size: u32) -> Vec<Box<dyn Scheduler>> {
         Box::new(Fcfs),
         Box::new(SortedGreedy::sjf()),
         Box::new(SortedGreedy::greedy_fcfs()),
-        Box::new(EasyBackfill),
+        Box::new(EasyBackfill::default()),
         Box::new(ConservativeBackfill),
         Box::new(GangScheduler::new(machine_size, 4, Packing::FirstFit)),
     ]
@@ -61,7 +61,7 @@ const REGISTRY: &[(&str, SchedulerCtor)] = &[
     ("widest-first", |_| Box::new(SortedGreedy::widest())),
     ("narrowest-first", |_| Box::new(SortedGreedy::narrowest())),
     ("greedy-fcfs", |_| Box::new(SortedGreedy::greedy_fcfs())),
-    ("easy", |_| Box::new(EasyBackfill)),
+    ("easy", |_| Box::new(EasyBackfill::default())),
     ("conservative", |_| Box::new(ConservativeBackfill)),
     ("gang", |machine_size| {
         Box::new(GangScheduler::new(machine_size, 4, Packing::FirstFit))

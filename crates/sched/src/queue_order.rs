@@ -19,18 +19,15 @@ impl Scheduler for Fcfs {
     }
 
     fn react(&mut self, ctx: &SchedulerContext<'_>, _event: SchedulerEvent) -> Vec<Decision> {
+        // The queue view is already in `(queued_at, id)` order, so strict FCFS
+        // is a prefix walk that stops at the first job that does not fit —
+        // sublinear per react no matter how deep the backlog is.
         let mut free = ctx.free_capacity();
         let mut out = Vec::new();
-        let mut queue: Vec<_> = ctx.queue.iter().collect();
-        queue.sort_by(|a, b| {
-            a.queued_at
-                .total_cmp(&b.queued_at)
-                .then(a.job.id.cmp(&b.job.id))
-        });
-        for q in queue {
-            if (q.job.procs as f64) <= free + 1e-9 {
-                free -= q.job.procs as f64;
-                out.push(Decision::start(q.job.id));
+        for q in ctx.queue.iter_keys() {
+            if (q.procs as f64) <= free + 1e-9 {
+                free -= q.procs as f64;
+                out.push(Decision::start(q.id));
             } else {
                 break;
             }
@@ -106,38 +103,33 @@ impl Scheduler for SortedGreedy {
     }
 
     fn react(&mut self, ctx: &SchedulerContext<'_>, _event: SchedulerEvent) -> Vec<Decision> {
-        let mut queue: Vec<_> = ctx.queue.iter().collect();
+        // The queue view is already in arrival order; only the other orderings
+        // need a sort (by their own key, which the engine cannot maintain).
+        let mut queue: Vec<_> = ctx.queue.iter_keys().collect();
         match self.order {
-            Order::ShortestFirst => queue.sort_by(|a, b| {
-                a.job
-                    .estimate
-                    .total_cmp(&b.job.estimate)
-                    .then(a.job.id.cmp(&b.job.id))
-            }),
-            Order::LongestFirst => queue.sort_by(|a, b| {
-                b.job
-                    .estimate
-                    .total_cmp(&a.job.estimate)
-                    .then(a.job.id.cmp(&b.job.id))
-            }),
+            Order::ShortestFirst => {
+                queue.sort_by(|a, b| a.estimate.total_cmp(&b.estimate).then(a.id.cmp(&b.id)))
+            }
+            Order::LongestFirst => {
+                queue.sort_by(|a, b| b.estimate.total_cmp(&a.estimate).then(a.id.cmp(&b.id)))
+            }
             Order::NarrowestFirst => {
-                queue.sort_by(|a, b| a.job.procs.cmp(&b.job.procs).then(a.job.id.cmp(&b.job.id)))
+                queue.sort_by(|a, b| a.procs.cmp(&b.procs).then(a.id.cmp(&b.id)))
             }
-            Order::WidestFirst => {
-                queue.sort_by(|a, b| b.job.procs.cmp(&a.job.procs).then(a.job.id.cmp(&b.job.id)))
-            }
-            Order::ArrivalOrder => queue.sort_by(|a, b| {
-                a.queued_at
-                    .total_cmp(&b.queued_at)
-                    .then(a.job.id.cmp(&b.job.id))
-            }),
+            Order::WidestFirst => queue.sort_by(|a, b| b.procs.cmp(&a.procs).then(a.id.cmp(&b.id))),
+            Order::ArrivalOrder => {}
         }
         let mut free = ctx.free_capacity();
         let mut out = Vec::new();
         for q in queue {
-            if (q.job.procs as f64) <= free + 1e-9 {
-                free -= q.job.procs as f64;
-                out.push(Decision::start(q.job.id));
+            // procs ≥ 1 is a SimJob invariant: below one free processor nothing
+            // else can start, whatever the ordering.
+            if free < 1.0 - 1e-9 {
+                break;
+            }
+            if (q.procs as f64) <= free + 1e-9 {
+                free -= q.procs as f64;
+                out.push(Decision::start(q.id));
             }
         }
         out

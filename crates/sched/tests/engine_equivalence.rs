@@ -1,0 +1,79 @@
+//! Calendar-vs-reference engine equivalence over the real scheduler zoo.
+//!
+//! The sim crate's property tests cover randomized micro-workloads with
+//! synthetic policies; this test drives the production schedulers (FCFS, the
+//! sorted greedy family, EASY and conservative backfilling, gang, adaptive,
+//! draining) over Lublin99 model workloads — open and closed loop, with and
+//! without outages — and asserts the O(log n) calendar engine reproduces the
+//! seed-style reference engine's `SimulationResult` bit for bit.
+
+use psbench_sched::prelude::*;
+use psbench_sim::{Scheduler, SimConfig, SimJob, Simulation};
+use psbench_workload::feedback::{infer_dependencies, InferenceParams};
+use psbench_workload::outagegen::OutageGenerator;
+use psbench_workload::{Lublin99, WorkloadModel};
+
+const MACHINE: u32 = 128;
+
+fn schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(Fcfs),
+        Box::new(SortedGreedy::sjf()),
+        Box::new(SortedGreedy::greedy_fcfs()),
+        Box::new(EasyBackfill::default()),
+        Box::new(ConservativeBackfill),
+        Box::new(GangScheduler::new(MACHINE, 4, Packing::BestFit)),
+        Box::new(AdaptivePartition::default()),
+        Box::new(DrainingEasy::new()),
+    ]
+}
+
+fn assert_equivalent(config: SimConfig, jobs: &[SimJob], label: &str) {
+    // Two scheduler instances per policy: they are stateful (gang's matrix,
+    // draining's announced outages), so each engine gets a fresh one.
+    for (mut a, mut b) in schedulers().into_iter().zip(schedulers()) {
+        let calendar = Simulation::new(config.clone(), jobs.to_vec()).run(a.as_mut());
+        let reference = Simulation::new_reference(config.clone(), jobs.to_vec()).run(b.as_mut());
+        assert_eq!(
+            calendar, reference,
+            "calendar and reference engines diverged: {} under {}",
+            label, calendar.scheduler
+        );
+        assert!(
+            !calendar.finished.is_empty(),
+            "{label}: degenerate scenario, nothing finished"
+        );
+    }
+}
+
+#[test]
+fn open_loop_equivalence() {
+    let log = Lublin99::default().generate(1_200, 42);
+    let jobs = SimJob::from_log(&log);
+    assert_equivalent(SimConfig::new(MACHINE), &jobs, "open loop");
+}
+
+#[test]
+fn closed_loop_equivalence() {
+    let mut log = Lublin99::default().generate(900, 7);
+    infer_dependencies(&mut log, &InferenceParams::default());
+    let jobs = SimJob::from_log(&log);
+    assert_equivalent(SimConfig::new(MACHINE).closed_loop(), &jobs, "closed loop");
+}
+
+#[test]
+fn outage_equivalence() {
+    let log = Lublin99::default().generate(900, 99);
+    let jobs = SimJob::from_log(&log);
+    let horizon = jobs.iter().map(|j| j.submit as i64).max().unwrap_or(0) + 86_400;
+    let outages = OutageGenerator::for_machine(MACHINE).generate(horizon, 4242);
+    assert!(
+        !outages.outages.is_empty(),
+        "outage generator produced none"
+    );
+    assert_equivalent(
+        SimConfig::new(MACHINE).with_outages(outages),
+        &jobs,
+        "with outages",
+    );
+}

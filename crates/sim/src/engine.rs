@@ -13,15 +13,74 @@
 //! * **outages** (Section 2.2): the standard outage log drives capacity changes;
 //!   announced outages generate advance-notice events, surprise failures kill the
 //!   most recently started jobs, which restart from scratch.
+//!
+//! # The hot path: rate-epoch virtual time and the completion calendar
+//!
+//! Archive-scale traces put millions of events through this loop, so the engine
+//! must not do O(running) work per event. Instead of decrementing every running
+//! job's remaining work at every event, each job's execution state is anchored to
+//! its current *rate epoch* ([`RunningJob::anchor_time`] / `remaining_work`), and
+//! its completion instant — exact while the rate is constant, which is the common
+//! case for every space-sharing scheduler — is cached as
+//! [`RunningJob::predicted_end`] and tracked in a *completion calendar*: a min-heap
+//! of `(predicted_end, start_seq)` entries. The per-event cost of finding the next
+//! completion is then O(log running) amortized, independent of the running-set
+//! size; jobs are re-materialized only when their rate actually changes (a
+//! `SetShare`, a gang repack, a preemption, an outage kill).
+//!
+//! ## Invariants the calendar relies on
+//!
+//! * **Lazy invalidation.** Calendar entries are never deleted in place. Every
+//!   entry records the `(job id, start_seq, epoch)` of the dispatch and rate epoch
+//!   that produced it; a rate change bumps the job's epoch and pushes a fresh
+//!   entry, a completion/kill/preemption removes the job from the running index.
+//!   An entry is *stale* — and silently discarded when it reaches the top of the
+//!   heap — unless the id still maps to a running job whose `start_seq` **and**
+//!   `epoch` both match. Consequently every running job has exactly one live
+//!   entry, and the heap top (after discarding stale entries) is exactly
+//!   `min(predicted_end)` over the running set.
+//! * **The clock never passes an entry.** `predicted_end` is clamped to the push
+//!   instant, and the main loop advances to `min(next external event, calendar
+//!   top)`, so a live entry's time is never in the past: the due set at any
+//!   instant is exactly the entries whose time equals `now`.
+//! * **Deterministic tie-break.** Completions due at the same instant fire in
+//!   `start_seq` order (a per-dispatch monotonic counter) — the order the jobs
+//!   started — regardless of heap internals or the swap-removal layout of the
+//!   running vector. Together with the structurally ordered wait queue, this
+//!   makes results independent of container layout.
+//!
+//! Capacity accounting is incremental for the same reason: the engine maintains
+//! `used_procs` (Σ procs·share over running jobs) as a ledger updated at
+//! start/completion/share changes, plus an id→index map for the running set, so
+//! validating and applying a decision is O(1) instead of a linear rescan.
+//! Integrals (busy, idle-while-queued, lost node-seconds) are advanced from the
+//! ledger in O(1) per event. The wait queue is a [`JobQueue`]: structurally
+//! ordered by `(queued_at, id)` with O(log n) insert/remove, so policies
+//! consume it in arrival order without sorting — head-of-queue policies do
+//! sublinear work per react even when thousands of jobs are waiting.
+//!
+//! ## The reference engine
+//!
+//! [`Simulation::new_reference`] builds the same simulation with the calendar
+//! replaced by the seed implementation's linear rescans (O(running) per event):
+//! the next completion is found by scanning every running job and the due set by
+//! filtering the running set. Both engines share every other code path — the
+//! ledger, the decision application, the event loop — and all completion times
+//! are reads of the same cached `predicted_end` values, so their results are
+//! **bit-identical**; the property tests in `tests/proptest_engine.rs` assert
+//! exactly that over randomized workloads, and `benches/sim.rs` uses the
+//! reference engine as the per-event-linear baseline the calendar is measured
+//! against.
 
 use crate::cluster::Cluster;
 use crate::job::{FinishedJob, QueuedJob, RunningJob, SimJob};
+use crate::queue::JobQueue;
 use crate::result::SimulationResult;
 use crate::scheduler::{Decision, Scheduler, SchedulerContext, SchedulerEvent};
 use psbench_swf::outage::OutageLog;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// What to do with jobs killed by an outage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -32,6 +91,18 @@ pub enum OutagePolicy {
     KillAndRequeue,
     /// The killed job is lost (counted, not requeued).
     KillAndDiscard,
+}
+
+/// Which completion-tracking implementation the engine runs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EngineKind {
+    /// The O(log n) completion calendar (the default production engine).
+    #[default]
+    Calendar,
+    /// The seed engine's O(running)-per-event linear rescans, kept as a
+    /// differential-testing oracle and performance baseline. Produces
+    /// bit-identical [`SimulationResult`]s to [`EngineKind::Calendar`].
+    Reference,
 }
 
 /// Simulation configuration.
@@ -112,7 +183,67 @@ impl Ord for Event {
     }
 }
 
+/// A completion-calendar entry: "the dispatch identified by `(job_id, start_seq)`
+/// completes at `eta`, assuming its rate epoch is still `epoch`".
+#[derive(Debug, Clone, Copy)]
+struct CalEntry {
+    eta: f64,
+    start_seq: u64,
+    job_id: u64,
+    epoch: u64,
+}
+
+impl PartialEq for CalEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.eta == other.eta && self.start_seq == other.start_seq
+    }
+}
+impl Eq for CalEntry {}
+impl PartialOrd for CalEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CalEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for the max-heap: earliest (eta, start_seq) pops first.
+        other
+            .eta
+            .total_cmp(&self.eta)
+            .then(other.start_seq.cmp(&self.start_seq))
+    }
+}
+
+/// Engine-private per-dispatch metadata, kept parallel to the running vector.
+#[derive(Debug, Clone, Copy)]
+struct RunMeta {
+    /// Monotonic dispatch counter: the deterministic tie-break for simultaneous
+    /// completions and outage-kill victim selection.
+    start_seq: u64,
+    /// Rate-epoch counter; bumped whenever the job is re-anchored, invalidating
+    /// all previously pushed calendar entries for this dispatch.
+    epoch: u64,
+}
+
+/// Capacity slack used when validating decisions against the machine size.
 const EPS: f64 = 1e-6;
+
+/// Completion time implied by a rate epoch starting at `anchor` with `remaining`
+/// work at `rate`: the engine's exact completion instant for the epoch.
+fn eta_for(anchor: f64, remaining: f64, rate: f64) -> f64 {
+    if rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    let eta = anchor + remaining / rate;
+    // Clamp: never in the past (negative remaining after a re-anchor, NaN from
+    // degenerate inputs). The main loop relies on live calendar times being ≥ the
+    // clock.
+    if eta.is_nan() || eta < anchor {
+        anchor
+    } else {
+        eta
+    }
+}
 
 /// The simulator.
 pub struct Simulation {
@@ -122,8 +253,16 @@ pub struct Simulation {
     events: BinaryHeap<Event>,
     seq: u64,
     now: f64,
-    queue: Vec<QueuedJob>,
+    queue: JobQueue,
     running: Vec<RunningJob>,
+    running_index: HashMap<u64, usize>,
+    rmeta: Vec<RunMeta>,
+    calendar: BinaryHeap<CalEntry>,
+    next_start_seq: u64,
+    /// Incremental ledger: Σ procs·share over the running set.
+    used_procs: f64,
+    /// Exact times (as bits) of wakeup events already in the heap, for coalescing.
+    pending_wakeups: HashSet<u64>,
     finished: Vec<FinishedJob>,
     discarded: Vec<u64>,
     dependents: HashMap<u64, Vec<usize>>,
@@ -132,20 +271,43 @@ pub struct Simulation {
     lost_node_seconds: f64,
     kills: usize,
     rejected_decisions: usize,
+    coalesced_wakeups: usize,
+    events_processed: u64,
     outage_down: Vec<u32>,
+    kind: EngineKind,
 }
 
 impl Simulation {
-    /// Create a simulation of the given jobs under the given configuration.
+    /// Create a simulation of the given jobs under the given configuration, using
+    /// the default O(log n) calendar engine. Job ids must be unique.
     pub fn new(config: SimConfig, jobs: Vec<SimJob>) -> Self {
+        Simulation::with_engine(config, jobs, EngineKind::default())
+    }
+
+    /// Create a simulation running the seed-style reference engine (linear
+    /// rescans per event). Same results as [`Simulation::new`], bit for bit;
+    /// O(events × running) time. Useful as a differential-testing oracle and as
+    /// the baseline in performance comparisons.
+    pub fn new_reference(config: SimConfig, jobs: Vec<SimJob>) -> Self {
+        Simulation::with_engine(config, jobs, EngineKind::Reference)
+    }
+
+    /// Create a simulation with an explicit engine kind.
+    pub fn with_engine(config: SimConfig, jobs: Vec<SimJob>, kind: EngineKind) -> Self {
         let cluster = Cluster::new(config.machine_size);
         let mut sim = Simulation {
             cluster,
             events: BinaryHeap::new(),
             seq: 0,
             now: 0.0,
-            queue: Vec::new(),
+            queue: JobQueue::new(),
             running: Vec::new(),
+            running_index: HashMap::new(),
+            rmeta: Vec::new(),
+            calendar: BinaryHeap::new(),
+            next_start_seq: 0,
+            used_procs: 0.0,
+            pending_wakeups: HashSet::new(),
             finished: Vec::with_capacity(jobs.len()),
             discarded: Vec::new(),
             dependents: HashMap::new(),
@@ -154,7 +316,10 @@ impl Simulation {
             lost_node_seconds: 0.0,
             kills: 0,
             rejected_decisions: 0,
+            coalesced_wakeups: 0,
+            events_processed: 0,
             outage_down: Vec::new(),
+            kind,
             config,
             jobs,
         };
@@ -186,7 +351,14 @@ impl Simulation {
     }
 
     fn seed_events(&mut self) {
-        let ids: std::collections::HashSet<u64> = self.jobs.iter().map(|j| j.id).collect();
+        let ids: HashSet<u64> = self.jobs.iter().map(|j| j.id).collect();
+        // The id->index maps (and the queue's id keys) require unique ids; a
+        // duplicate would silently drop one of the jobs, so fail loudly.
+        assert!(
+            ids.len() == self.jobs.len(),
+            "simulation job ids must be unique ({} duplicates)",
+            self.jobs.len() - ids.len()
+        );
         for i in 0..self.jobs.len() {
             let job = &self.jobs[i];
             let dependent = self.config.closed_loop
@@ -216,87 +388,224 @@ impl Simulation {
         }
     }
 
-    fn next_completion_time(&self) -> f64 {
-        self.running
-            .iter()
-            .map(|r| self.now + r.time_to_completion())
-            .fold(f64::INFINITY, f64::min)
+    /// Is this calendar entry still the live entry of a running dispatch?
+    fn entry_live(&self, e: &CalEntry) -> bool {
+        match self.running_index.get(&e.job_id) {
+            Some(&idx) => {
+                let m = &self.rmeta[idx];
+                m.start_seq == e.start_seq && m.epoch == e.epoch
+            }
+            None => false,
+        }
     }
 
+    /// Earliest completion time over the running set. Calendar: amortized
+    /// O(log n) (stale entries are discarded as they surface). Reference: a
+    /// linear scan of the cached per-job `predicted_end` values — the same
+    /// multiset the calendar holds, hence the same minimum, bit for bit.
+    fn next_completion_time(&mut self) -> f64 {
+        match self.kind {
+            EngineKind::Calendar => {
+                while let Some(top) = self.calendar.peek() {
+                    if self.entry_live(top) {
+                        return top.eta;
+                    }
+                    self.calendar.pop();
+                }
+                f64::INFINITY
+            }
+            EngineKind::Reference => self
+                .running
+                .iter()
+                .map(|r| r.predicted_end)
+                .fold(f64::INFINITY, f64::min),
+        }
+    }
+
+    /// Advance the clock to `t`, accruing the busy/idle/lost integrals from the
+    /// incremental ledger in O(1).
     fn advance_to(&mut self, t: f64) {
         let dt = (t - self.now).max(0.0);
         if dt > 0.0 {
-            let used: f64 = self.running.iter().map(|r| r.proc_share()).sum();
+            let used = self.used_procs;
             self.busy_integral += used * dt;
             self.lost_node_seconds += self.cluster.down_procs as f64 * dt;
             if !self.queue.is_empty() {
                 let idle = (self.cluster.available_procs() as f64 - used).max(0.0);
                 self.idle_while_queued += idle * dt;
             }
-            for r in &mut self.running {
-                r.remaining_work -= r.progress_rate() * dt;
-            }
         }
         self.now = t;
     }
 
-    fn complete_finished_jobs(&mut self) -> Vec<u64> {
-        let mut completed = Vec::new();
-        let mut i = 0;
-        while i < self.running.len() {
-            if self.running[i].remaining_work <= EPS {
-                let r = self.running.remove(i);
-                let finished = FinishedJob {
-                    id: r.job.id,
-                    submit: r.queued_at,
-                    start: r.started_at,
-                    first_start: r.first_started_at,
-                    end: self.now,
-                    procs: r.procs,
-                    restarts: r.restarts,
-                    user: r.job.user,
-                };
-                completed.push(r.job.id);
-                // Release dependents (closed loop).
-                if let Some(deps) = self.dependents.remove(&r.job.id) {
-                    for idx in deps {
-                        let think = self.jobs[idx].think_time.max(0.0);
-                        self.push_event(self.now + think, EventKind::Arrival(idx));
-                    }
-                }
-                self.finished.push(finished);
-            } else {
-                i += 1;
+    /// Remove the running job at `idx` (swap-removal; O(1)), keeping the index
+    /// map and the used-capacity ledger consistent. Calendar entries for the
+    /// removed dispatch become stale implicitly.
+    fn remove_running(&mut self, idx: usize) -> RunningJob {
+        let r = self.running.swap_remove(idx);
+        self.rmeta.swap_remove(idx);
+        self.running_index.remove(&r.job.id);
+        if idx < self.running.len() {
+            self.running_index.insert(self.running[idx].job.id, idx);
+        }
+        self.used_procs -= r.proc_share();
+        if self.running.is_empty() {
+            // Exact resync: the ledger cannot drift while nothing runs.
+            self.used_procs = 0.0;
+        }
+        r
+    }
+
+    /// Dispatch a queued job onto `procs` processors at `share`, opening its
+    /// first rate epoch and registering it in the calendar.
+    fn start_job(&mut self, q: QueuedJob, procs: u32, share: f64) {
+        let mut r = RunningJob {
+            remaining_work: q.job.work,
+            anchor_time: self.now,
+            predicted_end: 0.0,
+            queued_at: q.queued_at,
+            procs,
+            share,
+            started_at: self.now,
+            first_started_at: q.first_started_at.unwrap_or(self.now),
+            restarts: q.restarts,
+            job: q.job,
+        };
+        r.predicted_end = eta_for(self.now, r.remaining_work, r.progress_rate());
+        let start_seq = self.next_start_seq;
+        self.next_start_seq += 1;
+        let entry = CalEntry {
+            eta: r.predicted_end,
+            start_seq,
+            job_id: r.job.id,
+            epoch: 0,
+        };
+        self.used_procs += r.proc_share();
+        self.running_index.insert(r.job.id, self.running.len());
+        self.running.push(r);
+        self.rmeta.push(RunMeta {
+            start_seq,
+            epoch: 0,
+        });
+        if self.kind == EngineKind::Calendar {
+            self.calendar.push(entry);
+        }
+    }
+
+    /// Re-anchor the running job at `idx` to the current instant with a new
+    /// share: materialize its remaining work, update the ledger, open a new rate
+    /// epoch and push the fresh calendar entry.
+    fn set_share(&mut self, idx: usize, share: f64) {
+        let now = self.now;
+        let r = &mut self.running[idx];
+        r.remaining_work = r.remaining_at(now);
+        r.anchor_time = now;
+        self.used_procs -= r.proc_share();
+        r.share = share;
+        self.used_procs += r.proc_share();
+        r.predicted_end = eta_for(now, r.remaining_work, r.progress_rate());
+        let m = &mut self.rmeta[idx];
+        m.epoch += 1;
+        let entry = CalEntry {
+            eta: self.running[idx].predicted_end,
+            start_seq: self.rmeta[idx].start_seq,
+            job_id: self.running[idx].job.id,
+            epoch: self.rmeta[idx].epoch,
+        };
+        if self.kind == EngineKind::Calendar {
+            self.calendar.push(entry);
+        }
+    }
+
+    /// Finish the running job at `idx` now, releasing dependents (closed loop).
+    fn finish_running(&mut self, idx: usize, completed: &mut Vec<u64>) {
+        let r = self.remove_running(idx);
+        let finished = FinishedJob {
+            id: r.job.id,
+            submit: r.queued_at,
+            start: r.started_at,
+            first_start: r.first_started_at,
+            end: self.now,
+            procs: r.procs,
+            restarts: r.restarts,
+            user: r.job.user,
+        };
+        completed.push(r.job.id);
+        if let Some(deps) = self.dependents.remove(&r.job.id) {
+            for idx in deps {
+                let think = self.jobs[idx].think_time.max(0.0);
+                self.push_event(self.now + think, EventKind::Arrival(idx));
             }
         }
+        self.finished.push(finished);
+    }
+
+    /// Complete every job due at the current instant, in `start_seq` order.
+    fn collect_completions(&mut self) -> Vec<u64> {
+        let mut completed = Vec::new();
+        match self.kind {
+            EngineKind::Calendar => {
+                // Entries surface in (eta, start_seq) order; live entries are
+                // never in the past, so the due set is exactly eta == now and the
+                // pops already come out in start order.
+                while let Some(top) = self.calendar.peek() {
+                    if !self.entry_live(top) {
+                        self.calendar.pop();
+                        continue;
+                    }
+                    if top.eta > self.now {
+                        break;
+                    }
+                    let e = self.calendar.pop().unwrap();
+                    let idx = self.running_index[&e.job_id];
+                    self.finish_running(idx, &mut completed);
+                }
+            }
+            EngineKind::Reference => {
+                let mut due: Vec<(u64, u64)> = self
+                    .running
+                    .iter()
+                    .zip(self.rmeta.iter())
+                    .filter(|(r, _)| r.predicted_end <= self.now)
+                    .map(|(r, m)| (m.start_seq, r.job.id))
+                    .collect();
+                due.sort_unstable();
+                for (_, id) in due {
+                    let idx = self.running_index[&id];
+                    self.finish_running(idx, &mut completed);
+                }
+            }
+        }
+        self.events_processed += completed.len() as u64;
         completed
     }
 
+    /// Kill running jobs (most recently started first; ties by start order)
+    /// until the survivors fit the post-outage capacity.
     fn kill_excess_jobs(&mut self) -> usize {
         let mut killed = 0;
         loop {
-            let used: f64 = self.running.iter().map(|r| r.proc_share()).sum();
-            if used <= self.cluster.available_procs() as f64 + EPS {
+            if self.used_procs <= self.cluster.available_procs() as f64 + EPS {
                 break;
             }
-            // Kill the most recently started job (it has lost the least work).
-            let victim_idx = self
-                .running
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.started_at.total_cmp(&b.1.started_at))
-                .map(|(i, _)| i);
+            let victim_idx = (0..self.running.len()).max_by(|&a, &b| {
+                self.running[a]
+                    .started_at
+                    .total_cmp(&self.running[b].started_at)
+                    .then(self.rmeta[a].start_seq.cmp(&self.rmeta[b].start_seq))
+            });
             match victim_idx {
                 Some(i) => {
-                    let r = self.running.remove(i);
+                    let r = self.remove_running(i);
                     killed += 1;
                     self.kills += 1;
                     match self.config.outage_policy {
                         OutagePolicy::KillAndRequeue => {
                             self.queue.push(QueuedJob {
-                                job: r.job.clone(),
                                 queued_at: r.queued_at,
                                 restarts: r.restarts + 1,
+                                first_started_at: Some(r.first_started_at),
+                                job: r.job,
                             });
                         }
                         OutagePolicy::KillAndDiscard => {
@@ -316,6 +625,7 @@ impl Simulation {
             cluster: &self.cluster,
             queue: &self.queue,
             running: &self.running,
+            used_procs: self.used_procs,
         }
     }
 
@@ -332,39 +642,21 @@ impl Simulation {
                     } else {
                         0.0
                     };
-                    let pos = self.queue.iter().position(|q| q.job.id == job_id);
-                    let (pos, ok) = match pos {
-                        Some(p) => {
-                            let job = &self.queue[p].job;
-                            let procs = procs.unwrap_or(job.procs).max(1);
-                            let used: f64 = self.running.iter().map(|r| r.proc_share()).sum();
+                    let ok = match self.queue.get(job_id) {
+                        Some(q) => {
+                            let procs = procs.unwrap_or(q.job.procs).max(1);
                             let free = self.cluster.available_procs() as f64
-                                - used
+                                - self.used_procs
                                 - self.cluster.reserved_at(self.now) as f64;
                             let fits = share > 0.0 && procs as f64 * share <= free + EPS;
-                            (p, fits.then_some(procs))
+                            fits.then_some(procs)
                         }
-                        None => (0, None),
+                        None => None,
                     };
                     match ok {
                         Some(procs) => {
-                            let q = self.queue.remove(pos);
-                            self.running.push(RunningJob {
-                                remaining_work: q.job.work,
-                                queued_at: q.queued_at,
-                                procs,
-                                share,
-                                started_at: self.now,
-                                first_started_at: if q.restarts == 0 {
-                                    self.now
-                                } else {
-                                    // Keep the original first start if known; the queue does
-                                    // not track it, so approximate with the current time.
-                                    self.now
-                                },
-                                restarts: q.restarts,
-                                job: q.job,
-                            });
+                            let q = self.queue.remove(job_id).unwrap();
+                            self.start_job(q, procs, share);
                         }
                         None => self.rejected_decisions += 1,
                     }
@@ -375,33 +667,35 @@ impl Simulation {
                     } else {
                         0.0
                     };
-                    let used_others: f64 = self
-                        .running
-                        .iter()
-                        .filter(|r| r.job.id != job_id)
-                        .map(|r| r.proc_share())
-                        .sum();
-                    match self.running.iter_mut().find(|r| r.job.id == job_id) {
-                        Some(r)
-                            if share > 0.0
+                    let ok = match self.running_index.get(&job_id).copied() {
+                        Some(idx) => {
+                            let r = &self.running[idx];
+                            let used_others = self.used_procs - r.proc_share();
+                            let fits = share > 0.0
                                 && used_others + r.procs as f64 * share
-                                    <= self.cluster.available_procs() as f64 + EPS =>
-                        {
-                            r.share = share;
+                                    <= self.cluster.available_procs() as f64 + EPS;
+                            fits.then_some(idx)
                         }
-                        _ => self.rejected_decisions += 1,
+                        None => None,
+                    };
+                    match ok {
+                        Some(idx) => self.set_share(idx, share),
+                        None => self.rejected_decisions += 1,
                     }
                 }
                 Decision::Preempt { job_id } => {
-                    match self.running.iter().position(|r| r.job.id == job_id) {
-                        Some(i) => {
-                            let mut r = self.running.remove(i);
+                    match self.running_index.get(&job_id).copied() {
+                        Some(idx) => {
                             // Remaining work is preserved (preemption, not a kill).
-                            r.job.work = r.remaining_work.max(0.0);
+                            let now = self.now;
+                            let remaining = self.running[idx].remaining_at(now).max(0.0);
+                            let mut r = self.remove_running(idx);
+                            r.job.work = remaining;
                             self.queue.push(QueuedJob {
-                                job: r.job,
                                 queued_at: r.queued_at,
                                 restarts: r.restarts,
+                                first_started_at: Some(r.first_started_at),
+                                job: r.job,
                             });
                         }
                         None => self.rejected_decisions += 1,
@@ -409,7 +703,16 @@ impl Simulation {
                 }
                 Decision::Wakeup { at } => {
                     if at.is_finite() && at >= self.now {
-                        self.push_event(at, EventKind::Wakeup);
+                        // Coalesce: a timer is already scheduled for this exact
+                        // instant, so a second heap entry would only produce a
+                        // redundant consult. Quantum-based policies re-request
+                        // the same expiry from every react, which used to grow
+                        // the event heap without bound.
+                        if self.pending_wakeups.insert(at.to_bits()) {
+                            self.push_event(at, EventKind::Wakeup);
+                        } else {
+                            self.coalesced_wakeups += 1;
+                        }
                     } else {
                         self.rejected_decisions += 1;
                     }
@@ -421,6 +724,27 @@ impl Simulation {
     fn consult(&mut self, scheduler: &mut dyn Scheduler, event: SchedulerEvent) {
         let decisions = scheduler.react(&self.context(), event);
         self.apply_decisions(decisions);
+    }
+
+    /// Debug-build paranoia: the incremental structures must agree with a fresh
+    /// linear recomputation. Kept cheap enough to run inside the test suite.
+    #[cfg(debug_assertions)]
+    fn check_invariants(&self) {
+        debug_assert_eq!(self.running.len(), self.rmeta.len());
+        debug_assert_eq!(self.running.len(), self.running_index.len());
+        if self.running.len() + self.queue.len() <= 512 {
+            self.queue.check_invariants();
+            let scan: f64 = self.running.iter().map(|r| r.proc_share()).sum();
+            debug_assert!(
+                (scan - self.used_procs).abs() <= 1e-6 * scan.abs().max(1.0),
+                "used_procs ledger drifted: ledger {} vs scan {}",
+                self.used_procs,
+                scan
+            );
+            for (i, r) in self.running.iter().enumerate() {
+                debug_assert_eq!(self.running_index[&r.job.id], i);
+            }
+        }
     }
 
     /// Run the simulation to completion under the given scheduler and return the
@@ -446,7 +770,7 @@ impl Simulation {
             self.advance_to(t);
 
             // Completions first (they free capacity for decisions triggered below).
-            let completed = self.complete_finished_jobs();
+            let completed = self.collect_completions();
             for id in completed {
                 self.consult(scheduler, SchedulerEvent::JobCompleted { job_id: id });
             }
@@ -457,20 +781,19 @@ impl Simulation {
                     break;
                 }
                 let e = self.events.pop().unwrap();
+                self.events_processed += 1;
                 match e.kind {
                     EventKind::Arrival(idx) => {
                         let job = self.jobs[idx].clone();
+                        let id = job.id;
+                        // The effective submission time is "now" (for dependent
+                        // jobs it is the release time).
                         self.queue.push(QueuedJob {
-                            queued_at: self.now.max(job.submit.min(self.now)),
+                            queued_at: self.now,
                             job,
                             restarts: 0,
+                            first_started_at: None,
                         });
-                        // The effective submission time is "now" (for dependent jobs it
-                        // is the release time); keep it in queued_at.
-                        let id = self.queue.last().unwrap().job.id;
-                        if let Some(q) = self.queue.last_mut() {
-                            q.queued_at = self.now;
-                        }
                         self.consult(scheduler, SchedulerEvent::JobArrived { job_id: id });
                     }
                     EventKind::OutageAnnounce(i) => {
@@ -505,10 +828,14 @@ impl Simulation {
                         self.consult(scheduler, SchedulerEvent::OutageEnded { procs: restored });
                     }
                     EventKind::Wakeup => {
+                        self.pending_wakeups.remove(&e.time.to_bits());
                         self.consult(scheduler, SchedulerEvent::Timer);
                     }
                 }
             }
+
+            #[cfg(debug_assertions)]
+            self.check_invariants();
         }
 
         SimulationResult {
@@ -522,6 +849,8 @@ impl Simulation {
             lost_node_seconds: self.lost_node_seconds,
             kills: self.kills,
             rejected_decisions: self.rejected_decisions,
+            coalesced_wakeups: self.coalesced_wakeups,
+            events_processed: self.events_processed,
             end_time: self.now,
         }
     }
@@ -533,6 +862,8 @@ mod tests {
     use psbench_swf::outage::{OutageKind, OutageRecord};
 
     /// A minimal first-come-first-served policy used to exercise the engine.
+    /// The queue view is already in `(queued_at, id)` order, so FCFS is a plain
+    /// prefix walk.
     struct TestFcfs;
     impl Scheduler for TestFcfs {
         fn name(&self) -> &str {
@@ -541,7 +872,7 @@ mod tests {
         fn react(&mut self, ctx: &SchedulerContext<'_>, _event: SchedulerEvent) -> Vec<Decision> {
             let mut free = ctx.free_capacity();
             let mut out = Vec::new();
-            for q in ctx.queue {
+            for q in ctx.queue.iter() {
                 if (q.job.procs as f64) <= free + 1e-9 {
                     free -= q.job.procs as f64;
                     out.push(Decision::start(q.job.id));
@@ -613,6 +944,47 @@ mod tests {
     }
 
     #[test]
+    fn simultaneous_completions_fire_in_start_order() {
+        // Three identical jobs complete at the same instant; the completion
+        // events (and hence the finished order) must follow dispatch order even
+        // though the running set uses swap-removal internally.
+        let jobs = rigid_jobs(&[
+            (3, 0.0, 100.0, 16),
+            (1, 0.0, 100.0, 16),
+            (2, 0.0, 100.0, 16),
+        ]);
+        let result = Simulation::new(SimConfig::new(64), jobs).run(&mut TestFcfs);
+        let order: Vec<u64> = result.finished.iter().map(|f| f.id).collect();
+        // Each job is dispatched from its own arrival consult, so dispatch order
+        // is the arrival-event order (the jobs-vector order for equal submit
+        // times), and simultaneous completions must replay exactly it.
+        assert_eq!(order, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn results_invariant_under_job_permutation() {
+        // Distinct submit times: the same workload handed to the engine in a
+        // different vector order must produce the identical result, including
+        // the completion order (swap-removal layout must not leak).
+        let jobs: Vec<SimJob> = (0..60)
+            .map(|i| {
+                SimJob::rigid(
+                    i as u64 + 1,
+                    (i * 37 % 113) as f64 + i as f64 * 1e-3,
+                    30.0 + (i % 5) as f64 * 90.0,
+                    1 + (i % 48) as u32,
+                )
+            })
+            .collect();
+        let mut permuted = jobs.clone();
+        permuted.reverse();
+        permuted.swap(0, 30);
+        let a = Simulation::new(SimConfig::new(64), jobs).run(&mut TestFcfs);
+        let b = Simulation::new(SimConfig::new(64), permuted).run(&mut TestFcfs);
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn closed_loop_releases_dependents_after_completion() {
         let mut jobs = rigid_jobs(&[(1, 0.0, 100.0, 8)]);
         let mut dependent = SimJob::rigid(2, 5.0, 50.0, 8);
@@ -661,7 +1033,44 @@ mod tests {
         assert_eq!(f.start, 150.0);
         assert_eq!(f.end, 250.0);
         assert_eq!(f.restarts, 1);
+        // The first start survives the requeue: restart statistics are intact.
+        assert_eq!(f.first_start, 0.0);
         assert!(result.lost_node_seconds >= 64.0 * 100.0 - 1.0);
+    }
+
+    #[test]
+    fn first_start_survives_repeated_outage_restarts() {
+        // Two surprise failures in a row: the job is killed twice, restarts
+        // twice, and the eventual record still points at the very first start.
+        let outages = OutageLog::from_records(vec![
+            OutageRecord {
+                outage_id: 0,
+                announced_time: None,
+                start_time: 40,
+                end_time: 60,
+                kind: OutageKind::CpuFailure,
+                nodes_affected: Some(64),
+                components: vec![],
+            },
+            OutageRecord {
+                outage_id: 1,
+                announced_time: None,
+                start_time: 100,
+                end_time: 120,
+                kind: OutageKind::CpuFailure,
+                nodes_affected: Some(64),
+                components: vec![],
+            },
+        ]);
+        let jobs = rigid_jobs(&[(1, 10.0, 80.0, 64)]);
+        let config = SimConfig::new(64).with_outages(outages);
+        let result = Simulation::new(config, jobs).run(&mut TestFcfs);
+        assert_eq!(result.kills, 2);
+        let f = &result.finished[0];
+        assert_eq!(f.restarts, 2);
+        assert_eq!(f.first_start, 10.0);
+        assert_eq!(f.start, 120.0);
+        assert_eq!(f.end, 200.0);
     }
 
     #[test]
@@ -740,17 +1149,17 @@ mod tests {
                     return Vec::new();
                 }
                 let share = 1.0 / total as f64;
-                let mut out: Vec<Decision> = ctx
-                    .running
-                    .iter()
-                    .map(|r| Decision::SetShare {
-                        job_id: r.job.id,
-                        share,
-                    })
+                let mut running: Vec<u64> = ctx.running.iter().map(|r| r.job.id).collect();
+                running.sort_unstable();
+                let mut out: Vec<Decision> = running
+                    .into_iter()
+                    .map(|job_id| Decision::SetShare { job_id, share })
                     .collect();
-                for q in ctx.queue {
+                let mut queued: Vec<u64> = ctx.queue.iter().map(|q| q.job.id).collect();
+                queued.sort_unstable();
+                for job_id in queued {
                     out.push(Decision::Start {
-                        job_id: q.job.id,
+                        job_id,
                         procs: None,
                         share,
                     });
@@ -815,6 +1224,56 @@ mod tests {
         let f = &result.finished[0];
         // Ran 0..40 (40 s of work), preempted 40..90, resumed at 90 for the remaining 60 s.
         assert!((f.end - 150.0).abs() < 1.0, "end {}", f.end);
+        // A preemption is not a restart, but the first start is still the original.
+        assert_eq!(f.first_start, 0.0);
+        assert_eq!(f.start, 90.0);
+    }
+
+    #[test]
+    fn duplicate_wakeups_are_coalesced() {
+        // A policy that re-requests the same quantum expiry from every react, the
+        // way a quantum-based gang scheduler would: without coalescing the event
+        // heap grows by one timer per react; with it, one timer per distinct
+        // instant fires exactly once.
+        struct SpamWakeups {
+            timers_seen: usize,
+        }
+        impl Scheduler for SpamWakeups {
+            fn name(&self) -> &str {
+                "spam-wakeups"
+            }
+            fn react(
+                &mut self,
+                ctx: &SchedulerContext<'_>,
+                event: SchedulerEvent,
+            ) -> Vec<Decision> {
+                if matches!(event, SchedulerEvent::Timer) {
+                    self.timers_seen += 1;
+                }
+                let mut out: Vec<Decision> = ctx
+                    .queue
+                    .iter()
+                    .map(|q| Decision::start(q.job.id))
+                    .collect();
+                // Same absolute expiry requested many times over (but only while
+                // it is still in the future — re-requesting the current instant
+                // from inside its own timer would loop forever, in any engine).
+                if ctx.now < 500.0 {
+                    for _ in 0..10 {
+                        out.push(Decision::Wakeup { at: 500.0 });
+                    }
+                }
+                out
+            }
+        }
+        let jobs = rigid_jobs(&[(1, 0.0, 100.0, 8), (2, 10.0, 100.0, 8)]);
+        let mut sched = SpamWakeups { timers_seen: 0 };
+        let result = Simulation::new(SimConfig::new(64), jobs).run(&mut sched);
+        assert_eq!(result.finished.len(), 2);
+        // Every react requested the same instant 10 times; exactly one fired.
+        assert_eq!(sched.timers_seen, 1);
+        assert!(result.coalesced_wakeups > 0);
+        assert_eq!(result.rejected_decisions, 0);
     }
 
     #[test]
@@ -868,5 +1327,35 @@ mod tests {
         let b = Simulation::new(SimConfig::new(64), jobs).run(&mut TestFcfs);
         assert_eq!(a.finished, b.finished);
         assert_eq!(a.idle_while_queued, b.idle_while_queued);
+    }
+
+    #[test]
+    fn reference_engine_is_bit_identical() {
+        // A quick inline check of the property the proptest suite verifies at
+        // scale: both engines produce the same SimulationResult, bit for bit.
+        let jobs: Vec<SimJob> = (0..300)
+            .map(|i| {
+                SimJob::rigid(
+                    i as u64 + 1,
+                    (i * 29 % 777) as f64 / 8.0,
+                    20.0 + (i % 11) as f64 * 333.0 / 7.0,
+                    1 + (i % 61) as u32,
+                )
+            })
+            .collect();
+        let calendar = Simulation::new(SimConfig::new(64), jobs.clone()).run(&mut TestFcfs);
+        let reference = Simulation::new_reference(SimConfig::new(64), jobs).run(&mut TestFcfs);
+        assert_eq!(calendar, reference);
+        assert!(calendar.events_processed > 0);
+    }
+
+    #[test]
+    fn zero_runtime_jobs_complete_immediately() {
+        let jobs = rigid_jobs(&[(1, 5.0, 0.0, 8), (2, 5.0, 10.0, 8)]);
+        let result = Simulation::new(SimConfig::new(64), jobs).run(&mut TestFcfs);
+        assert_eq!(result.finished.len(), 2);
+        let f = result.finished.iter().find(|f| f.id == 1).unwrap();
+        assert_eq!(f.start, 5.0);
+        assert_eq!(f.end, 5.0);
     }
 }

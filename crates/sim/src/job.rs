@@ -37,14 +37,16 @@ pub struct SimJob {
 }
 
 impl SimJob {
-    /// A rigid job.
+    /// A rigid job. Processor requests are clamped to at least 1 (the engine
+    /// never allocates less), so `procs ≥ 1` is an invariant policies may rely
+    /// on — e.g. to stop scanning once free capacity drops below one processor.
     pub fn rigid(id: u64, submit: f64, runtime: f64, procs: u32) -> Self {
         SimJob {
             id,
             submit,
             work: runtime,
             estimate: runtime,
-            procs,
+            procs: procs.max(1),
             user: None,
             preceding: None,
             think_time: 0.0,
@@ -90,7 +92,7 @@ impl SimJob {
     /// simulation). Records with unknown runtime or processors are rejected.
     pub fn from_swf(record: &SwfRecord) -> Option<Self> {
         let runtime = record.run_time? as f64;
-        let procs = record.procs()?;
+        let procs = record.procs()?.max(1);
         Some(SimJob {
             id: record.job_id,
             submit: record.submit_time as f64,
@@ -109,21 +111,30 @@ impl SimJob {
     }
 
     /// Build the simulator's job list from an SWF log (summary records only).
+    /// Dirty archive logs can repeat job numbers; the simulator requires
+    /// unique ids, so only the first record of each id is kept.
     pub fn from_log(log: &SwfLog) -> Vec<SimJob> {
-        log.summaries().filter_map(SimJob::from_swf).collect()
+        let mut seen = std::collections::HashSet::new();
+        log.summaries()
+            .filter_map(SimJob::from_swf)
+            .filter(|j| seen.insert(j.id))
+            .collect()
     }
 
     /// Build the simulator's job list from any streaming [`JobSource`]
     /// (summary records only), without materializing an intermediate
     /// [`SwfLog`]. The job list is identical to [`SimJob::from_log`] over the
-    /// collected log.
+    /// collected log, including its duplicate-id policy (first record kept).
     pub fn from_source<S: JobSource>(mut source: S) -> Result<Vec<SimJob>, ParseError> {
         let mut jobs = Vec::new();
+        let mut seen = std::collections::HashSet::new();
         while let Some(rec) = source.next_record() {
             let rec = rec?;
             if rec.is_summary() {
                 if let Some(job) = SimJob::from_swf(&rec) {
-                    jobs.push(job);
+                    if seen.insert(job.id) {
+                        jobs.push(job);
+                    }
                 }
             }
         }
@@ -140,9 +151,21 @@ pub struct QueuedJob {
     pub queued_at: f64,
     /// Number of times the job was killed by an outage and requeued.
     pub restarts: u32,
+    /// When the job first started, if it has run before. Carried across
+    /// outage-induced restarts and preemptions so restart statistics (the
+    /// `first_start` of the eventual [`FinishedJob`]) survive a requeue.
+    pub first_started_at: Option<f64>,
 }
 
 /// A job currently holding processors.
+///
+/// Execution state follows the engine's *rate-epoch* model: `remaining_work` is
+/// the remaining work **at `anchor_time`**, not at the current clock. While the
+/// job's rate is constant (the common case — every space-sharing scheduler) the
+/// pair never changes; the engine re-materializes it only when the rate actually
+/// changes (a `SetShare`, a preemption, an outage kill). The remaining work at
+/// any later instant is [`RunningJob::remaining_at`], and `predicted_end` caches
+/// the completion time implied by the current epoch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunningJob {
     /// The job description.
@@ -154,8 +177,17 @@ pub struct RunningJob {
     /// Time share in `(0, 1]`: 1 for dedicated (space-shared) execution, `1/k` when
     /// the processors are time-shared between `k` jobs (gang scheduling).
     pub share: f64,
-    /// Remaining work in seconds (at the job's reference rate).
+    /// Remaining work in seconds (at the job's reference rate), measured at
+    /// [`anchor_time`](Self::anchor_time) — *not* at the current simulation time.
     pub remaining_work: f64,
+    /// The time at which `remaining_work` was last materialized: the start of the
+    /// job's current rate epoch (its start time, or its latest rate change).
+    pub anchor_time: f64,
+    /// Completion time implied by the current rate epoch:
+    /// `anchor_time + remaining_work / progress_rate()`, clamped to be no earlier
+    /// than the epoch start. The engine treats this cached value as the job's
+    /// exact completion instant; it is recomputed only when the rate changes.
+    pub predicted_end: f64,
     /// When this dispatch started.
     pub started_at: f64,
     /// When the job first started (differs from `started_at` after a restart).
@@ -170,14 +202,9 @@ impl RunningJob {
         self.share * self.job.speedup_factor(self.procs)
     }
 
-    /// Time until completion at the current rate (infinite if the rate is zero).
-    pub fn time_to_completion(&self) -> f64 {
-        let rate = self.progress_rate();
-        if rate <= 0.0 {
-            f64::INFINITY
-        } else {
-            self.remaining_work / rate
-        }
+    /// Remaining work at time `t` (≥ `anchor_time`) under the current rate epoch.
+    pub fn remaining_at(&self, t: f64) -> f64 {
+        self.remaining_work - self.progress_rate() * (t - self.anchor_time).max(0.0)
     }
 
     /// Processor-share product, the quantity conserved by the cluster capacity
@@ -312,6 +339,25 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_job_ids_keep_first_record() {
+        // Dirty archive logs repeat job numbers; the simulator needs unique
+        // ids, so both constructors keep the first record of each id.
+        let mut log = SwfLog::default();
+        for (submit, runtime) in [(0i64, 100i64), (5, 50), (9, 10)] {
+            log.jobs.push(
+                SwfRecordBuilder::new(7, submit)
+                    .run_time(runtime)
+                    .allocated_procs(4)
+                    .build(),
+            );
+        }
+        let from_log = SimJob::from_log(&log);
+        assert_eq!(from_log.len(), 1);
+        assert_eq!(from_log[0].work, 100.0);
+        assert_eq!(from_log, SimJob::from_source(log.as_source("dup")).unwrap());
+    }
+
+    #[test]
     fn running_job_rates() {
         let j = SimJob::rigid(1, 0.0, 100.0, 8);
         let r = RunningJob {
@@ -320,15 +366,22 @@ mod tests {
             procs: 8,
             share: 0.5,
             remaining_work: 100.0,
+            anchor_time: 0.0,
+            predicted_end: 200.0,
             started_at: 0.0,
             first_started_at: 0.0,
             restarts: 0,
         };
         assert_eq!(r.progress_rate(), 0.5);
-        assert_eq!(r.time_to_completion(), 200.0);
         assert_eq!(r.proc_share(), 4.0);
+        assert_eq!(r.remaining_at(0.0), 100.0);
+        assert_eq!(r.remaining_at(100.0), 50.0);
+        assert_eq!(r.remaining_at(200.0), 0.0);
+        // Before the anchor the epoch has accrued no progress.
+        assert_eq!(r.remaining_at(-10.0), 100.0);
         let stopped = RunningJob { share: 0.0, ..r };
-        assert!(stopped.time_to_completion().is_infinite());
+        assert_eq!(stopped.progress_rate(), 0.0);
+        assert_eq!(stopped.remaining_at(1e9), 100.0);
     }
 
     #[test]

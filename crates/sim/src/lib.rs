@@ -19,14 +19,16 @@
 pub mod cluster;
 pub mod engine;
 pub mod job;
+pub mod queue;
 pub mod result;
 pub mod scheduler;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::cluster::{Cluster, Reservation};
-    pub use crate::engine::{OutagePolicy, SimConfig, Simulation};
+    pub use crate::engine::{EngineKind, OutagePolicy, SimConfig, Simulation};
     pub use crate::job::{FinishedJob, QueuedJob, RunningJob, SimJob};
+    pub use crate::queue::{JobQueue, QueueKey};
     pub use crate::result::SimulationResult;
     pub use crate::scheduler::{Decision, Scheduler, SchedulerContext, SchedulerEvent};
 }

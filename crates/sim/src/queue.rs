@@ -1,0 +1,299 @@
+//! The engine's wait queue: arrival-ordered, with cheap mutation and
+//! contiguous, already-sorted iteration.
+//!
+//! Scheduling policies overwhelmingly consume the queue in arrival order
+//! (`(queued_at, job id)` — requeued jobs keep their original `queued_at`, so a
+//! preempted job returns to its original position). The seed engine stored a
+//! plain `Vec` and every policy re-sorted it on every react, which turns
+//! quadratic on archive-scale traces with deep queues. [`JobQueue`] maintains
+//! the order structurally instead, exploiting the engine's access pattern:
+//!
+//! * **arrivals append**: `queued_at` is the simulation clock, which never goes
+//!   backwards, so a new arrival's key is almost always the largest yet and the
+//!   job is pushed at the tail in O(1);
+//! * **removals tombstone**: starting a job marks its slot dead in O(1) via an
+//!   id→slot map (slots never shift), with the dead prefix skipped eagerly and
+//!   the whole vector compacted amortized-O(1) once tombstones outnumber live
+//!   jobs;
+//! * **requeues re-insert**: an outage kill or preemption puts a job back at
+//!   its original `(queued_at, id)` position — the rare O(n) path;
+//! * **iteration is a contiguous scan** over the slot vector, skipping
+//!   tombstones: policies consume the queue in sorted order at slice speed, no
+//!   sort, no per-react allocation, and head-of-queue policies can stop early.
+
+use crate::job::QueuedJob;
+use std::collections::HashMap;
+
+/// The compact per-job scheduling key carried alongside each queue slot: the
+/// fields every queue-scanning policy (FCFS, backfilling, gang admission)
+/// tests before deciding anything. Scanning these 24-byte entries instead of
+/// full [`QueuedJob`]s keeps deep-queue reacts cache-resident; fetch the full
+/// job via [`JobQueue::get`] once a key passes the cheap tests.
+///
+/// `procs == 0` never occurs for a live entry (`SimJob` clamps requests to
+/// ≥ 1), so the key array uses it as its tombstone marker internally.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueKey {
+    /// Job id (the handle for `get` and for decisions).
+    pub id: u64,
+    /// The user's runtime estimate in seconds.
+    pub estimate: f64,
+    /// Requested processors (≥ 1).
+    pub procs: u32,
+}
+
+impl QueueKey {
+    fn of(q: &QueuedJob) -> Self {
+        QueueKey {
+            id: q.job.id,
+            estimate: q.job.estimate,
+            procs: q.job.procs,
+        }
+    }
+
+    const TOMBSTONE: QueueKey = QueueKey {
+        id: 0,
+        estimate: 0.0,
+        procs: 0,
+    };
+}
+
+/// Map a (non-NaN) time to bits whose unsigned order matches `f64::total_cmp`,
+/// so queue keys order exactly like the float sort the policies used to do.
+fn order_bits(t: f64) -> u64 {
+    let b = t.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+fn key_of(q: &QueuedJob) -> (u64, u64) {
+    (order_bits(q.queued_at), q.job.id)
+}
+
+/// The wait queue, iterated in `(queued_at, job id)` order.
+#[derive(Debug, Clone, Default)]
+pub struct JobQueue {
+    /// Live jobs in key order, with tombstones left by removals.
+    slots: Vec<Option<QueuedJob>>,
+    /// Compact scheduling keys, mirroring `slots` tombstone-for-tombstone
+    /// (`procs == 0` marks a dead entry).
+    keys: Vec<QueueKey>,
+    /// Job id → slot position (stable until a compaction).
+    index: HashMap<u64, usize>,
+    /// First slot that may be live (everything before it is dead).
+    head: usize,
+    /// Largest key ever appended; new keys above it may use the O(1) tail path.
+    max_key: Option<(u64, u64)>,
+}
+
+impl JobQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        JobQueue::default()
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The queued jobs in `(queued_at, job id)` order — arrival order, with
+    /// requeued (preempted / outage-killed) jobs back at their original
+    /// position. Head-of-queue policies can stop iterating early.
+    pub fn iter(&self) -> impl Iterator<Item = &QueuedJob> {
+        self.slots[self.head..].iter().filter_map(Option::as_ref)
+    }
+
+    /// The queued jobs' compact [`QueueKey`]s, in the same `(queued_at, id)`
+    /// order as [`Self::iter`]. This is the fast path for policies that scan
+    /// deep queues: ~3× less memory traffic than iterating full jobs.
+    pub fn iter_keys(&self) -> impl Iterator<Item = &QueueKey> {
+        self.keys[self.head..].iter().filter(|k| k.procs != 0)
+    }
+
+    /// Look up a queued job by id, O(1).
+    pub fn get(&self, id: u64) -> Option<&QueuedJob> {
+        self.index.get(&id).and_then(|&i| self.slots[i].as_ref())
+    }
+
+    /// Insert a job (ids must be unique within the queue). O(1) for keys in
+    /// arrival order (the overwhelmingly common case); a requeue below the
+    /// high-water key pays a compacting sorted insert.
+    pub(crate) fn push(&mut self, q: QueuedJob) {
+        let key = key_of(&q);
+        if self.max_key.is_none_or(|m| key > m) {
+            self.max_key = Some(key);
+            self.index.insert(q.job.id, self.slots.len());
+            self.keys.push(QueueKey::of(&q));
+            self.slots.push(Some(q));
+        } else {
+            self.insert_sorted(q, key);
+        }
+    }
+
+    /// Remove a job by id. O(1) amortized (tombstone plus occasional compaction).
+    pub(crate) fn remove(&mut self, id: u64) -> Option<QueuedJob> {
+        let i = self.index.remove(&id)?;
+        let q = self.slots[i].take();
+        self.keys[i] = QueueKey::TOMBSTONE;
+        while self.head < self.slots.len() && self.slots[self.head].is_none() {
+            self.head += 1;
+        }
+        // Keep scans tight: iteration cost is proportional to live + dead, so
+        // compact once tombstones reach a quarter of the live population.
+        if self.slots.len() - self.head > self.index.len() + self.index.len() / 4 + 32 {
+            self.compact();
+        }
+        q
+    }
+
+    /// Drop tombstones and rebuild the id→slot map.
+    fn compact(&mut self) {
+        self.slots.retain(Option::is_some);
+        self.keys.retain(|k| k.procs != 0);
+        self.head = 0;
+        self.index.clear();
+        for (i, s) in self.slots.iter().enumerate() {
+            self.index
+                .insert(s.as_ref().expect("retained Some").job.id, i);
+        }
+    }
+
+    /// The rare path: place a requeued job back at its sorted position.
+    fn insert_sorted(&mut self, q: QueuedJob, key: (u64, u64)) {
+        // Densify first (binary search needs hole-free slots), but skip
+        // compact(): its index rebuild would be thrown away below anyway.
+        self.slots.retain(Option::is_some);
+        self.keys.retain(|k| k.procs != 0);
+        self.head = 0;
+        let pos = self
+            .slots
+            .partition_point(|s| key_of(s.as_ref().expect("densified")) < key);
+        self.keys.insert(pos, QueueKey::of(&q));
+        self.slots.insert(pos, Some(q));
+        self.index.clear();
+        for (i, s) in self.slots.iter().enumerate() {
+            self.index
+                .insert(s.as_ref().expect("just inserted").job.id, i);
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    pub(crate) fn check_invariants(&self) {
+        debug_assert!(self.slots[..self.head].iter().all(Option::is_none));
+        debug_assert_eq!(self.slots.len(), self.keys.len());
+        let live: Vec<&QueuedJob> = self.iter().collect();
+        debug_assert_eq!(live.len(), self.index.len());
+        for w in live.windows(2) {
+            debug_assert!(key_of(w[0]) < key_of(w[1]), "queue out of order");
+        }
+        for (id, &i) in &self.index {
+            debug_assert_eq!(self.slots[i].as_ref().map(|q| q.job.id), Some(*id));
+        }
+        for (s, k) in self.slots.iter().zip(self.keys.iter()) {
+            debug_assert_eq!(
+                s.as_ref().map(QueueKey::of).unwrap_or(QueueKey::TOMBSTONE),
+                *k,
+                "keys out of sync with slots"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::SimJob;
+
+    fn queued(id: u64, queued_at: f64) -> QueuedJob {
+        QueuedJob {
+            job: SimJob::rigid(id, queued_at, 100.0, 4),
+            queued_at,
+            restarts: 0,
+            first_started_at: None,
+        }
+    }
+
+    fn ids(q: &JobQueue) -> Vec<u64> {
+        q.iter().map(|j| j.job.id).collect()
+    }
+
+    #[test]
+    fn iterates_in_queued_at_then_id_order() {
+        let mut q = JobQueue::new();
+        q.push(queued(5, 10.0));
+        q.push(queued(2, 10.0)); // same time, lower id: takes the slow path
+        q.push(queued(9, 0.5)); // earlier time: slow path
+        q.push(queued(1, 20.0));
+        assert_eq!(ids(&q), vec![9, 2, 5, 1]);
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn requeued_job_returns_to_original_position() {
+        let mut q = JobQueue::new();
+        q.push(queued(1, 0.0));
+        q.push(queued(2, 5.0));
+        q.push(queued(3, 10.0));
+        // Job 1 starts, runs, and is preempted: it re-enters with its original
+        // queued_at and must come back to the head.
+        let j1 = q.remove(1).unwrap();
+        assert_eq!(q.iter().next().unwrap().job.id, 2);
+        q.push(j1);
+        assert_eq!(ids(&q), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn get_and_remove_by_id() {
+        let mut q = JobQueue::new();
+        q.push(queued(7, 3.0));
+        assert_eq!(q.get(7).unwrap().queued_at, 3.0);
+        assert!(q.get(8).is_none());
+        assert!(q.remove(8).is_none());
+        let j = q.remove(7).unwrap();
+        assert_eq!(j.job.id, 7);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn tombstones_compact_and_order_survives() {
+        let mut q = JobQueue::new();
+        for i in 0..200u64 {
+            q.push(queued(i + 1, i as f64));
+        }
+        // Remove most of the middle, triggering compactions along the way.
+        for i in (10..190u64).rev() {
+            assert!(q.remove(i + 1).is_some());
+        }
+        q.check_invariants();
+        let got = ids(&q);
+        let want: Vec<u64> = (1..=10).chain(191..=200).collect();
+        assert_eq!(got, want);
+        // A requeue lands back in the middle of the survivors.
+        q.push(queued(100, 99.0));
+        assert_eq!(q.iter().nth(10).unwrap().job.id, 100);
+        q.check_invariants();
+    }
+
+    #[test]
+    fn order_bits_matches_total_cmp() {
+        let vals = [0.0, -0.0, 0.5, 1.0, -1.0, 1e9, f64::INFINITY, -3.25];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    order_bits(a).cmp(&order_bits(b)),
+                    a.total_cmp(&b),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+}

@@ -31,6 +31,12 @@ pub struct SimulationResult {
     pub kills: usize,
     /// Scheduler decisions the engine rejected as infeasible.
     pub rejected_decisions: usize,
+    /// Duplicate same-time wakeup requests merged into an already-scheduled
+    /// timer instead of flooding the event heap.
+    pub coalesced_wakeups: usize,
+    /// Engine events processed: external events (arrivals, outages, timers)
+    /// plus job completions. The denominator of the events/sec benchmarks.
+    pub events_processed: u64,
     /// Simulation clock when the run ended.
     pub end_time: f64,
 }
@@ -146,6 +152,8 @@ mod tests {
             lost_node_seconds: 0.0,
             kills: 0,
             rejected_decisions: 0,
+            coalesced_wakeups: 0,
+            events_processed: 4,
             end_time: 160.0,
         }
     }
@@ -204,6 +212,8 @@ mod tests {
             lost_node_seconds: 0.0,
             kills: 0,
             rejected_decisions: 0,
+            coalesced_wakeups: 0,
+            events_processed: 0,
             end_time: 0.0,
         };
         assert_eq!(r.aggregate().jobs, 0);

@@ -8,7 +8,8 @@
 //! machine — it just gets its decision rejected (and counted).
 
 use crate::cluster::{Cluster, Reservation};
-use crate::job::{QueuedJob, RunningJob};
+use crate::job::RunningJob;
+use crate::queue::JobQueue;
 use serde::{Deserialize, Serialize};
 
 /// What just happened; passed to the scheduler so policies can react differently to
@@ -112,22 +113,35 @@ impl Decision {
 }
 
 /// A read-only view of the simulation state passed to the scheduler.
+///
+/// `queue` iterates in `(queued_at, job id)` order — arrival order, with
+/// requeued jobs back at their original position — maintained structurally by
+/// the engine, so policies never sort it; head-of-queue policies can stop
+/// iterating at the first job that does not fit. The `running` slice, by
+/// contrast, is in **no meaningful order** (the engine uses swap-removal):
+/// policies that emit per-running-job decisions should order them by job id so
+/// results stay independent of the engine's internal layout.
 #[derive(Debug)]
 pub struct SchedulerContext<'a> {
     /// Current simulation time, seconds.
     pub now: f64,
     /// The cluster (capacity, outages, reservations).
     pub cluster: &'a Cluster,
-    /// Jobs waiting in the queue, in arrival order.
-    pub queue: &'a [QueuedJob],
-    /// Jobs currently running.
+    /// Jobs waiting in the queue, iterated in `(queued_at, id)` order.
+    pub queue: &'a JobQueue,
+    /// Jobs currently running (unspecified order).
     pub running: &'a [RunningJob],
+    /// Processor·share capacity currently in use by running jobs, maintained
+    /// incrementally by the engine (`Σ procs·share` over `running`).
+    pub used_procs: f64,
 }
 
 impl SchedulerContext<'_> {
-    /// Processor·share capacity currently in use by running jobs.
+    /// Processor·share capacity currently in use by running jobs. O(1): reads
+    /// the engine's incrementally maintained accumulator instead of re-summing
+    /// the running set.
     pub fn used_capacity(&self) -> f64 {
-        self.running.iter().map(|r| r.proc_share()).sum()
+        self.used_procs
     }
 
     /// Free capacity right now: available processors minus what running jobs use,
@@ -149,10 +163,15 @@ impl SchedulerContext<'_> {
         &self.cluster.reservations
     }
 
-    /// Estimated completion times (id, time) of all running jobs at their current
-    /// rates, sorted soonest first. Backfilling policies build their profile from this.
-    pub fn estimated_completions(&self) -> Vec<(u64, f64)> {
-        let mut v: Vec<(u64, f64)> = self
+    /// Estimated completions of all running jobs as `(id, time, proc_share)`
+    /// triples, sorted by `(time, id)`. This is the raw material of every
+    /// backfilling shadow/profile computation: sorted once per react and carrying
+    /// the capacity each completion releases, so policies need neither a re-sort
+    /// nor a per-completion lookup into the running set. Ties on the estimated
+    /// end break by job id, which keeps the profile independent of the engine's
+    /// internal running-set layout.
+    pub fn completion_profile(&self) -> Vec<(u64, f64, f64)> {
+        let mut v: Vec<(u64, f64, f64)> = self
             .running
             .iter()
             .map(|r| {
@@ -161,11 +180,21 @@ impl SchedulerContext<'_> {
                 let elapsed = self.now - r.started_at;
                 let est_total = r.job.estimate.max(1.0);
                 let est_remaining = (est_total - elapsed).max(0.0);
-                (r.job.id, self.now + est_remaining)
+                (r.job.id, self.now + est_remaining, r.proc_share())
             })
             .collect();
-        v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        v.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         v
+    }
+
+    /// Estimated completion times (id, time) of all running jobs at their current
+    /// rates, sorted soonest first (ties by id). Backfilling policies that also
+    /// need the released capacity should use [`Self::completion_profile`].
+    pub fn estimated_completions(&self) -> Vec<(u64, f64)> {
+        self.completion_profile()
+            .into_iter()
+            .map(|(id, end, _)| (id, end))
+            .collect()
     }
 }
 
@@ -190,9 +219,28 @@ mod tests {
             procs,
             share,
             remaining_work: 50.0,
+            anchor_time: 0.0,
+            predicted_end: 50.0,
             started_at: 0.0,
             first_started_at: 0.0,
             restarts: 0,
+        }
+    }
+
+    /// Build a context over the given running set, with `used_procs` derived the
+    /// way the engine maintains it.
+    fn ctx_over<'a>(
+        now: f64,
+        cluster: &'a Cluster,
+        queue: &'a JobQueue,
+        running: &'a [RunningJob],
+    ) -> SchedulerContext<'a> {
+        SchedulerContext {
+            now,
+            cluster,
+            queue,
+            running,
+            used_procs: running.iter().map(|r| r.proc_share()).sum(),
         }
     }
 
@@ -201,12 +249,8 @@ mod tests {
         let mut cluster = Cluster::new(64);
         cluster.try_reserve(0.0, 100.0, 8).unwrap();
         let running = vec![running(1, 16, 1.0), running(2, 32, 0.5)];
-        let ctx = SchedulerContext {
-            now: 10.0,
-            cluster: &cluster,
-            queue: &[],
-            running: &running,
-        };
+        let queue = JobQueue::new();
+        let ctx = ctx_over(10.0, &cluster, &queue, &running);
         assert_eq!(ctx.used_capacity(), 32.0);
         assert_eq!(ctx.free_capacity(), 64.0 - 32.0 - 8.0);
         assert_eq!(ctx.free_capacity_ignoring_reservations(), 32.0);
@@ -223,16 +267,16 @@ mod tests {
         b.job.estimate = 100.0;
         b.started_at = 50.0;
         let running = vec![a, b];
-        let ctx = SchedulerContext {
-            now: 100.0,
-            cluster: &cluster,
-            queue: &[],
-            running: &running,
-        };
+        let queue = JobQueue::new();
+        let ctx = ctx_over(100.0, &cluster, &queue, &running);
         let comps = ctx.estimated_completions();
         // b: estimate 100, elapsed 50 -> completes at 150; a: estimate 1000, elapsed 100 -> 1000
         assert_eq!(comps[0], (2, 150.0));
         assert_eq!(comps[1], (1, 1000.0));
+        // The profile carries the proc·share each completion releases.
+        let profile = ctx.completion_profile();
+        assert_eq!(profile[0], (2, 150.0, 8.0));
+        assert_eq!(profile[1], (1, 1000.0, 8.0));
     }
 
     #[test]
@@ -242,13 +286,21 @@ mod tests {
         a.job.estimate = 10.0; // badly underestimated; job still running at t=100
         a.started_at = 0.0;
         let running = vec![a];
-        let ctx = SchedulerContext {
-            now: 100.0,
-            cluster: &cluster,
-            queue: &[],
-            running: &running,
-        };
+        let queue = JobQueue::new();
+        let ctx = ctx_over(100.0, &cluster, &queue, &running);
         assert_eq!(ctx.estimated_completions()[0].1, 100.0);
+    }
+
+    #[test]
+    fn completion_profile_ties_break_by_id() {
+        let cluster = Cluster::new(64);
+        // Same estimate, same start: estimated ends tie; order must be by id
+        // regardless of the slice layout.
+        let jobs = vec![running(7, 8, 1.0), running(3, 16, 1.0), running(5, 4, 1.0)];
+        let queue = JobQueue::new();
+        let ctx = ctx_over(0.0, &cluster, &queue, &jobs);
+        let ids: Vec<u64> = ctx.completion_profile().iter().map(|c| c.0).collect();
+        assert_eq!(ids, vec![3, 5, 7]);
     }
 
     #[test]

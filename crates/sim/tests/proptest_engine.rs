@@ -1,0 +1,263 @@
+//! Differential property tests for the completion-calendar engine.
+//!
+//! The calendar engine ([`EngineKind::Calendar`]) and the seed-style reference
+//! engine ([`EngineKind::Reference`]) share every code path except completion
+//! tracking (lazy min-heap vs linear rescans), and both read the same cached
+//! per-epoch completion times — so their [`SimulationResult`]s must be equal
+//! **bit for bit**, over any workload and any policy. These tests assert exactly
+//! that across randomized workloads exercising every engine feature: rigid and
+//! malleable shares (`SetShare` re-anchoring), closed-loop feedback release,
+//! surprise and announced outages (kills, requeues, capacity changes),
+//! preemption, timer wakeups (including the coalescing path), zero-length jobs,
+//! and fractional submit/runtime values that stress the float paths.
+
+use proptest::prelude::*;
+use psbench_sim::{
+    Decision, Scheduler, SchedulerContext, SchedulerEvent, SimConfig, SimJob, Simulation,
+    SimulationResult,
+};
+use psbench_swf::outage::{OutageKind, OutageLog, OutageRecord};
+
+/// Strict FCFS — the queue view iterates in `(queued_at, id)` order already,
+/// so this is a prefix walk.
+struct PropFcfs;
+impl Scheduler for PropFcfs {
+    fn name(&self) -> &str {
+        "prop-fcfs"
+    }
+    fn react(&mut self, ctx: &SchedulerContext<'_>, _event: SchedulerEvent) -> Vec<Decision> {
+        let mut free = ctx.free_capacity();
+        let mut out = Vec::new();
+        for q in ctx.queue.iter() {
+            if (q.job.procs as f64) <= free + 1e-9 {
+                free -= q.job.procs as f64;
+                out.push(Decision::start(q.job.id));
+            } else {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// Malleable equal-share policy: every job (running or queued) gets share
+/// `1/k`. Exercises `SetShare` re-anchoring and calendar invalidation on every
+/// single event.
+struct PropEquiShare;
+impl Scheduler for PropEquiShare {
+    fn name(&self) -> &str {
+        "prop-equishare"
+    }
+    fn react(&mut self, ctx: &SchedulerContext<'_>, _event: SchedulerEvent) -> Vec<Decision> {
+        let total = ctx.queue.len() + ctx.running.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let share = 1.0 / total as f64;
+        let mut running: Vec<u64> = ctx.running.iter().map(|r| r.job.id).collect();
+        running.sort_unstable();
+        let mut out: Vec<Decision> = running
+            .into_iter()
+            .map(|job_id| Decision::SetShare { job_id, share })
+            .collect();
+        let mut queued: Vec<u64> = ctx.queue.iter().map(|q| q.job.id).collect();
+        queued.sort_unstable();
+        for job_id in queued {
+            out.push(Decision::Start {
+                job_id,
+                procs: None,
+                share,
+            });
+        }
+        out
+    }
+}
+
+/// A quantum-timer policy: greedy starts, plus on every timer it preempts the
+/// lowest-id running job and re-requests the (often duplicate) next quantum
+/// expiry. Exercises preemption materialization and wakeup coalescing.
+struct PropPreemptor {
+    quantum: f64,
+}
+impl Scheduler for PropPreemptor {
+    fn name(&self) -> &str {
+        "prop-preemptor"
+    }
+    fn react(&mut self, ctx: &SchedulerContext<'_>, event: SchedulerEvent) -> Vec<Decision> {
+        let mut out = Vec::new();
+        if matches!(event, SchedulerEvent::Timer) {
+            if let Some(id) = ctx.running.iter().map(|r| r.job.id).min() {
+                out.push(Decision::Preempt { job_id: id });
+            }
+        }
+        let mut free = ctx.free_capacity();
+        for q in ctx.queue.iter() {
+            // On a Timer consult the preempt above has not landed yet; starts
+            // are validated by the engine either way.
+            if (q.job.procs as f64) <= free + 1e-9 {
+                free -= q.job.procs as f64;
+                out.push(Decision::start(q.job.id));
+            }
+        }
+        if !ctx.running.is_empty() || !ctx.queue.is_empty() {
+            // Quantum expiries land on a fixed grid, so many reacts request the
+            // same instant — the coalescing path.
+            let next = (ctx.now / self.quantum).floor() * self.quantum + self.quantum;
+            out.push(Decision::Wakeup { at: next });
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Policy {
+    Fcfs,
+    EquiShare,
+    Preemptor,
+}
+
+fn run_with(
+    policy: Policy,
+    config: &SimConfig,
+    jobs: &[SimJob],
+    reference: bool,
+) -> SimulationResult {
+    let sim = if reference {
+        Simulation::new_reference(config.clone(), jobs.to_vec())
+    } else {
+        Simulation::new(config.clone(), jobs.to_vec())
+    };
+    match policy {
+        Policy::Fcfs => sim.run(&mut PropFcfs),
+        Policy::EquiShare => sim.run(&mut PropEquiShare),
+        Policy::Preemptor => sim.run(&mut PropPreemptor { quantum: 75.0 }),
+    }
+}
+
+/// Strategy for one job: fractional submit/runtime values (sevenths and
+/// eighths) deliberately stress the non-exact float paths; runtime 0 and
+/// single-processor jobs cover the degenerate corners.
+fn job_strategy(machine: u32) -> impl Strategy<Value = (u32, u32, u32, u32, u8)> {
+    (
+        0u32..2_000, // submit numerator
+        0u32..1_200, // runtime numerator
+        1u32..=64,   // procs (clamped to machine later)
+        1u32..4,     // estimate factor
+        0u8..4,      // dependency tag: 1 => depends on previous job
+    )
+        .prop_map(move |(s, r, p, e, d)| (s, r, p.min(machine), e, d))
+}
+
+fn build_jobs(specs: &[(u32, u32, u32, u32, u8)]) -> Vec<SimJob> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(s, r, p, e, d))| {
+            let submit = s as f64 / 8.0;
+            let runtime = r as f64 / 7.0;
+            let mut job = SimJob::rigid(i as u64 + 1, submit, runtime, p)
+                .with_estimate(runtime * e as f64 + 1.0)
+                .with_user((i % 5) as u32);
+            if d == 1 && i > 0 {
+                job.preceding = Some(i as u64); // the previous job
+                job.think_time = (s % 97) as f64 / 4.0;
+            }
+            job
+        })
+        .collect()
+}
+
+fn outage_log(specs: &[(u32, u32, u32, u8)]) -> Option<OutageLog> {
+    if specs.is_empty() {
+        return None;
+    }
+    let records: Vec<OutageRecord> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(start, len, procs, announced))| OutageRecord {
+            outage_id: i as u64,
+            announced_time: (announced == 1).then_some(start as i64 / 2),
+            start_time: start as i64,
+            end_time: start as i64 + len as i64 + 1,
+            kind: if announced == 1 {
+                OutageKind::Maintenance
+            } else {
+                OutageKind::CpuFailure
+            },
+            nodes_affected: Some(procs),
+            components: vec![],
+        })
+        .collect();
+    Some(OutageLog::from_records(records))
+}
+
+fn policy_strategy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::Fcfs),
+        Just(Policy::EquiShare),
+        Just(Policy::Preemptor),
+    ]
+}
+
+proptest! {
+    /// The headline property: calendar and reference engines agree bit for bit
+    /// on randomized workloads across policies, loop modes, and outages.
+    #[test]
+    fn calendar_engine_matches_reference_bit_for_bit(
+        specs in prop::collection::vec(job_strategy(64), 1..40),
+        outages in prop::collection::vec((0u32..1_500, 1u32..400, 1u32..64, 0u8..2), 0..3),
+        closed_loop in 0u8..2,
+        discard in 0u8..2,
+        policy in policy_strategy(),
+    ) {
+        let jobs = build_jobs(&specs);
+        let mut config = SimConfig::new(64);
+        config.closed_loop = closed_loop == 1;
+        config.outages = outage_log(&outages);
+        config.outage_policy = if discard == 1 {
+            psbench_sim::OutagePolicy::KillAndDiscard
+        } else {
+            psbench_sim::OutagePolicy::KillAndRequeue
+        };
+        // Bound pathological preemption loops; both engines see the same bound.
+        config.max_time = Some(100_000.0);
+        let calendar = run_with(policy, &config, &jobs, false);
+        let reference = run_with(policy, &config, &jobs, true);
+        prop_assert_eq!(calendar, reference);
+    }
+
+    /// Results do not depend on the order the job vector is handed over when
+    /// submit times are distinct (the engine's containers are swap-removal
+    /// based; layout must not leak into results).
+    #[test]
+    fn results_invariant_under_permutation_of_distinct_submits(
+        seed in 0u64..500,
+        policy in policy_strategy(),
+    ) {
+        let n = 30usize;
+        let jobs: Vec<SimJob> = (0..n)
+            .map(|i| {
+                let x = (seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add((i as u64).wrapping_mul(1442695040888963407)))
+                    >> 11;
+                SimJob::rigid(
+                    i as u64 + 1,
+                    // Distinct: a pseudo-random integer part plus an i-specific fraction.
+                    (x % 701) as f64 + i as f64 / 64.0,
+                    (x % 977) as f64 / 3.0,
+                    1 + (x % 61) as u32,
+                )
+                .with_estimate((x % 977) as f64 / 3.0 + 10.0)
+            })
+            .collect();
+        let mut permuted = jobs.clone();
+        permuted.reverse();
+        permuted.swap(2, 17);
+        permuted.swap(9, 28);
+        let config = SimConfig::new(64);
+        let a = run_with(policy, &config, &jobs, false);
+        let b = run_with(policy, &config, &permuted, false);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -409,6 +409,8 @@ fn cmd_simulate(opts: &Opts) -> Result<ExitCode, String> {
         inner: open_source(spec, opts)?,
         max_procs: 0,
     };
+    // Duplicate job ids in dirty archive logs are handled by
+    // SimJob::from_source itself (first record kept), matching from_log.
     let jobs = SimJob::from_source(&mut tap).map_err(stream_err(spec))?;
     let name = tap.meta().name.clone();
     let machine = if spec.starts_with("model:") {
