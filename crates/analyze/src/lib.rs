@@ -47,14 +47,16 @@ pub mod sketch;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::distance::{
-        ad_counts, ad_distance, chi_square, chi_square_counts, emd, ks_distance, FidelityReport,
-        MarginalDistance,
+        ad_counts, ad_distance, chi_square, chi_square_counts, emd, joint_chi_square, ks_distance,
+        FidelityReport, MarginalDistance,
     };
     pub use crate::profile::{profile_chunked, GroupStats, WorkloadProfile, ACCURACY_SCALE};
     pub use crate::report::{
         fmt_num, json_escape, json_num, render_fidelity, render_profile, Format,
     };
-    pub use crate::sketch::{Correlation, Histogram, MarginalSketch, Moments, HISTOGRAM_BINS};
+    pub use crate::sketch::{
+        Correlation, Histogram, Histogram2, MarginalSketch, Moments, HISTOGRAM_BINS, JOINT_BINS,
+    };
 }
 
 pub use prelude::*;

@@ -15,7 +15,7 @@
 //! sequential single pass — `chunked == sequential` holds with `==`, not just
 //! approximately.
 
-use crate::sketch::{Correlation, MarginalSketch, Moments};
+use crate::sketch::{Correlation, Histogram2, MarginalSketch, Moments};
 use psbench_swf::{JobSource, ParseError, SwfLog, SwfRecord};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -99,6 +99,10 @@ pub struct WorkloadProfile {
     pub per_group: BTreeMap<u32, GroupStats>,
     /// Exact size–runtime correlation accumulator.
     pub size_runtime: Correlation,
+    /// Joint (2-D) size × runtime histogram: octave-binned on both axes, it
+    /// captures which sizes pair with which runtimes — structure invisible to
+    /// the two marginals alone.
+    pub size_runtime_hist: Histogram2,
     /// Submit time of the first profiled job (None when empty).
     pub first_submit: Option<i64>,
     /// Submit time of the last profiled job (None when empty).
@@ -132,6 +136,7 @@ impl WorkloadProfile {
             self.runtime.add(r);
             if let Some(p) = rec.procs() {
                 self.size_runtime.add(p as i64, r);
+                self.size_runtime_hist.add(p as i64, r);
             }
             if let Some(e) = rec.requested_time {
                 if e > 0 {
@@ -228,6 +233,7 @@ impl WorkloadProfile {
             self.per_group.entry(*k).or_default().merge(v);
         }
         self.size_runtime.merge(&next.size_runtime);
+        self.size_runtime_hist.merge(&next.size_runtime_hist);
     }
 
     /// Trace duration in seconds spanned by the profiled submits.

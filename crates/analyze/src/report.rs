@@ -309,6 +309,16 @@ fn fidelity_sections(r: &FidelityReport) -> Vec<Section> {
             ]
         })
         .collect();
+    // The joint size × runtime view: only the chi-square column applies (it
+    // is a 2-D distribution), and it stays out of the per-marginal means.
+    rows.push(vec![
+        "size-runtime (joint)".into(),
+        "procs x s".into(),
+        "-".into(),
+        "-".into(),
+        fmt_num(r.joint_size_runtime),
+        "-".into(),
+    ]);
     rows.push(vec![
         "mean".into(),
         "-".into(),
@@ -354,7 +364,8 @@ fn fidelity_json(r: &FidelityReport) -> String {
     }
     let _ = write!(
         out,
-        "],\"mean_ks\":{},\"max_ks\":{},\"mean_chi2\":{},\"mean_ad\":{}}}",
+        "],\"joint_size_runtime_chi2\":{},\"mean_ks\":{},\"max_ks\":{},\"mean_chi2\":{},\"mean_ad\":{}}}",
+        json_num(r.joint_size_runtime),
         json_num(r.mean_ks()),
         json_num(r.max_ks()),
         json_num(r.mean_chi2()),

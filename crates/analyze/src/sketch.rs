@@ -224,6 +224,85 @@ impl Histogram {
     }
 }
 
+/// Octave (power-of-two) bins per axis of the joint histogram: bin 0 for
+/// values ≤ 0, one bin per octave of a positive `i64`.
+pub const JOINT_BINS: usize = 64;
+
+/// A fixed-shape two-dimensional logarithmic histogram over pairs of `i64`
+/// observations — the joint view (e.g. job size × runtime) the per-axis
+/// marginals cannot capture: two workloads can match every marginal and still
+/// pair sizes with runtimes completely differently.
+///
+/// Each axis uses whole-octave bins (bin 0 for values ≤ 0, then one bin per
+/// power of two), so the `64 × 64` grid stays compact enough to carry in
+/// every profile while still resolving the size–runtime structure. Binning is
+/// fixed and integer-only, so merging is element-wise `u64` addition: exactly
+/// associative, which keeps chunked parallel profiling bit-identical to the
+/// sequential pass. Storage is allocated lazily on the first observation, and
+/// a never-touched histogram equals a merged-from-empty one.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Histogram2 {
+    /// Row-major `JOINT_BINS × JOINT_BINS` counts (`x` bin selects the row);
+    /// empty until the first observation.
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram2 {
+    /// An empty joint histogram.
+    pub fn new() -> Self {
+        Histogram2::default()
+    }
+
+    /// The octave bin of one axis value. Integer arithmetic only.
+    pub fn axis_bin(v: i64) -> usize {
+        if v <= 0 {
+            0
+        } else {
+            64 - (v as u64).leading_zeros() as usize
+        }
+    }
+
+    /// Record one `(x, y)` observation.
+    pub fn add(&mut self, x: i64, y: i64) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; JOINT_BINS * JOINT_BINS];
+        }
+        self.counts[Self::axis_bin(x) * JOINT_BINS + Self::axis_bin(y)] += 1;
+        self.total += 1;
+    }
+
+    /// Fold another joint histogram into this one. Exactly associative.
+    pub fn merge(&mut self, other: &Histogram2) {
+        if other.counts.is_empty() {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; JOINT_BINS * JOINT_BINS];
+        }
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.total += other.total;
+    }
+
+    /// Number of observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// True if no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The flattened cell counts (empty slice until the first observation);
+    /// two joint histograms are directly comparable cell by cell.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
 /// A marginal distribution sketch: exact moments plus the log-binned histogram
 /// of one quantity (interarrival, runtime, ...). Merging is exactly associative
 /// because both members are.

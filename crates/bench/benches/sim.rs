@@ -126,6 +126,36 @@ fn bench_calendar_vs_reference(c: &mut Criterion) {
     small.finish();
 }
 
+/// Overloaded closed-loop saturation: submit times compressed 8×, so the
+/// backlog grows to archive depth and every completion replan runs against a
+/// deep queue. This is the backlog-index acceptance scenario — per-replan cost
+/// must track the viable candidates, not the backlog.
+fn bench_saturation(c: &mut Criterion) {
+    const N: usize = 100_000;
+    let mut log = Lublin99::default().generate(N, 42);
+    for j in &mut log.jobs {
+        j.submit_time /= 8;
+    }
+    infer_dependencies(&mut log, &InferenceParams::default());
+    let js = SimJob::from_log(&log);
+    let mut group = c.benchmark_group("sim_saturation");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(N as u64));
+    for sched in ["easy", "gang", "fcfs"] {
+        group.bench_function(format!("{sched}_100k_saturated_closed"), |b| {
+            b.iter(|| {
+                black_box(run(
+                    EngineKind::Calendar,
+                    SimConfig::new(MACHINE).closed_loop(),
+                    js.clone(),
+                    sched,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
 /// The archive-scale end-to-end scenario: a 1M-job month-scale trace through
 /// FCFS and EASY on the calendar engine.
 fn bench_million_jobs(c: &mut Criterion) {
@@ -154,6 +184,7 @@ criterion_group!(
     bench_engine_scale,
     bench_engine_modes,
     bench_calendar_vs_reference,
+    bench_saturation,
     bench_million_jobs
 );
 criterion_main!(benches);

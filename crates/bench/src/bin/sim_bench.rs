@@ -53,6 +53,21 @@ fn lublin_jobs(n: usize, seed: u64) -> Vec<SimJob> {
     SimJob::from_log(&Lublin99::default().generate(n, seed))
 }
 
+/// The saturation scenario: a Lublin99 trace with submit times compressed 8×,
+/// so offered load far exceeds the machine and the backlog grows to archive
+/// scale, with closed-loop dependencies in the mix. This is the regime where
+/// per-completion replans used to scan the whole backlog (O(queue) per event,
+/// super-linear end to end); the backlog index plus batched completion
+/// consults keep it at engine speed.
+fn saturated_closed_jobs(n: usize, seed: u64) -> Vec<SimJob> {
+    let mut log = Lublin99::default().generate(n, seed);
+    for j in &mut log.jobs {
+        j.submit_time /= 8;
+    }
+    infer_dependencies(&mut log, &InferenceParams::default());
+    SimJob::from_log(&log)
+}
+
 /// A dense narrow-job workload on a wide machine: thousands of jobs run
 /// concurrently, so per-event O(running) work is catastrophic. This is the
 /// scenario that demonstrates the calendar's per-event cost does not scale
@@ -111,6 +126,18 @@ fn scenarios(scale: &str) -> Vec<Scenario> {
             config: SimConfig::new(MACHINE).with_outages(outages),
             jobs: js.clone(),
         });
+        // Overloaded closed-loop saturation: the backlog-index acceptance
+        // scenario (1M-job overloaded EASY is the headline number).
+        let saturated = saturated_closed_jobs(n, 42);
+        for sched in ["easy", "gang", "fcfs"] {
+            out.push(Scenario {
+                name: format!("{sched}_{tag}_saturated_closed"),
+                scheduler: sched,
+                engine: EngineKind::Calendar,
+                config: SimConfig::new(MACHINE).closed_loop(),
+                jobs: saturated.clone(),
+            });
+        }
         // Reference-engine (seed-complexity) baselines; skipped at 1M where the
         // linear rescans take impractically long.
         if n <= 100_000 {
@@ -125,19 +152,27 @@ fn scenarios(scale: &str) -> Vec<Scenario> {
             }
         }
     }
-    // The running-set scaling probe: ~1 800 concurrent jobs on a wide machine.
-    let wide_n = if scale == "full" { 60_000 } else { 20_000 };
-    for (engine, label) in [
-        (EngineKind::Calendar, "calendar"),
-        (EngineKind::Reference, "reference"),
-    ] {
-        out.push(Scenario {
-            name: format!("widemachine_{label}_{}k", wide_n / 1000),
-            scheduler: "greedy-fcfs",
-            engine,
-            config: SimConfig::new(8192),
-            jobs: wide_machine_jobs(wide_n),
-        });
+    // The running-set scaling probe: ~1 800 concurrent jobs on a wide
+    // machine. The 20k probe runs at every scale so the full baseline covers
+    // the quick CI run; full adds the larger 60k variant.
+    let wide_sizes: &[usize] = if scale == "full" {
+        &[20_000, 60_000]
+    } else {
+        &[20_000]
+    };
+    for &wide_n in wide_sizes {
+        for (engine, label) in [
+            (EngineKind::Calendar, "calendar"),
+            (EngineKind::Reference, "reference"),
+        ] {
+            out.push(Scenario {
+                name: format!("widemachine_{label}_{}k", wide_n / 1000),
+                scheduler: "greedy-fcfs",
+                engine,
+                config: SimConfig::new(8192),
+                jobs: wide_machine_jobs(wide_n),
+            });
+        }
     }
     out
 }

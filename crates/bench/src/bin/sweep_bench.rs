@@ -1,0 +1,220 @@
+//! `sweep-bench` — the experiment-table benchmark snapshot tool.
+//!
+//! The `psbench sweep` experiment tables (E1..E10, including the E10 model
+//! fidelity scores) are deterministic: every cell is derived from pinned
+//! seeds and integer-exact sketches, so their contents are machine
+//! independent. This tool runs every experiment at a fixed scale and emits a
+//! machine-readable JSON snapshot with, per experiment, a fingerprint of the
+//! rendered table, the row count, and the wall time. The committed
+//! `BENCH_sweep.json` is such a snapshot; CI regenerates a quick run and
+//! diffs it against the baseline, mirroring the `sim-bench` step:
+//!
+//! * **result drift** (fingerprint or row count changed) is an error — a
+//!   mismatch means an experiment's numbers changed and must be acknowledged
+//!   by regenerating the baseline;
+//! * **performance regressions** (> 20% wall-time growth) produce warnings —
+//!   absolute speed varies across machines, so they do not fail the build.
+//!
+//! ```text
+//! sweep-bench [--scale quick|full] [--out BENCH_sweep.json] [--baseline BENCH_sweep.json] [--repeat N]
+//! ```
+
+use psbench_analyze::report::{json_escape, json_num};
+use psbench_core::{experiment_ids, run_experiment, Scale};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Measurement {
+    id: &'static str,
+    title: String,
+    rows: usize,
+    fingerprint: String,
+    wall_ms: f64,
+}
+
+/// FNV-1a over the rendered table; hex string. Stable across platforms since
+/// the rendering itself is deterministic.
+fn fnv1a(bytes: &[u8]) -> String {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    format!("{h:016x}")
+}
+
+fn measure(id: &'static str, scale: Scale, repeat: usize) -> Measurement {
+    let mut best_ms = f64::INFINITY;
+    let mut table = None;
+    for _ in 0..repeat.max(1) {
+        let t0 = Instant::now();
+        let t = run_experiment(id, scale).expect("known experiment id");
+        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        table = Some(t);
+    }
+    let table = table.expect("at least one repeat");
+    // Title + headers + every cell: any numeric drift changes the hash.
+    let rendered = format!("{}\n{}", table.title, table.to_csv());
+    Measurement {
+        id,
+        title: table.title.clone(),
+        rows: table.rows.len(),
+        fingerprint: fnv1a(rendered.as_bytes()),
+        wall_ms: best_ms,
+    }
+}
+
+fn render_json(scale_name: &str, ms: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", json_escape(scale_name)));
+    out.push_str("  \"experiments\": [\n");
+    for (i, m) in ms.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"title\": \"{}\", \"rows\": {}, \"fingerprint\": \"{}\", \"wall_ms\": {}}}{}\n",
+            json_escape(m.id),
+            json_escape(&m.title),
+            m.rows,
+            m.fingerprint,
+            json_num((m.wall_ms * 1000.0).round() / 1000.0),
+            if i + 1 == ms.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Pull one field out of a baseline line (line-oriented snapshots, one JSON
+/// object per experiment line).
+fn baseline_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"').to_string())
+}
+
+fn compare_to_baseline(baseline: &str, ms: &[Measurement]) -> (usize, usize) {
+    let mut drifted = 0;
+    let mut regressed = 0;
+    for m in ms {
+        let pat = format!("\"id\": \"{}\"", m.id);
+        if !baseline.contains(&pat) {
+            println!(
+                "::error::sweep-bench: `{}` is measured but missing from the baseline — regenerate BENCH_sweep.json",
+                m.id
+            );
+            drifted += 1;
+        }
+    }
+    for line in baseline.lines() {
+        let Some(id) = baseline_field(line, "id") else {
+            continue;
+        };
+        let Some(m) = ms.iter().find(|m| m.id == id) else {
+            println!("::warning::sweep-bench: baseline experiment `{id}` no longer measured");
+            continue;
+        };
+        let fingerprint = baseline_field(line, "fingerprint").unwrap_or_default();
+        let rows: usize = baseline_field(line, "rows")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        if fingerprint != m.fingerprint || rows != m.rows {
+            println!(
+                "::error::sweep-bench: `{id}` result drift: fingerprint {} -> {}, rows {} -> {}",
+                fingerprint, m.fingerprint, rows, m.rows
+            );
+            drifted += 1;
+        }
+        let base_ms: f64 = baseline_field(line, "wall_ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.0);
+        if base_ms > 0.0 && m.wall_ms > 1.2 * base_ms {
+            println!(
+                "::warning::sweep-bench: `{id}` wall time regressed >20%: {:.1} ms (baseline {:.1} ms)",
+                m.wall_ms, base_ms
+            );
+            regressed += 1;
+        }
+    }
+    (drifted, regressed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale_name = "quick".to_string();
+    let mut out_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut repeat = 1usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => scale_name = it.next().cloned().unwrap_or_else(|| "quick".into()),
+            "--out" => out_path = it.next().cloned(),
+            "--baseline" => baseline_path = it.next().cloned(),
+            "--repeat" => repeat = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+            "-h" | "--help" => {
+                println!(
+                    "sweep-bench [--scale quick|full] [--out FILE] [--baseline FILE] [--repeat N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sweep-bench: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let scale = match scale_name.as_str() {
+        "quick" => Scale::quick(),
+        "full" => Scale::full(),
+        other => {
+            eprintln!("sweep-bench: unknown scale `{other}` (expected quick or full)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let ms: Vec<Measurement> = experiment_ids()
+        .iter()
+        .map(|id| {
+            let m = measure(id, scale, repeat);
+            println!(
+                "{:<6} {:>4} rows {} {:>10.1} ms",
+                m.id, m.rows, m.fingerprint, m.wall_ms
+            );
+            m
+        })
+        .collect();
+
+    let json = render_json(&scale_name, &ms);
+    match &out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(p, &json) {
+                eprintln!("sweep-bench: cannot write {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {p}");
+        }
+        None => print!("{json}"),
+    }
+
+    if let Some(p) = baseline_path {
+        match std::fs::read_to_string(&p) {
+            Ok(base) => {
+                let (drifted, regressed) = compare_to_baseline(&base, &ms);
+                println!(
+                    "baseline {p}: {drifted} result drift(s), {regressed} perf regression warning(s)"
+                );
+                if drifted > 0 {
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("sweep-bench: cannot read baseline {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

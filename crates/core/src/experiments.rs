@@ -492,7 +492,7 @@ pub fn e10_model_fidelity(scale: Scale) -> Table {
         FidelityReport::compare(&reference, &profile)
     });
     let mut table = Table::new(
-        "E10 — model fidelity against a reference trace (KS per marginal, EMD for runtime)",
+        "E10 — model fidelity against a reference trace (KS per marginal, EMD for runtime, chi2 for the joint size-runtime histogram)",
         &[
             "model",
             "KS interarrival",
@@ -501,6 +501,7 @@ pub fn e10_model_fidelity(scale: Scale) -> Table {
             "KS accuracy",
             "KS diurnal",
             "EMD runtime [s]",
+            "chi2 size-runtime",
             "mean KS",
         ],
     );
@@ -526,6 +527,7 @@ pub fn e10_model_fidelity(scale: Scale) -> Table {
             fmt(ks("accuracy")),
             fmt(ks("diurnal")),
             fmt(emd_runtime),
+            fmt(r.joint_size_runtime),
             fmt(r.mean_ks()),
         ]);
     }
@@ -636,17 +638,22 @@ mod tests {
     fn e10_ranks_the_reference_model_first() {
         let t = e10_model_fidelity(tiny());
         assert_eq!(t.rows.len(), 4); // the four rigid-job models
-        assert_eq!(t.headers.len(), 8);
-        let mean_ks = |row: &Vec<String>| row[7].parse::<f64>().unwrap();
+        assert_eq!(t.headers.len(), 9);
+        let mean_ks = |row: &Vec<String>| row[8].parse::<f64>().unwrap();
         let lublin = t.rows.iter().find(|r| r[0] == "lublin99").unwrap();
         for row in t.rows.iter().filter(|r| r[0] != "lublin99") {
             assert!(
                 mean_ks(lublin) <= mean_ks(row),
                 "lublin99 ({}) should score no worse than {} ({})",
-                lublin[7],
+                lublin[8],
                 row[0],
-                row[7],
+                row[8],
             );
+        }
+        // The joint size-runtime chi-square column stays in [0, 1].
+        for row in &t.rows {
+            let joint: f64 = row[7].parse().unwrap();
+            assert!((0.0..=1.0).contains(&joint), "{} joint = {joint}", row[0]);
         }
         // KS columns stay in [0, 1]
         for row in &t.rows {

@@ -51,6 +51,12 @@ impl Scheduler for AdaptivePartition {
         let target = self.target_allocation(ctx);
         let mut free = ctx.free_capacity();
         let mut out = Vec::new();
+        // Already candidate-bounded without the backlog index: moldable jobs
+        // always fit (their allocation is clamped to the free capacity) and a
+        // rigid job that does not fit stops the walk FCFS-style, so the cost
+        // per react is O(decisions), not O(backlog). The full-job iterator is
+        // required here — allocations depend on the speedup model, which the
+        // compact scheduling keys do not carry.
         for q in ctx.queue.iter() {
             if free < 1.0 - 1e-9 {
                 break;

@@ -44,41 +44,90 @@ impl Profile {
         free
     }
 
+    /// The most free capacity reachable at a start time the
+    /// [`Profile::earliest_start`] search would still treat as "now" — `from`
+    /// itself plus any breakpoint within the start/lookup tolerances. This is
+    /// the sound reachability bound behind conservative backfilling's early
+    /// exit: if even this is below one processor, no job can start now.
+    pub(crate) fn free_near(&self, from: f64) -> f64 {
+        let mut best = self.free_at(from);
+        // Steps are time-sorted: only the (from, from + 2e-9] window matters,
+        // so stop at the first breakpoint past it.
+        for &(t, f) in &self.steps {
+            if t > from + 2e-9 {
+                break;
+            }
+            if t > from {
+                best = best.max(f);
+            }
+        }
+        best
+    }
+
     /// Earliest time ≥ `from` at which `procs` processors are continuously free for
     /// `duration` seconds.
+    ///
+    /// The candidate starts are `from` and every breakpoint after it, in
+    /// order; a candidate is feasible when the capacity at it covers `procs`
+    /// and no breakpoint inside its window dips below. All three cursors
+    /// (candidate, capacity-at-candidate, next too-low breakpoint) move
+    /// monotonically with the candidate, so the search is a single O(steps)
+    /// pass — the seed implementation re-scanned the whole profile per
+    /// candidate, which made a deep-backlog conservative replan cubic.
     pub(crate) fn earliest_start(&self, from: f64, procs: f64, duration: f64) -> f64 {
-        let mut candidates: Vec<f64> = vec![from];
-        candidates.extend(self.steps.iter().map(|s| s.0).filter(|&t| t > from));
-        candidates.sort_by(|a, b| a.total_cmp(b));
-        'outer: for &start in &candidates {
-            // Check every breakpoint within [start, start+duration).
-            if self.free_at(start) + 1e-9 < procs {
-                continue;
+        // Breakpoints whose capacity cannot host `procs`, ascending.
+        let bad: Vec<f64> = self
+            .steps
+            .iter()
+            .filter(|s| s.1 + 1e-9 < procs)
+            .map(|s| s.0)
+            .collect();
+        let mut bi = 0usize; // first bad breakpoint past the candidate
+        let mut fi = 0usize; // last step at or before candidate (+ tolerance)
+        let mut si = 0usize; // next step to draw a candidate from
+        while si < self.steps.len() && self.steps[si].0 <= from {
+            si += 1;
+        }
+        let mut candidate = Some(from);
+        while let Some(start) = candidate {
+            while bi < bad.len() && bad[bi] <= start {
+                bi += 1;
             }
-            for &(t, f) in &self.steps {
-                if t > start && t < start + duration && f + 1e-9 < procs {
-                    continue 'outer;
-                }
+            while fi + 1 < self.steps.len() && self.steps[fi + 1].0 <= start + 1e-9 {
+                fi += 1;
             }
-            return start;
+            // Mirrors `free_at`: the first step's capacity applies even to
+            // instants before it (it is the "now" anchor).
+            let free = self.steps.get(fi).map(|s| s.1).unwrap_or(0.0);
+            if free + 1e-9 >= procs && !(bi < bad.len() && bad[bi] < start + duration) {
+                return start;
+            }
+            candidate = (si < self.steps.len()).then(|| {
+                let t = self.steps[si].0;
+                si += 1;
+                t
+            });
         }
         // The last breakpoint always has the whole (available) machine free.
         self.steps.last().map(|s| s.0).unwrap_or(from).max(from)
     }
 
     /// Reserve `procs` processors for `[start, start+duration)`, reducing the free
-    /// capacity in that window (inserting breakpoints as needed).
+    /// capacity in that window (inserting breakpoints as needed). O(steps):
+    /// the two new breakpoints are spliced at their sorted positions instead
+    /// of re-sorting the whole profile.
     pub(crate) fn reserve(&mut self, start: f64, duration: f64, procs: f64) {
         let end = start + duration;
         let free_at_start = self.free_at(start);
         let free_at_end = self.free_at(end);
         if !self.steps.iter().any(|s| (s.0 - start).abs() < 1e-9) {
-            self.steps.push((start, free_at_start));
+            let pos = self.steps.partition_point(|s| s.0 <= start);
+            self.steps.insert(pos, (start, free_at_start));
         }
         if !self.steps.iter().any(|s| (s.0 - end).abs() < 1e-9) {
-            self.steps.push((end, free_at_end));
+            let pos = self.steps.partition_point(|s| s.0 <= end);
+            self.steps.insert(pos, (end, free_at_end));
         }
-        self.steps.sort_by(|a, b| a.0.total_cmp(&b.0));
         for s in &mut self.steps {
             if s.0 + 1e-9 >= start && s.0 < end - 1e-9 {
                 s.1 -= procs;
@@ -94,28 +143,26 @@ impl Profile {
 ///
 /// # Incremental arrivals
 ///
-/// A full plan walks the whole backlog, which is O(queue) per react and turns
-/// quadratic on saturated archive-scale traces. But between two consecutive
-/// *arrival* consults nothing a full replan depends on can change: free
-/// capacity is untouched, the blocked head is still blocked, the running jobs'
-/// estimated completion times are fixed *absolute* instants
-/// (`started_at + estimate`), and every job that failed the backfill test
-/// before fails it again (the shadow test only gets harder as `now` advances,
-/// and the extra budget never grows). So after a full plan the scheduler
-/// caches the blocked head and the `(shadow, extra)` pair, and a pure-arrival
-/// react tests **only the arriving job** in O(1). Any other event — a
-/// completion, an outage, a kill, a backfill actually starting, or a running
-/// job outliving its estimate (which makes its estimated end drift) — falls
-/// back to a full replan that refreshes the cache.
+/// A full plan used to walk the whole backlog, which is O(queue) per react and
+/// turns quadratic on saturated archive-scale traces. Two mechanisms remove
+/// that: between two consecutive *arrival* consults nothing a full replan
+/// depends on can change — free capacity is untouched, the blocked head is
+/// still blocked, the running jobs' estimated completion times are fixed
+/// *absolute* instants (`started_at + estimate`), and every job that failed
+/// the backfill test before fails it again (the shadow test only gets harder
+/// as `now` advances, and the extra budget never grows) — so after a full plan
+/// the scheduler caches the blocked head and the `(shadow, extra)` pair, and a
+/// pure-arrival react tests **only the arriving job** in O(1). Any other event
+/// — a completion (single or batched), an outage, a kill, a backfill actually
+/// starting, or a running job outliving its estimate (which makes its
+/// estimated end drift) — falls back to a full replan; and the full replan's
+/// backfill phase consults the queue's **backlog index**
+/// ([`psbench_sim::JobQueue::candidates_fitting_either`]) so it examines only
+/// the jobs that can possibly fit the free capacity or the extra budget,
+/// instead of the entire backlog.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EasyBackfill {
     cache: Option<EasyCache>,
-    /// `(now, free, queue len, running len)` of the last full plan that emitted
-    /// no decision. When several jobs complete at the same instant the engine
-    /// consults once per job, but the first consult already saw all the freed
-    /// capacity; if the state is bit-identical to that planless plan, the
-    /// plan's (deterministic) result is too, so the scan is skipped.
-    idle_snapshot: Option<(f64, f64, usize, usize)>,
 }
 
 /// The state a pure-arrival react needs from the last full plan.
@@ -137,14 +184,14 @@ struct EasyCache {
 }
 
 impl EasyBackfill {
-    /// Full three-phase plan over the whole backlog; refreshes the cache.
+    /// Full three-phase plan; refreshes the cache. Phase 1 consumes the
+    /// fitting prefix of the arrival-ordered key array, phase 2 computes the
+    /// head's shadow from the completion profile, and phase 3 backfills from
+    /// the backlog index: only jobs narrow enough for the free capacity (with
+    /// an estimate inside the shadow budget) or for the extra processors are
+    /// ever examined, so the plan's cost scales with the viable candidates,
+    /// not the backlog depth.
     fn full_plan(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Decision> {
-        self.idle_snapshot = None;
-        // One streaming pass over the queue's compact scheduling keys (already
-        // in arrival order): phase 1 consumes the fitting prefix, phase 2
-        // computes the head's shadow from the completion profile, and phase 3
-        // continues the same iteration over the remaining jobs. No sort, no
-        // queue materialization, no full-job memory traffic.
         self.cache = None;
         let mut queue = ctx.queue.iter_keys();
         let mut out = Vec::new();
@@ -192,37 +239,57 @@ impl EasyBackfill {
         // either they finish (by estimate) before the shadow time, or they use
         // only the processors that will still be free when the head starts.
         //
-        // This scan is the hot loop of a saturated simulation, so the capacity
-        // comparisons are hoisted to integer floors: `procs` is integral, so
-        // `procs ≤ x + 1e-9  ⟺  procs ≤ ⌊x + 1e-9⌋` exactly, and the floors
-        // only change when a backfill actually starts.
+        // This phase is the hot loop of a saturated simulation. The backlog
+        // index enumerates, in arrival order, exactly the jobs behind the head
+        // that satisfy one of the two tests under the *initial* budgets; each
+        // candidate is then re-tested against the current (shrinking) budgets
+        // with the same expressions the exhaustive scan used, so the decision
+        // sequence is identical — the index only removes the jobs that could
+        // never pass. The capacity comparisons are hoisted to integer floors:
+        // `procs` is integral, so `procs ≤ x + 1e-9  ⟺  procs ≤ ⌊x + 1e-9⌋`
+        // exactly, and the floors only change when a backfill actually starts.
         let mut free_floor = (free + 1e-9).floor();
         let mut extra_floor = (extra + 1e-9).floor();
         let shadow_budget = shadow + 1e-9 - ctx.now; // estimate budget
                                                      // Phase-3 starts are not folded into `completions`, but their
                                                      // estimated ends still bound the cache's overdue horizon.
         let mut min_backfill_end = f64::INFINITY;
-        for q in queue {
-            // Every job needs ≥ 1 processor (a `SimJob` invariant), so once less
-            // than one is free nothing further down the queue can be backfilled.
-            if free_floor < 1.0 {
-                break;
-            }
-            let procs = q.procs as f64;
-            if procs > free_floor {
-                continue;
-            }
-            let fits_in_extra = procs <= extra_floor;
-            let ends_before_shadow = q.estimate <= shadow_budget;
-            if ends_before_shadow || fits_in_extra {
-                free -= procs;
-                free_floor = (free + 1e-9).floor();
-                if !ends_before_shadow {
-                    extra -= procs;
-                    extra_floor = (extra + 1e-9).floor();
+        if free_floor >= 1.0 {
+            let head_pos = ctx.queue.get(head.id).map(|h| (h.queued_at, h.job.id));
+            let wide = free_floor.min(u32::MAX as f64) as u32;
+            let narrow = extra_floor.min(free_floor).clamp(0.0, u32::MAX as f64) as u32;
+            let mut scan = ctx
+                .queue
+                .backfill_scan(wide, shadow_budget, narrow, head_pos);
+            while let Some(q) = scan.next() {
+                // Every job needs ≥ 1 processor (a `SimJob` invariant), so once
+                // less than one is free nothing further can be backfilled.
+                if free_floor < 1.0 {
+                    break;
                 }
-                min_backfill_end = min_backfill_end.min(ctx.now + q.estimate.max(1.0));
-                out.push(Decision::start(q.id));
+                let procs = q.procs as f64;
+                if procs > free_floor {
+                    continue;
+                }
+                let fits_in_extra = procs <= extra_floor;
+                let ends_before_shadow = q.estimate <= shadow_budget;
+                if ends_before_shadow || fits_in_extra {
+                    free -= procs;
+                    free_floor = (free + 1e-9).floor();
+                    if !ends_before_shadow {
+                        extra -= procs;
+                        extra_floor = (extra + 1e-9).floor();
+                    }
+                    min_backfill_end = min_backfill_end.min(ctx.now + q.estimate.max(1.0));
+                    out.push(Decision::start(q.id));
+                    // Tighten the scan to the new budgets: bucket streams that
+                    // can no longer produce a start are dropped, so the rest
+                    // of their backlog entries are never touched.
+                    scan.shrink(
+                        free_floor.clamp(0.0, u32::MAX as f64) as u32,
+                        extra_floor.min(free_floor).clamp(0.0, u32::MAX as f64) as u32,
+                    );
+                }
             }
         }
         self.cache = Some(EasyCache {
@@ -237,14 +304,6 @@ impl EasyBackfill {
                 .map_or(f64::INFINITY, |c| c.0)
                 .min(min_backfill_end),
         });
-        if out.is_empty() {
-            self.idle_snapshot = Some((
-                ctx.now,
-                ctx.free_capacity(),
-                ctx.queue.len(),
-                ctx.running.len(),
-            ));
-        }
         out
     }
 
@@ -272,7 +331,6 @@ impl EasyBackfill {
     /// happened.
     pub fn invalidate(&mut self) {
         self.cache = None;
-        self.idle_snapshot = None;
     }
 }
 
@@ -282,19 +340,6 @@ impl Scheduler for EasyBackfill {
     }
 
     fn react(&mut self, ctx: &SchedulerContext<'_>, event: SchedulerEvent) -> Vec<Decision> {
-        if matches!(event, SchedulerEvent::JobCompleted { .. })
-            && self.idle_snapshot
-                == Some((
-                    ctx.now,
-                    ctx.free_capacity(),
-                    ctx.queue.len(),
-                    ctx.running.len(),
-                ))
-        {
-            // Same instant, bit-identical state, and the plan for it already
-            // came back empty: replanning would produce the same nothing.
-            return Vec::new();
-        }
         if let SchedulerEvent::JobArrived { job_id } = event {
             if let Some(cache) = self.cache_valid(ctx) {
                 // O(1) path: only the arriving job can have become startable.
@@ -326,6 +371,16 @@ impl Scheduler for EasyBackfill {
 /// Conservative backfilling: every queued job gets a reservation in a profile of
 /// future free capacity; a job starts now only if its reservation is now, so no job
 /// is ever delayed by a later arrival (under exact estimates).
+///
+/// The profile is rebuilt per react and only `Start` decisions leave it, which
+/// yields two exact early exits for the saturated regime. Before building
+/// anything, the **backlog index** is consulted: a job can only start now if
+/// it fits the capacity free around `now`, so if no queued job is that narrow
+/// the whole react is a no-op — reservations of the unexamined jobs cannot
+/// change an empty output. And during the replan, once less than one
+/// processor remains startable around `now`, the rest of the backlog can only
+/// add reservations, so the scan stops. Both exits leave the emitted decision
+/// sequence identical to the exhaustive replan.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ConservativeBackfill;
 
@@ -336,14 +391,45 @@ impl Scheduler for ConservativeBackfill {
 
     fn react(&mut self, ctx: &SchedulerContext<'_>, _event: SchedulerEvent) -> Vec<Decision> {
         let mut profile = Profile::from_running(ctx);
+        // Index consult: the widest job that could possibly start now. Under
+        // saturation this is < 1 processor (or matches no queued job) and the
+        // react costs O(running), not O(backlog).
+        let startable = (profile.free_near(ctx.now) + 1e-9).floor();
+        if startable < 1.0 {
+            return Vec::new();
+        }
+        let cands: Vec<_> = ctx
+            .queue
+            .candidates_fitting(startable.min(u32::MAX as f64) as u32, f64::INFINITY)
+            .collect();
+        if cands.is_empty() {
+            return Vec::new();
+        }
+        // Narrowest candidate at or after each candidate position: once even
+        // that cannot fit the capacity still startable around `now` (which
+        // only shrinks as reservations land), no remaining job can start —
+        // the rest of the backlog would only add reservations, which cannot
+        // affect this react's output.
+        let mut suffix_min = vec![u32::MAX; cands.len() + 1];
+        for i in (0..cands.len()).rev() {
+            suffix_min[i] = cands[i].procs.min(suffix_min[i + 1]);
+        }
+        let mut ci = 0usize;
         let mut out = Vec::new();
         for q in ctx.queue.iter_keys() {
+            let startable_now = (profile.free_near(ctx.now) + 1e-9).floor();
+            if suffix_min[ci] as f64 > startable_now {
+                break;
+            }
             let procs = q.procs as f64;
             let duration = q.estimate.max(1.0);
             let start = profile.earliest_start(ctx.now, procs, duration);
             profile.reserve(start, duration, procs);
             if start <= ctx.now + 1e-9 {
                 out.push(Decision::start(q.id));
+            }
+            if ci < cands.len() && cands[ci].id == q.id {
+                ci += 1;
             }
         }
         out

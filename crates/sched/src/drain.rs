@@ -82,7 +82,9 @@ impl Scheduler for DrainingEasy {
             _ => {}
         }
         // Ask EASY what it would do, then veto starts that collide with an announced
-        // capacity drop or an advance reservation.
+        // capacity drop or an advance reservation. The inner planner consults
+        // the backlog index (and handles batched completion consults), so the
+        // wrapper's own cost is O(proposed decisions).
         let proposed = self.inner.react(ctx, event);
         let mut out = Vec::new();
         let mut vetoed = false;

@@ -89,6 +89,49 @@ impl GangScheduler {
         self.rows.retain(|row| !row.jobs.is_empty());
     }
 
+    /// Reconcile the matrix after a batched completion consult: drop every
+    /// entry whose job is neither running nor queued any more. The engine
+    /// coalesces same-instant completions into one `CompletionBatch` without
+    /// per-id notifications, so the matrix is diffed against the context
+    /// instead.
+    fn purge_departed(&mut self, ctx: &SchedulerContext<'_>) {
+        let running: std::collections::HashSet<u64> =
+            ctx.running.iter().map(|r| r.job.id).collect();
+        for row in &mut self.rows {
+            let mut removed = 0u32;
+            row.jobs.retain(|(id, procs)| {
+                let keep = running.contains(id) || ctx.queue.get(*id).is_some();
+                if !keep {
+                    removed += *procs;
+                }
+                keep
+            });
+            row.used -= removed;
+        }
+        self.rows.retain(|row| !row.jobs.is_empty());
+    }
+
+    /// Try to admit one queued job into the matrix, recording it in `to_start`
+    /// on success. Mirrors the packing rules: an existing row with space, else
+    /// a new row while the multiprogramming level allows, else the job waits.
+    fn try_admit(&mut self, id: u64, procs: u32, to_start: &mut Vec<(u64, u32)>) {
+        let procs = procs.min(self.machine).max(1);
+        match self.find_row(procs) {
+            Some(r) => {
+                self.push_to_row(r, id, procs);
+                to_start.push((id, procs));
+            }
+            None if self.rows.len() < self.max_rows => {
+                self.rows.push(Row {
+                    jobs: vec![(id, procs)],
+                    used: procs,
+                });
+                to_start.push((id, procs));
+            }
+            None => {} // matrix full: job waits in the queue
+        }
+    }
+
     /// Current number of rows (the multiprogramming level).
     pub fn rows(&self) -> usize {
         self.rows.len()
@@ -122,28 +165,54 @@ impl Scheduler for GangScheduler {
 
     fn react(&mut self, ctx: &SchedulerContext<'_>, event: SchedulerEvent) -> Vec<Decision> {
         // Keep the matrix consistent with what actually finished.
-        if let SchedulerEvent::JobCompleted { job_id } = event {
-            self.remove_job(job_id);
+        match event {
+            SchedulerEvent::JobCompleted { job_id } => self.remove_job(job_id),
+            SchedulerEvent::CompletionBatch { .. } => self.purge_departed(ctx),
+            _ => {}
         }
-        // Admit queued jobs into the matrix, in arrival order (the queue view
-        // is already sorted by `(queued_at, id)`).
+        // Admit queued jobs into the matrix, in arrival order. While the
+        // matrix can still open rows every job is admitted, so the plain
+        // arrival-order walk costs one step per admission; the moment it
+        // fills, only jobs at most as wide as the emptiest row's slack can
+        // enter, so the walk hands over to the backlog index — resuming at
+        // its own position — and touches exactly those candidates instead of
+        // the rest of the backlog.
         let mut to_start: Vec<(u64, u32)> = Vec::new();
-        for q in ctx.queue.iter_keys() {
-            let procs = q.procs.min(self.machine).max(1);
-            let row = self.find_row(procs);
-            match row {
-                Some(r) => {
-                    self.push_to_row(r, q.id, procs);
-                    to_start.push((q.id, procs));
+        let mut resume: Option<Option<(f64, u64)>> = None;
+        if self.rows.len() < self.max_rows {
+            for q in ctx.queue.iter() {
+                self.try_admit(q.job.id, q.job.procs, &mut to_start);
+                if self.rows.len() == self.max_rows {
+                    resume = Some(Some((q.queued_at, q.job.id)));
+                    break;
                 }
-                None if self.rows.len() < self.max_rows => {
-                    self.rows.push(Row {
-                        jobs: vec![(q.id, procs)],
-                        used: procs,
-                    });
-                    to_start.push((q.id, procs));
+            }
+        } else {
+            resume = Some(None);
+        }
+        if let Some(after) = resume {
+            let machine = self.machine;
+            let slack = |rows: &[Row]| {
+                rows.iter()
+                    .map(|row| machine - row.used.min(machine))
+                    .max()
+                    .unwrap_or(0)
+            };
+            let bound = slack(&self.rows);
+            if bound >= 1 {
+                // Stream lazily and tighten the bound as admissions fill the
+                // rows; admissions into a full matrix only reduce its slack,
+                // so a dropped (too-wide) bucket can never become admissible
+                // again within this react.
+                let mut scan = ctx.queue.backfill_scan(bound, f64::INFINITY, 0, after);
+                while let Some(q) = scan.next() {
+                    self.try_admit(q.id, q.procs, &mut to_start);
+                    let bound = slack(&self.rows);
+                    if bound < 1 {
+                        break;
+                    }
+                    scan.shrink(bound, 0);
                 }
-                None => {} // matrix full: job waits in the queue
             }
         }
         // Shrink shares of already-running jobs first (so capacity frees up), then

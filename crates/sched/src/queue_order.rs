@@ -103,9 +103,35 @@ impl Scheduler for SortedGreedy {
     }
 
     fn react(&mut self, ctx: &SchedulerContext<'_>, _event: SchedulerEvent) -> Vec<Decision> {
-        // The queue view is already in arrival order; only the other orderings
-        // need a sort (by their own key, which the engine cannot maintain).
-        let mut queue: Vec<_> = ctx.queue.iter_keys().collect();
+        // Free capacity only shrinks during the greedy pass, so no job wider
+        // than the free capacity at react time can start whatever the
+        // ordering: consult the backlog index for exactly the fitting
+        // candidates instead of materializing (and sorting) the whole backlog.
+        let mut free = ctx.free_capacity();
+        let free_floor = (free + 1e-9).floor();
+        if free_floor < 1.0 {
+            return Vec::new();
+        }
+        let wide = free_floor.min(u32::MAX as f64) as u32;
+        if self.order == Order::ArrivalOrder {
+            // Arrival order needs no sort, so stream the index lazily and
+            // tighten the width bound as starts consume capacity — the pass
+            // touches only the candidates it can still start.
+            let mut out = Vec::new();
+            let mut scan = ctx.queue.backfill_scan(wide, f64::INFINITY, 0, None);
+            while let Some(q) = scan.next() {
+                if free < 1.0 - 1e-9 {
+                    break;
+                }
+                if (q.procs as f64) <= free + 1e-9 {
+                    free -= q.procs as f64;
+                    out.push(Decision::start(q.id));
+                    scan.shrink((free + 1e-9).floor().max(0.0) as u32, 0);
+                }
+            }
+            return out;
+        }
+        let mut queue: Vec<_> = ctx.queue.candidates_fitting(wide, f64::INFINITY).collect();
         match self.order {
             Order::ShortestFirst => {
                 queue.sort_by(|a, b| a.estimate.total_cmp(&b.estimate).then(a.id.cmp(&b.id)))

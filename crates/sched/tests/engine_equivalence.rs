@@ -62,6 +62,26 @@ fn closed_loop_equivalence() {
 }
 
 #[test]
+fn saturated_closed_loop_equivalence() {
+    // The overloaded regime the backlog index exists for: submit times
+    // compressed 8×, so the machine saturates and the backlog grows deep —
+    // batched completion consults and index-driven replans are on the hot
+    // path for every policy, and must still match the reference engine bit
+    // for bit. Closed loop keeps dependency release in the mix.
+    let mut log = Lublin99::default().generate(900, 21);
+    for j in &mut log.jobs {
+        j.submit_time /= 8;
+    }
+    infer_dependencies(&mut log, &InferenceParams::default());
+    let jobs = SimJob::from_log(&log);
+    assert_equivalent(
+        SimConfig::new(MACHINE).closed_loop(),
+        &jobs,
+        "saturated closed loop",
+    );
+}
+
+#[test]
 fn outage_equivalence() {
     let log = Lublin99::default().generate(900, 99);
     let jobs = SimJob::from_log(&log);

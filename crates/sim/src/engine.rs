@@ -55,9 +55,16 @@
 //! validating and applying a decision is O(1) instead of a linear rescan.
 //! Integrals (busy, idle-while-queued, lost node-seconds) are advanced from the
 //! ledger in O(1) per event. The wait queue is a [`JobQueue`]: structurally
-//! ordered by `(queued_at, id)` with O(log n) insert/remove, so policies
-//! consume it in arrival order without sorting — head-of-queue policies do
-//! sublinear work per react even when thousands of jobs are waiting.
+//! ordered by `(queued_at, id)` with O(log n) insert/remove and a secondary
+//! **backlog index** over `(procs, estimate)`, so policies consume it in
+//! arrival order without sorting — head-of-queue policies do sublinear work
+//! per react, and backfilling replans enumerate only the jobs that can
+//! possibly fit the freed capacity even when thousands are waiting.
+//! Completions are consulted in **batches**: every job due at one instant is
+//! finished before the scheduler reacts once (a single
+//! [`SchedulerEvent::JobCompleted`], or one
+//! [`SchedulerEvent::CompletionBatch`] for a simultaneous group), so a mass
+//! completion costs one replan instead of one per job.
 //!
 //! ## The reference engine
 //!
@@ -769,10 +776,22 @@ impl Simulation {
             };
             self.advance_to(t);
 
-            // Completions first (they free capacity for decisions triggered below).
+            // Completions first (they free capacity for decisions triggered
+            // below). All completions due at this instant are collected before
+            // the scheduler sees any of them, so the consult is batched: one
+            // `JobCompleted` for a lone completion, one `CompletionBatch` for
+            // a simultaneous group — a mass completion under saturation costs
+            // a single replan instead of N.
             let completed = self.collect_completions();
-            for id in completed {
-                self.consult(scheduler, SchedulerEvent::JobCompleted { job_id: id });
+            match completed.as_slice() {
+                [] => {}
+                [job_id] => {
+                    self.consult(scheduler, SchedulerEvent::JobCompleted { job_id: *job_id })
+                }
+                batch => self.consult(
+                    scheduler,
+                    SchedulerEvent::CompletionBatch { count: batch.len() },
+                ),
             }
 
             // External events due now.

@@ -15,14 +15,64 @@
 //!   id→slot map (slots never shift), with the dead prefix skipped eagerly and
 //!   the whole vector compacted amortized-O(1) once tombstones outnumber live
 //!   jobs;
-//! * **requeues re-insert**: an outage kill or preemption puts a job back at
-//!   its original `(queued_at, id)` position — the rare O(n) path;
+//! * **out-of-order pushes walk back from the tail**: same-instant arrivals
+//!   whose ids land out of order (closed-loop dependency releases) insert a
+//!   few slots from the end at O(cluster) cost, and a genuine requeue (outage
+//!   kill, preemption) pays O(distance) to return to its original
+//!   `(queued_at, id)` position — only the shifted suffix is touched, never
+//!   the whole vector;
 //! * **iteration is a contiguous scan** over the slot vector, skipping
 //!   tombstones: policies consume the queue in sorted order at slice speed, no
 //!   sort, no per-react allocation, and head-of-queue policies can stop early.
+//!
+//! # The backlog index
+//!
+//! Arrival-ordered iteration alone still leaves backfilling super-linear under
+//! saturation: every completion-time replan walks the whole backlog even
+//! though almost nothing in a deep queue can fit the freed capacity. The queue
+//! therefore also maintains a **secondary index over the scheduling keys**:
+//! one **treap per requested-`procs` value**, keyed by the arrival pair
+//! `(queued_at, id)` and augmented with the **minimum estimate of every
+//! subtree**, kept incrementally consistent with the arrival-ordered array by
+//! every mutation (push/tombstone/requeue; compaction never touches it, the
+//! index is keyed by job values, not slot positions). The augmentation is the
+//! load-bearing part: "the next job of this width, in arrival order, whose
+//! estimate fits a budget" is a single O(log n) descent — the estimate-
+//! unfitting entries in between are pruned wholesale, never visited.
+//!
+//! [`JobQueue::candidates_fitting`] consults the index to enumerate, **in
+//! arrival order**, exactly the queued jobs that can possibly fit a
+//! capacity/estimate budget, and [`JobQueue::backfill_scan`] streams the same
+//! candidates lazily with mid-scan bound tightening, so a replan's cost
+//! scales with the *viable candidates actually reached* — O(widths × log
+//! backlog) plus the yields — instead of the backlog depth.
+//!
+//! ## Index invariants
+//!
+//! * Every live queue entry appears in exactly one bucket treap — that of its
+//!   requested `procs` — as `(queued_at bits, id, estimate bits)`, where
+//!   "bits" is a [`f64::total_cmp`]-compatible unsigned encoding;
+//!   tombstoned entries appear in no treap.
+//! * Buckets are never empty: the last removal from a bucket removes the
+//!   bucket itself, so a candidates query touches only `procs` values that
+//!   are actually present in the backlog.
+//! * Treaps are keyed by `(queued_at bits, id)` — the order of
+//!   [`JobQueue::iter`] — so in-order traversal is arrival order and bucket
+//!   streams merge into
+//!   global arrival order without sorting; every node's `min_est` equals the
+//!   exact minimum estimate bits of its subtree (checked, together with the
+//!   heap property, by the debug invariants).
+//! * Estimate bounds compare by **total order** (`total_cmp`), which agrees
+//!   with `<=` for every pair of non-NaN estimates except the irrelevant
+//!   `0.0 == -0.0` corner; callers that must reproduce an exact `<=`
+//!   comparison (EASY's shadow test) re-test gathered candidates and rely on
+//!   the index only never to *miss* a viable one.
+//! * Treap priorities are a deterministic hash of the entry key, so tree
+//!   shape (irrelevant to results, which depend only on the key order) is
+//!   reproducible run to run.
 
 use crate::job::QueuedJob;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 /// The compact per-job scheduling key carried alongside each queue slot: the
 /// fields every queue-scanning policy (FCFS, backfilling, gang admission)
@@ -69,8 +119,369 @@ fn order_bits(t: f64) -> u64 {
     }
 }
 
+/// Exact inverse of [`order_bits`].
+fn unorder_bits(b: u64) -> f64 {
+    if b >> 63 == 1 {
+        f64::from_bits(b & !(1 << 63))
+    } else {
+        f64::from_bits(!b)
+    }
+}
+
 fn key_of(q: &QueuedJob) -> (u64, u64) {
     (order_bits(q.queued_at), q.job.id)
+}
+
+/// One backlog-index entry: `(queued_at bits, id, estimate bits)`. Arrival
+/// key first, so every bucket iterates in arrival order and bucket streams
+/// merge lazily without a sort; the estimate rides along for budget tests.
+type IndexEntry = (u64, u64, u64);
+
+/// A [`BackfillScan`] heap entry: an [`IndexEntry`] plus the bucket's `procs`
+/// and its stream slot, min-ordered by the arrival key.
+type ScanEntry = std::cmp::Reverse<(u64, u64, u64, u32, usize)>;
+
+fn index_entry(q: &QueuedJob) -> IndexEntry {
+    (
+        order_bits(q.queued_at),
+        q.job.id,
+        order_bits(q.job.estimate),
+    )
+}
+
+/// Deterministic mixer for treap priorities (splitmix64 finalizer). Seeded
+/// from the entry's own key, so the tree shape — while irrelevant to any
+/// result — is reproducible run to run.
+fn prio_of(arr: u64, id: u64) -> u64 {
+    let mut z = arr ^ id.rotate_left(32) ^ 0x9e37_79b9_7f4a_7c15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Sentinel "no node" arena slot.
+const NIL: u32 = u32::MAX;
+
+/// One node of a bucket treap: keyed by the arrival pair `(arr, id)`, heap
+/// ordered by `prio`, augmented with the minimum estimate bits of its subtree.
+#[derive(Debug, Clone, Copy)]
+struct TreapNode {
+    arr: u64,
+    id: u64,
+    est: u64,
+    /// min(est) over this node's whole subtree.
+    min_est: u64,
+    prio: u64,
+    left: u32,
+    right: u32,
+}
+
+/// Arena storage shared by all bucket treaps, with a free list so backlog
+/// churn reuses slots instead of reallocating.
+#[derive(Debug, Clone, Default)]
+struct Arena {
+    nodes: Vec<TreapNode>,
+    free: Vec<u32>,
+}
+
+impl Arena {
+    fn alloc(&mut self, (arr, id, est): IndexEntry) -> u32 {
+        let node = TreapNode {
+            arr,
+            id,
+            est,
+            min_est: est,
+            prio: prio_of(arr, id),
+            left: NIL,
+            right: NIL,
+        };
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    fn key(&self, t: u32) -> (u64, u64) {
+        let n = &self.nodes[t as usize];
+        (n.arr, n.id)
+    }
+
+    /// Recompute a node's subtree minimum from its children.
+    fn pull(&mut self, t: u32) {
+        let (l, r) = {
+            let n = &self.nodes[t as usize];
+            (n.left, n.right)
+        };
+        let mut m = self.nodes[t as usize].est;
+        if l != NIL {
+            m = m.min(self.nodes[l as usize].min_est);
+        }
+        if r != NIL {
+            m = m.min(self.nodes[r as usize].min_est);
+        }
+        self.nodes[t as usize].min_est = m;
+    }
+
+    /// Split into `(keys < key, keys >= key)`.
+    fn split_lt(&mut self, t: u32, key: (u64, u64)) -> (u32, u32) {
+        if t == NIL {
+            return (NIL, NIL);
+        }
+        if self.key(t) < key {
+            let (a, b) = self.split_lt(self.nodes[t as usize].right, key);
+            self.nodes[t as usize].right = a;
+            self.pull(t);
+            (t, b)
+        } else {
+            let (a, b) = self.split_lt(self.nodes[t as usize].left, key);
+            self.nodes[t as usize].left = b;
+            self.pull(t);
+            (a, t)
+        }
+    }
+
+    /// Merge two treaps where every key of `a` precedes every key of `b`.
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a as usize].prio >= self.nodes[b as usize].prio {
+            let m = self.merge(self.nodes[a as usize].right, b);
+            self.nodes[a as usize].right = m;
+            self.pull(a);
+            a
+        } else {
+            let m = self.merge(a, self.nodes[b as usize].left);
+            self.nodes[b as usize].left = m;
+            self.pull(b);
+            b
+        }
+    }
+
+    /// Insert an entry (keys are unique) and return the new root.
+    fn insert(&mut self, root: u32, entry: IndexEntry) -> u32 {
+        let n = self.alloc(entry);
+        let key = (entry.0, entry.1);
+        let (l, r) = self.split_lt(root, key);
+        let lr = self.merge(l, n);
+        self.merge(lr, r)
+    }
+
+    /// Remove the entry with the given arrival key and return the new root.
+    fn remove(&mut self, root: u32, key: (u64, u64)) -> u32 {
+        if root == NIL {
+            return NIL;
+        }
+        if self.key(root) == key {
+            let (l, r) = {
+                let n = &self.nodes[root as usize];
+                (n.left, n.right)
+            };
+            self.free.push(root);
+            return self.merge(l, r);
+        }
+        if key < self.key(root) {
+            let nl = self.remove(self.nodes[root as usize].left, key);
+            self.nodes[root as usize].left = nl;
+        } else {
+            let nr = self.remove(self.nodes[root as usize].right, key);
+            self.nodes[root as usize].right = nr;
+        }
+        self.pull(root);
+        root
+    }
+
+    /// The first entry in arrival order with key strictly greater than
+    /// `after` (if given) and estimate bits at most `bound`. The `min_est`
+    /// augmentation prunes subtrees with nothing inside the budget, so the
+    /// query is O(depth) — this is what lets a backfill replan step through
+    /// only viable candidates no matter how deep the backlog is.
+    fn first_fitting(&self, t: u32, after: Option<(u64, u64)>, bound: u64) -> Option<IndexEntry> {
+        if t == NIL || self.nodes[t as usize].min_est > bound {
+            return None;
+        }
+        let n = self.nodes[t as usize];
+        if after.is_some_and(|a| (n.arr, n.id) <= a) {
+            // This node and its whole left subtree are at or before `after`.
+            return self.first_fitting(n.right, after, bound);
+        }
+        if let Some(hit) = self.first_fitting(n.left, after, bound) {
+            return Some(hit);
+        }
+        if n.est <= bound {
+            return Some((n.arr, n.id, n.est));
+        }
+        self.first_fitting(n.right, after, bound)
+    }
+
+    /// In-order traversal of the entries after `after` with estimate bits at
+    /// most `bound`, appending to `out`.
+    fn gather(&self, t: u32, after: Option<(u64, u64)>, bound: u64, out: &mut Vec<IndexEntry>) {
+        if t == NIL || self.nodes[t as usize].min_est > bound {
+            return;
+        }
+        let n = self.nodes[t as usize];
+        if after.is_some_and(|a| (n.arr, n.id) <= a) {
+            return self.gather(n.right, after, bound, out);
+        }
+        self.gather(n.left, after, bound, out);
+        if n.est <= bound {
+            out.push((n.arr, n.id, n.est));
+        }
+        self.gather(n.right, after, bound, out);
+    }
+
+    /// Number of nodes in the subtree (debug helper; O(n)).
+    #[cfg(debug_assertions)]
+    fn count(&self, t: u32) -> usize {
+        if t == NIL {
+            return 0;
+        }
+        let n = &self.nodes[t as usize];
+        1 + self.count(n.left) + self.count(n.right)
+    }
+
+    /// Verify every node's `min_est` equals the true subtree minimum and the
+    /// heap property holds (debug helper; O(n)).
+    #[cfg(debug_assertions)]
+    fn check_min_est(&self, t: u32) -> u64 {
+        if t == NIL {
+            return u64::MAX;
+        }
+        let n = &self.nodes[t as usize];
+        for c in [n.left, n.right] {
+            if c != NIL {
+                debug_assert!(
+                    self.nodes[c as usize].prio <= n.prio,
+                    "treap heap property violated"
+                );
+            }
+        }
+        let want = n
+            .est
+            .min(self.check_min_est(n.left))
+            .min(self.check_min_est(n.right));
+        debug_assert_eq!(n.min_est, want, "min_est pull-up drifted");
+        want
+    }
+}
+
+/// Arrival-ordered candidate keys gathered from the backlog index by
+/// [`JobQueue::candidates_fitting`] / [`JobQueue::candidates_fitting_either`].
+///
+/// The iterator owns its (already sorted) candidate set, so consumers may
+/// mutate nothing and still re-test each key against whatever *dynamic* bounds
+/// they maintain while starting jobs — the index guarantees only that no key
+/// satisfying the bounds given at query time is missing. For the hot loops
+/// that stop early, prefer the lazy [`JobQueue::backfill_scan`].
+#[derive(Debug)]
+pub struct Candidates {
+    items: std::vec::IntoIter<QueueKey>,
+}
+
+impl Iterator for Candidates {
+    type Item = QueueKey;
+
+    fn next(&mut self) -> Option<QueueKey> {
+        self.items.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.items.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Candidates {}
+
+/// The lazy arrival-ordered backlog scan behind [`JobQueue::backfill_scan`].
+///
+/// A k-way merge with one cursor per `procs` bucket, where a cursor step is a
+/// treap successor query under the bucket's *current* estimate bound: a
+/// narrow bucket (`procs <= narrow`) steps through everything, a wide-only
+/// bucket steps directly from one estimate-fitting entry to the next — the
+/// estimate-unfitting entries in between are pruned by the `min_est`
+/// augmentation and never touched. [`BackfillScan::shrink`] tightens the
+/// bounds mid-scan: buckets that fall out of both bounds are dropped, and a
+/// bucket that falls out of the narrow bound starts applying the estimate
+/// budget from its very next refill. Together this keeps a saturated replan's
+/// cost at O(buckets x log backlog) plus the candidates actually yielded,
+/// independent of the backlog depth.
+#[derive(Debug)]
+pub struct BackfillScan<'a> {
+    arena: &'a Arena,
+    /// The treap root of each contributing bucket (the bucket's `procs`
+    /// travels in the heap entries).
+    streams: Vec<u32>,
+    /// Min-heap over `(queued_at bits, id, estimate bits, procs, stream)`.
+    heap: BinaryHeap<ScanEntry>,
+    wide: u32,
+    narrow: u32,
+    /// `order_bits` of the estimate budget; `None` means unbounded.
+    est_bound: Option<u64>,
+}
+
+impl BackfillScan<'_> {
+    /// Tighten the capacity bounds. Bounds may only shrink (a wider bound is
+    /// ignored): the scan never revisits entries, so widening cannot be
+    /// honoured.
+    pub fn shrink(&mut self, wide: u32, narrow: u32) {
+        self.wide = self.wide.min(wide);
+        self.narrow = self.narrow.min(narrow);
+    }
+
+    /// The estimate-bits bound a bucket of width `procs` is currently subject
+    /// to: unbounded while inside the narrow bound, the budget outside it.
+    fn bound_for(&self, procs: u32) -> u64 {
+        if procs <= self.narrow {
+            u64::MAX
+        } else {
+            self.est_bound.unwrap_or(u64::MAX)
+        }
+    }
+
+    /// The next candidate under the current bounds, in arrival order.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<QueueKey> {
+        while let Some(std::cmp::Reverse((arr, id, est, procs, si))) = self.heap.pop() {
+            if procs > self.wide && procs > self.narrow {
+                // The whole bucket is out of both bounds now; bounds only
+                // shrink, so its remaining entries can never qualify.
+                continue;
+            }
+            // Refill under the bucket's *current* estimate bound, so a bucket
+            // that left the narrow bound steps straight to its next
+            // estimate-fitting entry.
+            let root = self.streams[si];
+            if let Some((narr, nid, nest)) =
+                self.arena
+                    .first_fitting(root, Some((arr, id)), self.bound_for(procs))
+            {
+                self.heap
+                    .push(std::cmp::Reverse((narr, nid, nest, procs, si)));
+            }
+            // The in-hand entry was queried under a (possibly) looser bound:
+            // re-test it against the current one.
+            if est > self.bound_for(procs) {
+                continue;
+            }
+            let _ = arr;
+            return Some(QueueKey {
+                id,
+                estimate: unorder_bits(est),
+                procs,
+            });
+        }
+        None
+    }
 }
 
 /// The wait queue, iterated in `(queued_at, job id)` order.
@@ -83,6 +494,13 @@ pub struct JobQueue {
     keys: Vec<QueueKey>,
     /// Job id → slot position (stable until a compaction).
     index: HashMap<u64, usize>,
+    /// The backlog index: per-`procs` bucket treaps (roots into `arena`),
+    /// one entry per live job, keyed by arrival order and augmented with
+    /// subtree minimum estimates (see the module docs for the invariants).
+    /// Keyed by job values only, so slot compaction never has to touch it.
+    by_procs: BTreeMap<u32, u32>,
+    /// Node storage shared by all bucket treaps.
+    arena: Arena,
     /// First slot that may be live (everything before it is dead).
     head: usize,
     /// Largest key ever appended; new keys above it may use the O(1) tail path.
@@ -124,10 +542,137 @@ impl JobQueue {
         self.index.get(&id).and_then(|&i| self.slots[i].as_ref())
     }
 
-    /// Insert a job (ids must be unique within the queue). O(1) for keys in
-    /// arrival order (the overwhelmingly common case); a requeue below the
-    /// high-water key pays a compacting sorted insert.
+    /// The queued jobs that *can possibly fit* a capacity/estimate budget:
+    /// every key with `procs <= max_procs` whose estimate is at most
+    /// `max_estimate` (by total order; pass `f64::INFINITY` for "any
+    /// estimate"), in the same `(queued_at, id)` arrival order as
+    /// [`Self::iter`].
+    ///
+    /// Consulting the backlog index costs O(buckets ≤ `max_procs`) to gather
+    /// plus O(c log c) to restore arrival order over the `c` candidates —
+    /// independent of the backlog depth, which is what keeps backfilling
+    /// replans sub-linear under saturation.
+    pub fn candidates_fitting(&self, max_procs: u32, max_estimate: f64) -> Candidates {
+        self.gather_candidates(max_procs, max_estimate, 0, None)
+    }
+
+    /// The union of two candidate budgets, in arrival order: keys with
+    /// `procs <= narrow_procs` (any estimate) together with keys with
+    /// `procs <= wide_procs` and estimate at most `wide_max_estimate`. Keys at
+    /// or before the exclusive `(queued_at, id)` position `after` are skipped
+    /// — the "rest of the queue behind the blocked head" shape of an EASY
+    /// replan, where short jobs may use all free processors but long ones only
+    /// the `narrow` share left over at the head's reservation.
+    pub fn candidates_fitting_either(
+        &self,
+        wide_procs: u32,
+        wide_max_estimate: f64,
+        narrow_procs: u32,
+        after: Option<(f64, u64)>,
+    ) -> Candidates {
+        self.gather_candidates(wide_procs, wide_max_estimate, narrow_procs, after)
+    }
+
+    fn gather_candidates(
+        &self,
+        wide_procs: u32,
+        wide_max_estimate: f64,
+        narrow_procs: u32,
+        after: Option<(f64, u64)>,
+    ) -> Candidates {
+        let after_key = after.map(|(t, id)| (order_bits(t), id));
+        // `total_cmp(est, bound) <= 0` as a bit comparison; a +inf (or NaN)
+        // bound means "everything", including NaN estimates that sort above
+        // +inf in total order.
+        let est_bound = wide_max_estimate
+            .is_finite()
+            .then(|| order_bits(wide_max_estimate));
+        let mut items: Vec<(u64, u64, QueueKey)> = Vec::new();
+        let mut entries = Vec::new();
+        for (&procs, &root) in self.by_procs.range(..=wide_procs.max(narrow_procs)) {
+            // A narrow bucket (or any bucket under an unbounded estimate)
+            // contributes whole; a wide-only bucket contributes only its
+            // estimate-budget members.
+            let bound = match est_bound {
+                Some(b) if procs > narrow_procs => b,
+                _ => u64::MAX,
+            };
+            entries.clear();
+            self.arena.gather(root, after_key, bound, &mut entries);
+            for &(arr, id, est) in &entries {
+                let key = QueueKey {
+                    id,
+                    estimate: unorder_bits(est),
+                    procs,
+                };
+                items.push((arr, id, key));
+            }
+        }
+        items.sort_unstable_by_key(|&(arr, id, _)| (arr, id));
+        let keys: Vec<QueueKey> = items.into_iter().map(|(_, _, k)| k).collect();
+        Candidates {
+            items: keys.into_iter(),
+        }
+    }
+
+    /// A **lazy** arrival-ordered merge over the backlog index's bucket
+    /// streams, for the backfilling hot loop: candidates with
+    /// `procs <= narrow` (any estimate) or `procs <= wide` and estimate at
+    /// most `wide_max_estimate` (by total order), after the exclusive
+    /// `(queued_at, id)` position `after`.
+    ///
+    /// Unlike [`Self::candidates_fitting_either`], nothing is collected up
+    /// front: the consumer pulls candidates one at a time and may tighten the
+    /// capacity bounds with [`BackfillScan::shrink`] as it commits
+    /// processors, which drops the bucket streams that can no longer produce
+    /// a viable job. A saturated replan that starts only a few jobs therefore
+    /// touches only a few index entries per width, not the whole backlog.
+    pub fn backfill_scan(
+        &self,
+        wide_procs: u32,
+        wide_max_estimate: f64,
+        narrow_procs: u32,
+        after: Option<(f64, u64)>,
+    ) -> BackfillScan<'_> {
+        let after_key = after.map(|(t, id)| (order_bits(t), id));
+        let est_bound = wide_max_estimate
+            .is_finite()
+            .then(|| order_bits(wide_max_estimate));
+        let mut streams = Vec::new();
+        let mut heap = BinaryHeap::new();
+        for (&procs, &root) in self.by_procs.range(..=wide_procs.max(narrow_procs)) {
+            // A bucket inside the narrow bound streams whole; a wide-only
+            // bucket streams only its estimate-budget subset — in both cases
+            // one treap query per step, never a materialized list.
+            let bound = match est_bound {
+                Some(b) if procs > narrow_procs => b,
+                _ => u64::MAX,
+            };
+            if let Some((arr, id, est)) = self.arena.first_fitting(root, after_key, bound) {
+                let si = streams.len();
+                heap.push(std::cmp::Reverse((arr, id, est, procs, si)));
+                streams.push(root);
+            }
+        }
+        BackfillScan {
+            arena: &self.arena,
+            streams,
+            heap,
+            wide: wide_procs,
+            narrow: narrow_procs,
+            est_bound,
+        }
+    }
+
+    /// Insert a job (ids must be unique within the queue). O(log n): amortized
+    /// O(1) slot append for keys in arrival order (the overwhelmingly common
+    /// case) plus the backlog-index insert; a requeue below the high-water key
+    /// pays a compacting sorted insert.
     pub(crate) fn push(&mut self, q: QueuedJob) {
+        let procs = q.job.procs;
+        let root = self.by_procs.get(&procs).copied().unwrap_or(NIL);
+        let root = self.arena.insert(root, index_entry(&q));
+        self.by_procs.insert(procs, root);
         let key = key_of(&q);
         if self.max_key.is_none_or(|m| key > m) {
             self.max_key = Some(key);
@@ -139,10 +684,23 @@ impl JobQueue {
         }
     }
 
-    /// Remove a job by id. O(1) amortized (tombstone plus occasional compaction).
+    /// Remove a job by id. O(log n) amortized (tombstone plus backlog-index
+    /// removal plus occasional compaction).
     pub(crate) fn remove(&mut self, id: u64) -> Option<QueuedJob> {
         let i = self.index.remove(&id)?;
         let q = self.slots[i].take();
+        if let Some(job) = &q {
+            let procs = job.job.procs;
+            if let Some(&root) = self.by_procs.get(&procs) {
+                let (arr, jid, _) = index_entry(job);
+                let root = self.arena.remove(root, (arr, jid));
+                if root == NIL {
+                    self.by_procs.remove(&procs);
+                } else {
+                    self.by_procs.insert(procs, root);
+                }
+            }
+        }
         self.keys[i] = QueueKey::TOMBSTONE;
         while self.head < self.slots.len() && self.slots[self.head].is_none() {
             self.head += 1;
@@ -167,23 +725,35 @@ impl JobQueue {
         }
     }
 
-    /// The rare path: place a requeued job back at its sorted position.
+    /// The out-of-order path: place a job below the high-water key at its
+    /// sorted position. Walks back from the tail, so the cost is the distance
+    /// to the insertion point — O(cluster) for the common case (same-instant
+    /// closed-loop releases whose ids arrive out of order land within a few
+    /// slots of the end), O(n) only for a genuine deep requeue (outage kill /
+    /// preemption putting a job back near its original position). Only the
+    /// shifted suffix has its id→slot entries fixed up; the seed
+    /// implementation densified the whole vector and rebuilt the entire map
+    /// per insert, which turned saturated closed-loop runs quadratic.
     fn insert_sorted(&mut self, q: QueuedJob, key: (u64, u64)) {
-        // Densify first (binary search needs hole-free slots), but skip
-        // compact(): its index rebuild would be thrown away below anyway.
-        self.slots.retain(Option::is_some);
-        self.keys.retain(|k| k.procs != 0);
-        self.head = 0;
-        let pos = self
-            .slots
-            .partition_point(|s| key_of(s.as_ref().expect("densified")) < key);
-        self.keys.insert(pos, QueueKey::of(&q));
-        self.slots.insert(pos, Some(q));
-        self.index.clear();
-        for (i, s) in self.slots.iter().enumerate() {
-            self.index
-                .insert(s.as_ref().expect("just inserted").job.id, i);
+        let mut pos = self.slots.len();
+        while pos > self.head {
+            match &self.slots[pos - 1] {
+                Some(j) if key_of(j) > key => pos -= 1,
+                Some(_) => break,
+                // Dead slots carry no order; passing them only means they end
+                // up after the new entry, which cannot disturb the live order.
+                None => pos -= 1,
+            }
         }
+        self.keys.insert(pos, QueueKey::of(&q));
+        let id = q.job.id;
+        self.slots.insert(pos, Some(q));
+        for i in pos + 1..self.slots.len() {
+            if let Some(j) = &self.slots[i] {
+                self.index.insert(j.job.id, i);
+            }
+        }
+        self.index.insert(id, pos);
     }
 
     #[cfg(debug_assertions)]
@@ -203,6 +773,47 @@ impl JobQueue {
                 s.as_ref().map(QueueKey::of).unwrap_or(QueueKey::TOMBSTONE),
                 *k,
                 "keys out of sync with slots"
+            );
+        }
+        // Backlog-index invariants: one treap entry per live job in its
+        // procs bucket, no stale entries, no empty buckets, exact min_est
+        // pull-ups, arrival-sorted in-order traversal.
+        let indexed: usize = self
+            .by_procs
+            .values()
+            .map(|&root| self.arena.count(root))
+            .sum();
+        debug_assert_eq!(indexed, self.index.len(), "backlog index size drifted");
+        debug_assert!(
+            self.by_procs.values().all(|&root| root != NIL),
+            "empty backlog-index bucket retained"
+        );
+        for (&procs, &root) in &self.by_procs {
+            let mut entries = Vec::new();
+            self.arena.gather(root, None, u64::MAX, &mut entries);
+            debug_assert!(
+                entries
+                    .windows(2)
+                    .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+                "bucket {procs} treap out of arrival order"
+            );
+            let min = entries.iter().map(|e| e.2).min().unwrap_or(u64::MAX);
+            debug_assert_eq!(
+                self.arena.nodes[root as usize].min_est, min,
+                "bucket {procs} min_est drifted"
+            );
+            self.arena.check_min_est(root);
+        }
+        for q in self.iter() {
+            let (arr, jid, est) = index_entry(q);
+            debug_assert!(
+                self.by_procs.get(&q.job.procs).is_some_and(|&root| {
+                    let mut hits = Vec::new();
+                    self.arena.gather(root, None, u64::MAX, &mut hits);
+                    hits.contains(&(arr, jid, est))
+                }),
+                "job {} missing from the backlog index",
+                q.job.id
             );
         }
     }
@@ -293,6 +904,168 @@ mod tests {
                     a.total_cmp(&b),
                     "{a} vs {b}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn order_bits_round_trips() {
+        for v in [0.0, -0.0, 1.5, -2.25, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(unorder_bits(order_bits(v)).to_bits(), v.to_bits());
+        }
+        let nan_bits = unorder_bits(order_bits(f64::NAN));
+        assert!(nan_bits.is_nan());
+    }
+
+    fn queued_with(id: u64, queued_at: f64, procs: u32, estimate: f64) -> QueuedJob {
+        QueuedJob {
+            job: SimJob::rigid(id, queued_at, 100.0, procs).with_estimate(estimate),
+            queued_at,
+            restarts: 0,
+            first_started_at: None,
+        }
+    }
+
+    #[test]
+    fn candidates_fitting_prunes_by_procs_and_estimate() {
+        let mut q = JobQueue::new();
+        q.push(queued_with(1, 0.0, 4, 50.0));
+        q.push(queued_with(2, 1.0, 16, 10.0));
+        q.push(queued_with(3, 2.0, 4, 500.0));
+        q.push(queued_with(4, 3.0, 32, 10.0));
+        q.push(queued_with(5, 4.0, 1, 1000.0));
+        // Capacity only: everything at or under 16 procs, arrival order.
+        let got: Vec<u64> = q
+            .candidates_fitting(16, f64::INFINITY)
+            .map(|k| k.id)
+            .collect();
+        assert_eq!(got, vec![1, 2, 3, 5]);
+        // Capacity + estimate budget.
+        let got: Vec<u64> = q.candidates_fitting(16, 50.0).map(|k| k.id).collect();
+        assert_eq!(got, vec![1, 2]);
+        // Keys carry the exact estimate and procs back out of the index.
+        let keys: Vec<QueueKey> = q.candidates_fitting(4, f64::INFINITY).collect();
+        assert_eq!(keys[0].estimate, 50.0);
+        assert_eq!(keys[2].procs, 1);
+    }
+
+    #[test]
+    fn candidates_fitting_either_unions_and_skips_prefix() {
+        let mut q = JobQueue::new();
+        q.push(queued_with(1, 0.0, 2, 999.0)); // narrow, long
+        q.push(queued_with(2, 1.0, 8, 20.0)); // wide, short
+        q.push(queued_with(3, 2.0, 8, 999.0)); // wide, long: excluded
+        q.push(queued_with(4, 3.0, 2, 5.0)); // narrow and short
+        let got: Vec<u64> = q
+            .candidates_fitting_either(8, 50.0, 2, None)
+            .map(|k| k.id)
+            .collect();
+        assert_eq!(got, vec![1, 2, 4]);
+        // Skip everything at or before job 2's arrival position.
+        let got: Vec<u64> = q
+            .candidates_fitting_either(8, 50.0, 2, Some((1.0, 2)))
+            .map(|k| k.id)
+            .collect();
+        assert_eq!(got, vec![4]);
+    }
+
+    /// The model the index must agree with: a plain filtered scan of the
+    /// arrival-ordered queue, with estimate bounds compared by total order.
+    fn filtered_scan(
+        q: &JobQueue,
+        wide: u32,
+        wide_est: f64,
+        narrow: u32,
+        after: Option<(f64, u64)>,
+    ) -> Vec<u64> {
+        q.iter()
+            .filter(|j| {
+                after
+                    .is_none_or(|(t, id)| (order_bits(j.queued_at), j.job.id) > (order_bits(t), id))
+            })
+            .filter(|j| {
+                let est_ok = !wide_est.is_finite()
+                    || j.job.estimate.total_cmp(&wide_est) != std::cmp::Ordering::Greater;
+                j.job.procs <= narrow || (j.job.procs <= wide && est_ok)
+            })
+            .map(|j| j.job.id)
+            .collect()
+    }
+
+    proptest::proptest! {
+        /// Index integrity under churn: after any sequence of pushes,
+        /// tombstoning removals, requeues (re-push at an old queued_at) and
+        /// the compactions they trigger, every candidates query equals the
+        /// filtered arrival-order scan.
+        #[test]
+        fn candidates_match_filtered_scan_under_churn(
+            ops in proptest::collection::vec(
+                (0u8..3, 0u32..40, 1u32..24, 0u32..600, 0u32..50),
+                1..120,
+            ),
+            queries in proptest::collection::vec(
+                (0u32..26, 0u32..700, 0u32..26, 0u8..2),
+                1..6,
+            ),
+        ) {
+            let mut q = JobQueue::new();
+            let mut clock = 0.0f64;
+            let mut next_id = 1u64;
+            let mut removed: Vec<QueuedJob> = Vec::new();
+            for (op, dt, procs, est, pick) in ops {
+                match op {
+                    // Arrival: monotone queued_at, fresh id.
+                    0 => {
+                        clock += dt as f64 / 8.0;
+                        q.push(queued_with(next_id, clock, procs, est as f64 / 4.0));
+                        next_id += 1;
+                    }
+                    // Tombstoning removal of some live job.
+                    1 => {
+                        let live: Vec<u64> = q.iter().map(|j| j.job.id).collect();
+                        if !live.is_empty() {
+                            let id = live[pick as usize % live.len()];
+                            removed.push(q.remove(id).unwrap());
+                        }
+                    }
+                    // Requeue: a previously removed job returns at its
+                    // original (old) queued_at — the sorted re-insert path.
+                    _ => {
+                        if !removed.is_empty() {
+                            let j = removed.swap_remove(pick as usize % removed.len());
+                            q.push(j);
+                        }
+                    }
+                }
+                q.check_invariants();
+            }
+            for (wide, est_num, narrow, bounded) in queries {
+                let wide_est = if bounded == 1 {
+                    est_num as f64 / 4.0
+                } else {
+                    f64::INFINITY
+                };
+                let after = q.iter().next().map(|j| (j.queued_at, j.job.id));
+                for after in [None, after] {
+                    let got: Vec<u64> = q
+                        .candidates_fitting_either(wide, wide_est, narrow, after)
+                        .map(|k| k.id)
+                        .collect();
+                    let want = filtered_scan(&q, wide, wide_est, narrow, after);
+                    proptest::prop_assert_eq!(&got, &want);
+                    // The lazy scan (without tightening) yields the same
+                    // sequence as the eager gather.
+                    let mut scan = q.backfill_scan(wide, wide_est, narrow, after);
+                    let mut lazy = Vec::new();
+                    while let Some(k) = scan.next() {
+                        lazy.push(k.id);
+                    }
+                    proptest::prop_assert_eq!(&lazy, &want);
+                }
+                // The single-budget query is the narrow = 0 special case.
+                let got: Vec<u64> = q.candidates_fitting(wide, wide_est).map(|k| k.id).collect();
+                let want = filtered_scan(&q, wide, wide_est, 0, None);
+                proptest::prop_assert_eq!(got, want);
             }
         }
     }

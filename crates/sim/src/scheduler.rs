@@ -28,6 +28,17 @@ pub enum SchedulerEvent {
         /// Id of the completed job.
         job_id: u64,
     },
+    /// Two or more running jobs completed at the same instant. The engine
+    /// coalesces all same-instant completions into this single consult — all
+    /// freed capacity is already reflected in the context — instead of one
+    /// [`SchedulerEvent::JobCompleted`] react per job, so a mass completion
+    /// under saturation costs one replan, not N. Policies that track running
+    /// jobs by id (e.g. a gang matrix) should reconcile against the context's
+    /// running set and queue rather than expect per-id notifications.
+    CompletionBatch {
+        /// Number of jobs that completed at this instant.
+        count: usize,
+    },
     /// Jobs were killed by an outage and put back in the queue.
     JobsKilled {
         /// Number of jobs killed.
@@ -117,10 +128,16 @@ impl Decision {
 /// `queue` iterates in `(queued_at, job id)` order — arrival order, with
 /// requeued jobs back at their original position — maintained structurally by
 /// the engine, so policies never sort it; head-of-queue policies can stop
-/// iterating at the first job that does not fit. The `running` slice, by
-/// contrast, is in **no meaningful order** (the engine uses swap-removal):
-/// policies that emit per-running-job decisions should order them by job id so
-/// results stay independent of the engine's internal layout.
+/// iterating at the first job that does not fit. Deep-queue policies should
+/// consult the queue's **backlog index**
+/// ([`JobQueue::candidates_fitting`] /
+/// [`JobQueue::candidates_fitting_either`]) instead of scanning: it
+/// enumerates, still in arrival order, only the jobs that can possibly fit a
+/// capacity/estimate budget, so replans stay sub-linear in the backlog depth
+/// even under saturation. The `running` slice, by contrast, is in **no
+/// meaningful order** (the engine uses swap-removal): policies that emit
+/// per-running-job decisions should order them by job id so results stay
+/// independent of the engine's internal layout.
 #[derive(Debug)]
 pub struct SchedulerContext<'a> {
     /// Current simulation time, seconds.

@@ -70,7 +70,8 @@ pub mod prelude {
     pub use crate::record::{CompletionStatus, SwfRecord, SwfRecordBuilder, FIELD_COUNT, UNKNOWN};
     pub use crate::source::{JobSource, LogSource, SourceMeta};
     pub use crate::validate::{
-        clean, clean_and_validate, validate, CleaningReport, ValidationReport, Violation,
+        clean, clean_and_validate, validate, validate_source, CleaningReport, StreamingValidator,
+        ValidationReport, Violation,
     };
     pub use crate::write::{record_line, write_string, write_to};
 }

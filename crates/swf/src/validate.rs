@@ -6,11 +6,13 @@
 //! the repairable ones (re-sorting, re-numbering, clamping, dropping hopeless
 //! records) and reports exactly what it did.
 
+use crate::error::ParseError;
 use crate::header::SwfHeader;
 use crate::log::SwfLog;
 use crate::record::{CompletionStatus, SwfRecord};
+use crate::source::JobSource;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A single consistency violation found in a log.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -129,165 +131,312 @@ impl ValidationReport {
     }
 }
 
-/// Validate a log against the standard's consistency rules.
-pub fn validate(log: &SwfLog) -> ValidationReport {
-    let mut report = ValidationReport {
-        records: log.jobs.len(),
-        ..ValidationReport::default()
-    };
-    let jobs = &log.jobs;
-    if jobs.is_empty() {
-        return report;
-    }
+/// Rank of each per-record rule, used to restore the rule order within one
+/// record when a deferred check (a forward preceding-job reference) resolves
+/// only at the end of the stream.
+mod rule {
+    pub const TOO_MANY_PROCS: u8 = 0;
+    pub const RUNTIME_MAX: u8 = 1;
+    pub const MEMORY_MAX: u8 = 2;
+    pub const CPU_WALLCLOCK: u8 = 3;
+    pub const BAD_PRECEDING: u8 = 4;
+    pub const THINK_TIME: u8 = 5;
+    pub const MISSING_PROCS: u8 = 6;
+    pub const MISSING_RUNTIME: u8 = 7;
+}
 
-    // Rule: lines sorted by ascending submit time.
-    for i in 1..jobs.len() {
-        if jobs[i].submit_time < jobs[i - 1].submit_time {
-            report
-                .violations
-                .push(Violation::UnsortedSubmitTimes { index: i });
-            break;
+/// Incremental validation of a record stream against the standard's
+/// consistency rules, retaining only the minimal cross-record state.
+///
+/// Push every record (in stream order) with [`StreamingValidator::push`], then
+/// call [`StreamingValidator::finish`]; the resulting [`ValidationReport`] is
+/// identical to running [`validate`] over the collected log, provided the
+/// header directives precede the data records — which the standard requires
+/// and every conforming writer produces. (A header directive appearing
+/// mid-file only affects the checks of the records after it.)
+///
+/// Cross-record state kept per stream: one `(id → runtime)` entry per summary
+/// record (for dependency-existence and checkpoint-chain rules), the partial
+/// runtime sums of checkpointed jobs, and the unresolved forward
+/// preceding-job references — tens of bytes per job instead of the whole
+/// record vector, which is what lets `psbench validate` run over archive-scale
+/// logs in bounded memory.
+#[derive(Debug)]
+pub struct StreamingValidator {
+    records: usize,
+    /// Submit time of the previous record, for the sortedness rule.
+    prev_submit: Option<i64>,
+    /// First out-of-order record, if any (the rule reports only the first).
+    unsorted_at: Option<usize>,
+    /// Smallest submit time seen.
+    min_submit: Option<i64>,
+    /// Next expected summary job id (ids must be 1..n consecutive).
+    expected_id: u64,
+    /// NonConsecutiveJobIds violations, in record order.
+    id_violations: Vec<Violation>,
+    /// Per-record violations as `(record index, rule rank, violation)`;
+    /// deferred dependency checks splice back in by this key.
+    record_violations: Vec<(usize, u8, Violation)>,
+    /// id → runtime of every summary record seen (last record wins for
+    /// duplicated ids, matching the collected validator).
+    summaries: HashMap<u64, Option<i64>>,
+    /// Preceding-job references that pointed at ids not seen yet: `(record
+    /// index, job id, preceding id)`. Resolved against `summaries` at finish.
+    pending_refs: Vec<(usize, u64, u64)>,
+    /// `(record index, job id)` of every partial record, for the orphan rule.
+    partials: Vec<(usize, u64)>,
+    /// Sum of partial runtimes per job id (deterministically ordered).
+    partial_sums: BTreeMap<u64, i64>,
+}
+
+impl Default for StreamingValidator {
+    fn default() -> Self {
+        StreamingValidator::new()
+    }
+}
+
+impl StreamingValidator {
+    /// A validator with no records pushed yet.
+    pub fn new() -> Self {
+        StreamingValidator {
+            records: 0,
+            prev_submit: None,
+            unsorted_at: None,
+            min_submit: None,
+            // Summary ids must be the consecutive sequence starting at 1.
+            expected_id: 1,
+            id_violations: Vec::new(),
+            record_violations: Vec::new(),
+            summaries: HashMap::new(),
+            pending_refs: Vec::new(),
+            partials: Vec::new(),
+            partial_sums: BTreeMap::new(),
         }
     }
 
-    // Rule: the earliest submit time is zero.
-    let first = jobs.iter().map(|j| j.submit_time).min().unwrap_or(0);
-    if first != 0 {
-        report.violations.push(Violation::NonZeroFirstSubmit {
-            first_submit: first,
-        });
-    }
+    /// Validate one record against the header as currently known.
+    pub fn push(&mut self, j: &SwfRecord, header: &SwfHeader) {
+        let i = self.records;
+        self.records += 1;
 
-    // Rule: summary job ids are 1..n consecutive.
-    let mut expected = 1u64;
-    for (i, j) in jobs.iter().enumerate() {
+        // Rule: lines sorted by ascending submit time (first offender only).
+        if let Some(prev) = self.prev_submit {
+            if j.submit_time < prev && self.unsorted_at.is_none() {
+                self.unsorted_at = Some(i);
+            }
+        }
+        self.prev_submit = Some(j.submit_time);
+        self.min_submit = Some(match self.min_submit {
+            Some(m) => m.min(j.submit_time),
+            None => j.submit_time,
+        });
+
+        // Rule: summary job ids are 1..n consecutive.
         if j.is_summary() {
-            if j.job_id != expected {
-                report.violations.push(Violation::NonConsecutiveJobIds {
+            if j.job_id != self.expected_id {
+                self.id_violations.push(Violation::NonConsecutiveJobIds {
                     index: i,
                     found: j.job_id,
-                    expected,
+                    expected: self.expected_id,
                 });
             }
-            expected += 1;
+            self.expected_id += 1;
         }
-    }
 
-    // Header-bound rules.
-    let max_nodes = log.header.max_nodes;
-    let max_runtime = log.header.max_runtime;
-    let max_memory = log.header.max_memory;
-    let allow_overuse = log.header.allow_overuse.unwrap_or(true);
-
-    let mut summary_ids: HashMap<u64, &SwfRecord> = HashMap::new();
-    for j in jobs.iter().filter(|j| j.is_summary()) {
-        summary_ids.insert(j.job_id, j);
-    }
-
-    for j in jobs {
-        if let (Some(p), Some(mn)) = (j.procs(), max_nodes) {
+        // Header-bound rules, against the header as known at this record.
+        let allow_overuse = header.allow_overuse.unwrap_or(true);
+        if let (Some(p), Some(mn)) = (j.procs(), header.max_nodes) {
             if p > mn {
-                report.violations.push(Violation::TooManyProcessors {
-                    job: j.job_id,
-                    procs: p,
-                    max_nodes: mn,
-                });
+                self.record_violations.push((
+                    i,
+                    rule::TOO_MANY_PROCS,
+                    Violation::TooManyProcessors {
+                        job: j.job_id,
+                        procs: p,
+                        max_nodes: mn,
+                    },
+                ));
             }
         }
-        if let (Some(r), Some(mr)) = (j.run_time, max_runtime) {
+        if let (Some(r), Some(mr)) = (j.run_time, header.max_runtime) {
             if !allow_overuse && r > mr {
-                report.violations.push(Violation::RuntimeExceedsMax {
-                    job: j.job_id,
-                    run_time: r,
-                    max_runtime: mr,
-                });
+                self.record_violations.push((
+                    i,
+                    rule::RUNTIME_MAX,
+                    Violation::RuntimeExceedsMax {
+                        job: j.job_id,
+                        run_time: r,
+                        max_runtime: mr,
+                    },
+                ));
             }
         }
-        if let (Some(m), Some(mm)) = (j.used_memory_kb, max_memory) {
+        if let (Some(m), Some(mm)) = (j.used_memory_kb, header.max_memory) {
             if !allow_overuse && m > mm {
-                report.violations.push(Violation::MemoryExceedsMax {
-                    job: j.job_id,
-                    memory_kb: m,
-                    max_memory: mm,
-                });
+                self.record_violations.push((
+                    i,
+                    rule::MEMORY_MAX,
+                    Violation::MemoryExceedsMax {
+                        job: j.job_id,
+                        memory_kb: m,
+                        max_memory: mm,
+                    },
+                ));
             }
         }
         if let (Some(c), Some(r)) = (j.avg_cpu_time, j.run_time) {
             if c > r {
-                report.violations.push(Violation::CpuExceedsWallclock {
-                    job: j.job_id,
-                    cpu: c,
-                    run_time: r,
-                });
+                self.record_violations.push((
+                    i,
+                    rule::CPU_WALLCLOCK,
+                    Violation::CpuExceedsWallclock {
+                        job: j.job_id,
+                        cpu: c,
+                        run_time: r,
+                    },
+                ));
             }
         }
+
+        // Dependency rules. A summary record's dependency must point at an
+        // existing *earlier* summary id; a partial record's must merely exist.
+        // References to ids not seen yet are deferred to `finish`.
         if let Some(p) = j.preceding_job {
-            match summary_ids.get(&p) {
-                None => report.violations.push(Violation::BadPrecedingJob {
-                    job: j.job_id,
-                    preceding: p,
-                }),
-                Some(prev) if prev.job_id >= j.job_id && j.is_summary() => {
-                    report.violations.push(Violation::BadPrecedingJob {
+            let bad_now = j.is_summary() && p >= j.job_id;
+            if bad_now {
+                self.record_violations.push((
+                    i,
+                    rule::BAD_PRECEDING,
+                    Violation::BadPrecedingJob {
                         job: j.job_id,
                         preceding: p,
-                    })
-                }
-                _ => {}
+                    },
+                ));
+            } else if self.summaries.contains_key(&p) {
+                // exists and (for summaries) is earlier: clean
+            } else {
+                self.pending_refs.push((i, j.job_id, p));
             }
         }
         if j.think_time.is_some() && j.preceding_job.is_none() {
-            report
-                .violations
-                .push(Violation::ThinkTimeWithoutPreceding { job: j.job_id });
+            self.record_violations.push((
+                i,
+                rule::THINK_TIME,
+                Violation::ThinkTimeWithoutPreceding { job: j.job_id },
+            ));
         }
+
         if j.is_summary() {
             if j.procs().is_none() {
-                report
-                    .violations
-                    .push(Violation::MissingProcessors { job: j.job_id });
+                self.record_violations.push((
+                    i,
+                    rule::MISSING_PROCS,
+                    Violation::MissingProcessors { job: j.job_id },
+                ));
             }
             if j.run_time.is_none()
                 && j.status != CompletionStatus::Cancelled
                 && j.status != CompletionStatus::Unknown
             {
-                report
-                    .violations
-                    .push(Violation::MissingRuntime { job: j.job_id });
+                self.record_violations.push((
+                    i,
+                    rule::MISSING_RUNTIME,
+                    Violation::MissingRuntime { job: j.job_id },
+                ));
+            }
+            self.summaries.insert(j.job_id, j.run_time);
+        } else {
+            self.partials.push((i, j.job_id));
+            if let Some(r) = j.run_time {
+                *self.partial_sums.entry(j.job_id).or_insert(0) += r;
             }
         }
     }
 
-    // Checkpoint chain rules: every partial record needs a summary, and partial
-    // runtimes must sum to the summary runtime.
-    let mut partial_sums: HashMap<u64, i64> = HashMap::new();
-    let mut partial_seen: HashMap<u64, bool> = HashMap::new();
-    for j in jobs.iter().filter(|j| !j.is_summary()) {
-        partial_seen.insert(j.job_id, true);
-        if let Some(r) = j.run_time {
-            *partial_sums.entry(j.job_id).or_insert(0) += r;
+    /// Resolve the deferred rules and assemble the report.
+    pub fn finish(mut self) -> ValidationReport {
+        let mut report = ValidationReport {
+            records: self.records,
+            ..ValidationReport::default()
+        };
+        if self.records == 0 {
+            return report;
         }
-        if !summary_ids.contains_key(&j.job_id) {
+        if let Some(index) = self.unsorted_at {
             report
                 .violations
-                .push(Violation::OrphanPartial { job: j.job_id });
+                .push(Violation::UnsortedSubmitTimes { index });
         }
-    }
-    for (id, sum) in &partial_sums {
-        if let Some(summary) = summary_ids.get(id) {
-            if let Some(total) = summary.run_time {
-                if total != *sum {
+        let first = self.min_submit.unwrap_or(0);
+        if first != 0 {
+            report.violations.push(Violation::NonZeroFirstSubmit {
+                first_submit: first,
+            });
+        }
+        report.violations.append(&mut self.id_violations);
+
+        // Forward references that never resolved are bad dependencies; splice
+        // them back at their records' positions in rule order.
+        for (i, job, preceding) in self.pending_refs {
+            if !self.summaries.contains_key(&preceding) {
+                self.record_violations.push((
+                    i,
+                    rule::BAD_PRECEDING,
+                    Violation::BadPrecedingJob { job, preceding },
+                ));
+            }
+        }
+        self.record_violations
+            .sort_by_key(|&(i, rank, _)| (i, rank));
+        report
+            .violations
+            .extend(self.record_violations.into_iter().map(|(_, _, v)| v));
+
+        // Checkpoint chain rules: every partial record needs a summary, and
+        // partial runtimes must sum to the summary runtime.
+        for (_, id) in &self.partials {
+            if !self.summaries.contains_key(id) {
+                report
+                    .violations
+                    .push(Violation::OrphanPartial { job: *id });
+            }
+        }
+        for (id, sum) in &self.partial_sums {
+            if let Some(Some(total)) = self.summaries.get(id) {
+                if total != sum {
                     report.violations.push(Violation::PartialRuntimeMismatch {
                         job: *id,
                         partial_sum: *sum,
-                        summary: total,
+                        summary: *total,
                     });
                 }
             }
         }
+        report
     }
+}
 
-    report
+/// Validate a log against the standard's consistency rules.
+pub fn validate(log: &SwfLog) -> ValidationReport {
+    let mut v = StreamingValidator::new();
+    for j in &log.jobs {
+        v.push(j, &log.header);
+    }
+    v.finish()
+}
+
+/// Validate a streaming [`JobSource`] record by record, without collecting the
+/// log. The report is identical to [`validate`] over the collected stream for
+/// any source whose header directives precede its data records (which the
+/// standard requires); only the minimal cross-record state is retained — see
+/// [`StreamingValidator`]. Fails only if the source itself fails mid-stream.
+pub fn validate_source<S: JobSource>(mut source: S) -> Result<ValidationReport, ParseError> {
+    let mut v = StreamingValidator::new();
+    while let Some(rec) = source.next_record() {
+        let rec = rec?;
+        v.push(&rec, &source.meta().header);
+    }
+    Ok(v.finish())
 }
 
 /// Actions a cleaning pass may take, counted in the [`CleaningReport`].
@@ -724,5 +873,96 @@ mod tests {
         let (cleaning, after) = clean_and_validate(&mut log);
         assert_eq!(cleaning, CleaningReport::default());
         assert!(after.is_clean());
+    }
+
+    /// Every way of making a log dirty that the suite above exercises, to
+    /// drive the streaming-vs-collected equivalence check.
+    fn messy_logs() -> Vec<SwfLog> {
+        let mut logs = vec![conforming_log()];
+        let mut l = conforming_log();
+        l.jobs.swap(0, 1);
+        for j in &mut l.jobs {
+            j.submit_time += 100;
+        }
+        logs.push(l);
+        let mut l = conforming_log();
+        l.jobs[1].job_id = 7;
+        l.jobs[0].allocated_procs = Some(1000);
+        l.jobs[0].avg_cpu_time = Some(500);
+        logs.push(l);
+        let mut l = conforming_log();
+        l.header.max_runtime = Some(50);
+        l.header.max_memory = Some(100);
+        l.header.allow_overuse = Some(false);
+        l.jobs[0].used_memory_kb = Some(200);
+        l.jobs[1].preceding_job = Some(99);
+        l.jobs[0].think_time = Some(10);
+        logs.push(l);
+        // Forward dependency plus checkpoint-chain trouble: an orphan partial,
+        // a mismatched partial sum, and a partial that precedes its summary.
+        let mut l = conforming_log();
+        l.jobs[0].preceding_job = Some(2);
+        l.jobs[0].think_time = Some(1);
+        let mut orphan = SwfRecordBuilder::new(9, 20)
+            .run_time(5)
+            .allocated_procs(1)
+            .build();
+        orphan.status = CompletionStatus::PartialContinued;
+        l.jobs.insert(0, orphan);
+        let mut p1 = SwfRecordBuilder::new(1, 0)
+            .run_time(30)
+            .allocated_procs(8)
+            .build();
+        p1.status = CompletionStatus::PartialCompleted;
+        l.jobs.push(p1);
+        logs.push(l);
+        let mut l = conforming_log();
+        l.jobs[0].allocated_procs = None;
+        l.jobs[0].requested_procs = None;
+        l.jobs[1].run_time = None;
+        logs.push(l);
+        logs.push(SwfLog::default());
+        logs
+    }
+
+    #[test]
+    fn streaming_validation_matches_collected() {
+        for (i, log) in messy_logs().into_iter().enumerate() {
+            let collected = validate(&log);
+            let streamed = validate_source(log.as_source("s")).unwrap();
+            assert_eq!(streamed, collected, "log #{i}");
+        }
+    }
+
+    #[test]
+    fn streaming_validation_matches_over_a_parsed_file() {
+        use crate::parse::{ParseOptions, RecordIter};
+        use crate::write::write_string;
+        let mut log = conforming_log();
+        log.jobs[0].avg_cpu_time = Some(500); // one violation survives writing
+        let text = write_string(&log);
+        let streamed =
+            validate_source(RecordIter::new(text.as_bytes(), ParseOptions::default())).unwrap();
+        let collected = validate(&crate::parse::parse(&text).unwrap());
+        assert_eq!(streamed, collected);
+        assert!(!streamed.is_clean());
+    }
+
+    #[test]
+    fn default_streaming_validator_behaves_like_new() {
+        // `Default` must establish the ids-start-at-1 invariant too.
+        let log = conforming_log();
+        let mut v = StreamingValidator::default();
+        for j in &log.jobs {
+            v.push(j, &log.header);
+        }
+        assert!(v.finish().is_clean());
+    }
+
+    #[test]
+    fn streaming_validation_surfaces_stream_errors() {
+        use crate::parse::{ParseOptions, RecordIter};
+        let bad = "1 0 10\n";
+        assert!(validate_source(RecordIter::new(bad.as_bytes(), ParseOptions::default())).is_err());
     }
 }
