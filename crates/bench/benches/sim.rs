@@ -141,7 +141,11 @@ fn bench_saturation(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_saturation");
     group.sample_size(10);
     group.throughput(criterion::Throughput::Elements(N as u64));
-    for sched in ["easy", "gang", "fcfs"] {
+    // `conservative` is the persistent-calendar backfiller — one durable
+    // reservation per queued job. The seed implementation was cubic here;
+    // with the lazy-compression calendar it rides the same scenario at the
+    // same order of wall time as the cheap policies.
+    for sched in ["easy", "gang", "fcfs", "conservative"] {
         group.bench_function(format!("{sched}_100k_saturated_closed"), |b| {
             b.iter(|| {
                 black_box(run(

@@ -129,7 +129,11 @@ fn scenarios(scale: &str) -> Vec<Scenario> {
         // Overloaded closed-loop saturation: the backlog-index acceptance
         // scenario (1M-job overloaded EASY is the headline number).
         let saturated = saturated_closed_jobs(n, 42);
-        for sched in ["easy", "gang", "fcfs"] {
+        // `conservative` here is the persistent-calendar backfiller: one
+        // reservation per queued job, held across reacts — the regime that
+        // used to be cubic and now rides the same saturation scenario as the
+        // cheap policies (same order of wall time as EASY at 1M jobs).
+        for sched in ["easy", "gang", "fcfs", "conservative"] {
             out.push(Scenario {
                 name: format!("{sched}_{tag}_saturated_closed"),
                 scheduler: sched,

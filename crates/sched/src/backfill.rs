@@ -6,6 +6,7 @@
 //! delay it; conservative backfilling gives every queued job a reservation and
 //! backfills only into the resulting profile.
 
+use crate::calendar::{eps_eq, eps_ge, eps_lt};
 use psbench_sim::{Decision, Scheduler, SchedulerContext, SchedulerEvent};
 
 /// A step function of free processors over time, used to plan future starts.
@@ -116,20 +117,29 @@ impl Profile {
     /// capacity in that window (inserting breakpoints as needed). O(steps):
     /// the two new breakpoints are spliced at their sorted positions instead
     /// of re-sorting the whole profile.
+    ///
+    /// Breakpoint dedup and window membership go through the same
+    /// epsilon-compare helpers: a step is inside the window exactly when it is
+    /// at-or-after `start` and strictly-before `end` under [`eps_eq`]'s notion
+    /// of "same instant". The seed used `s.0 + 1e-9 >= start` for membership
+    /// but `|s.0 - start| < 1e-9` for dedup, so a pre-existing breakpoint at
+    /// exactly `start - 1e-9` — distinct by the dedup test — still had its
+    /// capacity reduced for the sliver `[start - 1e-9, start)` the reservation
+    /// does not cover.
     pub(crate) fn reserve(&mut self, start: f64, duration: f64, procs: f64) {
         let end = start + duration;
         let free_at_start = self.free_at(start);
         let free_at_end = self.free_at(end);
-        if !self.steps.iter().any(|s| (s.0 - start).abs() < 1e-9) {
+        if !self.steps.iter().any(|s| eps_eq(s.0, start)) {
             let pos = self.steps.partition_point(|s| s.0 <= start);
             self.steps.insert(pos, (start, free_at_start));
         }
-        if !self.steps.iter().any(|s| (s.0 - end).abs() < 1e-9) {
+        if !self.steps.iter().any(|s| eps_eq(s.0, end)) {
             let pos = self.steps.partition_point(|s| s.0 <= end);
             self.steps.insert(pos, (end, free_at_end));
         }
         for s in &mut self.steps {
-            if s.0 + 1e-9 >= start && s.0 < end - 1e-9 {
+            if eps_ge(s.0, start) && eps_lt(s.0, end) {
                 s.1 -= procs;
             }
         }
@@ -368,9 +378,19 @@ impl Scheduler for EasyBackfill {
     }
 }
 
-/// Conservative backfilling: every queued job gets a reservation in a profile of
-/// future free capacity; a job starts now only if its reservation is now, so no job
-/// is ever delayed by a later arrival (under exact estimates).
+/// Replan-per-react conservative backfilling: every queued job gets a
+/// reservation in a profile of future free capacity rebuilt from scratch on
+/// each react; a job starts now only if its reservation is now, so no job is
+/// ever delayed by a later arrival (under exact estimates).
+///
+/// This is the pre-calendar formulation. Because the whole backlog is
+/// re-planned against a fresh profile, an early completion implicitly moves
+/// Θ(backlog) reservations per react, which keeps the policy super-linear on
+/// saturated traces no matter how fast a single replan is — the persistent
+/// [`crate::calendar::ConservativeBackfill`] replaces it as the default
+/// `conservative` policy. It stays in the zoo (as `conservative-replan`)
+/// because its fully-stateless replan is a useful semantic contrast and a
+/// guard for the planning-profile machinery EASY shares.
 ///
 /// The profile is rebuilt per react and only `Start` decisions leave it, which
 /// yields two exact early exits for the saturated regime. Before building
@@ -382,11 +402,11 @@ impl Scheduler for EasyBackfill {
 /// add reservations, so the scan stops. Both exits leave the emitted decision
 /// sequence identical to the exhaustive replan.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct ConservativeBackfill;
+pub struct ReplanConservative;
 
-impl Scheduler for ConservativeBackfill {
+impl Scheduler for ReplanConservative {
     fn name(&self) -> &str {
-        "conservative"
+        "conservative-replan"
     }
 
     fn react(&mut self, ctx: &SchedulerContext<'_>, _event: SchedulerEvent) -> Vec<Decision> {
@@ -469,6 +489,54 @@ mod tests {
     }
 
     #[test]
+    fn reserve_merges_breakpoints_within_half_tolerance() {
+        // A pre-existing breakpoint 0.5e-9 *before* the reservation start is
+        // "the same instant" by the shared epsilon compare: no duplicate
+        // breakpoint is inserted and the step is decremented, symmetrically
+        // for a breakpoint 0.5e-9 *after* the start.
+        for offset in [-0.5e-9, 0.5e-9] {
+            let mut p = Profile {
+                steps: vec![(0.0, 64.0), (100.0 + offset, 64.0)],
+            };
+            p.reserve(100.0, 50.0, 16.0);
+            assert_eq!(p.steps.len(), 3, "offset {offset:e}: no duplicate breakpoint");
+            assert_eq!(p.steps[1].1, 48.0, "offset {offset:e}: step decremented");
+            assert_eq!(p.free_at(120.0), 48.0);
+            assert_eq!(p.free_at(200.0), 64.0);
+        }
+    }
+
+    #[test]
+    fn reserve_does_not_bleed_into_distinct_earlier_breakpoint() {
+        // A breakpoint exactly 1e-9 before the start is a *distinct* instant
+        // by the dedup test, so a breakpoint is inserted at the start — and
+        // the decrement loop must not touch the earlier step. The seed's
+        // asymmetric membership test (`s.0 + 1e-9 >= start`) reduced it too,
+        // understating capacity on the sliver before the reservation.
+        // At start = 0 the offset 1e-9 is exactly representable, so the
+        // boundary is hit deterministically: |before - start| == 1e-9 fails
+        // the `< 1e-9` dedup, while the seed's membership test
+        // (`before + 1e-9 >= start`) still matched.
+        let before = -1e-9;
+        let mut p = Profile {
+            steps: vec![(before, 64.0)],
+        };
+        p.reserve(0.0, 50.0, 16.0);
+        let pre = p.steps.iter().find(|s| s.0 == before).unwrap();
+        assert_eq!(pre.1, 64.0, "distinct earlier breakpoint keeps its capacity");
+        let at = p.steps.iter().find(|s| s.0 == 0.0).unwrap();
+        assert_eq!(at.1, 48.0);
+        // Symmetric at the end boundary: a breakpoint 0.5e-9 before the end is
+        // "the end" and must not be decremented.
+        let mut q = Profile {
+            steps: vec![(0.0, 64.0), (150.0 - 0.5e-9, 64.0)],
+        };
+        q.reserve(100.0, 50.0, 16.0);
+        let tail = q.steps.iter().find(|s| s.0 == 150.0 - 0.5e-9).unwrap();
+        assert_eq!(tail.1, 64.0, "near-end breakpoint is outside the window");
+    }
+
+    #[test]
     fn easy_backfills_short_narrow_job() {
         // Head job (64) blocked behind a 48-proc job; a 10s/8-proc job can backfill
         // because it finishes before the head's reservation.
@@ -530,7 +598,7 @@ mod tests {
             (2, 1.0, 200.0, 64),
             (3, 2.0, 1000.0, 4),
         ]);
-        let result = Simulation::new(SimConfig::new(64), js).run(&mut ConservativeBackfill);
+        let result = Simulation::new(SimConfig::new(64), js).run(&mut ReplanConservative);
         let j2 = result.finished.iter().find(|f| f.id == 2).unwrap();
         assert_eq!(j2.start, 100.0);
     }
@@ -538,7 +606,7 @@ mod tests {
     #[test]
     fn conservative_backfills_when_harmless() {
         let js = jobs(&[(1, 0.0, 100.0, 48), (2, 1.0, 200.0, 64), (3, 2.0, 10.0, 8)]);
-        let result = Simulation::new(SimConfig::new(64), js).run(&mut ConservativeBackfill);
+        let result = Simulation::new(SimConfig::new(64), js).run(&mut ReplanConservative);
         let j3 = result.finished.iter().find(|f| f.id == 3).unwrap();
         assert_eq!(j3.start, 2.0);
     }
@@ -552,7 +620,7 @@ mod tests {
             Simulation::new(SimConfig::new(128), js.clone()).run(&mut crate::queue_order::Fcfs);
         let easy =
             Simulation::new(SimConfig::new(128), js.clone()).run(&mut EasyBackfill::default());
-        let cons = Simulation::new(SimConfig::new(128), js).run(&mut ConservativeBackfill);
+        let cons = Simulation::new(SimConfig::new(128), js).run(&mut ReplanConservative);
         assert_eq!(fcfs.finished.len(), 800);
         assert_eq!(easy.finished.len(), 800);
         assert_eq!(cons.finished.len(), 800);
@@ -581,7 +649,7 @@ mod tests {
             .collect();
         for sched in [
             &mut EasyBackfill::default() as &mut dyn Scheduler,
-            &mut ConservativeBackfill,
+            &mut ReplanConservative,
         ] {
             let result = Simulation::new(SimConfig::new(64), js.clone()).run(sched);
             assert_eq!(result.finished.len(), 200, "{}", sched.name());

@@ -35,16 +35,46 @@ impl DrainingEasy {
 
     /// Capacity that is promised away (to outages or reservations) during
     /// `[from, to)`, at its worst instant.
+    ///
+    /// Outage drops and reservations are both step functions of time, so
+    /// their combined worst instant is found by evaluating the *sum* at every
+    /// edge inside the window — not by adding the separate maxima, which
+    /// overstates the loss whenever the outage and the reservation windows
+    /// never coincide (and made this policy refuse backfills that were
+    /// perfectly safe).
     fn promised_away(&self, ctx: &SchedulerContext<'_>, from: f64, to: f64) -> f64 {
-        let outage: u32 = self
-            .announced
-            .iter()
-            .filter(|d| d.start < to && from < d.end)
-            .map(|d| d.procs)
-            .max()
-            .unwrap_or(0);
-        let reserved = ctx.cluster.max_reserved_during(from, to);
-        (outage + reserved) as f64
+        let mut points: Vec<f64> = vec![from];
+        for d in &self.announced {
+            if d.start < to && from < d.end {
+                if d.start > from {
+                    points.push(d.start);
+                }
+                if d.end < to {
+                    points.push(d.end);
+                }
+            }
+        }
+        for r in &ctx.cluster.reservations {
+            if r.overlaps(from, to) {
+                if r.start > from {
+                    points.push(r.start);
+                }
+                if r.end < to {
+                    points.push(r.end);
+                }
+            }
+        }
+        let mut worst = 0u32;
+        for &t in &points {
+            let outage: u32 = self
+                .announced
+                .iter()
+                .filter(|d| t >= d.start && t < d.end)
+                .map(|d| d.procs)
+                .sum();
+            worst = worst.max(outage + ctx.cluster.reserved_at(t));
+        }
+        worst as f64
     }
 
     /// Would starting `procs` processors now, for `duration` seconds, collide with a
@@ -214,6 +244,48 @@ mod tests {
         };
         assert!(d.collides(&ctx, long.procs as f64, long.estimate));
         assert!(!d.collides(&ctx, short.procs as f64, short.estimate));
+    }
+
+    #[test]
+    fn disjoint_outage_and_reservation_do_not_stack() {
+        // An announced 40-proc outage in [100, 200) and a 40-proc reservation
+        // in [300, 400) never coincide, so the worst instant of a job window
+        // spanning both is 40 promised-away processors — not 80. Adding the
+        // separate maxima (the old computation) vetoed this perfectly safe
+        // 16-proc start.
+        let cluster = {
+            let mut c = psbench_sim::Cluster::new(64);
+            c.try_reserve(300.0, 400.0, 40).unwrap();
+            c
+        };
+        let mut d = DrainingEasy::new();
+        d.announced.push(CapacityDrop {
+            start: 100.0,
+            end: 200.0,
+            procs: 40,
+        });
+        let queue = psbench_sim::JobQueue::new();
+        let ctx = SchedulerContext {
+            now: 0.0,
+            cluster: &cluster,
+            queue: &queue,
+            running: &[],
+            used_procs: 0.0,
+        };
+        assert_eq!(d.promised_away(&ctx, 0.0, 350.0), 40.0);
+        assert!(
+            !d.collides(&ctx, 16.0, 350.0),
+            "disjoint windows must not stack; 16 + 40 fits a 64-proc machine"
+        );
+        // Overlapping windows still stack to their true combined worst
+        // instant: add an outage coinciding with the reservation.
+        d.announced.push(CapacityDrop {
+            start: 320.0,
+            end: 380.0,
+            procs: 20,
+        });
+        assert_eq!(d.promised_away(&ctx, 0.0, 350.0), 60.0);
+        assert!(d.collides(&ctx, 16.0, 350.0));
     }
 
     #[test]

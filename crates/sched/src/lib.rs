@@ -4,8 +4,11 @@
 //! evaluation methodology is meant to compare:
 //!
 //! * [`queue_order`] — FCFS and sorted greedy variants (SJF, LJF, widest, narrowest).
-//! * [`backfill`] — EASY (aggressive) and conservative backfilling, driven by the
-//!   user estimates carried in SWF field 9.
+//! * [`backfill`] — EASY (aggressive) backfilling and the replan-per-react
+//!   conservative variant, driven by the user estimates carried in SWF field 9.
+//! * [`calendar`] — conservative backfilling on a persistent cross-react
+//!   reservation calendar (the default `conservative` policy), plus the
+//!   exhaustive oracle it is verified against.
 //! * [`gang`] — Ousterhout-matrix gang scheduling (time slicing with coscheduling).
 //! * [`adaptive`] — adaptive equipartitioning for moldable (flexible) jobs.
 //! * [`drain`] — outage- and reservation-aware EASY (drains before announced
@@ -15,6 +18,7 @@
 
 pub mod adaptive;
 pub mod backfill;
+pub mod calendar;
 pub mod drain;
 pub mod gang;
 pub mod queue_order;
@@ -22,7 +26,8 @@ pub mod queue_order;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::adaptive::AdaptivePartition;
-    pub use crate::backfill::{ConservativeBackfill, EasyBackfill};
+    pub use crate::backfill::{EasyBackfill, ReplanConservative};
+    pub use crate::calendar::{ConservativeBackfill, ConservativeOracle};
     pub use crate::drain::DrainingEasy;
     pub use crate::gang::{GangScheduler, Packing};
     pub use crate::queue_order::{Fcfs, Order, SortedGreedy};
@@ -42,7 +47,7 @@ pub fn standard_schedulers(machine_size: u32) -> Vec<Box<dyn Scheduler>> {
         Box::new(SortedGreedy::sjf()),
         Box::new(SortedGreedy::greedy_fcfs()),
         Box::new(EasyBackfill::default()),
-        Box::new(ConservativeBackfill),
+        Box::new(ConservativeBackfill::default()),
         Box::new(GangScheduler::new(machine_size, 4, Packing::FirstFit)),
     ]
 }
@@ -62,7 +67,8 @@ const REGISTRY: &[(&str, SchedulerCtor)] = &[
     ("narrowest-first", |_| Box::new(SortedGreedy::narrowest())),
     ("greedy-fcfs", |_| Box::new(SortedGreedy::greedy_fcfs())),
     ("easy", |_| Box::new(EasyBackfill::default())),
-    ("conservative", |_| Box::new(ConservativeBackfill)),
+    ("conservative", |_| Box::new(ConservativeBackfill::default())),
+    ("conservative-replan", |_| Box::new(ReplanConservative)),
     ("gang", |machine_size| {
         Box::new(GangScheduler::new(machine_size, 4, Packing::FirstFit))
     }),

@@ -848,6 +848,16 @@ impl Simulation {
                     }
                     EventKind::Wakeup => {
                         self.pending_wakeups.remove(&e.time.to_bits());
+                        // A timer armed for a strictly future instant must not
+                        // consult the scheduler early. The instant-batch pop
+                        // above fuzzes by EPS, so a wakeup armed within EPS of
+                        // `now` (schedulers tracking sub-EPS reservation times
+                        // arm such timers) would otherwise fire with the clock
+                        // still behind it — the scheduler sees nothing due,
+                        // re-arms the same instant, and the batch loop re-pops
+                        // it forever. Advancing to the requested time keeps
+                        // the consult exact and the re-arm cycle convergent.
+                        self.advance_to(e.time);
                         self.consult(scheduler, SchedulerEvent::Timer);
                     }
                 }

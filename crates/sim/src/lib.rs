@@ -28,7 +28,7 @@ pub mod prelude {
     pub use crate::cluster::{Cluster, Reservation};
     pub use crate::engine::{EngineKind, OutagePolicy, SimConfig, Simulation};
     pub use crate::job::{FinishedJob, QueuedJob, RunningJob, SimJob};
-    pub use crate::queue::{BackfillScan, Candidates, JobQueue, QueueKey};
+    pub use crate::queue::{BackfillScan, Candidates, JobQueue, QueueKey, StaircaseScan};
     pub use crate::result::SimulationResult;
     pub use crate::scheduler::{Decision, Scheduler, SchedulerContext, SchedulerEvent};
 }

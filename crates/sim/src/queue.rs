@@ -484,6 +484,120 @@ impl BackfillScan<'_> {
     }
 }
 
+/// The lazy arrival-ordered scan behind [`JobQueue::staircase_scan`]: jobs
+/// fitting a *per-width* estimate staircase.
+///
+/// Where [`BackfillScan`] knows two capacity bounds (narrow = any estimate,
+/// wide = one shared estimate budget), this scan carries one estimate bound
+/// per width range — the "how long does width `p` stay continuously free"
+/// staircase a reservation calendar computes after a completion. Each bucket
+/// cursor steps under its own bound via the `min_est` treap augmentation, so
+/// backlog entries wider or longer than their stair are never touched.
+///
+/// Unlike [`BackfillScan::shrink`], the staircase may move *either way*
+/// mid-scan (a conservative-backfill start both consumes capacity at `now`
+/// and releases the job's far reservation, so some stairs tighten while
+/// others loosen). [`StaircaseScan::rebind`] therefore rebuilds every bucket
+/// cursor from just after the last yielded candidate under the new bounds —
+/// candidates before that position already had their (arrival-order) turn
+/// under the bounds that were current then, and are never revisited.
+#[derive(Debug)]
+pub struct StaircaseScan<'a> {
+    queue: &'a JobQueue,
+    /// The treap root of each contributing bucket (the bucket's `procs`
+    /// travels in the heap entries).
+    streams: Vec<u32>,
+    /// Min-heap over `(queued_at bits, id, estimate bits, procs, stream)`.
+    heap: BinaryHeap<ScanEntry>,
+    /// `(inclusive procs upper edge, estimate-bits bound)`, ascending by
+    /// procs. A width above the last edge is out of the staircase entirely.
+    stairs: Vec<(u32, u64)>,
+    /// `(queued_at bits, id)` of the last yielded candidate; a rebind resumes
+    /// strictly after it.
+    last: Option<(u64, u64)>,
+}
+
+impl StaircaseScan<'_> {
+    /// The estimate-bits bound width `procs` is currently subject to, or
+    /// `None` when the width is above the staircase's top edge.
+    fn bound_for(&self, procs: u32) -> Option<u64> {
+        let i = self.stairs.partition_point(|&(edge, _)| edge < procs);
+        self.stairs.get(i).map(|&(_, b)| b)
+    }
+
+    /// Replace the staircase and rebuild every bucket cursor from just after
+    /// the last yielded candidate. Call this whenever the capacity profile
+    /// behind the staircase changed (in either direction); the scan position
+    /// is preserved, so each queued job still gets exactly one arrival-order
+    /// turn.
+    pub fn rebind(&mut self, stairs: &[(u32, f64)]) {
+        self.stairs = convert_stairs(stairs);
+        self.streams.clear();
+        self.heap.clear();
+        let top = self.stairs.last().map(|&(edge, _)| edge).unwrap_or(0);
+        for (&procs, &root) in self.queue.by_procs.range(..=top) {
+            let i = self.stairs.partition_point(|&(edge, _)| edge < procs);
+            let bound = self.stairs[i].1;
+            if let Some((arr, id, est)) = self.queue.arena.first_fitting(root, self.last, bound) {
+                let si = self.streams.len();
+                self.heap.push(std::cmp::Reverse((arr, id, est, procs, si)));
+                self.streams.push(root);
+            }
+        }
+    }
+
+    /// The next candidate under the current staircase, in arrival order.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<QueueKey> {
+        while let Some(std::cmp::Reverse((arr, id, est, procs, si))) = self.heap.pop() {
+            // Between rebinds the staircase is constant, so in-hand entries
+            // always satisfy their bucket's bound; the guards are belt and
+            // braces against misuse.
+            let Some(bound) = self.bound_for(procs) else {
+                continue;
+            };
+            // Refill under the bucket's current bound: the treap steps
+            // straight to the next estimate-fitting entry.
+            let root = self.streams[si];
+            if let Some((narr, nid, nest)) =
+                self.queue
+                    .arena
+                    .first_fitting(root, Some((arr, id)), bound)
+            {
+                self.heap
+                    .push(std::cmp::Reverse((narr, nid, nest, procs, si)));
+            }
+            if est > bound {
+                continue;
+            }
+            self.last = Some((arr, id));
+            return Some(QueueKey {
+                id,
+                estimate: unorder_bits(est),
+                procs,
+            });
+        }
+        None
+    }
+}
+
+/// `(procs edge, estimate bound)` stairs to bit-order bounds; a non-finite
+/// bound (the calendar's "free forever at this width") admits any estimate,
+/// NaN included.
+fn convert_stairs(stairs: &[(u32, f64)]) -> Vec<(u32, u64)> {
+    stairs
+        .iter()
+        .map(|&(edge, est)| {
+            let bound = if est.is_finite() {
+                order_bits(est)
+            } else {
+                u64::MAX
+            };
+            (edge, bound)
+        })
+        .collect()
+}
+
 /// The wait queue, iterated in `(queued_at, job id)` order.
 #[derive(Debug, Clone, Default)]
 pub struct JobQueue {
@@ -662,6 +776,37 @@ impl JobQueue {
             narrow: narrow_procs,
             est_bound,
         }
+    }
+
+    /// A lazy arrival-ordered merge over the backlog index's bucket streams
+    /// under a **per-width estimate staircase**: `stairs` is a list of
+    /// `(inclusive procs upper edge, max estimate)` pairs, ascending by
+    /// procs, and a job with width `p` qualifies when its estimate is at most
+    /// (by total order) the bound of the first stair whose edge is `>= p`.
+    /// Pass a non-finite bound for "any estimate at this width". Widths above
+    /// the last edge never qualify.
+    ///
+    /// This is the candidate query for a conservative-backfill compression
+    /// pass: the staircase is the calendar's run-length profile ("width `p`
+    /// stays free for `L(p)` seconds from now"), and a queued job can start
+    /// immediately iff it fits its stair. Consumers re-test each candidate
+    /// against the *fresh* profile as starts commit and release capacity,
+    /// rebuilding the cursors via [`StaircaseScan::rebind`]; the index only
+    /// guarantees that no job satisfying the current staircase and sitting
+    /// after the scan position is missing. Cost is one O(log backlog) treap
+    /// step per candidate yielded plus one per contributing bucket per
+    /// (re)bind — entries outside their stair are pruned by the `min_est`
+    /// augmentation and never touched.
+    pub fn staircase_scan(&self, stairs: &[(u32, f64)]) -> StaircaseScan<'_> {
+        let mut scan = StaircaseScan {
+            queue: self,
+            streams: Vec::new(),
+            heap: BinaryHeap::new(),
+            stairs: Vec::new(),
+            last: None,
+        };
+        scan.rebind(stairs);
+        scan
     }
 
     /// Insert a job (ids must be unique within the queue). O(log n): amortized

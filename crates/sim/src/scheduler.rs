@@ -204,6 +204,32 @@ impl SchedulerContext<'_> {
         v
     }
 
+    /// **Canonical** estimated completions of all running jobs as
+    /// `(id, end, proc_share)` triples, sorted by `(end, id)` in total order.
+    ///
+    /// Unlike [`Self::completion_profile`], the end here is the *absolute*
+    /// `started_at + max(estimate, 1)` (clamped up to `now` for overdue
+    /// estimates), not `now + remaining`. The absolute form is **bit-stable
+    /// across reacts**: the same running job reports the same end at every
+    /// consult until it actually completes, because no `now`-dependent float
+    /// arithmetic re-derives it. Persistent planners (the conservative
+    /// reservation calendar) depend on that stability — a reservation placed
+    /// against a completion at one react must still face the identical
+    /// breakpoint at the next, or incremental and rebuilt-from-scratch plans
+    /// diverge in the last bit and cascade into different decisions.
+    pub fn canonical_completions(&self) -> Vec<(u64, f64, f64)> {
+        let mut v: Vec<(u64, f64, f64)> = self
+            .running
+            .iter()
+            .map(|r| {
+                let end = (r.started_at + r.job.estimate.max(1.0)).max(self.now);
+                (r.job.id, end, r.proc_share())
+            })
+            .collect();
+        v.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
     /// Estimated completion times (id, time) of all running jobs at their current
     /// rates, sorted soonest first (ties by id). Backfilling policies that also
     /// need the released capacity should use [`Self::completion_profile`].
