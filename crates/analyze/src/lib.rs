@@ -39,6 +39,15 @@
 
 #![warn(missing_docs)]
 
+/// Version stamp of the analysis pass.
+///
+/// Folded into every cached-profile key of the artifact store
+/// (`psbench-store`): bump it whenever [`profile::WorkloadProfile`] gains,
+/// loses, or re-defines an accumulator, so stale cached profiles are never
+/// returned — they simply stop being addressable and are reclaimed by
+/// `store gc`.
+pub const ANALYZE_VERSION: u32 = 1;
+
 pub mod distance;
 pub mod profile;
 pub mod report;

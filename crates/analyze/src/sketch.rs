@@ -175,6 +175,20 @@ impl Histogram {
         }
     }
 
+    /// Rebuild a histogram from the exact per-bin counts that [`Histogram::counts`]
+    /// exposes. The total is re-derived from the counts (the two are kept in
+    /// lock-step by every mutator), so `from_counts(h.counts().to_vec()) == h`
+    /// holds bit for bit — this is the persistence constructor used by the
+    /// artifact store's exact codec.
+    ///
+    /// # Panics
+    /// Panics if `counts` does not have exactly [`HISTOGRAM_BINS`] entries.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        assert_eq!(counts.len(), HISTOGRAM_BINS, "histogram shape is fixed");
+        let total = counts.iter().sum();
+        Histogram { counts, total }
+    }
+
     /// Record one observation.
     pub fn add(&mut self, v: i64) {
         self.counts[Self::bin_of(v)] += 1;
@@ -261,6 +275,23 @@ impl Histogram2 {
         } else {
             64 - (v as u64).leading_zeros() as usize
         }
+    }
+
+    /// Rebuild a joint histogram from the exact flattened counts that
+    /// [`Histogram2::counts`] exposes. An empty vector reconstructs the
+    /// never-allocated state, so the lazily-allocated/never-touched distinction
+    /// survives a persistence round trip bit for bit.
+    ///
+    /// # Panics
+    /// Panics if `counts` is neither empty nor exactly
+    /// [`JOINT_BINS`]` × `[`JOINT_BINS`] entries long.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        assert!(
+            counts.is_empty() || counts.len() == JOINT_BINS * JOINT_BINS,
+            "joint histogram shape is fixed"
+        );
+        let total = counts.iter().sum();
+        Histogram2 { counts, total }
     }
 
     /// Record one `(x, y)` observation.
@@ -356,6 +387,33 @@ impl Correlation {
     /// An empty accumulator.
     pub fn new() -> Self {
         Correlation::default()
+    }
+
+    /// The exact internal state `(Σx, Σy, Σx², Σy², Σxy)` alongside the pair
+    /// count (in [`Correlation::count`]); the persistence accessor of the
+    /// artifact store's exact codec.
+    pub fn sums(&self) -> [i128; 5] {
+        [
+            self.sum_x,
+            self.sum_y,
+            self.sum_xx,
+            self.sum_yy,
+            self.sum_xy,
+        ]
+    }
+
+    /// Rebuild an accumulator from a pair count and the exact sums that
+    /// [`Correlation::sums`] exposes; `from_sums(c.count, c.sums()) == c`
+    /// holds bit for bit.
+    pub fn from_sums(count: u64, sums: [i128; 5]) -> Self {
+        Correlation {
+            count,
+            sum_x: sums[0],
+            sum_y: sums[1],
+            sum_xx: sums[2],
+            sum_yy: sums[3],
+            sum_xy: sums[4],
+        }
     }
 
     /// Record one (x, y) pair.

@@ -21,6 +21,7 @@
 
 use psbench_analyze::report::{json_escape, json_num};
 use psbench_core::{experiment_ids, run_experiment, Scale};
+use psbench_store::fnv1a_64_hex;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -30,17 +31,6 @@ struct Measurement {
     rows: usize,
     fingerprint: String,
     wall_ms: f64,
-}
-
-/// FNV-1a over the rendered table; hex string. Stable across platforms since
-/// the rendering itself is deterministic.
-fn fnv1a(bytes: &[u8]) -> String {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    format!("{h:016x}")
 }
 
 fn measure(id: &'static str, scale: Scale, repeat: usize) -> Measurement {
@@ -59,7 +49,9 @@ fn measure(id: &'static str, scale: Scale, repeat: usize) -> Measurement {
         id,
         title: table.title.clone(),
         rows: table.rows.len(),
-        fingerprint: fnv1a(rendered.as_bytes()),
+        // The workspace's canonical FNV-1a (psbench-store): same constants,
+        // same hex rendering, so committed baselines stay valid.
+        fingerprint: fnv1a_64_hex(rendered.as_bytes()),
         wall_ms: best_ms,
     }
 }

@@ -8,6 +8,9 @@
 //! * [`suite`] — the canonical workloads, scenario definitions, scheduler line-up.
 //! * [`harness`] — scenario sweeps (sequential or parallel), parallel trace
 //!   profiling, and table rendering.
+//! * [`sweep`] — resumable, memoized scenario sweeps over a `psbench_store`
+//!   artifact store: enumerate the grid, skip cached cells, journal progress
+//!   durably, resume after a kill with zero recomputation.
 //! * [`experiments`] — E1..E10, each returning a [`harness::Table`].
 
 #![warn(missing_docs)]
@@ -15,6 +18,7 @@
 pub mod experiments;
 pub mod harness;
 pub mod suite;
+pub mod sweep;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -26,6 +30,9 @@ pub mod prelude {
     pub use crate::suite::{
         canonical_machines, canonical_schedulers, canonical_suite, Scenario, WorkloadDef,
         WorkloadKind,
+    };
+    pub use crate::sweep::{
+        cell_key, run_sweep_resumable, sweep_key, trace_cell_key, GridSpec, SweepOutcome,
     };
 }
 

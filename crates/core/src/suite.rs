@@ -50,6 +50,14 @@ impl WorkloadKind {
         }
     }
 
+    /// Look up a kind by its short [`Self::name`].
+    pub fn by_name(name: &str) -> Option<WorkloadKind> {
+        WorkloadKind::all()
+            .iter()
+            .copied()
+            .find(|k| k.name() == name)
+    }
+
     /// Build the model for a given machine size.
     pub fn model(&self, machine_size: u32) -> Box<dyn WorkloadModel> {
         match self {

@@ -499,7 +499,11 @@ mod tests {
                 steps: vec![(0.0, 64.0), (100.0 + offset, 64.0)],
             };
             p.reserve(100.0, 50.0, 16.0);
-            assert_eq!(p.steps.len(), 3, "offset {offset:e}: no duplicate breakpoint");
+            assert_eq!(
+                p.steps.len(),
+                3,
+                "offset {offset:e}: no duplicate breakpoint"
+            );
             assert_eq!(p.steps[1].1, 48.0, "offset {offset:e}: step decremented");
             assert_eq!(p.free_at(120.0), 48.0);
             assert_eq!(p.free_at(200.0), 64.0);
@@ -523,7 +527,10 @@ mod tests {
         };
         p.reserve(0.0, 50.0, 16.0);
         let pre = p.steps.iter().find(|s| s.0 == before).unwrap();
-        assert_eq!(pre.1, 64.0, "distinct earlier breakpoint keeps its capacity");
+        assert_eq!(
+            pre.1, 64.0,
+            "distinct earlier breakpoint keeps its capacity"
+        );
         let at = p.steps.iter().find(|s| s.0 == 0.0).unwrap();
         assert_eq!(at.1, 48.0);
         // Symmetric at the end boundary: a breakpoint 0.5e-9 before the end is

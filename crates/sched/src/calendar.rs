@@ -267,7 +267,11 @@ impl Park {
 /// Shared dip-profile update: capacity drops from `runmin` to `cap` at time
 /// `t`, so every integer level in `(cap, runmin]` sees its first dip at `t`.
 fn record_dip(dips: &mut [f64], runmin: &mut f64, t: f64, cap: f64) {
-    let lo = if cap < 0.0 { 1 } else { cap.floor() as usize + 1 };
+    let lo = if cap < 0.0 {
+        1
+    } else {
+        cap.floor() as usize + 1
+    };
     let hi = (runmin.floor() as usize).min(dips.len());
     for p in lo.max(1)..=hi {
         dips[p - 1] = t;
@@ -502,7 +506,11 @@ impl Calendar {
         for c in &self.chunks {
             for &(t, cap) in &c.steps {
                 let eff = cap + c.off;
-                if flat.last().map(|l: &(f64, f64)| l.1 == eff).unwrap_or(false) {
+                if flat
+                    .last()
+                    .map(|l: &(f64, f64)| l.1 == eff)
+                    .unwrap_or(false)
+                {
                     continue;
                 }
                 flat.push((t, eff));
@@ -1079,9 +1087,7 @@ impl ConservativeBackfill {
                     .unwrap_or(f64::INFINITY),
             };
             if start == ctx.now {
-                let m = self
-                    .cal
-                    .add_range(ctx.now, ctx.now + duration, -slot.procs);
+                let m = self.cal.add_range(ctx.now, ctx.now + duration, -slot.procs);
                 self.park.note(ctx.now + duration, m);
                 self.running.insert(id, (ctx.now + duration, slot.procs));
                 self.min_running_end = self.min_running_end.min(ctx.now + duration);
@@ -1340,7 +1346,14 @@ impl ConservativeOracle {
         let mut out = Vec::new();
         let keys: Vec<_> = ctx.queue.iter_keys().copied().collect();
         for q in keys {
-            self.place(&mut p, ctx.now, q.id, q.procs as f64, q.estimate.max(1.0), &mut out);
+            self.place(
+                &mut p,
+                ctx.now,
+                q.id,
+                q.procs as f64,
+                q.estimate.max(1.0),
+                &mut out,
+            );
         }
         out
     }
@@ -1582,7 +1595,11 @@ mod tests {
                 }
                 3 => {
                     let t = (r / 17 % 3000) as f64;
-                    assert_eq!(cal.capacity_at(t), reference.capacity_at(t), "round {round} cap");
+                    assert_eq!(
+                        cal.capacity_at(t),
+                        reference.capacity_at(t),
+                        "round {round} cap"
+                    );
                 }
                 _ => {
                     if r % 97 == 0 {
@@ -1647,7 +1664,10 @@ mod tests {
         let result =
             Simulation::new(SimConfig::new(64), js).run(&mut ConservativeBackfill::default());
         let j2 = result.finished.iter().find(|f| f.id == 2).unwrap();
-        assert_eq!(j2.start, 40.0, "early completion must compress the calendar");
+        assert_eq!(
+            j2.start, 40.0,
+            "early completion must compress the calendar"
+        );
     }
 
     #[test]
@@ -1671,7 +1691,12 @@ mod tests {
             assert_eq!(a.finished.len(), b.finished.len(), "seed {seed}");
             for (x, y) in a.finished.iter().zip(b.finished.iter()) {
                 assert_eq!(x.id, y.id, "seed {seed}");
-                assert_eq!(x.start.to_bits(), y.start.to_bits(), "seed {seed} id {}", x.id);
+                assert_eq!(
+                    x.start.to_bits(),
+                    y.start.to_bits(),
+                    "seed {seed} id {}",
+                    x.id
+                );
                 assert_eq!(x.end.to_bits(), y.end.to_bits(), "seed {seed} id {}", x.id);
             }
         }

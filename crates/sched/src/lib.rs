@@ -16,6 +16,15 @@
 
 #![warn(missing_docs)]
 
+/// Version stamp of the scheduler zoo's decision semantics.
+///
+/// Folded into every memoized-result key of the artifact store
+/// (`psbench-store`): bump it whenever any registered policy's decisions (or
+/// the engine contract they rely on) change, so cached `SimulationResult`s
+/// from the old semantics stop being addressable and are reclaimed by
+/// `store gc` instead of silently serving stale numbers.
+pub const SCHED_VERSION: u32 = 1;
+
 pub mod adaptive;
 pub mod backfill;
 pub mod calendar;
@@ -67,7 +76,10 @@ const REGISTRY: &[(&str, SchedulerCtor)] = &[
     ("narrowest-first", |_| Box::new(SortedGreedy::narrowest())),
     ("greedy-fcfs", |_| Box::new(SortedGreedy::greedy_fcfs())),
     ("easy", |_| Box::new(EasyBackfill::default())),
-    ("conservative", |_| Box::new(ConservativeBackfill::default())),
+    (
+        "conservative",
+        |_| Box::new(ConservativeBackfill::default()),
+    ),
     ("conservative-replan", |_| Box::new(ReplanConservative)),
     ("gang", |machine_size| {
         Box::new(GangScheduler::new(machine_size, 4, Packing::FirstFit))

@@ -121,13 +121,8 @@ fn near_tie_jobs(specs: &[(u8, u8, u8, u8, u8)]) -> Vec<SimJob> {
             let submit = base as f64 * 100.0 + jitter as f64 * 1e-9;
             let runtime = 50.0 + run as f64 + (jitter as f64) * 0.5e-9;
             let estimate = runtime + over as f64 * 40.0 + (base as f64) * 1e-9;
-            SimJob::rigid(
-                i as u64 + 1,
-                submit,
-                runtime,
-                1 + (procs as u32 % MACHINE),
-            )
-            .with_estimate(estimate)
+            SimJob::rigid(i as u64 + 1, submit, runtime, 1 + (procs as u32 % MACHINE))
+                .with_estimate(estimate)
         })
         .collect()
 }
@@ -135,7 +130,11 @@ fn near_tie_jobs(specs: &[(u8, u8, u8, u8, u8)]) -> Vec<SimJob> {
 /// Run one scheduler over the calendar engine and return its result with the
 /// scheduler name erased, so results from the optimized calendar and the
 /// exhaustive oracle can be compared bit for bit as whole structs.
-fn run_anonymized(sched: &mut dyn Scheduler, config: &SimConfig, jobs: &[SimJob]) -> psbench_sim::SimulationResult {
+fn run_anonymized(
+    sched: &mut dyn Scheduler,
+    config: &SimConfig,
+    jobs: &[SimJob],
+) -> psbench_sim::SimulationResult {
     let mut r = Simulation::new(config.clone(), jobs.to_vec()).run(sched);
     r.scheduler = String::new();
     r

@@ -560,9 +560,7 @@ impl StaircaseScan<'_> {
             // straight to the next estimate-fitting entry.
             let root = self.streams[si];
             if let Some((narr, nid, nest)) =
-                self.queue
-                    .arena
-                    .first_fitting(root, Some((arr, id)), bound)
+                self.queue.arena.first_fitting(root, Some((arr, id)), bound)
             {
                 self.heap
                     .push(std::cmp::Reverse((narr, nid, nest, procs, si)));

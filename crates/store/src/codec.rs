@@ -1,0 +1,633 @@
+//! Exact, deterministic (de)serialization of cached artifacts.
+//!
+//! The artifact store must hand back artifacts **bit-identical** to the
+//! values that were put in — a resumed sweep's report is only byte-identical
+//! to an uninterrupted run if a decoded `SimulationResult` compares `==` to
+//! the one the simulator produced, and a cached `WorkloadProfile` must merge
+//! and render exactly like a freshly computed one. The codec therefore never
+//! formats a float as decimal text:
+//!
+//! * every integer accumulator (counts, `i128` power sums, histogram bins) is
+//!   written as exact decimal integers — sketch state is integral by design,
+//!   so this is lossless;
+//! * every `f64` is written as the 16-digit hex of [`f64::to_bits`] and
+//!   restored with [`f64::from_bits`], preserving the exact bit pattern
+//!   (including signed zeros and subnormals);
+//! * map-valued state (per-user / per-group aggregates) is written in
+//!   ascending key order, and histograms sparsely as `bin:count` pairs, so
+//!   encoding is deterministic: equal values encode to equal bytes, which is
+//!   what makes encoded artifacts themselves fingerprintable.
+//!
+//! The format is line-oriented ASCII with a versioned magic first line;
+//! [`decode_profile`] / [`decode_result`] reject anything whose magic or
+//! shape they do not understand (a store written by a future format version
+//! reads as corrupt, never as wrong data).
+
+use psbench_analyze::profile::GroupStats;
+use psbench_analyze::{
+    Correlation, Histogram, Histogram2, MarginalSketch, Moments, WorkloadProfile, ANALYZE_VERSION,
+};
+use psbench_sched::SCHED_VERSION;
+use psbench_sim::{FinishedJob, SimulationResult};
+use std::fmt;
+
+/// Magic first line of an encoded [`WorkloadProfile`].
+pub const PROFILE_MAGIC: &str = "psbench-profile v1";
+/// Magic first line of an encoded [`SimulationResult`].
+pub const RESULT_MAGIC: &str = "psbench-result v1";
+
+/// A decoding failure: the artifact bytes do not describe a well-formed value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// 1-based line number of the offending line (0 when the input ended early).
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "artifact line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err<T>(line: usize, reason: impl Into<String>) -> Result<T, CodecError> {
+    Err(CodecError {
+        line,
+        reason: reason.into(),
+    })
+}
+
+/// Escape a display name onto one line: backslashes and line breaks only,
+/// everything else passes through.
+fn escape_name(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_name(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// A line cursor over an encoded artifact.
+struct Lines<'a> {
+    iter: std::str::Lines<'a>,
+    line: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn new(text: &'a str) -> Self {
+        Lines {
+            iter: text.lines(),
+            line: 0,
+        }
+    }
+
+    fn next(&mut self) -> Result<&'a str, CodecError> {
+        self.line += 1;
+        match self.iter.next() {
+            Some(l) => Ok(l),
+            None => err(0, "unexpected end of artifact"),
+        }
+    }
+
+    /// Next line, which must start with `tag ` (or equal `tag`); returns the rest.
+    fn tagged(&mut self, tag: &str) -> Result<&'a str, CodecError> {
+        let l = self.next()?;
+        if l == tag {
+            return Ok("");
+        }
+        match l.strip_prefix(tag).and_then(|r| r.strip_prefix(' ')) {
+            Some(rest) => Ok(rest),
+            None => err(self.line, format!("expected `{tag} ...`, found {l:?}")),
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(tok: &str, line: usize, what: &str) -> Result<T, CodecError> {
+    tok.parse().map_err(|_| CodecError {
+        line,
+        reason: format!("bad {what}: {tok:?}"),
+    })
+}
+
+fn parse_f64_bits(tok: &str, line: usize) -> Result<f64, CodecError> {
+    u64::from_str_radix(tok, 16)
+        .map(f64::from_bits)
+        .map_err(|_| CodecError {
+            line,
+            reason: format!("bad f64 bits: {tok:?}"),
+        })
+}
+
+fn split_n<const N: usize>(rest: &str, line: usize) -> Result<[&str; N], CodecError> {
+    let mut out = [""; N];
+    let mut it = rest.split_ascii_whitespace();
+    for slot in out.iter_mut() {
+        match it.next() {
+            Some(t) => *slot = t,
+            None => return err(line, format!("expected {N} fields, found fewer")),
+        }
+    }
+    if it.next().is_some() {
+        return err(line, format!("expected exactly {N} fields"));
+    }
+    Ok(out)
+}
+
+fn push_moments(out: &mut String, tag: &str, m: &Moments) {
+    out.push_str(&format!(
+        "{tag} {} {} {} {} {}\n",
+        m.count, m.sum, m.sum_sq, m.min, m.max
+    ));
+}
+
+fn parse_moments(rest: &str, line: usize) -> Result<Moments, CodecError> {
+    let [count, sum, sum_sq, min, max] = split_n::<5>(rest, line)?;
+    Ok(Moments {
+        count: parse_num(count, line, "count")?,
+        sum: parse_num(sum, line, "sum")?,
+        sum_sq: parse_num(sum_sq, line, "sum_sq")?,
+        min: parse_num(min, line, "min")?,
+        max: parse_num(max, line, "max")?,
+    })
+}
+
+/// Sparse `bin:count` rendering of histogram counts (deterministic: ascending
+/// bin order, zero bins omitted).
+fn push_sparse(out: &mut String, counts: &[u64]) {
+    for (bin, &c) in counts.iter().enumerate() {
+        if c != 0 {
+            out.push_str(&format!(" {bin}:{c}"));
+        }
+    }
+    out.push('\n');
+}
+
+fn parse_sparse(rest: &str, len: usize, line: usize) -> Result<Vec<u64>, CodecError> {
+    let mut counts = vec![0u64; len];
+    for pair in rest.split_ascii_whitespace() {
+        let Some((bin, c)) = pair.split_once(':') else {
+            return err(line, format!("expected bin:count, found {pair:?}"));
+        };
+        let bin: usize = parse_num(bin, line, "bin index")?;
+        if bin >= len {
+            return err(line, format!("bin index {bin} out of range (< {len})"));
+        }
+        counts[bin] = parse_num(c, line, "bin count")?;
+    }
+    Ok(counts)
+}
+
+fn push_marginal(out: &mut String, tag: &str, m: &MarginalSketch) {
+    push_moments(out, &format!("moments {tag}"), &m.moments);
+    out.push_str(&format!("hist {tag}"));
+    push_sparse(out, m.histogram.counts());
+}
+
+fn parse_marginal(lines: &mut Lines<'_>, tag: &str) -> Result<MarginalSketch, CodecError> {
+    let rest = lines.tagged(&format!("moments {tag}"))?;
+    let moments = parse_moments(rest, lines.line)?;
+    let rest = lines.tagged(&format!("hist {tag}"))?;
+    let counts = parse_sparse(rest, psbench_analyze::HISTOGRAM_BINS, lines.line)?;
+    Ok(MarginalSketch {
+        moments,
+        histogram: Histogram::from_counts(counts),
+    })
+}
+
+/// Encode a [`WorkloadProfile`] into the exact, deterministic artifact text.
+pub fn encode_profile(p: &WorkloadProfile) -> String {
+    let mut out = String::new();
+    out.push_str(PROFILE_MAGIC);
+    out.push('\n');
+    out.push_str(&format!("analyze_version {ANALYZE_VERSION}\n"));
+    out.push_str(&format!("name {}\n", escape_name(&p.name)));
+    out.push_str(&format!("jobs {}\n", p.jobs));
+    let opt = |v: Option<i64>| v.map(|x| x.to_string()).unwrap_or_else(|| "-".into());
+    out.push_str(&format!(
+        "submits {} {}\n",
+        opt(p.first_submit),
+        opt(p.last_submit)
+    ));
+    push_marginal(&mut out, "interarrival", &p.interarrival);
+    push_marginal(&mut out, "runtime", &p.runtime);
+    push_marginal(&mut out, "size", &p.size);
+    push_marginal(&mut out, "accuracy", &p.accuracy);
+    out.push_str("diurnal");
+    for v in &p.diurnal {
+        out.push_str(&format!(" {v}"));
+    }
+    out.push('\n');
+    out.push_str("weekly");
+    for v in &p.weekly {
+        out.push_str(&format!(" {v}"));
+    }
+    out.push('\n');
+    let sums = p.size_runtime.sums();
+    out.push_str(&format!(
+        "corr {} {} {} {} {} {}\n",
+        p.size_runtime.count, sums[0], sums[1], sums[2], sums[3], sums[4]
+    ));
+    out.push_str(&format!(
+        "hist2 {}",
+        if p.size_runtime_hist.counts().is_empty() {
+            0
+        } else {
+            1
+        }
+    ));
+    push_sparse(&mut out, p.size_runtime_hist.counts());
+    out.push_str(&format!("users {}\n", p.per_user.len()));
+    for (id, g) in &p.per_user {
+        push_group(&mut out, "user", *id, g);
+    }
+    out.push_str(&format!("groups {}\n", p.per_group.len()));
+    for (id, g) in &p.per_group {
+        push_group(&mut out, "group", *id, g);
+    }
+    out.push_str("end\n");
+    out
+}
+
+fn push_group(out: &mut String, tag: &str, id: u32, g: &GroupStats) {
+    out.push_str(&format!(
+        "{tag} {id} {} {} {} {} {} {} {}\n",
+        g.jobs,
+        g.area,
+        g.runtime.count,
+        g.runtime.sum,
+        g.runtime.sum_sq,
+        g.runtime.min,
+        g.runtime.max
+    ));
+}
+
+fn parse_group(rest: &str, line: usize) -> Result<(u32, GroupStats), CodecError> {
+    let [id, jobs, area, count, sum, sum_sq, min, max] = split_n::<8>(rest, line)?;
+    Ok((
+        parse_num(id, line, "id")?,
+        GroupStats {
+            jobs: parse_num(jobs, line, "jobs")?,
+            area: parse_num(area, line, "area")?,
+            runtime: Moments {
+                count: parse_num(count, line, "count")?,
+                sum: parse_num(sum, line, "sum")?,
+                sum_sq: parse_num(sum_sq, line, "sum_sq")?,
+                min: parse_num(min, line, "min")?,
+                max: parse_num(max, line, "max")?,
+            },
+        },
+    ))
+}
+
+/// Decode a [`WorkloadProfile`] from artifact text produced by
+/// [`encode_profile`]; the decoded value compares `==` to the original.
+pub fn decode_profile(text: &str) -> Result<WorkloadProfile, CodecError> {
+    let mut lines = Lines::new(text);
+    let magic = lines.next()?;
+    if magic != PROFILE_MAGIC {
+        return err(lines.line, format!("bad profile magic {magic:?}"));
+    }
+    let version: u32 = parse_num(
+        lines.tagged("analyze_version")?,
+        lines.line,
+        "analyze version",
+    )?;
+    if version != ANALYZE_VERSION {
+        return err(
+            lines.line,
+            format!("stale analyze_version {version} (current {ANALYZE_VERSION})"),
+        );
+    }
+    let name = unescape_name(lines.tagged("name")?);
+    let jobs: u64 = parse_num(lines.tagged("jobs")?, lines.line, "jobs")?;
+    let rest = lines.tagged("submits")?;
+    let [first, last] = split_n::<2>(rest, lines.line)?;
+    let opt = |tok: &str, line: usize| -> Result<Option<i64>, CodecError> {
+        if tok == "-" {
+            Ok(None)
+        } else {
+            parse_num(tok, line, "submit").map(Some)
+        }
+    };
+    let first_submit = opt(first, lines.line)?;
+    let last_submit = opt(last, lines.line)?;
+    let interarrival = parse_marginal(&mut lines, "interarrival")?;
+    let runtime = parse_marginal(&mut lines, "runtime")?;
+    let size = parse_marginal(&mut lines, "size")?;
+    let accuracy = parse_marginal(&mut lines, "accuracy")?;
+    let rest = lines.tagged("diurnal")?;
+    let d = split_n::<24>(rest, lines.line)?;
+    let mut diurnal = [0u64; 24];
+    for (slot, tok) in diurnal.iter_mut().zip(d.iter()) {
+        *slot = parse_num(tok, lines.line, "diurnal count")?;
+    }
+    let rest = lines.tagged("weekly")?;
+    let w = split_n::<7>(rest, lines.line)?;
+    let mut weekly = [0u64; 7];
+    for (slot, tok) in weekly.iter_mut().zip(w.iter()) {
+        *slot = parse_num(tok, lines.line, "weekly count")?;
+    }
+    let rest = lines.tagged("corr")?;
+    let [count, sx, sy, sxx, syy, sxy] = split_n::<6>(rest, lines.line)?;
+    let size_runtime = Correlation::from_sums(
+        parse_num(count, lines.line, "count")?,
+        [
+            parse_num(sx, lines.line, "sum")?,
+            parse_num(sy, lines.line, "sum")?,
+            parse_num(sxx, lines.line, "sum")?,
+            parse_num(syy, lines.line, "sum")?,
+            parse_num(sxy, lines.line, "sum")?,
+        ],
+    );
+    let rest = lines.tagged("hist2")?;
+    let (alloc, cells) = match rest.split_once(' ') {
+        Some((a, rest)) => (a, rest),
+        None => (rest, ""),
+    };
+    let size_runtime_hist = match alloc {
+        "0" => {
+            if !cells.trim().is_empty() {
+                return err(lines.line, "unallocated hist2 carries cells");
+            }
+            Histogram2::new()
+        }
+        "1" => Histogram2::from_counts(parse_sparse(
+            cells,
+            psbench_analyze::JOINT_BINS * psbench_analyze::JOINT_BINS,
+            lines.line,
+        )?),
+        other => return err(lines.line, format!("bad hist2 alloc flag {other:?}")),
+    };
+    let n_users: usize = parse_num(lines.tagged("users")?, lines.line, "user count")?;
+    let mut per_user = std::collections::BTreeMap::new();
+    for _ in 0..n_users {
+        let rest = lines.tagged("user")?;
+        let (id, g) = parse_group(rest, lines.line)?;
+        per_user.insert(id, g);
+    }
+    let n_groups: usize = parse_num(lines.tagged("groups")?, lines.line, "group count")?;
+    let mut per_group = std::collections::BTreeMap::new();
+    for _ in 0..n_groups {
+        let rest = lines.tagged("group")?;
+        let (id, g) = parse_group(rest, lines.line)?;
+        per_group.insert(id, g);
+    }
+    lines.tagged("end")?;
+    Ok(WorkloadProfile {
+        name,
+        jobs,
+        interarrival,
+        runtime,
+        size,
+        accuracy,
+        diurnal,
+        weekly,
+        per_user,
+        per_group,
+        size_runtime,
+        size_runtime_hist,
+        first_submit,
+        last_submit,
+    })
+}
+
+/// Encode a [`SimulationResult`] into the exact, deterministic artifact text.
+/// Every float travels as its bit pattern, so `decode(encode(r)) == r` holds
+/// with `==` — the property the byte-identical-resume guarantee rests on.
+pub fn encode_result(r: &SimulationResult) -> String {
+    let mut out = String::new();
+    out.push_str(RESULT_MAGIC);
+    out.push('\n');
+    out.push_str(&format!("sched_version {SCHED_VERSION}\n"));
+    out.push_str(&format!("scheduler {}\n", escape_name(&r.scheduler)));
+    out.push_str(&format!("machine_size {}\n", r.machine_size));
+    out.push_str(&format!(
+        "counters {} {} {} {} {} {}\n",
+        r.unfinished,
+        r.discarded,
+        r.kills,
+        r.rejected_decisions,
+        r.coalesced_wakeups,
+        r.events_processed
+    ));
+    out.push_str(&format!(
+        "integrals {} {} {} {}\n",
+        f64_hex(r.idle_while_queued),
+        f64_hex(r.busy_integral),
+        f64_hex(r.lost_node_seconds),
+        f64_hex(r.end_time)
+    ));
+    out.push_str(&format!("finished {}\n", r.finished.len()));
+    for f in &r.finished {
+        out.push_str(&format!(
+            "f {} {} {} {} {} {} {} {}\n",
+            f.id,
+            f64_hex(f.submit),
+            f64_hex(f.start),
+            f64_hex(f.first_start),
+            f64_hex(f.end),
+            f.procs,
+            f.restarts,
+            f.user.map(|u| u.to_string()).unwrap_or_else(|| "-".into())
+        ));
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Decode a [`SimulationResult`] from artifact text produced by
+/// [`encode_result`].
+pub fn decode_result(text: &str) -> Result<SimulationResult, CodecError> {
+    let mut lines = Lines::new(text);
+    let magic = lines.next()?;
+    if magic != RESULT_MAGIC {
+        return err(lines.line, format!("bad result magic {magic:?}"));
+    }
+    let version: u32 = parse_num(lines.tagged("sched_version")?, lines.line, "sched version")?;
+    if version != SCHED_VERSION {
+        return err(
+            lines.line,
+            format!("stale sched_version {version} (current {SCHED_VERSION})"),
+        );
+    }
+    let scheduler = unescape_name(lines.tagged("scheduler")?);
+    let machine_size: u32 = parse_num(lines.tagged("machine_size")?, lines.line, "machine size")?;
+    let rest = lines.tagged("counters")?;
+    let [unfinished, discarded, kills, rejected, coalesced, events] =
+        split_n::<6>(rest, lines.line)?;
+    let rest = lines.tagged("integrals")?;
+    let [idle, busy, lost, end_time] = split_n::<4>(rest, lines.line)?;
+    let n: usize = parse_num(lines.tagged("finished")?, lines.line, "finished count")?;
+    let mut finished = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let rest = lines.tagged("f")?;
+        let [id, submit, start, first_start, end, procs, restarts, user] =
+            split_n::<8>(rest, lines.line)?;
+        finished.push(FinishedJob {
+            id: parse_num(id, lines.line, "job id")?,
+            submit: parse_f64_bits(submit, lines.line)?,
+            start: parse_f64_bits(start, lines.line)?,
+            first_start: parse_f64_bits(first_start, lines.line)?,
+            end: parse_f64_bits(end, lines.line)?,
+            procs: parse_num(procs, lines.line, "procs")?,
+            restarts: parse_num(restarts, lines.line, "restarts")?,
+            user: if user == "-" {
+                None
+            } else {
+                Some(parse_num(user, lines.line, "user")?)
+            },
+        });
+    }
+    lines.tagged("end")?;
+    Ok(SimulationResult {
+        scheduler,
+        machine_size,
+        finished,
+        unfinished: parse_num(unfinished, 3, "unfinished")?,
+        discarded: parse_num(discarded, 3, "discarded")?,
+        idle_while_queued: parse_f64_bits(idle, 4)?,
+        busy_integral: parse_f64_bits(busy, 4)?,
+        lost_node_seconds: parse_f64_bits(lost, 4)?,
+        kills: parse_num(kills, 3, "kills")?,
+        rejected_decisions: parse_num(rejected, 3, "rejected")?,
+        coalesced_wakeups: parse_num(coalesced, 3, "coalesced")?,
+        events_processed: parse_num(events, 3, "events")?,
+        end_time: parse_f64_bits(end_time, 4)?,
+    })
+}
+
+/// The canonical 64-bit fingerprint of a simulation result: FNV-1a over its
+/// exact encoding. This is the per-cell fingerprint journaled by sweep
+/// ledgers, and the one width-compatible continuation of the table
+/// fingerprints `sweep-bench` snapshots.
+pub fn result_fingerprint(r: &SimulationResult) -> u64 {
+    crate::fnv::fnv1a_64(encode_result(r).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result() -> SimulationResult {
+        SimulationResult {
+            scheduler: "easy".into(),
+            machine_size: 64,
+            finished: vec![
+                FinishedJob {
+                    id: 1,
+                    submit: 0.0,
+                    start: 0.5,
+                    first_start: 0.25,
+                    end: 100.125,
+                    procs: 32,
+                    restarts: 1,
+                    user: Some(7),
+                },
+                FinishedJob {
+                    id: 2,
+                    submit: -0.0,
+                    start: 1.0e-9,
+                    first_start: 1.0e-9,
+                    end: 1.0e12,
+                    procs: 1,
+                    restarts: 0,
+                    user: None,
+                },
+            ],
+            unfinished: 3,
+            discarded: 1,
+            idle_while_queued: 320.0625,
+            busy_integral: 1.0 / 3.0,
+            lost_node_seconds: 0.1 + 0.2,
+            kills: 2,
+            rejected_decisions: 4,
+            coalesced_wakeups: 5,
+            events_processed: 999,
+            end_time: 12345.6789,
+        }
+    }
+
+    #[test]
+    fn result_round_trips_bit_for_bit() {
+        let r = sample_result();
+        let text = encode_result(&r);
+        let back = decode_result(&text).unwrap();
+        assert_eq!(back, r);
+        // Determinism: equal values, equal bytes, equal fingerprints.
+        assert_eq!(encode_result(&back), text);
+        assert_eq!(result_fingerprint(&back), result_fingerprint(&r));
+    }
+
+    #[test]
+    fn profile_round_trips_bit_for_bit() {
+        use psbench_workload::{Lublin99, WorkloadModel};
+        let log = Lublin99::default().generate(300, 11);
+        let p = WorkloadProfile::of_log("lublin99 roundtrip", &log);
+        let text = encode_profile(&p);
+        let back = decode_profile(&text).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(encode_profile(&back), text);
+    }
+
+    #[test]
+    fn empty_profile_round_trips_including_lazy_hist2() {
+        let p = WorkloadProfile::named("empty");
+        let back = decode_profile(&encode_profile(&p)).unwrap();
+        assert_eq!(back, p);
+        assert!(
+            back.size_runtime_hist.counts().is_empty(),
+            "stays unallocated"
+        );
+    }
+
+    #[test]
+    fn names_with_escapes_survive() {
+        let mut p = WorkloadProfile::named("weird \\ name\nwith newline\r");
+        p.jobs = 0;
+        let back = decode_profile(&encode_profile(&p)).unwrap();
+        assert_eq!(back.name, p.name);
+    }
+
+    #[test]
+    fn corrupt_artifacts_are_rejected() {
+        assert!(decode_profile("nonsense").is_err());
+        assert!(decode_result("psbench-result v999\n").is_err());
+        let good = encode_result(&sample_result());
+        // Truncation is detected.
+        let truncated = &good[..good.len() - 5];
+        assert!(decode_result(truncated).is_err());
+        // A tampered field is detected as malformed (non-hex float).
+        let tampered = good.replace("machine_size 64", "machine_size sixty-four");
+        assert!(decode_result(&tampered).is_err());
+    }
+}

@@ -285,6 +285,37 @@ fn parse_cm5(line: &str, line_no: usize) -> Result<RawJob, ConvertError> {
     })
 }
 
+/// Parse one (trimmed, non-comment) raw line in the given dialect.
+fn parse_raw_line(line: &str, dialect: Dialect, line_no: usize) -> Result<RawJob, ConvertError> {
+    match dialect {
+        Dialect::NasaIpsc => parse_nasa(line, line_no),
+        Dialect::SdscParagon => parse_paragon(line, line_no),
+        Dialect::CtcSp2 => parse_sp2(line, line_no),
+        Dialect::LanlCm5 => parse_cm5(line, line_no),
+    }
+}
+
+/// True for lines the converter ignores entirely: blanks and comments.
+fn is_raw_comment(trimmed: &str) -> bool {
+    trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with(';')
+}
+
+/// Build the converted log's header, known in full before any record.
+fn converted_header(dialect: Dialect, max_nodes: Option<u32>) -> SwfHeader {
+    let mut header = SwfHeader {
+        computer: Some(dialect.computer().to_string()),
+        conversion: Some("psbench raw-log converter".to_string()),
+        version: Some(FORMAT_VERSION),
+        max_nodes,
+        ..SwfHeader::default()
+    };
+    header.notes.push(format!(
+        "Converted from synthetic {} dialect",
+        dialect.name()
+    ));
+    header
+}
+
 /// Convert raw accounting-log text in the given dialect to a clean SWF log.
 pub fn convert(
     raw: &str,
@@ -297,16 +328,10 @@ pub fn convert(
     for (i, line) in raw.lines().enumerate() {
         let line_no = i + 1;
         let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with(';') {
+        if is_raw_comment(trimmed) {
             continue;
         }
-        let parsed = match dialect {
-            Dialect::NasaIpsc => parse_nasa(trimmed, line_no),
-            Dialect::SdscParagon => parse_paragon(trimmed, line_no),
-            Dialect::CtcSp2 => parse_sp2(trimmed, line_no),
-            Dialect::LanlCm5 => parse_cm5(trimmed, line_no),
-        };
-        match parsed {
+        match parse_raw_line(trimmed, dialect, line_no) {
             Ok(j) => raw_jobs.push(j),
             Err(e) => {
                 if opts.strict {
@@ -354,17 +379,7 @@ pub fn convert(
         jobs.push(rec);
     }
 
-    let mut header = SwfHeader {
-        computer: Some(dialect.computer().to_string()),
-        conversion: Some("psbench raw-log converter".to_string()),
-        version: Some(FORMAT_VERSION),
-        max_nodes,
-        ..SwfHeader::default()
-    };
-    header.notes.push(format!(
-        "Converted from synthetic {} dialect",
-        dialect.name()
-    ));
+    let header = converted_header(dialect, max_nodes);
 
     let mut log = SwfLog::new(header, jobs);
     // densify_ids is idempotent here (ids are already dense) but shields against
@@ -377,6 +392,314 @@ pub fn convert(
         cleaning,
         skipped,
     })
+}
+
+/// Default reorder window of [`RawStream`]: how many records of submit-time
+/// disorder the streaming converter absorbs (raw logs are commonly in
+/// end-time order, where local disorder is bounded by queue depth).
+pub const DEFAULT_REORDER_WINDOW: usize = 8_192;
+
+/// Per-record queued entry of the reorder window, min-ordered by
+/// `(submit, input sequence)` — exactly the stable `sort_by_key(submit)`
+/// order of the materialized converter.
+struct Pending {
+    submit: i64,
+    seq: u64,
+    job: RawJob,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        (self.submit, self.seq) == (other.submit, other.seq)
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.submit, self.seq).cmp(&(other.submit, other.seq))
+    }
+}
+
+/// Cleaning counters of a streaming conversion — the subset of
+/// [`CleaningReport`] a record-at-a-time pass can observe.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamReport {
+    /// Raw lines skipped as unparseable (lenient mode only).
+    pub skipped: usize,
+    /// Hopeless records dropped (no processor count at all).
+    pub dropped: usize,
+    /// Processor fields clamped to `MaxNodes`.
+    pub clamped_procs: usize,
+    /// CPU times clamped to the wall-clock runtime.
+    pub clamped_cpu: usize,
+    /// Missing runtimes filled in from CPU time.
+    pub filled_runtimes: usize,
+}
+
+/// A streaming raw-dialect converter: a [`JobSource`](crate::source::JobSource)
+/// that reads raw accounting-log lines from any [`BufRead`](std::io::BufRead)
+/// and yields clean, anonymized,
+/// renumbered SWF records in bounded memory.
+///
+/// Memory is bounded by the reorder window (a min-heap of at most
+/// `window` + 1 raw jobs) plus one line buffer — never the whole log. Within
+/// that window the stream is **record-for-record identical** to the
+/// materialized [`convert`] pipeline (stable sort by submit, rebase to the
+/// first kept submit, anonymization ids assigned in sorted order over *all*
+/// records including later-dropped ones, job ids `1..m` over kept records,
+/// per-record cleaning): property tests assert the equivalence per dialect.
+/// Input more disordered than the window fails with
+/// [`ConvertError::WindowExceeded`] rather than yielding an unsorted log.
+///
+/// Unlike [`convert`], the header must be fully known up front (the whole
+/// point is emitting it before the records), so `max_nodes` is required.
+pub struct RawStream<R: std::io::BufRead> {
+    reader: Option<R>,
+    dialect: Dialect,
+    strict: bool,
+    window: usize,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<Pending>>,
+    meta: crate::source::SourceMeta,
+    key: AnonymizationKey,
+    report: StreamReport,
+    max_nodes: u32,
+    /// 1-based raw line number, for error messages.
+    line_no: usize,
+    /// Input-order tiebreak counter.
+    seq: u64,
+    /// Raw records successfully parsed (incl. later-dropped ones).
+    parsed: u64,
+    /// Submit time of the first *kept* record: the rebase origin.
+    base: Option<i64>,
+    /// Next SWF job id (kept records only, so ids are 1..m).
+    next_id: u64,
+    /// Submit of the previously emitted record, to detect window overflow.
+    last_submit: Option<i64>,
+    /// Set after a terminal error or the EmptyLog report.
+    failed: bool,
+    line: String,
+}
+
+impl<R: std::io::BufRead> RawStream<R> {
+    /// Stream-convert `reader` with the [`DEFAULT_REORDER_WINDOW`].
+    pub fn new(
+        name: impl Into<String>,
+        reader: R,
+        dialect: Dialect,
+        max_nodes: u32,
+        opts: &ConvertOptions,
+    ) -> Self {
+        Self::with_window(
+            name,
+            reader,
+            dialect,
+            max_nodes,
+            opts,
+            DEFAULT_REORDER_WINDOW,
+        )
+    }
+
+    /// Stream-convert with an explicit reorder window (in records).
+    pub fn with_window(
+        name: impl Into<String>,
+        reader: R,
+        dialect: Dialect,
+        max_nodes: u32,
+        opts: &ConvertOptions,
+        window: usize,
+    ) -> Self {
+        RawStream {
+            reader: Some(reader),
+            dialect,
+            strict: opts.strict,
+            window: window.max(1),
+            heap: std::collections::BinaryHeap::new(),
+            meta: crate::source::SourceMeta {
+                name: name.into(),
+                header: converted_header(dialect, Some(max_nodes)),
+            },
+            key: AnonymizationKey::default(),
+            report: StreamReport::default(),
+            max_nodes,
+            line_no: 0,
+            seq: 0,
+            parsed: 0,
+            base: None,
+            next_id: 1,
+            last_submit: None,
+            failed: false,
+            line: String::new(),
+        }
+    }
+
+    /// The anonymization key accumulated so far (complete once the stream is
+    /// drained).
+    pub fn key(&self) -> &AnonymizationKey {
+        &self.key
+    }
+
+    /// Cleaning counters so far (complete once the stream is drained).
+    pub fn report(&self) -> StreamReport {
+        self.report
+    }
+
+    /// Pull raw lines until the reorder window is full or input is exhausted.
+    fn fill(&mut self) -> Result<(), ConvertError> {
+        while self.heap.len() < self.window {
+            let Some(reader) = self.reader.as_mut() else {
+                return Ok(());
+            };
+            self.line.clear();
+            let n =
+                reader
+                    .read_line(&mut self.line)
+                    .map_err(|e| ConvertError::MalformedRecord {
+                        line: self.line_no + 1,
+                        reason: format!("i/o error: {e}"),
+                    })?;
+            if n == 0 {
+                self.reader = None;
+                return Ok(());
+            }
+            self.line_no += 1;
+            let trimmed = self.line.trim();
+            if is_raw_comment(trimmed) {
+                continue;
+            }
+            match parse_raw_line(trimmed, self.dialect, self.line_no) {
+                Ok(job) => {
+                    self.parsed += 1;
+                    self.heap.push(std::cmp::Reverse(Pending {
+                        submit: job.submit,
+                        seq: self.seq,
+                        job,
+                    }));
+                    self.seq += 1;
+                }
+                Err(e) => {
+                    if self.strict {
+                        return Err(e);
+                    }
+                    self.report.skipped += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Turn the next pending raw job into a clean SWF record; `None` when it
+    /// is dropped as hopeless.
+    fn emit(&mut self, mut rj: RawJob) -> Result<Option<SwfRecord>, ConvertError> {
+        // Anonymize *before* the hopeless check: the materialized pipeline
+        // maps identifiers over every sorted record and only then cleans, so
+        // skipping dropped records here would shift every later id.
+        let user = rj.user.take().map(|u| self.key.users.map(&u));
+        let group = rj.group.take().map(|g| self.key.groups.map(&g));
+        let exe = rj.executable.take().map(|e| self.key.executables.map(&e));
+        let interactive = rj.interactive;
+        let queue = if interactive {
+            rj.queue = None;
+            Some(0)
+        } else {
+            rj.queue.take().map(|q| self.key.queues.map(&q))
+        };
+        let partition = rj.partition.take().map(|p| self.key.partitions.map(&p));
+
+        if rj.procs.is_none() && rj.req_procs.is_none() {
+            // A summary record with no processor count: clean() drops these.
+            self.report.dropped += 1;
+            return Ok(None);
+        }
+        if self.last_submit.is_some_and(|prev| rj.submit < prev) {
+            return Err(ConvertError::WindowExceeded {
+                window: self.window,
+            });
+        }
+        self.last_submit = Some(rj.submit);
+        let base = *self.base.get_or_insert(rj.submit);
+        rj.submit -= base;
+        if let Some(s) = rj.start.as_mut() {
+            *s -= base;
+        }
+        if let Some(e) = rj.end.as_mut() {
+            *e -= base;
+        }
+        let mut rec = rj.into_record(self.next_id);
+        self.next_id += 1;
+        rec.user_id = user;
+        rec.group_id = group;
+        rec.executable_id = exe;
+        rec.queue_id = queue;
+        rec.partition_id = partition;
+
+        // The per-record half of validate::clean(), verbatim.
+        if let Some(p) = rec.requested_procs {
+            if p > self.max_nodes {
+                rec.requested_procs = Some(self.max_nodes);
+                self.report.clamped_procs += 1;
+            }
+        }
+        if let Some(p) = rec.allocated_procs {
+            if p > self.max_nodes {
+                rec.allocated_procs = Some(self.max_nodes);
+                self.report.clamped_procs += 1;
+            }
+        }
+        if let (Some(c), Some(r)) = (rec.avg_cpu_time, rec.run_time) {
+            if c > r {
+                rec.avg_cpu_time = Some(r);
+                self.report.clamped_cpu += 1;
+            }
+        }
+        if rec.run_time.is_none()
+            && rec.status != CompletionStatus::Cancelled
+            && rec.status != CompletionStatus::Unknown
+        {
+            rec.run_time = Some(rec.avg_cpu_time.unwrap_or(0));
+            self.report.filled_runtimes += 1;
+        }
+        Ok(Some(rec))
+    }
+}
+
+impl<R: std::io::BufRead> crate::source::JobSource for RawStream<R> {
+    fn meta(&self) -> &crate::source::SourceMeta {
+        &self.meta
+    }
+
+    fn next_record(&mut self) -> Option<Result<SwfRecord, crate::error::ParseError>> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if let Err(e) = self.fill() {
+                self.failed = true;
+                return Some(Err(e.into()));
+            }
+            let Some(std::cmp::Reverse(pending)) = self.heap.pop() else {
+                if self.parsed == 0 {
+                    // Materialized convert() rejects inputs with no parseable
+                    // records; so does the stream, once.
+                    self.failed = true;
+                    return Some(Err(ConvertError::EmptyLog.into()));
+                }
+                return None;
+            };
+            match self.emit(pending.job) {
+                Ok(Some(rec)) => return Some(Ok(rec)),
+                Ok(None) => continue,
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e.into()));
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -554,6 +877,185 @@ job=3 user=u1 group=g2 class=batch submit=300 start=500 end=5500 procs=128 wall_
             .windows(2)
             .all(|w| w[0].submit_time <= w[1].submit_time));
         assert_eq!(c.log.jobs[0].job_id, 1);
+    }
+
+    #[test]
+    fn streaming_matches_materialized_for_every_dialect() {
+        use crate::source::JobSource;
+        let fixtures: &[(&str, Dialect, u32)] = &[
+            (NASA, Dialect::NasaIpsc, 128),
+            (PARAGON, Dialect::SdscParagon, 416),
+            (SP2, Dialect::CtcSp2, 430),
+            (CM5, Dialect::LanlCm5, 1024),
+        ];
+        for &(raw, dialect, max_nodes) in fixtures {
+            let materialized =
+                convert(raw, dialect, Some(max_nodes), &ConvertOptions::default()).unwrap();
+            let stream = RawStream::new(
+                "s",
+                raw.as_bytes(),
+                dialect,
+                max_nodes,
+                &ConvertOptions::default(),
+            );
+            let streamed = stream.collect_log().unwrap();
+            assert_eq!(streamed.jobs, materialized.log.jobs, "{}", dialect.name());
+            assert_eq!(
+                streamed.header.render(),
+                materialized.log.header.render(),
+                "{}",
+                dialect.name()
+            );
+            assert_eq!(
+                crate::write::write_string(&streamed),
+                crate::write::write_string(&materialized.log),
+                "byte-identical output for {}",
+                dialect.name()
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_replicates_anonymization_and_skip_counts() {
+        use crate::source::JobSource;
+        let noisy = format!("{NASA}\nthis line is garbage\n");
+        let materialized = convert(
+            &noisy,
+            Dialect::NasaIpsc,
+            Some(128),
+            &ConvertOptions::default(),
+        )
+        .unwrap();
+        let mut stream = RawStream::new(
+            "s",
+            noisy.as_bytes(),
+            Dialect::NasaIpsc,
+            128,
+            &ConvertOptions::default(),
+        );
+        let mut jobs = Vec::new();
+        while let Some(r) = stream.next_record() {
+            jobs.push(r.unwrap());
+        }
+        assert_eq!(jobs, materialized.log.jobs);
+        assert_eq!(stream.report().skipped, materialized.skipped);
+        assert_eq!(stream.key().users.len(), materialized.key.users.len());
+        assert_eq!(stream.key().users.original(1), Some("alice"));
+        // Strict mode surfaces the garbage line as an error instead.
+        let mut strict = RawStream::new(
+            "s",
+            noisy.as_bytes(),
+            Dialect::NasaIpsc,
+            128,
+            &ConvertOptions { strict: true },
+        );
+        let err = loop {
+            match strict.next_record() {
+                Some(Ok(_)) => continue,
+                Some(Err(e)) => break e,
+                None => panic!("strict stream should fail"),
+            }
+        };
+        assert!(matches!(
+            err,
+            crate::error::ParseError::Convert(ConvertError::MalformedRecord { .. })
+        ));
+        assert!(strict.next_record().is_none(), "errors are terminal");
+    }
+
+    #[test]
+    fn streaming_handles_unsorted_input_within_window() {
+        use crate::source::JobSource;
+        let shuffled = "\
+2 bob qcd 64 1100 1200 1200 ok
+1 alice cfd 32 1000 1010 600 ok
+";
+        let materialized = convert(
+            shuffled,
+            Dialect::NasaIpsc,
+            Some(128),
+            &ConvertOptions::default(),
+        )
+        .unwrap();
+        let streamed = RawStream::with_window(
+            "s",
+            shuffled.as_bytes(),
+            Dialect::NasaIpsc,
+            128,
+            &ConvertOptions::default(),
+            4,
+        )
+        .collect_log()
+        .unwrap();
+        assert_eq!(streamed.jobs, materialized.log.jobs);
+
+        // A window of 1 cannot absorb the swap: hard error, not silent disorder.
+        let err = RawStream::with_window(
+            "s",
+            shuffled.as_bytes(),
+            Dialect::NasaIpsc,
+            128,
+            &ConvertOptions::default(),
+            1,
+        )
+        .collect_log()
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ParseError::Convert(ConvertError::WindowExceeded { window: 1 })
+        ));
+    }
+
+    #[test]
+    fn streaming_drops_hopeless_records_like_clean() {
+        use crate::source::JobSource;
+        // Middle SP2 job has no procs at all: clean() drops it and renumbers.
+        let raw = "\
+job=1 user=u1 group=g1 class=batch submit=100 start=160 end=400 procs=16 completion=ok
+job=2 user=u2 group=g1 class=batch submit=150 start=152 end=200 completion=ok
+job=3 user=u3 group=g2 class=batch submit=300 start=500 end=5500 procs=128 completion=ok
+";
+        let materialized =
+            convert(raw, Dialect::CtcSp2, Some(430), &ConvertOptions::default()).unwrap();
+        assert_eq!(materialized.log.len(), 2);
+        let mut stream = RawStream::new(
+            "s",
+            raw.as_bytes(),
+            Dialect::CtcSp2,
+            430,
+            &ConvertOptions::default(),
+        );
+        let mut jobs = Vec::new();
+        while let Some(r) = stream.next_record() {
+            jobs.push(r.unwrap());
+        }
+        assert_eq!(jobs, materialized.log.jobs);
+        assert_eq!(stream.report().dropped, 1);
+        // The dropped record's user u2 still consumed an anonymization id,
+        // exactly like the materialized pipeline.
+        assert_eq!(stream.key().users.original(2), Some("u2"));
+        assert_eq!(jobs[1].user_id, Some(3));
+        assert_eq!(jobs[0].job_id, 1);
+        assert_eq!(jobs[1].job_id, 2);
+    }
+
+    #[test]
+    fn streaming_rejects_empty_input() {
+        use crate::source::JobSource;
+        let mut stream = RawStream::new(
+            "s",
+            "# nothing\n".as_bytes(),
+            Dialect::NasaIpsc,
+            128,
+            &ConvertOptions::default(),
+        );
+        assert!(matches!(
+            stream.next_record(),
+            Some(Err(crate::error::ParseError::Convert(
+                ConvertError::EmptyLog
+            )))
+        ));
+        assert!(stream.next_record().is_none());
     }
 
     #[test]

@@ -56,6 +56,10 @@ pub enum ParseError {
     EmptyLog,
     /// An I/O error occurred while reading the input.
     Io(String),
+    /// A raw accounting-log dialect failed to convert (streaming conversion
+    /// surfaces [`ConvertError`]s through the [`crate::source::JobSource`]
+    /// error channel).
+    Convert(ConvertError),
 }
 
 impl fmt::Display for ParseError {
@@ -92,6 +96,7 @@ impl fmt::Display for ParseError {
             }
             ParseError::EmptyLog => write!(f, "log contains no job records"),
             ParseError::Io(msg) => write!(f, "i/o error: {msg}"),
+            ParseError::Convert(e) => write!(f, "{e}"),
         }
     }
 }
@@ -101,6 +106,12 @@ impl std::error::Error for ParseError {}
 impl From<std::io::Error> for ParseError {
     fn from(e: std::io::Error) -> Self {
         ParseError::Io(e.to_string())
+    }
+}
+
+impl From<ConvertError> for ParseError {
+    fn from(e: ConvertError) -> Self {
+        ParseError::Convert(e)
     }
 }
 
@@ -130,6 +141,12 @@ pub enum ConvertError {
     },
     /// The resulting log would be empty.
     EmptyLog,
+    /// The streaming converter's bounded reorder window was smaller than the
+    /// input's submit-time disorder; the output could not be kept sorted.
+    WindowExceeded {
+        /// The reorder window size, in records.
+        window: usize,
+    },
 }
 
 impl fmt::Display for ConvertError {
@@ -148,6 +165,11 @@ impl fmt::Display for ConvertError {
                 )
             }
             ConvertError::EmptyLog => write!(f, "conversion produced no job records"),
+            ConvertError::WindowExceeded { window } => write!(
+                f,
+                "raw input is more unsorted than the {window}-record reorder window; \
+                 enlarge the window or convert materialized"
+            ),
         }
     }
 }

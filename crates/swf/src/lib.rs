@@ -61,7 +61,10 @@ pub mod write;
 pub mod prelude {
     pub use crate::anonymize::{densify_ids, AnonymizationKey, IdMap};
     pub use crate::checkpoint::{assemble, expand, Burst, BurstOutcome, CheckpointedJob};
-    pub use crate::convert::{convert, Conversion, ConvertOptions, Dialect};
+    pub use crate::convert::{
+        convert, Conversion, ConvertOptions, Dialect, RawStream, StreamReport,
+        DEFAULT_REORDER_WINDOW,
+    };
     pub use crate::error::{ConvertError, OutageParseError, ParseError};
     pub use crate::header::{RequestedTimeKind, SwfHeader, FORMAT_VERSION};
     pub use crate::log::SwfLog;

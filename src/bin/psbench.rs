@@ -10,6 +10,8 @@
 //! psbench convert  --dialect <D> <RAWFILE>  convert a raw accounting log to SWF
 //! psbench simulate <INPUT> [--scheduler S]  run a trace through a scheduler
 //! psbench sweep    [ID...|all]              run experiments E1..E10
+//! psbench sweep    grid --store <DIR>       resumable, memoized grid sweep
+//! psbench store    <ls|gc|verify>           inspect / maintain an artifact store
 //! ```
 //!
 //! An `<INPUT>` is either a path to an SWF file or a model spec
@@ -21,20 +23,28 @@
 //! Reports are rendered deterministically: the same inputs produce
 //! byte-identical output for any `--threads` value and for the streaming and
 //! `--materialize`d paths alike.
+//!
+//! With `--store <DIR>`, expensive artifacts are content-addressed on disk:
+//! `stats` caches workload profiles by trace fingerprint, `simulate` and
+//! `sweep grid` memoize simulation results by canonical input fingerprint,
+//! and `convert` ingests the converted trace. Cached artifacts decode to
+//! values `==` the originals, so warm reruns render byte-identical reports.
 
 use psbench::analyze::{json_escape, render_fidelity, render_profile, FidelityReport, Format};
 use psbench::core::{
-    default_threads, fmt, profile_parallel, profile_source_parallel, run_experiment, Scale, Table,
-    WorkloadKind,
+    canonical_schedulers, cell_key, default_threads, fmt, profile_parallel,
+    profile_source_parallel, results_table, run_experiment, run_sweep_resumable, trace_cell_key,
+    GridSpec, Scale, Scenario, Table, WorkloadDef, WorkloadKind,
 };
 use psbench::sched::{by_name, scheduler_names};
-use psbench::sim::{SimConfig, SimJob, Simulation};
+use psbench::sim::{SimConfig, SimJob, Simulation, SimulationResult};
+use psbench::store::{fingerprint_source, key_hex, profile_key, ArtifactKind, ArtifactStore};
 use psbench::swf::{
-    convert, validate, validate_source, write_to, ConvertOptions, Dialect, JobSource, ParseError,
-    ParseOptions, RecordIter, SourceMeta, SwfRecord,
+    convert, record_line, validate, validate_source, write_to, ConvertOptions, Dialect, JobSource,
+    LogSource, ParseError, ParseOptions, RawStream, RecordIter, SourceMeta, SwfRecord,
 };
 use psbench::workload::GeneratedStream;
-use std::io::BufReader;
+use std::io::{BufReader, Write as _};
 use std::process::ExitCode;
 
 /// The usage text, with the live scheduler registry folded in.
@@ -52,10 +62,14 @@ SUBCOMMANDS:
     compare  <REFERENCE> <CANDIDATE>   KS/EMD/chi2/AD fidelity of a workload vs a reference trace
     validate <INPUT>                   check conformance to the SWF standard,
                                        streaming in bounded memory
-    convert  --dialect <D> <RAWFILE>   convert a raw accounting log to SWF
+    convert  --dialect <D> <RAWFILE>   convert a raw accounting log to SWF, streaming
                                        (dialects: nasa-ipsc860, sdsc-paragon, ctc-sp2, lanl-cm5)
     simulate <INPUT>                   run a trace through a scheduler, report metrics
     sweep    [ID ... | all]            run experiments E1..E10 (default: all)
+    sweep    grid                      resumable model x scheduler x load x size x seed
+                                       sweep, memoized cell by cell (requires --store)
+    store    <ls | gc | verify>        list, garbage-collect, or check an artifact
+                                       store (requires --store)
 
 INPUTS:
     Either a path to an SWF file, or `model:<name>` with <name> one of
@@ -73,6 +87,15 @@ OPTIONS:
                       one of: {schedulers}
     --dialect <D>     raw-log dialect for `convert`
     --scale <S>       experiment scale for `sweep`: quick|full [default: quick]
+    --store <DIR>     content-addressed artifact store: caches profiles (stats),
+                      memoizes results (simulate, sweep grid), ingests traces (convert)
+    --models <LIST>   models for `sweep grid`, comma-separated [default: lublin99]
+    --schedulers <L>  schedulers for `sweep grid`              [default: the canonical line-up]
+    --loads <LIST>    interarrival scales for `sweep grid`     [default: 1.0]
+    --sizes <LIST>    machine sizes for `sweep grid`           [default: --machine]
+    --seeds <LIST>    workload seeds for `sweep grid`          [default: 1]
+    --max-cells <N>   compute at most N uncached cells this run, journal them,
+                      and leave the rest pending for a resume
     --out <FILE>      write the report to FILE instead of stdout
     --strict          strict parsing / conversion
     --materialize     collect the input into memory before analysis (debugging
@@ -94,6 +117,13 @@ struct Opts {
     scheduler: String,
     dialect: Option<String>,
     scale: String,
+    store: Option<String>,
+    models: Option<String>,
+    grid_schedulers: Option<String>,
+    loads: Option<String>,
+    sizes: Option<String>,
+    seeds: Option<String>,
+    max_cells: Option<usize>,
     out: Option<String>,
     strict: bool,
     materialize: bool,
@@ -110,6 +140,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         scheduler: "easy".to_string(),
         dialect: None,
         scale: "quick".to_string(),
+        store: None,
+        models: None,
+        grid_schedulers: None,
+        loads: None,
+        sizes: None,
+        seeds: None,
+        max_cells: None,
         out: None,
         strict: false,
         materialize: false,
@@ -133,6 +170,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--scheduler" => opts.scheduler = value("--scheduler")?,
             "--dialect" => opts.dialect = Some(value("--dialect")?),
             "--scale" => opts.scale = value("--scale")?,
+            "--store" => opts.store = Some(value("--store")?),
+            "--models" => opts.models = Some(value("--models")?),
+            "--schedulers" => opts.grid_schedulers = Some(value("--schedulers")?),
+            "--loads" => opts.loads = Some(value("--loads")?),
+            "--sizes" => opts.sizes = Some(value("--sizes")?),
+            "--seeds" => opts.seeds = Some(value("--seeds")?),
+            "--max-cells" => opts.max_cells = Some(num(&value("--max-cells")?)?),
             "--out" => opts.out = Some(value("--out")?),
             "--strict" => opts.strict = true,
             "--materialize" => opts.materialize = true,
@@ -150,25 +194,51 @@ fn num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("invalid number {s:?}"))
 }
 
+/// Parse one comma-separated list flag, rejecting blank entries and empty lists.
+fn parse_list<T>(list: &str, f: impl Fn(&str) -> Result<T, String>) -> Result<Vec<T>, String> {
+    let items: Vec<T> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(f)
+        .collect::<Result<_, _>>()?;
+    if items.is_empty() {
+        return Err(format!("empty list {list:?}"));
+    }
+    Ok(items)
+}
+
+/// The display name an input spec resolves to (model specs keep the spec,
+/// files use their stem) — computable without opening the input, which the
+/// store-backed paths need when they serve a cached artifact.
+fn input_name(spec: &str) -> String {
+    if spec.starts_with("model:") {
+        spec.to_string()
+    } else {
+        std::path::Path::new(spec)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(spec)
+            .to_string()
+    }
+}
+
 /// Resolve an input spec — `model:<name>` or a file path — into a streaming
 /// [`JobSource`]: the one ingestion path every subcommand shares. Model specs
 /// become lazy [`GeneratedStream`]s; files are parsed incrementally by
 /// [`RecordIter`], so archive logs are never read or materialized whole.
 fn open_source(spec: &str, opts: &Opts) -> Result<Box<dyn JobSource>, String> {
     if let Some(name) = spec.strip_prefix("model:") {
-        let kind = WorkloadKind::all()
-            .iter()
-            .find(|k| k.name() == name)
-            .ok_or_else(|| {
-                format!(
-                    "unknown model {name:?}; expected one of {}",
-                    WorkloadKind::all()
-                        .iter()
-                        .map(|k| k.name())
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                )
-            })?;
+        let kind = WorkloadKind::by_name(name).ok_or_else(|| {
+            format!(
+                "unknown model {name:?}; expected one of {}",
+                WorkloadKind::all()
+                    .iter()
+                    .map(|k| k.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })?;
         let stream =
             GeneratedStream::new(kind.model(opts.machine), opts.jobs, opts.seed).with_name(spec);
         return Ok(Box::new(stream));
@@ -179,14 +249,24 @@ fn open_source(spec: &str, opts: &Opts) -> Result<Box<dyn JobSource>, String> {
     } else {
         ParseOptions::default()
     };
-    let name = std::path::Path::new(spec)
-        .file_stem()
-        .and_then(|s| s.to_str())
-        .unwrap_or(spec)
-        .to_string();
     Ok(Box::new(
-        RecordIter::new(BufReader::new(file), parse_opts).with_name(name),
+        RecordIter::new(BufReader::new(file), parse_opts).with_name(input_name(spec)),
     ))
+}
+
+/// Open the artifact store named by `--store`, if any.
+fn open_store(opts: &Opts) -> Result<Option<ArtifactStore>, String> {
+    match &opts.store {
+        Some(dir) => ArtifactStore::open(dir)
+            .map(Some)
+            .map_err(|e| format!("cannot open store {dir:?}: {e}")),
+        None => Ok(None),
+    }
+}
+
+/// Render a store I/O failure as a CLI error.
+fn store_err(e: std::io::Error) -> String {
+    format!("artifact store error: {e}")
 }
 
 /// Render a mid-stream parse failure of input `spec` as a CLI error.
@@ -289,7 +369,31 @@ fn cmd_stats(opts: &Opts) -> Result<ExitCode, String> {
         .positional
         .first()
         .ok_or("stats expects an <INPUT> (file path or model:<name>)")?;
-    let profile = profile_input(spec, opts)?;
+    // With a store, the profile is content-addressed: a first pass fingerprints
+    // the input in bounded memory, then the profile is either decoded from the
+    // store or computed once and published. A cached profile carries the name
+    // of whatever input first produced it, so the display name is rewritten to
+    // this invocation's before rendering — the rest of the profile is a pure
+    // function of the trace content.
+    let profile = match open_store(opts)? {
+        Some(store) => {
+            let fp = fingerprint_source(open_source(spec, opts)?).map_err(stream_err(spec))?;
+            let key = profile_key(fp);
+            match store.get_profile(key).map_err(store_err)? {
+                Some(mut cached) => {
+                    eprintln!("profile cache hit ({})", key_hex(key));
+                    cached.name = input_name(spec);
+                    cached
+                }
+                None => {
+                    let profile = profile_input(spec, opts)?;
+                    store.put_profile(key, &profile).map_err(store_err)?;
+                    profile
+                }
+            }
+        }
+        None => profile_input(spec, opts)?,
+    };
     emit(opts, &render_profile(&profile, opts.format))?;
     Ok(ExitCode::SUCCESS)
 }
@@ -350,6 +454,26 @@ fn cmd_validate(opts: &Opts) -> Result<ExitCode, String> {
     })
 }
 
+fn warn_skipped(skipped: usize) {
+    if skipped > 0 {
+        eprintln!("warning: skipped {skipped} unparseable lines");
+    }
+}
+
+/// Announce an ingested trace on stderr, keeping stdout clean for the log.
+fn report_ingest(outcome: &psbench::store::IngestOutcome) {
+    eprintln!(
+        "stored trace {} ({} records{})",
+        key_hex(outcome.key),
+        outcome.records,
+        if outcome.deduplicated {
+            ", deduplicated"
+        } else {
+            ""
+        }
+    );
+}
+
 fn cmd_convert(opts: &Opts) -> Result<ExitCode, String> {
     let spec = opts
         .positional
@@ -373,45 +497,101 @@ fn cmd_convert(opts: &Opts) -> Result<ExitCode, String> {
                     .join(", ")
             )
         })?;
-    let raw = std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec:?}: {e}"))?;
-    let conversion = convert(
-        &raw,
+    let convert_opts = ConvertOptions {
+        strict: opts.strict,
+    };
+    let store = open_store(opts)?;
+    if opts.materialize {
+        // Collect-then-convert: the A/B debugging aid. Output is
+        // byte-identical to the streaming default below; CI asserts it.
+        let raw =
+            std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec:?}: {e}"))?;
+        let conversion = convert(&raw, dialect, Some(opts.machine), &convert_opts)
+            .map_err(|e| format!("conversion failed: {e}"))?;
+        warn_skipped(conversion.skipped);
+        if let Some(store) = &store {
+            let outcome = store
+                .ingest(LogSource::new(input_name(spec), &conversion.log))
+                .map_err(|e| format!("cannot ingest converted log: {e}"))?;
+            report_ingest(&outcome);
+        }
+        match &opts.out {
+            Some(path) => {
+                let file = std::fs::File::create(path)
+                    .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+                write_to(&conversion.log, std::io::BufWriter::new(file))
+                    .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            }
+            None => {
+                let stdout = std::io::stdout();
+                write_to(&conversion.log, stdout.lock())
+                    .map_err(|e| format!("cannot write to stdout: {e}"))?;
+            }
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    // Streaming conversion (the default): the header is known up front, so
+    // raw lines flow straight to clean SWF lines in bounded memory — the log
+    // is never materialized, whatever its size.
+    let file = std::fs::File::open(spec).map_err(|e| format!("cannot read {spec:?}: {e}"))?;
+    let mut stream = RawStream::new(
+        input_name(spec),
+        BufReader::new(file),
         dialect,
-        Some(opts.machine),
-        &ConvertOptions {
-            strict: opts.strict,
-        },
-    )
-    .map_err(|e| format!("conversion failed: {e}"))?;
-    if conversion.skipped > 0 {
-        eprintln!("warning: skipped {} unparseable lines", conversion.skipped);
-    }
-    // Stream the converted log to its sink line by line instead of building
-    // the whole serialization in memory first.
-    match &opts.out {
-        Some(path) => {
-            let file =
-                std::fs::File::create(path).map_err(|e| format!("cannot write {path:?}: {e}"))?;
-            write_to(&conversion.log, std::io::BufWriter::new(file))
-                .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        opts.machine,
+        &convert_opts,
+    );
+    if let Some(store) = &store {
+        // Ingest drains the stream into the store, fingerprinting as it goes;
+        // the output sink is then fed from the stored artifact instead of
+        // converting a second time.
+        let outcome = store
+            .ingest(&mut stream)
+            .map_err(|e| format!("conversion failed: {e}"))?;
+        warn_skipped(stream.report().skipped);
+        report_ingest(&outcome);
+        let stored = store.path(ArtifactKind::Trace, outcome.key);
+        match &opts.out {
+            Some(path) => {
+                std::fs::copy(&stored, path).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            }
+            None => {
+                let mut file = std::fs::File::open(&stored)
+                    .map_err(|e| format!("cannot reopen stored trace: {e}"))?;
+                let stdout = std::io::stdout();
+                std::io::copy(&mut file, &mut stdout.lock())
+                    .map_err(|e| format!("cannot write to stdout: {e}"))?;
+            }
         }
-        None => {
-            let stdout = std::io::stdout();
-            write_to(&conversion.log, stdout.lock())
-                .map_err(|e| format!("cannot write to stdout: {e}"))?;
-        }
+        return Ok(ExitCode::SUCCESS);
     }
+    let header_lines = stream.meta().header.render();
+    let sink: Box<dyn std::io::Write> = match &opts.out {
+        Some(path) => Box::new(
+            std::fs::File::create(path).map_err(|e| format!("cannot write {path:?}: {e}"))?,
+        ),
+        None => Box::new(std::io::stdout()),
+    };
+    let mut sink = std::io::BufWriter::new(sink);
+    let write_err = |e: std::io::Error| format!("cannot write converted log: {e}");
+    for line in header_lines {
+        writeln!(sink, "{line}").map_err(write_err)?;
+    }
+    while let Some(rec) = stream.next_record() {
+        let rec = rec.map_err(|e| format!("conversion failed: {e}"))?;
+        writeln!(sink, "{}", record_line(&rec)).map_err(write_err)?;
+    }
+    sink.flush().map_err(write_err)?;
+    warn_skipped(stream.report().skipped);
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_simulate(opts: &Opts) -> Result<ExitCode, String> {
-    let spec = opts
-        .positional
-        .first()
-        .ok_or("simulate expects an <INPUT> (file path or model:<name>)")?;
-    // Stream the input straight into simulator jobs — the SWF record vector
-    // is never materialized. The tap records the largest processor count so
-    // file inputs without a MaxNodes header still get a machine size.
+/// Stream `spec` into the simulator with no store: jobs flow straight from
+/// the source, the SWF record vector is never materialized. Returns the
+/// display name, the machine size used, and the result.
+fn simulate_streaming(spec: &str, opts: &Opts) -> Result<(String, u32, SimulationResult), String> {
+    // The tap records the largest processor count so file inputs without a
+    // MaxNodes header still get a machine size.
     let mut tap = MaxProcsTap {
         inner: open_source(spec, opts)?,
         max_procs: 0,
@@ -427,6 +607,63 @@ fn cmd_simulate(opts: &Opts) -> Result<ExitCode, String> {
     };
     let mut scheduler = by_name(&opts.scheduler, machine).map_err(|e| e.to_string())?;
     let result = Simulation::new(SimConfig::new(machine), jobs).run(scheduler.as_mut());
+    Ok((name, machine, result))
+}
+
+/// Memoized simulate: key the run by its canonical input fingerprint — the
+/// sweep cell key for model specs (so `sweep grid` and `simulate` share a
+/// cache) or trace fingerprint × scheduler × machine for files — and serve a
+/// stored result when one exists. Cache misses run the identical streaming
+/// path and publish the result.
+fn simulate_memoized(
+    spec: &str,
+    opts: &Opts,
+    store: &ArtifactStore,
+) -> Result<(String, u32, SimulationResult), String> {
+    let (key, machine) = if spec.starts_with("model:") {
+        // Validates the model name with open_source's standard error.
+        drop(open_source(spec, opts)?);
+        let kind = WorkloadKind::by_name(spec.trim_start_matches("model:"))
+            .expect("model name validated by open_source");
+        let workload = WorkloadDef {
+            kind,
+            machine_size: opts.machine,
+            jobs: opts.jobs,
+            seed: opts.seed,
+            interarrival_scale: 1.0,
+        };
+        let scenario = Scenario::new(spec, workload, &opts.scheduler);
+        (cell_key(&scenario), opts.machine)
+    } else {
+        // Fingerprint pass: drains the file once to learn its content key and
+        // machine size, sized exactly as the uncached path sizes it.
+        let mut tap = MaxProcsTap {
+            inner: open_source(spec, opts)?,
+            max_procs: 0,
+        };
+        let fp = fingerprint_source(&mut tap).map_err(stream_err(spec))?;
+        let machine = tap.meta().header.max_nodes.unwrap_or(tap.max_procs).max(1);
+        (trace_cell_key(fp, &opts.scheduler, machine, false), machine)
+    };
+    by_name(&opts.scheduler, machine).map_err(|e| e.to_string())?;
+    if let Some(result) = store.get_result(key).map_err(store_err)? {
+        eprintln!("result cache hit ({})", key_hex(key));
+        return Ok((input_name(spec), machine, result));
+    }
+    let (name, machine, result) = simulate_streaming(spec, opts)?;
+    store.put_result(key, &result).map_err(store_err)?;
+    Ok((name, machine, result))
+}
+
+fn cmd_simulate(opts: &Opts) -> Result<ExitCode, String> {
+    let spec = opts
+        .positional
+        .first()
+        .ok_or("simulate expects an <INPUT> (file path or model:<name>)")?;
+    let (name, machine, result) = match open_store(opts)? {
+        Some(store) => simulate_memoized(spec, opts, &store)?,
+        None => simulate_streaming(spec, opts)?,
+    };
     let agg = result.aggregate();
     let sys = result.system();
     let mut table = Table::new(
@@ -455,7 +692,78 @@ fn cmd_simulate(opts: &Opts) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `psbench sweep grid`: a resumable model × scheduler × load × size × seed
+/// sweep, memoized cell by cell in the artifact store. Cells whose results
+/// are already stored are decoded instead of recomputed; every completed
+/// cell is journaled durably, so a killed sweep (or one capped with
+/// `--max-cells`) resumes with zero recomputation and renders byte-identical
+/// reports.
+fn cmd_sweep_grid(opts: &Opts) -> Result<ExitCode, String> {
+    let store = open_store(opts)?
+        .ok_or("sweep grid requires --store <DIR> for its memoized results and journal")?;
+    let models = match &opts.models {
+        Some(list) => parse_list(list, |t| {
+            WorkloadKind::by_name(t).ok_or_else(|| format!("unknown model {t:?}"))
+        })?,
+        None => vec![WorkloadKind::Lublin99],
+    };
+    let schedulers: Vec<String> = match &opts.grid_schedulers {
+        Some(list) => parse_list(list, |t| Ok(t.to_string()))?,
+        None => canonical_schedulers()
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    };
+    let loads = match &opts.loads {
+        Some(list) => parse_list(list, num::<f64>)?,
+        None => vec![1.0],
+    };
+    if loads.iter().any(|l| !l.is_finite() || *l <= 0.0) {
+        return Err("--loads entries must be positive and finite".to_string());
+    }
+    let machine_sizes = match &opts.sizes {
+        Some(list) => parse_list(list, num::<u32>)?,
+        None => vec![opts.machine],
+    };
+    if machine_sizes.contains(&0) {
+        return Err("--sizes entries must be at least 1 processor".to_string());
+    }
+    let seeds = match &opts.seeds {
+        Some(list) => parse_list(list, num::<u64>)?,
+        None => vec![1],
+    };
+    // Scenario::run panics on unknown schedulers (it runs on pool workers),
+    // so the whole line-up is validated up front.
+    for s in &schedulers {
+        by_name(s, machine_sizes[0]).map_err(|e| e.to_string())?;
+    }
+    let grid = GridSpec {
+        models,
+        schedulers,
+        loads,
+        machine_sizes,
+        seeds,
+        jobs: opts.jobs,
+    };
+    let cells = grid.enumerate();
+    let outcome = run_sweep_resumable("grid", &cells, &store, opts.threads, opts.max_cells)
+        .map_err(store_err)?;
+    eprintln!(
+        "sweep grid: {} cells, {} cached, {} computed, {} pending",
+        cells.len(),
+        outcome.cached,
+        outcome.computed,
+        outcome.pending
+    );
+    let table = results_table("Grid sweep", &outcome.results);
+    emit(opts, &render_table(&table, opts.format))?;
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_sweep(opts: &Opts) -> Result<ExitCode, String> {
+    if opts.positional.first().map(String::as_str) == Some("grid") {
+        return cmd_sweep_grid(opts);
+    }
     let scale = match opts.scale.as_str() {
         "quick" => Scale::quick(),
         "full" => Scale::full(),
@@ -497,6 +805,64 @@ fn cmd_sweep(opts: &Opts) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `psbench store <ls|gc|verify>`: inspect or maintain an artifact store.
+fn cmd_store(opts: &Opts) -> Result<ExitCode, String> {
+    let action = opts
+        .positional
+        .first()
+        .ok_or("store expects an action: ls, gc, or verify")?;
+    let store = open_store(opts)?.ok_or("store commands require --store <DIR>")?;
+    match action.as_str() {
+        "ls" => {
+            let entries = store.ls().map_err(store_err)?;
+            let mut table = Table::new(
+                format!("Artifact store — {}", store.root().display()),
+                &["kind", "key", "bytes"],
+            );
+            for e in &entries {
+                table.push_row(vec![
+                    e.kind.to_string(),
+                    key_hex(e.key),
+                    e.bytes.to_string(),
+                ]);
+            }
+            emit(opts, &render_table(&table, opts.format))?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "gc" => {
+            let report = store.gc().map_err(store_err)?;
+            emit(
+                opts,
+                &format!(
+                    "gc: removed {} files ({} bytes), kept {} artifacts\n",
+                    report.removed, report.reclaimed_bytes, report.kept
+                ),
+            )?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "verify" => {
+            let report = store.verify().map_err(store_err)?;
+            let mut out = format!(
+                "verify: {} artifacts ok, {} problems\n",
+                report.ok,
+                report.problems.len()
+            );
+            for p in &report.problems {
+                out.push_str(&format!("problem: {p}\n"));
+            }
+            emit(opts, &out)?;
+            Ok(if report.problems.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        other => Err(format!(
+            "unknown store action {other:?}; expected ls, gc, or verify"
+        )),
+    }
+}
+
 fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(sub) = args.first() else {
@@ -514,6 +880,7 @@ fn run() -> Result<ExitCode, String> {
         "convert" => cmd_convert(&opts),
         "simulate" => cmd_simulate(&opts),
         "sweep" => cmd_sweep(&opts),
+        "store" => cmd_store(&opts),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }

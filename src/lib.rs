@@ -12,6 +12,8 @@
 //! * [`sim`] — the discrete-event cluster simulator.
 //! * [`sched`] — the scheduler zoo (FCFS, backfilling, gang scheduling, ...).
 //! * [`metasim`] — the metacomputing / WARMstones-style evaluation environment.
+//! * [`store`] — the content-addressed artifact store: ingested traces, cached
+//!   profiles, memoized simulation results, durable sweep ledgers.
 //! * [`core`] — the canonical benchmark suite, experiment harness, and reports.
 
 #![warn(missing_docs)]
@@ -22,5 +24,6 @@ pub use psbench_metasim as metasim;
 pub use psbench_metrics as metrics;
 pub use psbench_sched as sched;
 pub use psbench_sim as sim;
+pub use psbench_store as store;
 pub use psbench_swf as swf;
 pub use psbench_workload as workload;

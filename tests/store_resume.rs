@@ -1,0 +1,160 @@
+//! End-to-end interrupt/resume tests of the artifact store: a `sweep grid`
+//! stopped mid-run — deterministically via `--max-cells`, and for real via
+//! SIGKILL — must resume from its journal with zero recomputation of
+//! completed cells and render a report byte-identical to an uninterrupted
+//! sweep of the same grid.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn psbench(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_psbench"))
+        .args(args)
+        .output()
+        .expect("psbench binary runs")
+}
+
+/// Run and require success; returns (stdout, stderr).
+fn run_ok(args: &[&str]) -> (String, String) {
+    let out = psbench(args);
+    assert!(
+        out.status.success(),
+        "psbench {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        String::from_utf8(out.stderr).expect("utf-8 stderr"),
+    )
+}
+
+/// A scratch directory unique to this test process, recreated empty.
+fn scratch_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("psbench-store-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// The shared 8-cell grid: 2 models × 2 schedulers × 2 loads × 1 seed.
+fn grid_args(store: &str) -> Vec<String> {
+    [
+        "sweep",
+        "grid",
+        "--store",
+        store,
+        "--models",
+        "lublin99,feitelson96",
+        "--schedulers",
+        "fcfs,easy",
+        "--loads",
+        "1.0,0.6",
+        "--seeds",
+        "1",
+        "--jobs",
+        "50",
+        "--machine",
+        "64",
+        "--threads",
+        "2",
+        "--format",
+        "csv",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+fn run_grid(base: &[String], extra: &[&str]) -> (String, String) {
+    let mut args: Vec<&str> = base.iter().map(String::as_str).collect();
+    args.extend_from_slice(extra);
+    run_ok(&args)
+}
+
+#[test]
+fn interrupted_sweep_resumes_with_zero_recomputation_and_identical_report() {
+    // Reference: the same grid run to completion against its own fresh store.
+    let ref_store = scratch_dir("ref");
+    let (reference, ref_err) = run_grid(&grid_args(ref_store.to_str().unwrap()), &[]);
+    assert!(
+        ref_err.contains("8 cells, 0 cached, 8 computed, 0 pending"),
+        "{ref_err}"
+    );
+
+    // Interrupted run: compute 3 of the 8 cells, then "die". --max-cells is
+    // the deterministic twin of SIGKILL — store and journal are left exactly
+    // as an interrupted run would leave them after those cells.
+    let store = scratch_dir("resume");
+    let base = grid_args(store.to_str().unwrap());
+    let (_, err) = run_grid(&base, &["--max-cells", "3"]);
+    assert!(
+        err.contains("8 cells, 0 cached, 3 computed, 5 pending"),
+        "{err}"
+    );
+
+    // Resume: the 3 completed cells come from the store, never recomputed.
+    let (resumed, err) = run_grid(&base, &[]);
+    assert!(
+        err.contains("8 cells, 3 cached, 5 computed, 0 pending"),
+        "{err}"
+    );
+    assert_eq!(
+        resumed, reference,
+        "resumed report must be byte-identical to an uninterrupted sweep"
+    );
+
+    // Fully warm: zero computation, still byte-identical — and at a different
+    // thread count, which must not matter.
+    let (warm, err) = run_grid(&base, &["--threads", "7"]);
+    assert!(
+        err.contains("8 cells, 8 cached, 0 computed, 0 pending"),
+        "{err}"
+    );
+    assert_eq!(warm, reference);
+
+    // The store passes its own integrity check afterwards.
+    let (verify, _) = run_ok(&["store", "verify", "--store", store.to_str().unwrap()]);
+    assert!(verify.contains("0 problems"), "{verify}");
+
+    std::fs::remove_dir_all(&ref_store).ok();
+    std::fs::remove_dir_all(&store).ok();
+}
+
+#[test]
+fn sigkilled_sweep_resumes_from_its_journal() {
+    let ref_store = scratch_dir("kill-ref");
+    let base_ref = grid_args(ref_store.to_str().unwrap());
+    let (reference, _) = run_grid(&base_ref, &["--jobs", "400"]);
+
+    // Start the same sweep against a fresh store and SIGKILL it mid-run. The
+    // journal is flushed per completed cell, so whatever finished before the
+    // kill is durable; how much that is depends on timing and does not matter.
+    let store = scratch_dir("kill");
+    let base = grid_args(store.to_str().unwrap());
+    let mut args: Vec<&str> = base.iter().map(String::as_str).collect();
+    args.extend_from_slice(&["--jobs", "400"]);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_psbench"))
+        .args(&args)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("psbench spawns");
+    std::thread::sleep(std::time::Duration::from_millis(250));
+    child.kill().ok(); // SIGKILL: no destructors, no flush beyond the journal's own
+    child.wait().ok();
+
+    // Resume to completion: byte-identical to the uninterrupted reference.
+    let (resumed, _) = run_grid(&base, &["--jobs", "400"]);
+    assert_eq!(
+        resumed, reference,
+        "report after a SIGKILL + resume must match an uninterrupted sweep"
+    );
+
+    // And the store is now fully warm: a re-run computes nothing.
+    let (warm, err) = run_grid(&base, &["--jobs", "400"]);
+    assert!(err.contains("8 cached, 0 computed, 0 pending"), "{err}");
+    assert_eq!(warm, reference);
+
+    std::fs::remove_dir_all(&ref_store).ok();
+    std::fs::remove_dir_all(&store).ok();
+}
