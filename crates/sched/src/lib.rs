@@ -13,6 +13,8 @@
 //! * [`adaptive`] — adaptive equipartitioning for moldable (flexible) jobs.
 //! * [`drain`] — outage- and reservation-aware EASY (drains before announced
 //!   outages, schedules around advance reservations).
+//! * [`probe`] — predicted-start queries against a cloned engine (the `whatif`
+//!   surface of `psbench serve`).
 
 #![warn(missing_docs)]
 
@@ -30,6 +32,7 @@ pub mod backfill;
 pub mod calendar;
 pub mod drain;
 pub mod gang;
+pub mod probe;
 pub mod queue_order;
 
 /// Commonly used items, re-exported for convenience.
@@ -39,6 +42,7 @@ pub mod prelude {
     pub use crate::calendar::{ConservativeBackfill, ConservativeOracle};
     pub use crate::drain::DrainingEasy;
     pub use crate::gang::{GangScheduler, Packing};
+    pub use crate::probe::{probe_start, Prediction, ProbeError};
     pub use crate::queue_order::{Fcfs, Order, SortedGreedy};
     pub use crate::{by_name, scheduler_names, standard_schedulers, UnknownScheduler};
 }

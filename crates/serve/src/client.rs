@@ -1,0 +1,110 @@
+//! A lockstep script client for the serve protocol.
+//!
+//! The client writes one command line, waits for its reply (plus any
+//! byte-framed payload), records both, and moves on. Scripts are plain text:
+//! one protocol line per line, with blank lines and `#` comments ignored.
+//! This is the driver behind `psbench client` and the CI replay check.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::server::read_reply;
+
+/// A payload captured during a script run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapturedPayload {
+    /// The command line that elicited the payload (e.g. `trace`, `drain`).
+    pub command: String,
+    /// The reply head line (`ok trace bytes=… records=…`).
+    pub head: String,
+    /// The raw payload bytes.
+    pub body: Vec<u8>,
+}
+
+/// Everything a script run produced, in order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Transcript {
+    /// One reply head line per executed script line.
+    pub replies: Vec<String>,
+    /// Byte-framed payloads, in the order they arrived.
+    pub payloads: Vec<CapturedPayload>,
+}
+
+impl Transcript {
+    /// The first captured payload for `command` (`"trace"` or `"drain"`).
+    pub fn payload(&self, command: &str) -> Option<&CapturedPayload> {
+        self.payloads.iter().find(|p| p.command == command)
+    }
+
+    /// True if any reply was an `err` line.
+    pub fn has_errors(&self) -> bool {
+        self.replies.iter().any(|r| r.starts_with("err"))
+    }
+}
+
+/// Run a script against a server, line by line, in lockstep.
+///
+/// Stops at the first transport error or after a `bye`. Protocol-level `err`
+/// replies do not stop the run — they are recorded in the transcript so the
+/// caller can decide what to make of them.
+pub fn run_script<A, S>(addr: A, script: &[S]) -> std::io::Result<Transcript>
+where
+    A: ToSocketAddrs,
+    S: AsRef<str>,
+{
+    let stream = TcpStream::connect(addr)?;
+    // Lockstep request/reply: disable Nagle so each command line goes out
+    // immediately instead of waiting on a delayed ACK.
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut transcript = Transcript::default();
+    for raw in script {
+        let line = raw.as_ref().trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        writeln!(writer, "{line}")?;
+        writer.flush()?;
+        let Some((head, body)) = read_reply(&mut reader)? else {
+            break;
+        };
+        transcript.replies.push(head.clone());
+        if let Some(body) = body {
+            let command = line.split_whitespace().next().unwrap_or("").to_string();
+            transcript.payloads.push(CapturedPayload {
+                command,
+                head,
+                body,
+            });
+        }
+        if line == "bye" {
+            break;
+        }
+    }
+    Ok(transcript)
+}
+
+/// Pipeline a batch of command lines: write them all, then collect exactly
+/// one reply per line. Only valid for commands that reply with a single line
+/// (no payloads). Used by high-throughput feeders where per-line lockstep
+/// round trips would dominate.
+pub fn run_pipelined(
+    writer: &mut (impl Write + ?Sized),
+    reader: &mut impl BufRead,
+    lines: &[String],
+) -> std::io::Result<Vec<String>> {
+    for line in lines {
+        writeln!(writer, "{line}")?;
+    }
+    writer.flush()?;
+    let mut replies = Vec::with_capacity(lines.len());
+    for _ in lines {
+        let mut head = String::new();
+        if reader.read_line(&mut head)? == 0 {
+            break;
+        }
+        replies.push(head.trim_end_matches(['\n', '\r']).to_string());
+    }
+    Ok(replies)
+}

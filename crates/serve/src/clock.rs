@@ -1,0 +1,111 @@
+//! Session clock modes.
+//!
+//! A session shard owns a virtual-time engine; the clock mode decides how the
+//! engine's released frontier relates to wall-clock time:
+//!
+//! * **as-fast-as-possible** (`afap`) — no coupling. Time advances only when
+//!   the client submits at a later instant or issues `advance`. This is the
+//!   mode for scripted replays and the online/offline equivalence check.
+//! * **real** — one session second per wall second, anchored at the hello.
+//! * **scaled** (`scale:<factor>`) — `factor` session seconds per wall second
+//!   (e.g. `scale:60` replays an hour of trace per wall minute).
+
+use std::time::Instant;
+
+/// How a session's virtual time relates to wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClockMode {
+    /// Virtual time is driven purely by client commands.
+    Afap,
+    /// Virtual time tracks wall time 1:1 from the session's start.
+    Real,
+    /// Virtual time runs at `factor` × wall time.
+    Scaled(f64),
+}
+
+impl ClockMode {
+    /// Parse a mode string: `afap`, `real`, or `scale:<factor>` with a
+    /// positive finite factor.
+    pub fn parse(s: &str) -> Option<ClockMode> {
+        match s {
+            "afap" => Some(ClockMode::Afap),
+            "real" => Some(ClockMode::Real),
+            _ => {
+                let factor: f64 = s.strip_prefix("scale:")?.parse().ok()?;
+                (factor.is_finite() && factor > 0.0).then_some(ClockMode::Scaled(factor))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ClockMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClockMode::Afap => write!(f, "afap"),
+            ClockMode::Real => write!(f, "real"),
+            ClockMode::Scaled(factor) => write!(f, "scale:{factor}"),
+        }
+    }
+}
+
+/// A session's clock: mode plus the wall instant the session started.
+#[derive(Debug, Clone)]
+pub struct SessionClock {
+    mode: ClockMode,
+    started: Instant,
+}
+
+impl SessionClock {
+    /// Start the clock now, in the given mode.
+    pub fn new(mode: ClockMode) -> SessionClock {
+        SessionClock {
+            mode,
+            started: Instant::now(),
+        }
+    }
+
+    /// The mode this clock runs in.
+    pub fn mode(&self) -> ClockMode {
+        self.mode
+    }
+
+    /// Session seconds elapsed according to wall time, or `None` in
+    /// as-fast-as-possible mode (where wall time is irrelevant).
+    pub fn wall_seconds(&self) -> Option<f64> {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        match self.mode {
+            ClockMode::Afap => None,
+            ClockMode::Real => Some(elapsed),
+            ClockMode::Scaled(factor) => Some(elapsed * factor),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_modes() {
+        assert_eq!(ClockMode::parse("afap"), Some(ClockMode::Afap));
+        assert_eq!(ClockMode::parse("real"), Some(ClockMode::Real));
+        assert_eq!(ClockMode::parse("scale:2.5"), Some(ClockMode::Scaled(2.5)));
+        assert_eq!(ClockMode::parse("scale:0"), None);
+        assert_eq!(ClockMode::parse("scale:-1"), None);
+        assert_eq!(ClockMode::parse("scale:inf"), None);
+        assert_eq!(ClockMode::parse("warp"), None);
+    }
+
+    #[test]
+    fn mode_display_round_trips() {
+        for mode in [ClockMode::Afap, ClockMode::Real, ClockMode::Scaled(60.0)] {
+            assert_eq!(ClockMode::parse(&mode.to_string()), Some(mode));
+        }
+    }
+
+    #[test]
+    fn afap_clock_reports_no_wall_time() {
+        assert_eq!(SessionClock::new(ClockMode::Afap).wall_seconds(), None);
+        assert!(SessionClock::new(ClockMode::Real).wall_seconds().unwrap() >= 0.0);
+    }
+}

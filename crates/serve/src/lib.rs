@@ -1,0 +1,92 @@
+//! # psbench-serve — an online scheduling service with live what-if queries
+//!
+//! The offline pipeline answers "how would policy P have handled trace T?".
+//! This crate turns the same engine into a long-running **service**: clients
+//! connect over TCP, submit jobs as they materialize, watch the queue evolve,
+//! and ask **what-if** questions ("when would job 17 start under EASY instead
+//! of conservative?") answered from a cloned engine without perturbing the
+//! live session.
+//!
+//! The server is deliberately boring infrastructure: blocking `std::net`
+//! sockets, one thread per connection, and a shared session registry guarded
+//! by `parking_lot` mutexes (which do not poison — a panicking connection
+//! can never wedge the pool). Each session owns an **engine shard**: an
+//! online [`psbench_sim::Simulation`] plus a live policy instance and the
+//! canonical SWF record of everything submitted.
+//!
+//! The cornerstone property is **online/offline equivalence**: drive an
+//! as-fast-as-possible session from a script, `drain` it, and the returned
+//! `SimulationResult` is bit-for-bit identical to an offline
+//! `psbench simulate` of the session's exported `trace` — the service is the
+//! simulator, not an approximation of it.
+//!
+//! ## Protocol reference (version 1)
+//!
+//! The protocol is newline-framed text over TCP. Every request is one line;
+//! every reply is one line starting `ok` or `err`. Request lines longer than
+//! [`protocol::MAX_LINE_BYTES`] (64 KiB) close the connection. `trace` and
+//! `drain` replies carry `bytes=<n>` and are followed by exactly `n` raw
+//! payload bytes.
+//!
+//! | Request | Reply |
+//! |---|---|
+//! | `hello psbench-serve/1` | `ok hello proto=1 scheduler=<s> machine=<n> mode=<m>` |
+//! | `submit id=<n> runtime=<s> procs=<n> [submit=<s>] [estimate=<s>] [user=<n>]` | `ok submit id=<n> time=<s>` |
+//! | `cancel id=<n>` | `ok cancel id=<n>` |
+//! | `query queue` | `ok queue now=<t> released=<t> queued=<n> running=<n> finished=<n> used=<n>` |
+//! | `query job <id>` | `ok job id=<n> state=<pending\|queued\|running\|finished\|cancelled\|discarded> …` |
+//! | `whatif <id> under <scheduler>` | `ok whatif id=<n> scheduler=<s> start=<t> wait=<t> already_started=<bool>` |
+//! | `advance to=<s>` | `ok advance now=<t>` |
+//! | `trace` | `ok trace bytes=<n> records=<k>` + `n` bytes of canonical SWF text |
+//! | `drain` | `ok drain bytes=<n> scheduler=<s> machine=<n> finished=<k> [stored=<hex>]` + `n` bytes of encoded result |
+//! | `bye` | `ok bye`, then the server closes the connection |
+//!
+//! Rules of the road:
+//!
+//! * The first command must be `hello` with protocol version 1 (`bye` is
+//!   also allowed). Anything else is an `err`, and the session stays usable.
+//! * Times are integer seconds of session virtual time, so the exported SWF
+//!   trace round-trips exactly. A `submit=`/`advance to=` instant earlier
+//!   than the session frontier (or, in `real`/`scale:` modes, the wall
+//!   clock) is clamped forward; the effective instant is echoed back.
+//! * `whatif` answers from a **clone** of the live engine under a fresh
+//!   policy built with [`psbench_sched::by_name`]; an unknown policy name
+//!   returns an `err` listing every valid scheduler.
+//! * `drain` runs the engine to completion and is final: afterwards only
+//!   `trace` and `bye` remain meaningful. With a store configured, the
+//!   drained trace + result are published under the offline cell key, so
+//!   `psbench simulate --store` of the exported trace is a cache hit.
+//! * Malformed lines, unknown commands, and invalid arguments get
+//!   single-line `err` replies and never tear down other sessions.
+//!
+//! ## Crate layout
+//!
+//! * [`protocol`] — command grammar, parsing, reply framing.
+//! * [`clock`] — session clock modes (`afap`, `real`, `scale:<f>`).
+//! * [`shard`] — the per-session engine wrapper.
+//! * [`session`] — the per-connection protocol state machine.
+//! * [`server`] — listener, shard pool, connection threads.
+//! * [`client`] — a lockstep script driver (used by `psbench client` and CI).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod clock;
+pub mod protocol;
+pub mod server;
+pub mod session;
+pub mod shard;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::client::{run_pipelined, run_script, CapturedPayload, Transcript};
+    pub use crate::clock::{ClockMode, SessionClock};
+    pub use crate::protocol::{
+        parse_command, payload_len, Command, Reply, MAX_LINE_BYTES, PROTOCOL_VERSION,
+    };
+    pub use crate::server::{read_reply, serve, ServeConfig, ServerHandle};
+    pub use crate::session::Session;
+    pub use crate::shard::{Drained, Shard, ShardConfig};
+}
+
+pub use prelude::*;

@@ -1,0 +1,355 @@
+//! Wire protocol: command parsing and reply framing.
+//!
+//! The protocol is line-oriented text. Every request is one `\n`-terminated
+//! line; every reply is one line starting with `ok` or `err`. Two commands
+//! (`trace`, `drain`) follow the reply line with a byte-length-framed payload:
+//! the reply carries `bytes=<n>` and exactly `n` payload bytes follow it on
+//! the stream. See the crate-level docs for the full grammar.
+
+use std::fmt;
+
+/// Version of the wire protocol. Clients announce it in the hello line
+/// (`hello psbench-serve/1`); the server rejects any other version.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard cap on the length of a single request line, in bytes. Longer lines
+/// are rejected (the connection is closed) without buffering the remainder,
+/// so an unframed flood cannot exhaust server memory.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `hello psbench-serve/<version>` — opens the session.
+    Hello {
+        /// Protocol version announced by the client.
+        version: u32,
+    },
+    /// `submit id=<n> runtime=<secs> procs=<n> [submit=<secs>] [estimate=<secs>] [user=<n>]`.
+    Submit {
+        /// Job id; must be unique within the session.
+        id: u64,
+        /// Requested submit instant (integer seconds of session time).
+        /// Omitted: "now" (the session clock, or the last submit instant in
+        /// as-fast-as-possible mode).
+        submit: Option<i64>,
+        /// Actual runtime in seconds.
+        runtime: i64,
+        /// Processors requested.
+        procs: u32,
+        /// User runtime estimate in seconds (defaults to `runtime`).
+        estimate: Option<i64>,
+        /// Owning user id, for per-user metrics.
+        user: Option<u32>,
+    },
+    /// `cancel id=<n>` (or `cancel <n>`).
+    Cancel {
+        /// Job to cancel.
+        id: u64,
+    },
+    /// `query queue` — live counters of the session shard.
+    QueryQueue,
+    /// `query job <id>` — state of one job.
+    QueryJob {
+        /// Job to look up.
+        id: u64,
+    },
+    /// `whatif <id> under <scheduler>` — predicted start from a cloned engine.
+    Whatif {
+        /// Job the prediction is about.
+        id: u64,
+        /// Registry name of the policy to probe under.
+        scheduler: String,
+    },
+    /// `advance to=<secs>` (or `advance <secs>`) — release session time.
+    Advance {
+        /// Target session instant, integer seconds.
+        to: i64,
+    },
+    /// `trace` — canonical SWF text of everything submitted so far.
+    Trace,
+    /// `drain` — run the engine to completion and return the encoded result.
+    Drain,
+    /// `bye` — close the connection.
+    Bye,
+}
+
+/// A reply to write back to the client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// A single `ok …` or `err …` line.
+    Line(String),
+    /// A reply line followed by a byte-length-framed payload. The head line
+    /// must already carry `bytes=<n>` with `n == body.len()`.
+    Payload {
+        /// The `ok … bytes=<n>` head line (without trailing newline).
+        head: String,
+        /// Exactly the payload bytes announced by the head line.
+        body: Vec<u8>,
+    },
+    /// A final line after which the server closes the connection cleanly.
+    Goodbye(String),
+}
+
+impl Reply {
+    /// Build an `err …` line reply. The message is flattened to one line.
+    pub fn err(msg: impl fmt::Display) -> Reply {
+        Reply::Line(format!("err {}", one_line(&msg.to_string())))
+    }
+}
+
+/// Collapse newlines so an error message can never break line framing.
+fn one_line(s: &str) -> String {
+    s.replace(['\n', '\r'], " ")
+}
+
+/// Extract the `bytes=<n>` payload length announced by a reply head line,
+/// if any. Clients use this to know how many raw bytes follow the line.
+pub fn payload_len(head: &str) -> Option<usize> {
+    head.split_whitespace()
+        .find_map(|tok| tok.strip_prefix("bytes="))
+        .and_then(|v| v.parse().ok())
+}
+
+/// One `key=value` token.
+struct KvArgs<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> KvArgs<'a> {
+    fn parse(tokens: &[&'a str], allowed: &[&str]) -> Result<KvArgs<'a>, String> {
+        let mut pairs = Vec::with_capacity(tokens.len());
+        for tok in tokens {
+            let (k, v) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {tok:?}"))?;
+            if !allowed.contains(&k) {
+                return Err(format!(
+                    "unknown argument {k:?}; expected one of: {}",
+                    allowed.join(", ")
+                ));
+            }
+            if pairs.iter().any(|(seen, _)| *seen == k) {
+                return Err(format!("duplicate argument {k:?}"));
+            }
+            pairs.push((k, v));
+        }
+        Ok(KvArgs { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.pairs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    fn required<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        let raw = self
+            .get(key)
+            .ok_or_else(|| format!("missing required argument {key}="))?;
+        raw.parse()
+            .map_err(|_| format!("bad value for {key}: {raw:?}"))
+    }
+
+    fn optional<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad value for {key}: {raw:?}")),
+        }
+    }
+}
+
+/// Parse one request line into a [`Command`].
+///
+/// Errors are human-readable single-line messages suitable for an `err` reply.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let (&head, rest) = tokens
+        .split_first()
+        .ok_or_else(|| "empty command".to_string())?;
+    match head {
+        "hello" => {
+            let [ident] = rest else {
+                return Err("usage: hello psbench-serve/<version>".into());
+            };
+            let version = ident
+                .strip_prefix("psbench-serve/")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("bad hello identifier {ident:?}"))?;
+            Ok(Command::Hello { version })
+        }
+        "submit" => {
+            let kv = KvArgs::parse(
+                rest,
+                &["id", "submit", "runtime", "procs", "estimate", "user"],
+            )?;
+            Ok(Command::Submit {
+                id: kv.required("id")?,
+                submit: kv.optional("submit")?,
+                runtime: kv.required("runtime")?,
+                procs: kv.required("procs")?,
+                estimate: kv.optional("estimate")?,
+                user: kv.optional("user")?,
+            })
+        }
+        "cancel" => {
+            let id = match rest {
+                [one] => one
+                    .strip_prefix("id=")
+                    .unwrap_or(one)
+                    .parse()
+                    .map_err(|_| format!("bad job id {one:?}"))?,
+                _ => return Err("usage: cancel id=<job>".into()),
+            };
+            Ok(Command::Cancel { id })
+        }
+        "query" => match rest {
+            ["queue"] => Ok(Command::QueryQueue),
+            ["job", id] => {
+                let id = id
+                    .strip_prefix("id=")
+                    .unwrap_or(id)
+                    .parse()
+                    .map_err(|_| format!("bad job id {id:?}"))?;
+                Ok(Command::QueryJob { id })
+            }
+            _ => Err("usage: query queue | query job <id>".into()),
+        },
+        "whatif" => match rest {
+            [id, "under", scheduler] => {
+                let id = id.parse().map_err(|_| format!("bad job id {id:?}"))?;
+                Ok(Command::Whatif {
+                    id,
+                    scheduler: scheduler.to_string(),
+                })
+            }
+            _ => Err("usage: whatif <job> under <scheduler>".into()),
+        },
+        "advance" => {
+            let to = match rest {
+                [one] => one
+                    .strip_prefix("to=")
+                    .unwrap_or(one)
+                    .parse()
+                    .map_err(|_| format!("bad advance target {one:?}"))?,
+                _ => return Err("usage: advance to=<seconds>".into()),
+            };
+            Ok(Command::Advance { to })
+        }
+        "trace" if rest.is_empty() => Ok(Command::Trace),
+        "drain" if rest.is_empty() => Ok(Command::Drain),
+        "bye" if rest.is_empty() => Ok(Command::Bye),
+        _ => Err(format!(
+            "unknown command {head:?}; commands: hello, submit, cancel, query, whatif, advance, trace, drain, bye"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_grammar() {
+        assert_eq!(
+            parse_command("hello psbench-serve/1").unwrap(),
+            Command::Hello { version: 1 }
+        );
+        assert_eq!(
+            parse_command("submit id=7 submit=100 runtime=60 procs=4 estimate=90 user=3").unwrap(),
+            Command::Submit {
+                id: 7,
+                submit: Some(100),
+                runtime: 60,
+                procs: 4,
+                estimate: Some(90),
+                user: Some(3),
+            }
+        );
+        assert_eq!(
+            parse_command("submit id=1 runtime=5 procs=1").unwrap(),
+            Command::Submit {
+                id: 1,
+                submit: None,
+                runtime: 5,
+                procs: 1,
+                estimate: None,
+                user: None,
+            }
+        );
+        assert_eq!(
+            parse_command("cancel id=9").unwrap(),
+            Command::Cancel { id: 9 }
+        );
+        assert_eq!(
+            parse_command("cancel 9").unwrap(),
+            Command::Cancel { id: 9 }
+        );
+        assert_eq!(parse_command("query queue").unwrap(), Command::QueryQueue);
+        assert_eq!(
+            parse_command("query job 4").unwrap(),
+            Command::QueryJob { id: 4 }
+        );
+        assert_eq!(
+            parse_command("whatif 4 under easy").unwrap(),
+            Command::Whatif {
+                id: 4,
+                scheduler: "easy".into()
+            }
+        );
+        assert_eq!(
+            parse_command("advance to=500").unwrap(),
+            Command::Advance { to: 500 }
+        );
+        assert_eq!(parse_command("trace").unwrap(), Command::Trace);
+        assert_eq!(parse_command("drain").unwrap(), Command::Drain);
+        assert_eq!(parse_command("bye").unwrap(), Command::Bye);
+    }
+
+    #[test]
+    fn rejects_garbage_with_single_line_messages() {
+        for bad in [
+            "",
+            "frobnicate",
+            "hello",
+            "hello otherproto/1",
+            "submit id=1 runtime=x procs=1",
+            "submit id=1 runtime=5",
+            "submit id=1 runtime=5 procs=1 color=red",
+            "submit id=1 id=2 runtime=5 procs=1",
+            "whatif 3 over easy",
+            "cancel",
+            "advance",
+            "query",
+            "query job",
+            "trace now",
+        ] {
+            let err = parse_command(bad).unwrap_err();
+            assert!(!err.contains('\n'), "multi-line error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_error_lists_the_verbs() {
+        let err = parse_command("launch missiles").unwrap_err();
+        for verb in ["submit", "cancel", "whatif", "drain"] {
+            assert!(err.contains(verb));
+        }
+    }
+
+    #[test]
+    fn payload_len_reads_bytes_token() {
+        assert_eq!(payload_len("ok trace bytes=120 records=3"), Some(120));
+        assert_eq!(payload_len("ok drain scheduler=fcfs bytes=9"), Some(9));
+        assert_eq!(payload_len("ok submit id=1"), None);
+    }
+
+    #[test]
+    fn err_replies_never_contain_newlines() {
+        let Reply::Line(line) = Reply::err("top\nbottom") else {
+            panic!("expected line reply");
+        };
+        assert_eq!(line, "err top bottom");
+    }
+}

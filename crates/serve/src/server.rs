@@ -1,0 +1,319 @@
+//! The TCP server: listener, shared shard pool, per-connection threads.
+//!
+//! Concurrency model: plain `std::net` blocking I/O, one thread per
+//! connection, with a shared session registry guarded by `parking_lot`
+//! mutexes. Each connection owns its shard through an `Arc<Mutex<Session>>`
+//! held in the registry; the registry lock is only taken to register and
+//! deregister, so sessions never contend with each other on the hot path.
+//! `parking_lot` mutexes do not poison, so a panicking connection thread can
+//! never wedge the pool for everyone else.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::clock::ClockMode;
+use crate::protocol::{Reply, MAX_LINE_BYTES};
+use crate::session::Session;
+use crate::shard::{Shard, ShardConfig};
+
+/// Server-wide configuration; every session inherits it.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Registry name of the live policy for every session.
+    pub scheduler: String,
+    /// Machine size in processors for every session.
+    pub machine: u32,
+    /// Clock mode for every session.
+    pub mode: ClockMode,
+    /// Artifact store root drained sessions are published into, if any.
+    pub store_dir: Option<PathBuf>,
+    /// Maximum number of concurrently connected sessions.
+    pub max_sessions: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            scheduler: "fcfs".into(),
+            machine: 128,
+            mode: ClockMode::Afap,
+            store_dir: None,
+            max_sessions: 256,
+        }
+    }
+}
+
+/// The shared session registry: one slot per live connection.
+struct ShardPool {
+    config: ServeConfig,
+    sessions: Mutex<HashMap<u64, Arc<Mutex<Session>>>>,
+    next_id: Mutex<u64>,
+}
+
+impl ShardPool {
+    fn new(config: ServeConfig) -> ShardPool {
+        ShardPool {
+            config,
+            sessions: Mutex::new(HashMap::new()),
+            next_id: Mutex::new(0),
+        }
+    }
+
+    /// Number of live sessions.
+    fn active(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// Register a new session, or explain why one cannot be admitted.
+    fn register(&self) -> Result<(u64, Arc<Mutex<Session>>), String> {
+        let mut sessions = self.sessions.lock();
+        if sessions.len() >= self.config.max_sessions {
+            return Err(format!(
+                "server at session capacity ({})",
+                self.config.max_sessions
+            ));
+        }
+        let id = {
+            let mut next = self.next_id.lock();
+            *next += 1;
+            *next
+        };
+        let shard_config = ShardConfig {
+            scheduler: self.config.scheduler.clone(),
+            machine: self.config.machine,
+            mode: self.config.mode,
+            store_dir: self.config.store_dir.clone(),
+        };
+        let shard =
+            Shard::new(&shard_config, format!("serve-session-{id}")).map_err(|e| e.to_string())?;
+        let session = Arc::new(Mutex::new(Session::new(shard)));
+        sessions.insert(id, session.clone());
+        Ok((id, session))
+    }
+
+    fn deregister(&self, id: u64) {
+        self.sessions.lock().remove(&id);
+    }
+}
+
+/// Handle to a running server. Dropping it stops the listener.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    pool: Arc<ShardPool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of currently connected sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.pool.active()
+    }
+
+    /// Stop accepting connections and join the accept thread. Connections
+    /// already being served keep running on their own threads until their
+    /// clients disconnect.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in accept(); poke it with a throwaway
+        // connection so it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Bind `addr` and start serving. Returns once the listener is live; the
+/// accept loop and all connection handling run on background threads.
+pub fn serve(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let pool = Arc::new(ShardPool::new(config));
+    let accept_stop = stop.clone();
+    let accept_pool = pool.clone();
+    let accept_thread = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let pool = accept_pool.clone();
+            std::thread::spawn(move || handle_connection(stream, pool));
+        }
+    });
+    Ok(ServerHandle {
+        addr,
+        stop,
+        pool,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// Outcome of reading one request line.
+enum LineRead {
+    /// A complete line (terminator stripped).
+    Line(String),
+    /// End of stream. A torn frame (bytes without a final newline) lands
+    /// here too: there is no complete request to answer, so the connection
+    /// just ends.
+    Eof,
+    /// The line exceeded [`MAX_LINE_BYTES`] before a newline appeared.
+    TooLong,
+}
+
+/// Read one `\n`-terminated line without ever buffering more than the cap.
+fn read_line_capped(reader: &mut impl BufRead) -> std::io::Result<LineRead> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(LineRead::Eof);
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                line.extend_from_slice(&buf[..pos]);
+                reader.consume(pos + 1);
+                if line.len() > MAX_LINE_BYTES {
+                    return Ok(LineRead::TooLong);
+                }
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(LineRead::Line(String::from_utf8_lossy(&line).into_owned()));
+            }
+            None => {
+                let n = buf.len();
+                line.extend_from_slice(buf);
+                reader.consume(n);
+                if line.len() > MAX_LINE_BYTES {
+                    return Ok(LineRead::TooLong);
+                }
+            }
+        }
+    }
+}
+
+/// Serve one connection until the client leaves (or misbehaves fatally).
+fn handle_connection(stream: TcpStream, pool: Arc<ShardPool>) {
+    // The protocol is lockstep request/reply: without TCP_NODELAY, Nagle's
+    // algorithm adds a delayed-ACK round trip to every exchange.
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream;
+    let Ok(read_half) = writer.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let (id, session) = match pool.register() {
+        Ok(slot) => slot,
+        Err(msg) => {
+            let _ = writeln!(writer, "err {msg}");
+            return;
+        }
+    };
+    loop {
+        let reply = match read_line_capped(&mut reader) {
+            Ok(LineRead::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                session.lock().handle_line(&line)
+            }
+            Ok(LineRead::Eof) => break,
+            Ok(LineRead::TooLong) => {
+                let _ = writeln!(writer, "err line exceeds {MAX_LINE_BYTES} bytes");
+                break;
+            }
+            Err(_) => break,
+        };
+        let closing = matches!(reply, Reply::Goodbye(_));
+        if write_reply(&mut writer, reply).is_err() || closing {
+            break;
+        }
+    }
+    pool.deregister(id);
+}
+
+fn write_reply(writer: &mut impl Write, reply: Reply) -> std::io::Result<()> {
+    match reply {
+        Reply::Line(line) | Reply::Goodbye(line) => writeln!(writer, "{line}")?,
+        Reply::Payload { head, body } => {
+            writeln!(writer, "{head}")?;
+            writer.write_all(&body)?;
+        }
+    }
+    writer.flush()
+}
+
+/// Read one reply line plus its byte-framed payload (if the head announces
+/// one) from a server stream. Shared by [`crate::client`] and tests.
+pub fn read_reply(reader: &mut impl BufRead) -> std::io::Result<Option<(String, Option<Vec<u8>>)>> {
+    let mut head = String::new();
+    if reader.read_line(&mut head)? == 0 {
+        return Ok(None);
+    }
+    let head = head.trim_end_matches(['\n', '\r']).to_string();
+    let body = match crate::protocol::payload_len(&head) {
+        None => None,
+        Some(len) => {
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body)?;
+            Some(body)
+        }
+    };
+    Ok(Some((head, body)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn capped_reader_handles_exact_and_oversized_lines() {
+        let mut ok = Cursor::new(b"hello world\r\nrest".to_vec());
+        let LineRead::Line(line) = read_line_capped(&mut BufReader::new(&mut ok)).unwrap() else {
+            panic!("expected line");
+        };
+        assert_eq!(line, "hello world");
+
+        let oversized = vec![b'x'; MAX_LINE_BYTES + 10];
+        let mut reader = BufReader::new(Cursor::new(oversized));
+        assert!(matches!(
+            read_line_capped(&mut reader).unwrap(),
+            LineRead::TooLong
+        ));
+
+        let torn = b"no newline here".to_vec();
+        let mut reader = BufReader::new(Cursor::new(torn));
+        assert!(matches!(
+            read_line_capped(&mut reader).unwrap(),
+            LineRead::Eof
+        ));
+    }
+}

@@ -1,0 +1,319 @@
+//! Session state machine: one per connection, wrapping a [`Shard`].
+//!
+//! A session is a tiny three-phase protocol automaton: it awaits the hello,
+//! then serves commands against its shard, and after `drain` only `trace` and
+//! `bye` remain meaningful. Every request line maps to exactly one [`Reply`];
+//! malformed input produces an `err` line and leaves the session (and the
+//! shard behind it) fully usable — bad input never wedges a connection, let
+//! alone the shared pool.
+
+use psbench_sim::JobState;
+
+use crate::protocol::{parse_command, Command, Reply, PROTOCOL_VERSION};
+use crate::shard::Shard;
+
+/// Where a session is in its life cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Connected, hello not yet received.
+    AwaitHello,
+    /// Hello done; the shard is live.
+    Ready,
+    /// The shard has been drained; only `trace` and `bye` still work.
+    Drained,
+}
+
+/// One client session: a protocol phase plus its engine shard.
+pub struct Session {
+    shard: Shard,
+    phase: Phase,
+}
+
+/// Render a [`JobState`] as the `state=…` tail of a `query job` reply.
+fn render_state(state: &JobState) -> String {
+    match state {
+        JobState::Pending { submit } => format!("state=pending submit={submit}"),
+        JobState::Queued { queued_at } => format!("state=queued queued_at={queued_at}"),
+        JobState::Running {
+            started_at,
+            predicted_end,
+            procs,
+        } => format!(
+            "state=running started_at={started_at} predicted_end={predicted_end} procs={procs}"
+        ),
+        JobState::Finished { start, end } => format!("state=finished start={start} end={end}"),
+        JobState::Cancelled => "state=cancelled".into(),
+        JobState::Discarded => "state=discarded".into(),
+    }
+}
+
+impl Session {
+    /// Start a new session around a freshly built shard.
+    pub fn new(shard: Shard) -> Session {
+        Session {
+            shard,
+            phase: Phase::AwaitHello,
+        }
+    }
+
+    /// Borrow the underlying shard (used by in-process embedders and tests).
+    pub fn shard(&self) -> &Shard {
+        &self.shard
+    }
+
+    /// Handle one request line and produce its reply.
+    pub fn handle_line(&mut self, line: &str) -> Reply {
+        let command = match parse_command(line) {
+            Ok(command) => command,
+            Err(msg) => return Reply::err(msg),
+        };
+        if self.phase == Phase::AwaitHello {
+            return match command {
+                Command::Hello { version } if version == PROTOCOL_VERSION => {
+                    self.phase = Phase::Ready;
+                    Reply::Line(format!(
+                        "ok hello proto={PROTOCOL_VERSION} scheduler={} machine={} mode={}",
+                        self.shard.scheduler_name(),
+                        self.shard.machine(),
+                        self.shard.mode(),
+                    ))
+                }
+                Command::Hello { version } => Reply::err(format!(
+                    "unsupported protocol version {version}; this server speaks {PROTOCOL_VERSION}"
+                )),
+                Command::Bye => Reply::Goodbye("ok bye".into()),
+                _ => Reply::err("expected: hello psbench-serve/1"),
+            };
+        }
+        match command {
+            Command::Hello { .. } => Reply::err("hello already received"),
+            Command::Submit {
+                id,
+                submit,
+                runtime,
+                procs,
+                estimate,
+                user,
+            } => match self
+                .shard
+                .submit(id, submit, runtime, procs, estimate, user)
+            {
+                Ok(t) => Reply::Line(format!("ok submit id={id} time={t}")),
+                Err(msg) => Reply::err(format!("submit: {msg}")),
+            },
+            Command::Cancel { id } => match self.shard.cancel(id) {
+                Ok(()) => Reply::Line(format!("ok cancel id={id}")),
+                Err(msg) => Reply::err(format!("cancel: {msg}")),
+            },
+            Command::QueryQueue => match self.shard.queue_stats() {
+                Ok((now, released, queued, running, finished, used)) => Reply::Line(format!(
+                    "ok queue now={now} released={released} queued={queued} \
+                     running={running} finished={finished} used={used}"
+                )),
+                Err(msg) => Reply::err(format!("query: {msg}")),
+            },
+            Command::QueryJob { id } => match self.shard.job_state(id) {
+                Ok(Some(state)) => Reply::Line(format!("ok job id={id} {}", render_state(&state))),
+                Ok(None) => Reply::err(format!("query: unknown job {id}")),
+                Err(msg) => Reply::err(format!("query: {msg}")),
+            },
+            Command::Whatif { id, scheduler } => match self.shard.whatif(id, &scheduler) {
+                Ok(Ok(p)) => Reply::Line(format!(
+                    "ok whatif id={id} scheduler={} start={} wait={} already_started={}",
+                    p.scheduler, p.start, p.wait, p.already_started
+                )),
+                Ok(Err(probe_err)) => Reply::err(format!("whatif: {probe_err}")),
+                Err(msg) => Reply::err(format!("whatif: {msg}")),
+            },
+            Command::Advance { to } => match self.shard.advance(to) {
+                Ok(now) => Reply::Line(format!("ok advance now={now}")),
+                Err(msg) => Reply::err(format!("advance: {msg}")),
+            },
+            Command::Trace => {
+                let body = self.shard.trace_text().into_bytes();
+                Reply::Payload {
+                    head: format!(
+                        "ok trace bytes={} records={}",
+                        body.len(),
+                        self.shard.record_count()
+                    ),
+                    body,
+                }
+            }
+            Command::Drain => match self.shard.drain() {
+                Ok(drained) => {
+                    self.phase = Phase::Drained;
+                    let body = psbench_store::encode_result(&drained.result).into_bytes();
+                    let stored = drained
+                        .stored
+                        .map(|key| format!(" stored={key}"))
+                        .unwrap_or_default();
+                    Reply::Payload {
+                        head: format!(
+                            "ok drain bytes={} scheduler={} machine={} finished={}{stored}",
+                            body.len(),
+                            drained.result.scheduler,
+                            drained.result.machine_size,
+                            drained.result.finished.len(),
+                        ),
+                        body,
+                    }
+                }
+                Err(msg) => Reply::err(format!("drain: {msg}")),
+            },
+            Command::Bye => Reply::Goodbye("ok bye".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ClockMode;
+    use crate::protocol::payload_len;
+    use crate::shard::ShardConfig;
+
+    fn ready_session() -> Session {
+        let config = ShardConfig {
+            scheduler: "fcfs".into(),
+            machine: 64,
+            mode: ClockMode::Afap,
+            store_dir: None,
+        };
+        let mut session = Session::new(Shard::new(&config, "t".into()).unwrap());
+        let Reply::Line(hello) = session.handle_line("hello psbench-serve/1") else {
+            panic!("hello should succeed");
+        };
+        assert!(hello.starts_with("ok hello proto=1 "), "{hello}");
+        session
+    }
+
+    fn line(session: &mut Session, cmd: &str) -> String {
+        match session.handle_line(cmd) {
+            Reply::Line(l) => l,
+            other => panic!("expected line reply for {cmd:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refuses_commands_before_hello() {
+        let config = ShardConfig {
+            scheduler: "fcfs".into(),
+            machine: 8,
+            mode: ClockMode::Afap,
+            store_dir: None,
+        };
+        let mut session = Session::new(Shard::new(&config, "t".into()).unwrap());
+        let Reply::Line(err) = session.handle_line("submit id=1 runtime=5 procs=1") else {
+            panic!("expected err line");
+        };
+        assert!(err.starts_with("err "), "{err}");
+        // The session is not wedged: hello still works afterwards.
+        let Reply::Line(ok) = session.handle_line("hello psbench-serve/1") else {
+            panic!("expected hello ok");
+        };
+        assert!(ok.starts_with("ok hello"), "{ok}");
+    }
+
+    #[test]
+    fn rejects_wrong_protocol_version() {
+        let config = ShardConfig {
+            scheduler: "fcfs".into(),
+            machine: 8,
+            mode: ClockMode::Afap,
+            store_dir: None,
+        };
+        let mut session = Session::new(Shard::new(&config, "t".into()).unwrap());
+        let Reply::Line(err) = session.handle_line("hello psbench-serve/99") else {
+            panic!("expected err line");
+        };
+        assert!(err.contains("unsupported protocol version 99"), "{err}");
+    }
+
+    #[test]
+    fn full_session_flow() {
+        let mut session = ready_session();
+        assert_eq!(
+            line(&mut session, "submit id=1 submit=0 runtime=100 procs=64"),
+            "ok submit id=1 time=0"
+        );
+        assert_eq!(
+            line(&mut session, "submit id=2 submit=10 runtime=50 procs=8"),
+            "ok submit id=2 time=10"
+        );
+        // Job 2's arrival sits exactly on the released frontier, so it is
+        // still pending until time moves past it.
+        let job = line(&mut session, "query job 2");
+        assert!(job.contains("state=pending"), "{job}");
+        assert_eq!(line(&mut session, "advance to=20"), "ok advance now=10");
+        let q = line(&mut session, "query queue");
+        assert!(q.contains("running=1") && q.contains("queued=1"), "{q}");
+        let job = line(&mut session, "query job 2");
+        assert!(job.contains("state=queued"), "{job}");
+        let what = line(&mut session, "whatif 2 under easy");
+        assert!(
+            what.starts_with("ok whatif id=2 scheduler=easy start=100"),
+            "{what}"
+        );
+        // The probe did not perturb the live session.
+        let job = line(&mut session, "query job 2");
+        assert!(job.contains("state=queued"), "{job}");
+        let Reply::Payload { head, body } = session.handle_line("trace") else {
+            panic!("expected trace payload");
+        };
+        assert_eq!(payload_len(&head), Some(body.len()));
+        let Reply::Payload { head, body } = session.handle_line("drain") else {
+            panic!("expected drain payload");
+        };
+        assert_eq!(payload_len(&head), Some(body.len()));
+        assert!(head.contains("finished=2"), "{head}");
+        let decoded = psbench_store::decode_result(&String::from_utf8(body).unwrap()).unwrap();
+        assert_eq!(decoded.finished.len(), 2);
+        // After drain, mutation fails but trace and bye still work.
+        let err = line(&mut session, "submit id=3 runtime=5 procs=1");
+        assert!(
+            err.starts_with("err submit: session already drained"),
+            "{err}"
+        );
+        assert!(matches!(
+            session.handle_line("trace"),
+            Reply::Payload { .. }
+        ));
+        assert!(matches!(session.handle_line("bye"), Reply::Goodbye(_)));
+    }
+
+    #[test]
+    fn whatif_unknown_scheduler_lists_the_zoo() {
+        let mut session = ready_session();
+        line(&mut session, "submit id=1 submit=0 runtime=100 procs=64");
+        let err = line(&mut session, "whatif 1 under quantum");
+        assert!(err.starts_with("err whatif: unknown scheduler"), "{err}");
+        for name in psbench_sched::scheduler_names() {
+            assert!(err.contains(name), "reply should list {name}");
+        }
+    }
+
+    #[test]
+    fn errors_leave_the_session_usable() {
+        let mut session = ready_session();
+        for bad in [
+            "gibberish",
+            "submit id=1 runtime=-4 procs=2",
+            "submit id=1 runtime=4 procs=0",
+            "cancel id=99",
+            "whatif 1 under nope",
+            "query job 42",
+            "advance to=-5",
+        ] {
+            let reply = session.handle_line(bad);
+            let Reply::Line(l) = reply else {
+                panic!("expected err line for {bad:?}")
+            };
+            assert!(l.starts_with("err "), "{bad:?} -> {l}");
+        }
+        assert_eq!(
+            line(&mut session, "submit id=1 submit=5 runtime=10 procs=2"),
+            "ok submit id=1 time=5"
+        );
+    }
+}

@@ -1,0 +1,365 @@
+//! Engine shards: one live simulation per client session.
+//!
+//! A [`Shard`] wraps an online [`Simulation`] together with its policy
+//! instance, the session clock, and the canonical SWF record of everything
+//! submitted so far. All mutation goes through the shard, which maintains the
+//! invariants the online engine needs (monotone release frontier, integer
+//! submit instants so the exported trace round-trips exactly) and keeps the
+//! exported trace in lockstep with the engine.
+
+use std::path::PathBuf;
+
+use psbench_core::trace_cell_key;
+use psbench_sched::{by_name, probe_start, Prediction, ProbeError, UnknownScheduler};
+use psbench_sim::{JobState, Scheduler, SimConfig, SimJob, Simulation, SimulationResult};
+use psbench_store::{key_hex, ArtifactStore};
+use psbench_swf::{write_string, SwfHeader, SwfLog, SwfRecord, SwfRecordBuilder, FORMAT_VERSION};
+
+use crate::clock::{ClockMode, SessionClock};
+
+/// Configuration a new shard is built from (one per session, derived from the
+/// server-wide [`crate::server::ServeConfig`]).
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Registry name of the live policy.
+    pub scheduler: String,
+    /// Machine size in processors.
+    pub machine: u32,
+    /// Clock mode of the session.
+    pub mode: ClockMode,
+    /// Artifact store root to publish drained sessions into, if any.
+    pub store_dir: Option<PathBuf>,
+}
+
+/// A live per-session scheduling engine.
+pub struct Shard {
+    engine: Option<Simulation>,
+    policy: Box<dyn Scheduler>,
+    scheduler_name: String,
+    machine: u32,
+    clock: SessionClock,
+    records: Vec<SwfRecord>,
+    /// Largest submit/advance instant seen so far: the session's released
+    /// frontier in integer seconds.
+    session_time: i64,
+    store_dir: Option<PathBuf>,
+    session_name: String,
+}
+
+/// The outcome of draining a shard: the completed run plus, when a store was
+/// configured, the hex cell key the result was published under.
+pub struct Drained {
+    /// The completed simulation result.
+    pub result: SimulationResult,
+    /// Hex cell key in the artifact store, if publishing was configured.
+    pub stored: Option<String>,
+}
+
+impl Shard {
+    /// Build a fresh shard: a new online engine plus a new policy instance.
+    pub fn new(config: &ShardConfig, session_name: String) -> Result<Shard, UnknownScheduler> {
+        let mut policy = by_name(&config.scheduler, config.machine)?;
+        let mut engine = Simulation::new_online(SimConfig::new(config.machine));
+        engine.begin(policy.as_mut());
+        Ok(Shard {
+            engine: Some(engine),
+            policy,
+            scheduler_name: config.scheduler.clone(),
+            machine: config.machine,
+            clock: SessionClock::new(config.mode),
+            records: Vec::new(),
+            session_time: 0,
+            store_dir: config.store_dir.clone(),
+            session_name,
+        })
+    }
+
+    /// Registry name of the live policy.
+    pub fn scheduler_name(&self) -> &str {
+        &self.scheduler_name
+    }
+
+    /// Machine size in processors.
+    pub fn machine(&self) -> u32 {
+        self.machine
+    }
+
+    /// Clock mode of the session.
+    pub fn mode(&self) -> ClockMode {
+        self.clock.mode()
+    }
+
+    /// True once the session has been drained.
+    pub fn drained(&self) -> bool {
+        self.engine.is_none()
+    }
+
+    fn engine(&self) -> Result<&Simulation, String> {
+        match self.engine.as_ref() {
+            Some(engine) => Ok(engine),
+            None => Err("session already drained".into()),
+        }
+    }
+
+    /// The instant a command lands at: the requested time (if any) clamped so
+    /// session time never runs backwards, and never behind the wall clock in
+    /// `real`/`scaled` modes.
+    fn effective_time(&self, requested: Option<i64>) -> i64 {
+        let wall = self
+            .clock
+            .wall_seconds()
+            .map(|w| w.floor() as i64)
+            .unwrap_or(0);
+        requested.unwrap_or(0).max(wall).max(self.session_time)
+    }
+
+    /// In wall-driven modes, let the engine catch up to the wall clock before
+    /// answering a query — otherwise the answer would be stale by however long
+    /// the client was silent. No-op in as-fast-as-possible mode.
+    fn catch_up(&mut self) {
+        if let Some(wall) = self.clock.wall_seconds() {
+            if let Some(engine) = self.engine.as_mut() {
+                engine.advance_released(self.policy.as_mut(), wall);
+            }
+        }
+    }
+
+    /// Submit one job. Returns the effective submit instant.
+    pub fn submit(
+        &mut self,
+        id: u64,
+        submit: Option<i64>,
+        runtime: i64,
+        procs: u32,
+        estimate: Option<i64>,
+        user: Option<u32>,
+    ) -> Result<i64, String> {
+        if self.drained() {
+            return Err("session already drained".into());
+        }
+        if runtime < 0 {
+            return Err(format!("runtime must be >= 0, got {runtime}"));
+        }
+        if procs == 0 {
+            return Err("procs must be >= 1".into());
+        }
+        if let Some(est) = estimate {
+            if est < 0 {
+                return Err(format!("estimate must be >= 0, got {est}"));
+            }
+        }
+        if let Some(req) = submit {
+            if req < 0 {
+                return Err(format!("submit must be >= 0, got {req}"));
+            }
+        }
+        let t = self.effective_time(submit);
+        let mut builder = SwfRecordBuilder::new(id, t)
+            .run_time(runtime)
+            .allocated_procs(procs)
+            .requested_time(estimate.unwrap_or(runtime));
+        if let Some(user) = user {
+            builder = builder.user_id(user);
+        }
+        let record = builder.build();
+        let job = SimJob::from_swf(&record).ok_or("record does not describe a runnable job")?;
+        let engine = match self.engine.as_mut() {
+            Some(engine) => engine,
+            None => return Err("session already drained".into()),
+        };
+        engine.advance_released(self.policy.as_mut(), t as f64);
+        engine.submit(job).map_err(|e| e.to_string())?;
+        self.records.push(record);
+        self.session_time = t;
+        Ok(t)
+    }
+
+    /// Cancel a job that has not started yet.
+    pub fn cancel(&mut self, id: u64) -> Result<(), String> {
+        self.catch_up();
+        let policy = self.policy.as_mut();
+        match self.engine.as_mut() {
+            Some(engine) => engine.cancel(policy, id).map_err(|e| e.to_string()),
+            None => Err("session already drained".into()),
+        }
+    }
+
+    /// Release session time up to `to`. Returns the engine's resulting clock.
+    pub fn advance(&mut self, to: i64) -> Result<f64, String> {
+        if to < 0 {
+            return Err(format!("advance target must be >= 0, got {to}"));
+        }
+        let t = self.effective_time(Some(to));
+        let policy = self.policy.as_mut();
+        let engine = match self.engine.as_mut() {
+            Some(engine) => engine,
+            None => return Err("session already drained".into()),
+        };
+        engine.advance_released(policy, t as f64);
+        self.session_time = t;
+        Ok(engine.now())
+    }
+
+    /// Live counters: (now, released, queued, running, finished, used procs).
+    pub fn queue_stats(&mut self) -> Result<(f64, f64, usize, usize, usize, f64), String> {
+        self.catch_up();
+        let engine = self.engine()?;
+        Ok((
+            engine.now(),
+            engine.released(),
+            engine.queue_len(),
+            engine.running_len(),
+            engine.finished_len(),
+            engine.used_capacity(),
+        ))
+    }
+
+    /// State of one job, if the session knows it.
+    pub fn job_state(&mut self, id: u64) -> Result<Option<JobState>, String> {
+        self.catch_up();
+        Ok(self.engine()?.job_state(id))
+    }
+
+    /// Predicted start of `id` under `scheduler`, answered from a cloned
+    /// engine — the live engine and policy are not perturbed.
+    pub fn whatif(
+        &mut self,
+        id: u64,
+        scheduler: &str,
+    ) -> Result<Result<Prediction, ProbeError>, String> {
+        self.catch_up();
+        Ok(probe_start(self.engine()?, id, scheduler))
+    }
+
+    /// The canonical SWF log of everything submitted so far. `MaxNodes` is
+    /// set to the session machine size so an offline `psbench simulate` of
+    /// this trace runs on the same machine.
+    pub fn log(&self) -> SwfLog {
+        let header = SwfHeader {
+            computer: Some("psbench-serve".into()),
+            version: Some(FORMAT_VERSION),
+            max_nodes: Some(self.machine),
+            ..SwfHeader::default()
+        };
+        SwfLog {
+            header,
+            jobs: self.records.clone(),
+        }
+    }
+
+    /// Canonical SWF text of [`Shard::log`].
+    pub fn trace_text(&self) -> String {
+        write_string(&self.log())
+    }
+
+    /// Number of records submitted so far.
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Run the engine to completion and return the result. When a store was
+    /// configured, the session trace is ingested and the result published
+    /// under the same cell key the offline memoized path uses, so a later
+    /// `psbench simulate --store` of the exported trace is a cache hit.
+    pub fn drain(&mut self) -> Result<Drained, String> {
+        let engine = self
+            .engine
+            .take()
+            .ok_or_else(|| String::from("session already drained"))?;
+        let result = engine.finish(self.policy.as_mut());
+        let stored = match &self.store_dir {
+            None => None,
+            Some(dir) => {
+                let store = ArtifactStore::open(dir).map_err(|e| format!("store: {e}"))?;
+                let outcome = store
+                    .ingest(self.log().as_source(self.session_name.clone()))
+                    .map_err(|e| format!("store ingest: {e}"))?;
+                let key = trace_cell_key(outcome.key, &self.scheduler_name, self.machine, false);
+                store
+                    .put_result(key, &result)
+                    .map_err(|e| format!("store publish: {e}"))?;
+                Some(key_hex(key))
+            }
+        };
+        Ok(Drained { result, stored })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn afap_shard() -> Shard {
+        let config = ShardConfig {
+            scheduler: "fcfs".into(),
+            machine: 64,
+            mode: ClockMode::Afap,
+            store_dir: None,
+        };
+        Shard::new(&config, "test-session".into()).unwrap()
+    }
+
+    #[test]
+    fn shard_rejects_unknown_scheduler_at_build_time() {
+        let config = ShardConfig {
+            scheduler: "nope".into(),
+            machine: 64,
+            mode: ClockMode::Afap,
+            store_dir: None,
+        };
+        let err = match Shard::new(&config, "s".into()) {
+            Err(e) => e,
+            Ok(_) => panic!("unknown scheduler should be rejected"),
+        };
+        assert_eq!(err.name, "nope");
+    }
+
+    #[test]
+    fn submit_clamps_time_monotonically() {
+        let mut shard = afap_shard();
+        assert_eq!(shard.submit(1, Some(100), 50, 4, None, None).unwrap(), 100);
+        // An earlier requested instant is clamped to the session frontier.
+        assert_eq!(shard.submit(2, Some(40), 50, 4, None, None).unwrap(), 100);
+        // Omitted submit means "now" (the frontier in afap mode).
+        assert_eq!(shard.submit(3, None, 50, 4, None, None).unwrap(), 100);
+    }
+
+    #[test]
+    fn submit_validates_inputs() {
+        let mut shard = afap_shard();
+        assert!(shard.submit(1, None, -5, 4, None, None).is_err());
+        assert!(shard.submit(1, None, 5, 0, None, None).is_err());
+        assert!(shard.submit(1, Some(-1), 5, 4, None, None).is_err());
+        assert!(shard.submit(1, None, 5, 4, Some(-2), None).is_err());
+        shard.submit(1, None, 5, 4, None, None).unwrap();
+        let err = shard.submit(1, None, 5, 4, None, None).unwrap_err();
+        assert!(err.contains("already submitted"), "{err}");
+    }
+
+    #[test]
+    fn trace_round_trips_through_the_parser() {
+        let mut shard = afap_shard();
+        shard
+            .submit(1, Some(0), 100, 8, Some(120), Some(3))
+            .unwrap();
+        shard.submit(2, Some(30), 60, 64, None, None).unwrap();
+        let text = shard.trace_text();
+        let log = psbench_swf::parse_str(&text, &psbench_swf::ParseOptions::default()).unwrap();
+        assert_eq!(log.jobs.len(), 2);
+        assert_eq!(log.header.max_nodes, Some(64));
+        assert_eq!(write_string(&log), text);
+    }
+
+    #[test]
+    fn drain_is_final() {
+        let mut shard = afap_shard();
+        shard.submit(1, Some(0), 10, 4, None, None).unwrap();
+        let drained = shard.drain().unwrap();
+        assert_eq!(drained.result.finished.len(), 1);
+        assert!(drained.stored.is_none());
+        assert!(shard.drain().is_err());
+        assert!(shard.submit(2, None, 5, 1, None, None).is_err());
+        // The trace is still readable after draining.
+        assert_eq!(shard.record_count(), 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Protocol robustness: torn frames, oversized lines, garbage, and dropped
+//! connections must produce clean errors (or clean closes) and must never
+//! wedge the shared shard pool for other sessions.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use psbench_serve::{serve, ClockMode, ServeConfig, ServerHandle, MAX_LINE_BYTES};
+
+fn test_server(max_sessions: usize) -> ServerHandle {
+    serve(
+        "127.0.0.1:0",
+        ServeConfig {
+            scheduler: "fcfs".into(),
+            machine: 64,
+            mode: ClockMode::Afap,
+            store_dir: None,
+            max_sessions,
+        },
+    )
+    .expect("bind test server")
+}
+
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(server: &ServerHandle) -> Conn {
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Conn {
+            writer: stream,
+            reader,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("write line");
+        self.writer.flush().expect("flush");
+    }
+
+    /// Read one reply line; None at EOF.
+    fn recv(&mut self) -> Option<String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => None,
+            Ok(_) => Some(line.trim_end().to_string()),
+            Err(_) => None,
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv().expect("reply")
+    }
+}
+
+/// A full hello/submit/drain cycle works — used to prove the pool is healthy
+/// after each abuse scenario.
+fn healthy_session(server: &ServerHandle) {
+    let mut conn = Conn::open(server);
+    assert!(conn
+        .roundtrip("hello psbench-serve/1")
+        .starts_with("ok hello"));
+    assert!(conn
+        .roundtrip("submit id=1 submit=0 runtime=10 procs=4")
+        .starts_with("ok submit"));
+    assert!(conn.roundtrip("drain").starts_with("ok drain"));
+    // Drain carries a payload; draining the socket is unnecessary here — we
+    // close it instead, which the server must also tolerate.
+}
+
+#[test]
+fn garbage_and_unknown_commands_get_err_replies() {
+    let server = test_server(16);
+    let mut conn = Conn::open(&server);
+    // Before hello: anything but hello/bye is refused but not fatal.
+    assert!(conn
+        .roundtrip("submit id=1 runtime=5 procs=1")
+        .starts_with("err "));
+    assert!(conn.roundtrip("%%% total garbage %%%").starts_with("err "));
+    // Invalid UTF-8 is replied to, not crashed on.
+    conn.writer.write_all(b"\xff\xfe garbage\n").unwrap();
+    conn.writer.flush().unwrap();
+    assert!(conn.recv().expect("reply to bad utf8").starts_with("err "));
+    // The session recovers completely.
+    assert!(conn
+        .roundtrip("hello psbench-serve/1")
+        .starts_with("ok hello"));
+    assert!(conn
+        .roundtrip("no-such-verb")
+        .starts_with("err unknown command"));
+    assert!(conn
+        .roundtrip("submit id=1 submit=0 runtime=5 procs=1")
+        .starts_with("ok submit"));
+    healthy_session(&server);
+    server.stop();
+}
+
+#[test]
+fn oversized_line_closes_only_the_offending_connection() {
+    let server = test_server(16);
+    let mut conn = Conn::open(&server);
+    assert!(conn
+        .roundtrip("hello psbench-serve/1")
+        .starts_with("ok hello"));
+    let huge = format!(
+        "submit id=1 runtime=5 procs=1 {}",
+        "x".repeat(MAX_LINE_BYTES)
+    );
+    conn.send(&huge);
+    let reply = conn.recv().expect("oversize error reply");
+    assert!(reply.starts_with("err line exceeds"), "{reply}");
+    assert_eq!(conn.recv(), None, "connection should be closed");
+    // Other sessions are unaffected.
+    healthy_session(&server);
+    server.stop();
+}
+
+#[test]
+fn torn_frames_and_dropped_connections_do_not_poison_the_pool() {
+    let server = test_server(16);
+    // A client that sends a partial line and vanishes.
+    {
+        let mut conn = Conn::open(&server);
+        conn.writer.write_all(b"submit id=1 runt").unwrap();
+        conn.writer.flush().unwrap();
+        // Dropped here without a newline: the server sees a torn frame.
+    }
+    // A client that completes the handshake, submits, then vanishes mid-session.
+    {
+        let mut conn = Conn::open(&server);
+        assert!(conn
+            .roundtrip("hello psbench-serve/1")
+            .starts_with("ok hello"));
+        assert!(conn
+            .roundtrip("submit id=1 submit=0 runtime=1000 procs=64")
+            .starts_with("ok submit"));
+    }
+    // The pool serves new sessions as if nothing happened.
+    healthy_session(&server);
+    healthy_session(&server);
+    server.stop();
+}
+
+#[test]
+fn session_capacity_is_enforced_and_slots_are_reclaimed() {
+    let server = test_server(2);
+    let mut first = Conn::open(&server);
+    let mut second = Conn::open(&server);
+    assert!(first
+        .roundtrip("hello psbench-serve/1")
+        .starts_with("ok hello"));
+    assert!(second
+        .roundtrip("hello psbench-serve/1")
+        .starts_with("ok hello"));
+    // Third connection is turned away with a clean error.
+    let mut third = Conn::open(&server);
+    let reply = third.recv().expect("capacity error");
+    assert!(
+        reply.starts_with("err server at session capacity"),
+        "{reply}"
+    );
+    // Saying goodbye frees a slot (deregistration races the close, so poll).
+    assert_eq!(first.roundtrip("bye"), "ok bye");
+    drop(first);
+    let mut admitted = false;
+    for _ in 0..50 {
+        let mut retry = Conn::open(&server);
+        retry.send("hello psbench-serve/1");
+        match retry.recv() {
+            Some(reply) if reply.starts_with("ok hello") => {
+                admitted = true;
+                break;
+            }
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    assert!(admitted, "slot should be reclaimed after disconnect");
+    server.stop();
+}
+
+#[test]
+fn errors_never_abort_a_scripted_run() {
+    let server = test_server(16);
+    let script = [
+        "hello psbench-serve/1",
+        "submit id=1 submit=0 runtime=100 procs=64",
+        "submit id=1 submit=5 runtime=10 procs=1", // duplicate id -> err
+        "whatif 1 under no-such-policy",           // unknown policy -> err
+        "query job 999",                           // unknown job -> err
+        "submit id=2 submit=5 runtime=10 procs=1", // still works
+        "drain",
+        "bye",
+    ];
+    let transcript = psbench_serve::run_script(server.addr(), &script).expect("script runs");
+    assert_eq!(transcript.replies.len(), script.len());
+    assert!(transcript.has_errors());
+    assert!(transcript.replies[5].starts_with("ok submit id=2"));
+    assert!(transcript.replies[6].starts_with("ok drain"));
+    assert!(transcript.payload("drain").is_some());
+    server.stop();
+}

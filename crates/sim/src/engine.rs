@@ -235,6 +235,17 @@ struct RunMeta {
 /// Capacity slack used when validating decisions against the machine size.
 const EPS: f64 = 1e-6;
 
+/// Sequence band for non-arrival events in an online simulation.
+///
+/// Offline, `seed_events` numbers the arrival events `0..n-1` in job-vector
+/// order before any runtime event (a wakeup) can be pushed, so at equal times
+/// arrivals always pop before wakeups. An online session interleaves
+/// submissions with runtime wakeups, so arrivals take their sequence numbers
+/// from the job index (`0, 1, 2, …`, exactly the offline numbering) while
+/// every other event draws from a counter starting in this band — far above
+/// any realistic job count — preserving the offline tie-break bit for bit.
+const ONLINE_EVENT_BAND: u64 = 1 << 40;
+
 /// Completion time implied by a rate epoch starting at `anchor` with `remaining`
 /// work at `rate`: the engine's exact completion instant for the epoch.
 fn eta_for(anchor: f64, remaining: f64, rate: f64) -> f64 {
@@ -252,7 +263,97 @@ fn eta_for(anchor: f64, remaining: f64, rate: f64) -> f64 {
     }
 }
 
+/// Why an online submission, cancellation or query was refused.
+///
+/// Returned by the online session API ([`Simulation::submit`],
+/// [`Simulation::cancel`]); the offline `run` path never produces one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnlineError {
+    /// The simulation was not built with [`Simulation::new_online`].
+    NotOnline,
+    /// A job with this id was already submitted.
+    DuplicateId(u64),
+    /// The submit time is not a finite, non-negative number.
+    BadSubmitTime(f64),
+    /// The submit time lies before the released frontier: that part of the
+    /// timeline has already been simulated and cannot accept new arrivals.
+    PastSubmit {
+        /// The offending submit time.
+        submitted: f64,
+        /// The frontier up to which the session has been released.
+        released: f64,
+    },
+    /// No job with this id was ever submitted.
+    UnknownJob(u64),
+    /// The job is running; the online API only cancels jobs that have not
+    /// started (queued or pending arrival).
+    JobRunning(u64),
+    /// The job already finished, was discarded, or was already cancelled.
+    JobDone(u64),
+}
+
+impl std::fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OnlineError::NotOnline => write!(f, "not an online simulation"),
+            OnlineError::DuplicateId(id) => write!(f, "job {id} already submitted"),
+            OnlineError::BadSubmitTime(t) => write!(f, "bad submit time {t}"),
+            OnlineError::PastSubmit {
+                submitted,
+                released,
+            } => write!(
+                f,
+                "submit time {submitted} lies before the released frontier {released}"
+            ),
+            OnlineError::UnknownJob(id) => write!(f, "unknown job {id}"),
+            OnlineError::JobRunning(id) => write!(f, "job {id} is running"),
+            OnlineError::JobDone(id) => {
+                write!(f, "job {id} already finished or was cancelled")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
+/// Where one job currently is in its life cycle, as reported by
+/// [`Simulation::job_state`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Submitted, but its arrival time has not been reached yet.
+    Pending {
+        /// The submit time the arrival is scheduled for.
+        submit: f64,
+    },
+    /// Waiting in the scheduler's queue.
+    Queued {
+        /// When the job entered the queue.
+        queued_at: f64,
+    },
+    /// Holding processors.
+    Running {
+        /// When this dispatch started.
+        started_at: f64,
+        /// Completion time implied by the current rate epoch.
+        predicted_end: f64,
+        /// Processors allocated.
+        procs: u32,
+    },
+    /// Completed.
+    Finished {
+        /// When the final dispatch started.
+        start: f64,
+        /// Completion time.
+        end: f64,
+    },
+    /// Cancelled through the online API before it started.
+    Cancelled,
+    /// Killed by an outage under [`OutagePolicy::KillAndDiscard`].
+    Discarded,
+}
+
 /// The simulator.
+#[derive(Clone)]
 pub struct Simulation {
     config: SimConfig,
     jobs: Vec<SimJob>,
@@ -282,6 +383,17 @@ pub struct Simulation {
     events_processed: u64,
     outage_down: Vec<u32>,
     kind: EngineKind,
+    /// True for sessions built with [`Simulation::new_online`]: jobs arrive
+    /// through [`Simulation::submit`] instead of being seeded up front.
+    online: bool,
+    /// Ids of every job ever handed to an online session (duplicate check).
+    online_ids: HashSet<u64>,
+    /// Jobs cancelled before their arrival event popped (tombstones), plus
+    /// jobs cancelled out of the queue — consulted by `job_state`.
+    cancelled: HashSet<u64>,
+    /// The online released frontier: every instant strictly below
+    /// `released - EPS` has been simulated; submissions must not land there.
+    released: f64,
 }
 
 impl Simulation {
@@ -327,10 +439,41 @@ impl Simulation {
             events_processed: 0,
             outage_down: Vec::new(),
             kind,
+            online: false,
+            online_ids: HashSet::new(),
+            cancelled: HashSet::new(),
+            released: 0.0,
             config,
             jobs,
         };
         sim.seed_events();
+        sim
+    }
+
+    /// Create an empty **online** simulation: jobs arrive incrementally via
+    /// [`Simulation::submit`] while the clock is advanced with
+    /// [`Simulation::advance_released`] / [`Simulation::step`].
+    ///
+    /// An online session driven by monotone submissions is bit-identical to
+    /// the offline [`Simulation::run`] over the same jobs: the clock only
+    /// ever advances to event/completion instants (so the float integrals
+    /// accrue over the same partition of the timeline), and arrivals keep
+    /// the offline sequence numbering (see `ONLINE_EVENT_BAND`).
+    ///
+    /// Outage logs and closed-loop feedback are offline-only features; the
+    /// configuration must not request them.
+    pub fn new_online(config: SimConfig) -> Self {
+        assert!(
+            config.outages.is_none(),
+            "online simulations do not support outage logs"
+        );
+        assert!(
+            !config.closed_loop,
+            "online simulations do not support closed-loop feedback"
+        );
+        let mut sim = Simulation::with_engine(config, Vec::new(), EngineKind::default());
+        sim.online = true;
+        sim.seq = ONLINE_EVENT_BAND;
         sim
     }
 
@@ -754,121 +897,139 @@ impl Simulation {
         }
     }
 
-    /// Run the simulation to completion under the given scheduler and return the
-    /// results.
-    pub fn run(mut self, scheduler: &mut dyn Scheduler) -> SimulationResult {
-        self.consult(scheduler, SchedulerEvent::Start);
-        loop {
-            if let Some(limit) = self.config.max_time {
-                if self.now >= limit {
-                    break;
-                }
-            }
-            let next_event = self.events.peek().map(|e| e.time).unwrap_or(f64::INFINITY);
-            let next_completion = self.next_completion_time();
-            let t = next_event.min(next_completion);
-            if !t.is_finite() {
-                break; // nothing left that can happen
-            }
-            let t = match self.config.max_time {
-                Some(limit) => t.min(limit),
-                None => t,
-            };
-            self.advance_to(t);
+    /// The next instant anything can happen: the earlier of the next external
+    /// event and the next completion at current rates.
+    fn next_instant(&mut self) -> f64 {
+        let next_event = self.events.peek().map(|e| e.time).unwrap_or(f64::INFINITY);
+        next_event.min(self.next_completion_time())
+    }
 
-            // Completions first (they free capacity for decisions triggered
-            // below). All completions due at this instant are collected before
-            // the scheduler sees any of them, so the consult is batched: one
-            // `JobCompleted` for a lone completion, one `CompletionBatch` for
-            // a simultaneous group — a mass completion under saturation costs
-            // a single replan instead of N.
-            let completed = self.collect_completions();
-            match completed.as_slice() {
-                [] => {}
-                [job_id] => {
-                    self.consult(scheduler, SchedulerEvent::JobCompleted { job_id: *job_id })
-                }
-                batch => self.consult(
-                    scheduler,
-                    SchedulerEvent::CompletionBatch { count: batch.len() },
-                ),
+    /// One iteration of the event loop, bounded by `bound`: advance to the next
+    /// instant **strictly below** `bound` and process everything due there.
+    /// Returns `false` (without advancing) when no such instant exists or the
+    /// configured `max_time` was reached.
+    fn step_bounded(&mut self, scheduler: &mut dyn Scheduler, bound: f64) -> bool {
+        if let Some(limit) = self.config.max_time {
+            if self.now >= limit {
+                return false;
             }
+        }
+        let t = self.next_instant();
+        if !t.is_finite() || t >= bound {
+            return false;
+        }
+        let t = match self.config.max_time {
+            Some(limit) => t.min(limit),
+            None => t,
+        };
+        self.step_at(t, scheduler);
+        true
+    }
 
-            // External events due now.
-            while let Some(e) = self.events.peek() {
-                if e.time > self.now + EPS {
-                    break;
-                }
-                let e = self.events.pop().unwrap();
-                self.events_processed += 1;
-                match e.kind {
-                    EventKind::Arrival(idx) => {
-                        let job = self.jobs[idx].clone();
-                        let id = job.id;
-                        // The effective submission time is "now" (for dependent
-                        // jobs it is the release time).
-                        self.queue.push(QueuedJob {
-                            queued_at: self.now,
-                            job,
-                            restarts: 0,
-                            first_started_at: None,
-                        });
-                        self.consult(scheduler, SchedulerEvent::JobArrived { job_id: id });
-                    }
-                    EventKind::OutageAnnounce(i) => {
-                        let (start, end, procs) = {
-                            let o = &self.config.outages.as_ref().unwrap().outages[i];
-                            (
-                                o.start_time as f64,
-                                o.end_time as f64,
-                                o.effective_nodes_affected(),
-                            )
-                        };
-                        self.consult(
-                            scheduler,
-                            SchedulerEvent::OutageAnnounced { start, end, procs },
-                        );
-                    }
-                    EventKind::OutageStart(i) => {
-                        let procs = self.config.outages.as_ref().unwrap().outages[i]
-                            .effective_nodes_affected();
-                        let taken = self.cluster.take_down(procs);
-                        self.outage_down[i] = taken;
-                        let killed = self.kill_excess_jobs();
-                        if killed > 0 {
-                            self.consult(scheduler, SchedulerEvent::JobsKilled { count: killed });
-                        }
-                        self.consult(scheduler, SchedulerEvent::OutageStarted { procs: taken });
-                    }
-                    EventKind::OutageEnd(i) => {
-                        let taken = self.outage_down[i];
-                        let restored = self.cluster.bring_up(taken);
-                        self.outage_down[i] = 0;
-                        self.consult(scheduler, SchedulerEvent::OutageEnded { procs: restored });
-                    }
-                    EventKind::Wakeup => {
-                        self.pending_wakeups.remove(&e.time.to_bits());
-                        // A timer armed for a strictly future instant must not
-                        // consult the scheduler early. The instant-batch pop
-                        // above fuzzes by EPS, so a wakeup armed within EPS of
-                        // `now` (schedulers tracking sub-EPS reservation times
-                        // arm such timers) would otherwise fire with the clock
-                        // still behind it — the scheduler sees nothing due,
-                        // re-arms the same instant, and the batch loop re-pops
-                        // it forever. Advancing to the requested time keeps
-                        // the consult exact and the re-arm cycle convergent.
-                        self.advance_to(e.time);
-                        self.consult(scheduler, SchedulerEvent::Timer);
-                    }
-                }
-            }
+    /// Process everything due at instant `t`: advance the clock, complete due
+    /// jobs (batched consult), then pop and handle all external events within
+    /// the EPS fuzz of `t`.
+    fn step_at(&mut self, t: f64, scheduler: &mut dyn Scheduler) {
+        self.advance_to(t);
 
-            #[cfg(debug_assertions)]
-            self.check_invariants();
+        // Completions first (they free capacity for decisions triggered
+        // below). All completions due at this instant are collected before
+        // the scheduler sees any of them, so the consult is batched: one
+        // `JobCompleted` for a lone completion, one `CompletionBatch` for
+        // a simultaneous group — a mass completion under saturation costs
+        // a single replan instead of N.
+        let completed = self.collect_completions();
+        match completed.as_slice() {
+            [] => {}
+            [job_id] => self.consult(scheduler, SchedulerEvent::JobCompleted { job_id: *job_id }),
+            batch => self.consult(
+                scheduler,
+                SchedulerEvent::CompletionBatch { count: batch.len() },
+            ),
         }
 
+        // External events due now.
+        while let Some(e) = self.events.peek() {
+            if e.time > self.now + EPS {
+                break;
+            }
+            let e = self.events.pop().unwrap();
+            self.events_processed += 1;
+            match e.kind {
+                EventKind::Arrival(idx) => {
+                    let job = self.jobs[idx].clone();
+                    let id = job.id;
+                    if self.cancelled.contains(&id) {
+                        // Cancelled before release (online API): the arrival
+                        // is consumed without ever entering the queue.
+                        continue;
+                    }
+                    // The effective submission time is "now" (for dependent
+                    // jobs it is the release time).
+                    self.queue.push(QueuedJob {
+                        queued_at: self.now,
+                        job,
+                        restarts: 0,
+                        first_started_at: None,
+                    });
+                    self.consult(scheduler, SchedulerEvent::JobArrived { job_id: id });
+                }
+                EventKind::OutageAnnounce(i) => {
+                    let (start, end, procs) = {
+                        let o = &self.config.outages.as_ref().unwrap().outages[i];
+                        (
+                            o.start_time as f64,
+                            o.end_time as f64,
+                            o.effective_nodes_affected(),
+                        )
+                    };
+                    self.consult(
+                        scheduler,
+                        SchedulerEvent::OutageAnnounced { start, end, procs },
+                    );
+                }
+                EventKind::OutageStart(i) => {
+                    let procs =
+                        self.config.outages.as_ref().unwrap().outages[i].effective_nodes_affected();
+                    let taken = self.cluster.take_down(procs);
+                    self.outage_down[i] = taken;
+                    let killed = self.kill_excess_jobs();
+                    if killed > 0 {
+                        self.consult(scheduler, SchedulerEvent::JobsKilled { count: killed });
+                    }
+                    self.consult(scheduler, SchedulerEvent::OutageStarted { procs: taken });
+                }
+                EventKind::OutageEnd(i) => {
+                    let taken = self.outage_down[i];
+                    let restored = self.cluster.bring_up(taken);
+                    self.outage_down[i] = 0;
+                    self.consult(scheduler, SchedulerEvent::OutageEnded { procs: restored });
+                }
+                EventKind::Wakeup => {
+                    self.pending_wakeups.remove(&e.time.to_bits());
+                    // A timer armed for a strictly future instant must not
+                    // consult the scheduler early. The instant-batch pop
+                    // above fuzzes by EPS, so a wakeup armed within EPS of
+                    // `now` (schedulers tracking sub-EPS reservation times
+                    // arm such timers) would otherwise fire with the clock
+                    // still behind it — the scheduler sees nothing due,
+                    // re-arms the same instant, and the batch loop re-pops
+                    // it forever. Advancing to the requested time keeps
+                    // the consult exact and the re-arm cycle convergent.
+                    self.advance_to(e.time);
+                    self.consult(scheduler, SchedulerEvent::Timer);
+                }
+            }
+        }
+
+        #[cfg(debug_assertions)]
+        self.check_invariants();
+    }
+
+    /// Consume the simulation state into its result.
+    fn into_result(self, scheduler_name: &str) -> SimulationResult {
         SimulationResult {
-            scheduler: scheduler.name().to_string(),
+            scheduler: scheduler_name.to_string(),
             machine_size: self.config.machine_size,
             finished: self.finished,
             unfinished: self.queue.len() + self.running.len(),
@@ -882,6 +1043,226 @@ impl Simulation {
             events_processed: self.events_processed,
             end_time: self.now,
         }
+    }
+
+    /// Run the simulation to completion under the given scheduler and return the
+    /// results.
+    pub fn run(mut self, scheduler: &mut dyn Scheduler) -> SimulationResult {
+        self.consult(scheduler, SchedulerEvent::Start);
+        while self.step(scheduler) {}
+        self.into_result(scheduler.name())
+    }
+
+    // ------------------------------------------------------------------
+    // The online session API.
+    //
+    // `run` above is exactly `begin` + `step`-until-exhausted + the result
+    // conversion, so an online session that performs the same step sequence
+    // (interleaved with monotone submissions that never land inside the
+    // already-released timeline) reproduces the offline result bit for bit.
+    // ------------------------------------------------------------------
+
+    /// Consult the scheduler with the initial [`SchedulerEvent::Start`].
+    /// Call once, before the first [`Simulation::step`] /
+    /// [`Simulation::advance_released`] of an online session; the offline
+    /// [`Simulation::run`] does the equivalent consult itself.
+    pub fn begin(&mut self, scheduler: &mut dyn Scheduler) {
+        self.consult(scheduler, SchedulerEvent::Start);
+    }
+
+    /// One iteration of the event loop: advance to the next event/completion
+    /// instant and process everything due there. Returns `false` (leaving the
+    /// clock untouched) once nothing is left to happen or `max_time` was hit.
+    pub fn step(&mut self, scheduler: &mut dyn Scheduler) -> bool {
+        self.step_bounded(scheduler, f64::INFINITY)
+    }
+
+    /// Advance through every instant **strictly below** `frontier − EPS` and
+    /// mark the timeline up to `frontier` as released.
+    ///
+    /// The EPS margin keeps the batch-pop exact: a step anchored at `t`
+    /// consumes every event within `t + EPS`, so stopping before
+    /// `frontier − EPS` guarantees no event within the fuzz radius of a
+    /// yet-to-be-submitted arrival at `frontier` is consumed early — the
+    /// arrival joins its same-instant batch exactly as it would offline.
+    pub fn advance_released(&mut self, scheduler: &mut dyn Scheduler, frontier: f64) {
+        if frontier > self.released {
+            self.released = frontier;
+        }
+        let bound = frontier - EPS;
+        while self.step_bounded(scheduler, bound) {}
+    }
+
+    /// Submit a job into an online session. The arrival fires once the clock
+    /// reaches `job.submit`; until then the job is [`JobState::Pending`].
+    ///
+    /// Fails if the session was not built with [`Simulation::new_online`],
+    /// the id was already used, or the submit time lies inside the released
+    /// timeline (before the largest `frontier` passed to
+    /// [`Simulation::advance_released`]).
+    pub fn submit(&mut self, job: SimJob) -> Result<(), OnlineError> {
+        if !self.online {
+            return Err(OnlineError::NotOnline);
+        }
+        if !job.submit.is_finite() {
+            return Err(OnlineError::BadSubmitTime(job.submit));
+        }
+        let t = job.submit.max(0.0);
+        if t < self.released {
+            return Err(OnlineError::PastSubmit {
+                submitted: t,
+                released: self.released,
+            });
+        }
+        if !self.online_ids.insert(job.id) {
+            return Err(OnlineError::DuplicateId(job.id));
+        }
+        // Arrivals use the job index as their sequence number — the exact
+        // numbering `seed_events` gives an offline run over the same vector —
+        // while wakeups draw from the high [`ONLINE_EVENT_BAND`] counter, so
+        // equal-time ties break identically online and offline.
+        let idx = self.jobs.len();
+        self.jobs.push(job);
+        self.events.push(Event {
+            time: t,
+            seq: idx as u64,
+            kind: EventKind::Arrival(idx),
+        });
+        Ok(())
+    }
+
+    /// Cancel a job that has not started yet: a queued job leaves the queue
+    /// (the scheduler is consulted with [`SchedulerEvent::JobCancelled`]), a
+    /// pending arrival is tombstoned and never enters the queue. Running or
+    /// finished jobs cannot be cancelled.
+    ///
+    /// Cancellation is an online-only operation with no offline counterpart:
+    /// a session that cancels jobs no longer replays as an offline trace.
+    pub fn cancel(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        job_id: u64,
+    ) -> Result<(), OnlineError> {
+        if !self.online {
+            return Err(OnlineError::NotOnline);
+        }
+        if !self.online_ids.contains(&job_id) {
+            return Err(OnlineError::UnknownJob(job_id));
+        }
+        if self.running_index.contains_key(&job_id) {
+            return Err(OnlineError::JobRunning(job_id));
+        }
+        if self.queue.get(job_id).is_some() {
+            self.queue.remove(job_id);
+            self.cancelled.insert(job_id);
+            self.consult(scheduler, SchedulerEvent::JobCancelled { job_id });
+            return Ok(());
+        }
+        if self.cancelled.contains(&job_id)
+            || self.discarded.contains(&job_id)
+            || self.finished.iter().any(|f| f.id == job_id)
+        {
+            return Err(OnlineError::JobDone(job_id));
+        }
+        // Pending arrival: tombstone it; the arrival event is consumed
+        // silently when it pops.
+        self.cancelled.insert(job_id);
+        Ok(())
+    }
+
+    /// Run the remaining timeline to completion and return the results — the
+    /// online session's equivalent of the tail of [`Simulation::run`].
+    pub fn finish(mut self, scheduler: &mut dyn Scheduler) -> SimulationResult {
+        while self.step(scheduler) {}
+        self.into_result(scheduler.name())
+    }
+
+    /// Consult the scheduler with a bare [`SchedulerEvent::Timer`] at the
+    /// current instant. Intended for **probe clones**: a freshly constructed
+    /// policy knows nothing about the inherited backlog until it is consulted
+    /// once, so a probe pokes its scheduler before stepping.
+    pub fn poke(&mut self, scheduler: &mut dyn Scheduler) {
+        self.consult(scheduler, SchedulerEvent::Timer);
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The released frontier of an online session (0 until the first
+    /// [`Simulation::advance_released`]).
+    pub fn released(&self) -> f64 {
+        self.released
+    }
+
+    /// The next instant anything can happen, if any event or completion is
+    /// outstanding. Needs `&mut` to discard stale calendar entries.
+    pub fn peek_next_instant(&mut self) -> Option<f64> {
+        let t = self.next_instant();
+        t.is_finite().then_some(t)
+    }
+
+    /// Number of jobs waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of jobs currently holding processors.
+    pub fn running_len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Number of jobs that have completed.
+    pub fn finished_len(&self) -> usize {
+        self.finished.len()
+    }
+
+    /// Processor·share capacity currently in use.
+    pub fn used_capacity(&self) -> f64 {
+        self.used_procs
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Where `job_id` currently is in its life cycle, or `None` if the id was
+    /// never handed to this simulation. Finished/discarded lookups scan their
+    /// vectors, so this is a query-path helper, not a hot-path one.
+    pub fn job_state(&self, job_id: u64) -> Option<JobState> {
+        if let Some(&idx) = self.running_index.get(&job_id) {
+            let r = &self.running[idx];
+            return Some(JobState::Running {
+                started_at: r.started_at,
+                predicted_end: r.predicted_end,
+                procs: r.procs,
+            });
+        }
+        if let Some(q) = self.queue.get(job_id) {
+            return Some(JobState::Queued {
+                queued_at: q.queued_at,
+            });
+        }
+        if self.cancelled.contains(&job_id) {
+            return Some(JobState::Cancelled);
+        }
+        if let Some(f) = self.finished.iter().find(|f| f.id == job_id) {
+            return Some(JobState::Finished {
+                start: f.start,
+                end: f.end,
+            });
+        }
+        if self.discarded.contains(&job_id) {
+            return Some(JobState::Discarded);
+        }
+        self.jobs
+            .iter()
+            .find(|j| j.id == job_id)
+            .map(|j| JobState::Pending {
+                submit: j.submit.max(0.0),
+            })
     }
 }
 
@@ -1376,6 +1757,167 @@ mod tests {
         let reference = Simulation::new_reference(SimConfig::new(64), jobs).run(&mut TestFcfs);
         assert_eq!(calendar, reference);
         assert!(calendar.events_processed > 0);
+    }
+
+    /// Drive an online session the way a serve shard would: submit each job
+    /// once the clock frontier reaches its submit time, releasing the
+    /// timeline behind it, then drain.
+    fn online_replay(jobs: &[SimJob], scheduler: &mut dyn Scheduler) -> SimulationResult {
+        let mut sim = Simulation::new_online(SimConfig::new(64));
+        sim.begin(scheduler);
+        let mut sorted: Vec<SimJob> = jobs.to_vec();
+        sorted.sort_by(|a, b| a.submit.total_cmp(&b.submit).then(a.id.cmp(&b.id)));
+        for job in sorted {
+            let t = job.submit.max(0.0);
+            sim.advance_released(scheduler, t);
+            sim.submit(job).unwrap();
+        }
+        sim.finish(scheduler)
+    }
+
+    #[test]
+    fn online_session_matches_offline_run_bit_for_bit() {
+        // The cornerstone invariant of `psbench serve`: a scripted online
+        // session in as-fast-as-possible mode reproduces the offline run
+        // exactly, including every float integral.
+        let jobs: Vec<SimJob> = (0..300)
+            .map(|i| {
+                SimJob::rigid(
+                    i as u64 + 1,
+                    (i * 41 % 631) as f64,
+                    15.0 + (i % 13) as f64 * 77.0,
+                    1 + (i % 48) as u32,
+                )
+            })
+            .collect();
+        let mut sorted = jobs.clone();
+        sorted.sort_by(|a, b| a.submit.total_cmp(&b.submit).then(a.id.cmp(&b.id)));
+        let offline = Simulation::new(SimConfig::new(64), sorted).run(&mut TestFcfs);
+        let online = online_replay(&jobs, &mut TestFcfs);
+        assert_eq!(offline, online);
+    }
+
+    #[test]
+    fn online_equal_submit_times_batch_like_offline() {
+        // Several jobs sharing one submit instant must enter the queue in one
+        // arrival batch even though they are submitted one call at a time:
+        // the strict `frontier - EPS` advance must not let the first arrival
+        // (or a wakeup within the fuzz radius) fire before its siblings land.
+        struct WakeupFcfs;
+        impl Scheduler for WakeupFcfs {
+            fn name(&self) -> &str {
+                "wakeup-fcfs"
+            }
+            fn react(&mut self, ctx: &SchedulerContext<'_>, _e: SchedulerEvent) -> Vec<Decision> {
+                let mut free = ctx.free_capacity();
+                let mut out = Vec::new();
+                for q in ctx.queue.iter() {
+                    if (q.job.procs as f64) <= free + 1e-9 {
+                        free -= q.job.procs as f64;
+                        out.push(Decision::start(q.job.id));
+                    } else {
+                        break;
+                    }
+                }
+                // Arm a timer at every instant an arrival could share — but
+                // only while work remains, or the self-re-arming chain would
+                // keep the event heap non-empty forever and the run would
+                // never terminate. Both runs see identical contexts, so the
+                // re-arm pattern is identical on both sides.
+                if !ctx.queue.is_empty() || ctx.used_procs > 0.0 {
+                    out.push(Decision::Wakeup { at: ctx.now + 10.0 });
+                }
+                out
+            }
+        }
+        let jobs = rigid_jobs(&[
+            (1, 0.0, 100.0, 40),
+            (2, 10.0, 50.0, 40),
+            (3, 10.0, 50.0, 40),
+            (4, 10.0, 25.0, 8),
+            (5, 20.0, 25.0, 8),
+        ]);
+        let offline = Simulation::new(SimConfig::new(64), jobs.clone()).run(&mut WakeupFcfs);
+        let online = online_replay(&jobs, &mut WakeupFcfs);
+        assert_eq!(offline, online);
+    }
+
+    #[test]
+    fn online_submit_validation() {
+        let mut sim = Simulation::new_online(SimConfig::new(64));
+        sim.begin(&mut TestFcfs);
+        sim.submit(SimJob::rigid(1, 5.0, 10.0, 4)).unwrap();
+        assert_eq!(
+            sim.submit(SimJob::rigid(1, 6.0, 10.0, 4)),
+            Err(OnlineError::DuplicateId(1))
+        );
+        assert!(matches!(
+            sim.submit(SimJob::rigid(2, f64::NAN, 10.0, 4)),
+            Err(OnlineError::BadSubmitTime(_))
+        ));
+        sim.advance_released(&mut TestFcfs, 100.0);
+        assert_eq!(
+            sim.submit(SimJob::rigid(3, 50.0, 10.0, 4)),
+            Err(OnlineError::PastSubmit {
+                submitted: 50.0,
+                released: 100.0
+            })
+        );
+        // Offline simulations refuse the online API outright.
+        let mut offline = Simulation::new(SimConfig::new(64), Vec::new());
+        assert_eq!(
+            offline.submit(SimJob::rigid(9, 0.0, 1.0, 1)),
+            Err(OnlineError::NotOnline)
+        );
+    }
+
+    #[test]
+    fn online_cancel_queued_and_pending_jobs() {
+        let mut sim = Simulation::new_online(SimConfig::new(64));
+        let s = &mut TestFcfs;
+        sim.begin(s);
+        // Fill the machine so later jobs queue rather than start.
+        sim.submit(SimJob::rigid(1, 0.0, 100.0, 64)).unwrap();
+        sim.submit(SimJob::rigid(2, 10.0, 50.0, 32)).unwrap();
+        sim.submit(SimJob::rigid(3, 500.0, 50.0, 32)).unwrap();
+        sim.advance_released(s, 20.0);
+        assert!(matches!(sim.job_state(2), Some(JobState::Queued { .. })));
+        assert!(matches!(sim.job_state(3), Some(JobState::Pending { .. })));
+        // Cancel one queued job and one pending arrival.
+        sim.cancel(s, 2).unwrap();
+        sim.cancel(s, 3).unwrap();
+        assert_eq!(sim.job_state(2), Some(JobState::Cancelled));
+        assert_eq!(sim.job_state(3), Some(JobState::Cancelled));
+        // Running and unknown jobs are refused; double-cancel is refused.
+        assert_eq!(sim.cancel(s, 1), Err(OnlineError::JobRunning(1)));
+        assert_eq!(sim.cancel(s, 99), Err(OnlineError::UnknownJob(99)));
+        assert_eq!(sim.cancel(s, 2), Err(OnlineError::JobDone(2)));
+        let result = sim.finish(s);
+        // Only job 1 ever ran; the cancelled jobs left no residue.
+        assert_eq!(result.finished.len(), 1);
+        assert_eq!(result.finished[0].id, 1);
+        assert_eq!(result.unfinished, 0);
+    }
+
+    #[test]
+    fn probe_clone_does_not_perturb_the_live_session() {
+        let mut sim = Simulation::new_online(SimConfig::new(64));
+        let s = &mut TestFcfs;
+        sim.begin(s);
+        sim.submit(SimJob::rigid(1, 0.0, 100.0, 64)).unwrap();
+        sim.submit(SimJob::rigid(2, 5.0, 30.0, 16)).unwrap();
+        sim.advance_released(s, 10.0);
+        let before_now = sim.now();
+        let before_queue = sim.queue_len();
+        // A what-if probe: clone, run the clone to completion.
+        let clone = sim.clone();
+        let probed = clone.finish(&mut TestFcfs);
+        assert_eq!(probed.finished.len(), 2);
+        // The live session is untouched.
+        assert_eq!(sim.now(), before_now);
+        assert_eq!(sim.queue_len(), before_queue);
+        let live = sim.finish(s);
+        assert_eq!(live.finished.len(), 2);
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub mod scheduler;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::cluster::{Cluster, Reservation};
-    pub use crate::engine::{EngineKind, OutagePolicy, SimConfig, Simulation};
+    pub use crate::engine::{
+        EngineKind, JobState, OnlineError, OutagePolicy, SimConfig, Simulation,
+    };
     pub use crate::job::{FinishedJob, QueuedJob, RunningJob, SimJob};
     pub use crate::queue::{BackfillScan, Candidates, JobQueue, QueueKey, StaircaseScan};
     pub use crate::result::SimulationResult;

@@ -63,6 +63,14 @@ pub enum SchedulerEvent {
         /// Number of processors restored.
         procs: u32,
     },
+    /// A queued job was cancelled by an external agent (online sessions); it
+    /// has already left the queue when the scheduler is consulted. Policies
+    /// holding per-job plans should drop the job and may replan the hole it
+    /// leaves behind.
+    JobCancelled {
+        /// Id of the cancelled job.
+        job_id: u64,
+    },
     /// A reservation was added or removed by an external agent (meta-scheduler).
     ReservationsChanged,
     /// A timer previously requested via [`Decision::Wakeup`] fired.
@@ -242,7 +250,11 @@ impl SchedulerContext<'_> {
 }
 
 /// A scheduling policy.
-pub trait Scheduler {
+///
+/// Policies are `Send` so a live policy instance can ride inside a per-session
+/// engine shard handed to a connection thread (`psbench serve`); every policy
+/// is plain owned data, so this costs nothing.
+pub trait Scheduler: Send {
     /// A short, stable name used in reports.
     fn name(&self) -> &str;
 

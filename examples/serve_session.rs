@@ -1,0 +1,67 @@
+//! Spin up the online scheduling service in-process, drive a scripted
+//! session against it, and print the drained report.
+//!
+//! Run with: `cargo run --example serve_session`
+
+use psbench::serve::{run_script, serve, ClockMode, ServeConfig};
+use psbench::store::decode_result;
+
+fn main() {
+    // An in-process server on an ephemeral port: EASY backfilling on a
+    // 64-processor machine, as-fast-as-possible virtual time.
+    let server = serve(
+        "127.0.0.1:0",
+        ServeConfig {
+            scheduler: "easy".into(),
+            machine: 64,
+            mode: ClockMode::Afap,
+            store_dir: None,
+            max_sessions: 8,
+        },
+    )
+    .expect("bind server");
+    println!("server listening on {}\n", server.addr());
+
+    // A session: a wide job grabs the machine, two more queue behind it, and
+    // we ask what-if questions before draining.
+    let script = [
+        "hello psbench-serve/1",
+        "submit id=1 submit=0 runtime=3600 procs=64",
+        "submit id=2 submit=60 runtime=600 procs=32 estimate=900",
+        "submit id=3 submit=120 runtime=300 procs=8 estimate=400",
+        "advance to=200",
+        "query queue",
+        "query job 2",
+        "whatif 2 under easy",
+        "whatif 2 under conservative",
+        "whatif 3 under fcfs",
+        "trace",
+        "drain",
+        "bye",
+    ];
+    let transcript = run_script(server.addr(), &script).expect("run session");
+    for (line, reply) in script.iter().zip(&transcript.replies) {
+        println!("> {line}");
+        println!("< {reply}");
+    }
+
+    let trace = transcript.payload("trace").expect("trace payload");
+    println!("\n--- exported SWF trace ---");
+    print!("{}", String::from_utf8_lossy(&trace.body));
+
+    let drain = transcript.payload("drain").expect("drain payload");
+    let result =
+        decode_result(&String::from_utf8_lossy(&drain.body)).expect("decode drained result");
+    let agg = result.aggregate();
+    let sys = result.system();
+    println!("\n--- drained report ---");
+    println!("scheduler:          {}", result.scheduler);
+    println!("machine:            {} procs", result.machine_size);
+    println!("jobs finished:      {}", agg.jobs);
+    println!("mean wait:          {:.1} s", agg.wait_time.mean);
+    println!("mean response:      {:.1} s", agg.response_time.mean);
+    println!("utilization:        {:.4}", sys.utilization);
+    println!("loss of capacity:   {:.4}", sys.loss_of_capacity);
+
+    server.stop();
+}

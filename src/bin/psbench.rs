@@ -12,6 +12,8 @@
 //! psbench sweep    [ID...|all]              run experiments E1..E10
 //! psbench sweep    grid --store <DIR>       resumable, memoized grid sweep
 //! psbench store    <ls|gc|verify>           inspect / maintain an artifact store
+//! psbench serve    [--addr A]               online scheduling service over TCP
+//! psbench client   <ADDR> [SCRIPT]          replay a protocol script against a server
 //! ```
 //!
 //! An `<INPUT>` is either a path to an SWF file or a model spec
@@ -37,6 +39,7 @@ use psbench::core::{
     GridSpec, Scale, Scenario, Table, WorkloadDef, WorkloadKind,
 };
 use psbench::sched::{by_name, scheduler_names};
+use psbench::serve::{run_script, serve, ClockMode, ServeConfig};
 use psbench::sim::{SimConfig, SimJob, Simulation, SimulationResult};
 use psbench::store::{fingerprint_source, key_hex, profile_key, ArtifactKind, ArtifactStore};
 use psbench::swf::{
@@ -70,6 +73,11 @@ SUBCOMMANDS:
                                        sweep, memoized cell by cell (requires --store)
     store    <ls | gc | verify>        list, garbage-collect, or check an artifact
                                        store (requires --store)
+    serve                              run the online scheduling service: clients
+                                       submit jobs, query the queue, and ask what-if
+                                       questions over a newline-framed TCP protocol
+    client   <ADDR> [SCRIPT]           replay a protocol script (file, or stdin when
+                                       omitted) against a running server, in lockstep
 
 INPUTS:
     Either a path to an SWF file, or `model:<name>` with <name> one of
@@ -97,6 +105,13 @@ OPTIONS:
     --max-cells <N>   compute at most N uncached cells this run, journal them,
                       and leave the rest pending for a resume
     --out <FILE>      write the report to FILE instead of stdout
+    --result-out <F>  simulate: also write the canonical encoded SimulationResult
+                      to F (byte-comparable with a served session's drain payload)
+    --addr <A>        serve: listen address                     [default: 127.0.0.1:7077]
+    --mode <M>        serve: session clock mode afap|real|scale:<f> [default: afap]
+    --max-sessions <N> serve: concurrent session cap            [default: 256]
+    --trace-out <F>   client: write the last `trace` payload to F
+    --report-out <F>  client: write the last `drain` payload to F
     --strict          strict parsing / conversion
     --materialize     collect the input into memory before analysis (debugging
                       aid; output is byte-identical to the streaming path)
@@ -127,6 +142,12 @@ struct Opts {
     out: Option<String>,
     strict: bool,
     materialize: bool,
+    result_out: Option<String>,
+    addr: Option<String>,
+    mode: String,
+    max_sessions: usize,
+    trace_out: Option<String>,
+    report_out: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -150,6 +171,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         out: None,
         strict: false,
         materialize: false,
+        result_out: None,
+        addr: None,
+        mode: "afap".to_string(),
+        max_sessions: 256,
+        trace_out: None,
+        report_out: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -178,6 +205,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--seeds" => opts.seeds = Some(value("--seeds")?),
             "--max-cells" => opts.max_cells = Some(num(&value("--max-cells")?)?),
             "--out" => opts.out = Some(value("--out")?),
+            "--result-out" => opts.result_out = Some(value("--result-out")?),
+            "--addr" => opts.addr = Some(value("--addr")?),
+            "--mode" => opts.mode = value("--mode")?,
+            "--max-sessions" => opts.max_sessions = num::<usize>(&value("--max-sessions")?)?.max(1),
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--report-out" => opts.report_out = Some(value("--report-out")?),
             "--strict" => opts.strict = true,
             "--materialize" => opts.materialize = true,
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
@@ -689,7 +722,85 @@ fn cmd_simulate(opts: &Opts) -> Result<ExitCode, String> {
         fmt(sys.loss_of_capacity),
     ]);
     emit(opts, &render_table(&table, opts.format))?;
+    if let Some(path) = &opts.result_out {
+        std::fs::write(path, psbench::store::encode_result(&result))
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    }
     Ok(ExitCode::SUCCESS)
+}
+
+/// `psbench serve`: run the online scheduling service until killed.
+fn cmd_serve(opts: &Opts) -> Result<ExitCode, String> {
+    let mode = ClockMode::parse(&opts.mode).ok_or_else(|| {
+        format!(
+            "unknown mode {:?}; expected afap, real, or scale:<f>",
+            opts.mode
+        )
+    })?;
+    // Validate the scheduler up front with the standard registry error.
+    by_name(&opts.scheduler, opts.machine).map_err(|e| e.to_string())?;
+    if let Some(dir) = &opts.store {
+        // Fail fast on an unusable store rather than on the first drain.
+        ArtifactStore::open(dir).map_err(store_err)?;
+    }
+    let config = ServeConfig {
+        scheduler: opts.scheduler.clone(),
+        machine: opts.machine,
+        mode,
+        store_dir: opts.store.as_ref().map(std::path::PathBuf::from),
+        max_sessions: opts.max_sessions,
+    };
+    let addr = opts.addr.as_deref().unwrap_or("127.0.0.1:7077");
+    let handle = serve(addr, config).map_err(|e| format!("cannot bind {addr:?}: {e}"))?;
+    println!("listening on {}", handle.addr());
+    std::io::stdout().flush().ok();
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `psbench client`: replay a protocol script in lockstep and echo replies.
+fn cmd_client(opts: &Opts) -> Result<ExitCode, String> {
+    let addr = opts
+        .positional
+        .first()
+        .ok_or("client expects an <ADDR> (host:port)")?;
+    let script = match opts.positional.get(1) {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read script {path:?}: {e}"))?,
+        None => {
+            use std::io::Read as _;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("cannot read script from stdin: {e}"))?;
+            buf
+        }
+    };
+    let lines: Vec<&str> = script.lines().collect();
+    let transcript =
+        run_script(addr.as_str(), &lines).map_err(|e| format!("client {addr}: {e}"))?;
+    for reply in &transcript.replies {
+        println!("{reply}");
+    }
+    if let Some(path) = &opts.trace_out {
+        let payload = transcript
+            .payload("trace")
+            .ok_or("--trace-out given but the script never ran `trace`")?;
+        std::fs::write(path, &payload.body).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    }
+    if let Some(path) = &opts.report_out {
+        let payload = transcript
+            .payload("drain")
+            .ok_or("--report-out given but the script never ran `drain`")?;
+        std::fs::write(path, &payload.body).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    }
+    Ok(if transcript.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 /// `psbench sweep grid`: a resumable model × scheduler × load × size × seed
@@ -881,6 +992,8 @@ fn run() -> Result<ExitCode, String> {
         "simulate" => cmd_simulate(&opts),
         "sweep" => cmd_sweep(&opts),
         "store" => cmd_store(&opts),
+        "serve" => cmd_serve(&opts),
+        "client" => cmd_client(&opts),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }

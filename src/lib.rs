@@ -15,6 +15,8 @@
 //! * [`store`] — the content-addressed artifact store: ingested traces, cached
 //!   profiles, memoized simulation results, durable sweep ledgers.
 //! * [`core`] — the canonical benchmark suite, experiment harness, and reports.
+//! * [`serve`] — the online scheduling service: TCP protocol, per-session engine
+//!   shards, live what-if queries.
 
 #![warn(missing_docs)]
 
@@ -23,6 +25,7 @@ pub use psbench_core as core;
 pub use psbench_metasim as metasim;
 pub use psbench_metrics as metrics;
 pub use psbench_sched as sched;
+pub use psbench_serve as serve;
 pub use psbench_sim as sim;
 pub use psbench_store as store;
 pub use psbench_swf as swf;

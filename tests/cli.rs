@@ -295,3 +295,141 @@ fn sweep_json_is_one_document() {
     assert!(json.contains("},{"), "objects must be comma-separated");
     assert_eq!(json.matches('"').count() % 2, 0);
 }
+
+/// Spawn `psbench serve` on an ephemeral port and return (child, addr).
+/// The child is killed by the caller.
+fn spawn_serve(extra: &[&str]) -> (std::process::Child, String) {
+    use std::io::{BufRead, BufReader};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_psbench"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn psbench serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read listen line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected serve banner: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn serve_session_drain_matches_offline_simulate_byte_for_byte() {
+    let store = scratch("serve-store");
+    std::fs::create_dir_all(&store).unwrap();
+    let (mut child, addr) = spawn_serve(&[
+        "--scheduler",
+        "easy",
+        "--machine",
+        "64",
+        "--store",
+        store.to_str().unwrap(),
+    ]);
+
+    // A scripted session, including interleaved what-if queries.
+    let script_path = scratch("serve-script.txt");
+    let mut script = String::from("hello psbench-serve/1\n");
+    let mut t = 0;
+    for id in 1..=40 {
+        t += (id * 7) % 23;
+        let runtime = 30 + (id * 13) % 400;
+        let procs = 1 + (id * 5) % 64;
+        script.push_str(&format!(
+            "submit id={id} submit={t} runtime={runtime} procs={procs}\n"
+        ));
+        if id % 11 == 4 {
+            script.push_str(&format!("whatif {id} under conservative\n"));
+        }
+    }
+    script.push_str("trace\ndrain\nbye\n");
+    std::fs::write(&script_path, script).unwrap();
+
+    let trace_path = scratch("serve-trace.swf");
+    let report_path = scratch("serve-report.txt");
+    let out = psbench(&[
+        "client",
+        &addr,
+        script_path.to_str().unwrap(),
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+        "--report-out",
+        report_path.to_str().unwrap(),
+    ]);
+    child.kill().ok();
+    child.wait().ok();
+    assert!(
+        out.status.success(),
+        "client failed: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let replies = String::from_utf8_lossy(&out.stdout);
+    assert!(replies.contains("ok whatif"), "{replies}");
+
+    // Offline leg: simulate the exported trace and compare encoded results
+    // byte for byte.
+    let offline_path = scratch("serve-offline.txt");
+    stdout_of(&[
+        "simulate",
+        trace_path.to_str().unwrap(),
+        "--scheduler",
+        "easy",
+        "--result-out",
+        offline_path.to_str().unwrap(),
+    ]);
+    let online = std::fs::read(&report_path).unwrap();
+    let offline = std::fs::read(&offline_path).unwrap();
+    assert!(!online.is_empty());
+    assert_eq!(online, offline, "online drain != offline simulate");
+
+    // The drained session was published under the offline cell key, so a
+    // store-backed simulate of the exported trace is a cache hit...
+    let warm = psbench(&[
+        "simulate",
+        trace_path.to_str().unwrap(),
+        "--scheduler",
+        "easy",
+        "--store",
+        store.to_str().unwrap(),
+    ]);
+    assert!(warm.status.success());
+    assert!(
+        String::from_utf8_lossy(&warm.stderr).contains("result cache hit"),
+        "expected a cache hit from the published session"
+    );
+    // ...and the store passes verification.
+    let verify = stdout_of(&["store", "verify", "--store", store.to_str().unwrap()]);
+    assert!(verify.contains("0 problems"), "{verify}");
+
+    std::fs::remove_dir_all(&store).ok();
+    for p in [&script_path, &trace_path, &report_path, &offline_path] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn client_surfaces_protocol_errors_in_exit_code() {
+    let (mut child, addr) = spawn_serve(&["--scheduler", "fcfs", "--machine", "8"]);
+    let script_path = scratch("serve-bad-script.txt");
+    std::fs::write(
+        &script_path,
+        "hello psbench-serve/1\nsubmit id=1 runtime=oops procs=2\nbye\n",
+    )
+    .unwrap();
+    let out = psbench(&["client", &addr, script_path.to_str().unwrap()]);
+    child.kill().ok();
+    child.wait().ok();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "err replies should fail the client"
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("err "));
+    std::fs::remove_file(&script_path).ok();
+}
