@@ -17,15 +17,34 @@ pub const PROTOCOL_VERSION: u32 = 1;
 /// so an unframed flood cannot exhaust server memory.
 pub const MAX_LINE_BYTES: usize = 64 * 1024;
 
+/// Maximum length of a client-chosen session name, in bytes.
+pub const MAX_SESSION_NAME: usize = 64;
+
+/// Whether `name` is a valid session name: 1–64 characters drawn from
+/// `[A-Za-z0-9._-]`. The restriction keeps names safe to embed in journal
+/// file names and reply lines.
+pub fn valid_session_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_SESSION_NAME
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// `hello psbench-serve/<version>` — opens the session.
+    /// `hello psbench-serve/<version> [session=<name>]` — opens (or, with a
+    /// name, attaches to) a session.
     Hello {
         /// Protocol version announced by the client.
         version: u32,
+        /// Session to attach to. Omitted: the server generates a name. A
+        /// named session that crashed or detached can be re-attached — with
+        /// `--state-dir` on the server, even across a server restart.
+        session: Option<String>,
     },
-    /// `submit id=<n> runtime=<secs> procs=<n> [submit=<secs>] [estimate=<secs>] [user=<n>]`.
+    /// `submit id=<n> runtime=<secs> procs=<n> [submit=<secs>] [estimate=<secs>] [user=<n>] [seq=<n>]`.
     Submit {
         /// Job id; must be unique within the session.
         id: u64,
@@ -41,11 +60,15 @@ pub enum Command {
         estimate: Option<i64>,
         /// Owning user id, for per-user metrics.
         user: Option<u32>,
+        /// Client-chosen command sequence number (see [`Command::seq`]).
+        seq: Option<u64>,
     },
-    /// `cancel id=<n>` (or `cancel <n>`).
+    /// `cancel id=<n> [seq=<n>]` (or `cancel <n>`).
     Cancel {
         /// Job to cancel.
         id: u64,
+        /// Client-chosen command sequence number (see [`Command::seq`]).
+        seq: Option<u64>,
     },
     /// `query queue` — live counters of the session shard.
     QueryQueue,
@@ -61,17 +84,44 @@ pub enum Command {
         /// Registry name of the policy to probe under.
         scheduler: String,
     },
-    /// `advance to=<secs>` (or `advance <secs>`) — release session time.
+    /// `advance to=<secs> [seq=<n>]` (or `advance <secs>`) — release session
+    /// time.
     Advance {
         /// Target session instant, integer seconds.
         to: i64,
+        /// Client-chosen command sequence number (see [`Command::seq`]).
+        seq: Option<u64>,
     },
     /// `trace` — canonical SWF text of everything submitted so far.
     Trace,
-    /// `drain` — run the engine to completion and return the encoded result.
-    Drain,
+    /// `drain [seq=<n>]` — run the engine to completion and return the
+    /// encoded result.
+    Drain {
+        /// Client-chosen command sequence number (see [`Command::seq`]).
+        seq: Option<u64>,
+    },
     /// `bye` — close the connection.
     Bye,
+}
+
+impl Command {
+    /// The `seq=` number carried by a mutating command, if any.
+    ///
+    /// Sequence numbers make mutating commands **idempotent**: each must be
+    /// strictly greater than the last one the session applied. Re-sending the
+    /// session's last applied `seq` replays the cached reply without applying
+    /// the command again (safe resubmission after a lost reply); a smaller
+    /// `seq` is refused as stale. Commands without `seq=` are assigned the
+    /// next number implicitly (at-most-once only per connection).
+    pub fn seq(&self) -> Option<u64> {
+        match self {
+            Command::Submit { seq, .. }
+            | Command::Cancel { seq, .. }
+            | Command::Advance { seq, .. }
+            | Command::Drain { seq } => *seq,
+            _ => None,
+        }
+    }
 }
 
 /// A reply to write back to the client.
@@ -170,19 +220,28 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         .ok_or_else(|| "empty command".to_string())?;
     match head {
         "hello" => {
-            let [ident] = rest else {
-                return Err("usage: hello psbench-serve/<version>".into());
+            let Some((&ident, rest)) = rest.split_first() else {
+                return Err("usage: hello psbench-serve/<version> [session=<name>]".into());
             };
             let version = ident
                 .strip_prefix("psbench-serve/")
                 .and_then(|v| v.parse().ok())
                 .ok_or_else(|| format!("bad hello identifier {ident:?}"))?;
-            Ok(Command::Hello { version })
+            let kv = KvArgs::parse(rest, &["session"])?;
+            let session = kv.get("session").map(str::to_string);
+            if let Some(name) = &session {
+                if !valid_session_name(name) {
+                    return Err(format!(
+                        "bad session name {name:?}: 1-{MAX_SESSION_NAME} chars of [A-Za-z0-9._-]"
+                    ));
+                }
+            }
+            Ok(Command::Hello { version, session })
         }
         "submit" => {
             let kv = KvArgs::parse(
                 rest,
-                &["id", "submit", "runtime", "procs", "estimate", "user"],
+                &["id", "submit", "runtime", "procs", "estimate", "user", "seq"],
             )?;
             Ok(Command::Submit {
                 id: kv.required("id")?,
@@ -191,19 +250,26 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 procs: kv.required("procs")?,
                 estimate: kv.optional("estimate")?,
                 user: kv.optional("user")?,
+                seq: kv.optional("seq")?,
             })
         }
-        "cancel" => {
-            let id = match rest {
-                [one] => one
+        "cancel" => match rest {
+            [one] if !one.contains('=') || one.starts_with("id=") => {
+                let id = one
                     .strip_prefix("id=")
                     .unwrap_or(one)
                     .parse()
-                    .map_err(|_| format!("bad job id {one:?}"))?,
-                _ => return Err("usage: cancel id=<job>".into()),
-            };
-            Ok(Command::Cancel { id })
-        }
+                    .map_err(|_| format!("bad job id {one:?}"))?;
+                Ok(Command::Cancel { id, seq: None })
+            }
+            _ => {
+                let kv = KvArgs::parse(rest, &["id", "seq"])?;
+                Ok(Command::Cancel {
+                    id: kv.required("id")?,
+                    seq: kv.optional("seq")?,
+                })
+            }
+        },
         "query" => match rest {
             ["queue"] => Ok(Command::QueryQueue),
             ["job", id] => {
@@ -226,19 +292,30 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             }
             _ => Err("usage: whatif <job> under <scheduler>".into()),
         },
-        "advance" => {
-            let to = match rest {
-                [one] => one
+        "advance" => match rest {
+            [one] if !one.contains('=') || one.starts_with("to=") => {
+                let to = one
                     .strip_prefix("to=")
                     .unwrap_or(one)
                     .parse()
-                    .map_err(|_| format!("bad advance target {one:?}"))?,
-                _ => return Err("usage: advance to=<seconds>".into()),
-            };
-            Ok(Command::Advance { to })
-        }
+                    .map_err(|_| format!("bad advance target {one:?}"))?;
+                Ok(Command::Advance { to, seq: None })
+            }
+            _ => {
+                let kv = KvArgs::parse(rest, &["to", "seq"])?;
+                Ok(Command::Advance {
+                    to: kv.required("to")?,
+                    seq: kv.optional("seq")?,
+                })
+            }
+        },
         "trace" if rest.is_empty() => Ok(Command::Trace),
-        "drain" if rest.is_empty() => Ok(Command::Drain),
+        "drain" => {
+            let kv = KvArgs::parse(rest, &["seq"])?;
+            Ok(Command::Drain {
+                seq: kv.optional("seq")?,
+            })
+        }
         "bye" if rest.is_empty() => Ok(Command::Bye),
         _ => Err(format!(
             "unknown command {head:?}; commands: hello, submit, cancel, query, whatif, advance, trace, drain, bye"
@@ -254,10 +331,21 @@ mod tests {
     fn parses_the_full_grammar() {
         assert_eq!(
             parse_command("hello psbench-serve/1").unwrap(),
-            Command::Hello { version: 1 }
+            Command::Hello {
+                version: 1,
+                session: None
+            }
         );
         assert_eq!(
-            parse_command("submit id=7 submit=100 runtime=60 procs=4 estimate=90 user=3").unwrap(),
+            parse_command("hello psbench-serve/1 session=night-shift.2").unwrap(),
+            Command::Hello {
+                version: 1,
+                session: Some("night-shift.2".into())
+            }
+        );
+        assert_eq!(
+            parse_command("submit id=7 submit=100 runtime=60 procs=4 estimate=90 user=3 seq=12")
+                .unwrap(),
             Command::Submit {
                 id: 7,
                 submit: Some(100),
@@ -265,6 +353,7 @@ mod tests {
                 procs: 4,
                 estimate: Some(90),
                 user: Some(3),
+                seq: Some(12),
             }
         );
         assert_eq!(
@@ -276,15 +365,23 @@ mod tests {
                 procs: 1,
                 estimate: None,
                 user: None,
+                seq: None,
             }
         );
         assert_eq!(
             parse_command("cancel id=9").unwrap(),
-            Command::Cancel { id: 9 }
+            Command::Cancel { id: 9, seq: None }
         );
         assert_eq!(
             parse_command("cancel 9").unwrap(),
-            Command::Cancel { id: 9 }
+            Command::Cancel { id: 9, seq: None }
+        );
+        assert_eq!(
+            parse_command("cancel id=9 seq=4").unwrap(),
+            Command::Cancel {
+                id: 9,
+                seq: Some(4)
+            }
         );
         assert_eq!(parse_command("query queue").unwrap(), Command::QueryQueue);
         assert_eq!(
@@ -300,11 +397,36 @@ mod tests {
         );
         assert_eq!(
             parse_command("advance to=500").unwrap(),
-            Command::Advance { to: 500 }
+            Command::Advance { to: 500, seq: None }
+        );
+        assert_eq!(
+            parse_command("advance to=500 seq=9").unwrap(),
+            Command::Advance {
+                to: 500,
+                seq: Some(9)
+            }
         );
         assert_eq!(parse_command("trace").unwrap(), Command::Trace);
-        assert_eq!(parse_command("drain").unwrap(), Command::Drain);
+        assert_eq!(
+            parse_command("drain").unwrap(),
+            Command::Drain { seq: None }
+        );
+        assert_eq!(
+            parse_command("drain seq=3").unwrap(),
+            Command::Drain { seq: Some(3) }
+        );
         assert_eq!(parse_command("bye").unwrap(), Command::Bye);
+    }
+
+    #[test]
+    fn session_names_are_validated() {
+        assert!(valid_session_name("a"));
+        assert!(valid_session_name("night-shift.2_x"));
+        assert!(!valid_session_name(""));
+        assert!(!valid_session_name("has space"));
+        assert!(!valid_session_name("sneaky/../path"));
+        assert!(!valid_session_name(&"x".repeat(MAX_SESSION_NAME + 1)));
+        assert!(parse_command("hello psbench-serve/1 session=bad/name").is_err());
     }
 
     #[test]

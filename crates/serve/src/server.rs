@@ -1,41 +1,68 @@
-//! The TCP server: listener, shared shard pool, per-connection threads.
+//! The TCP server: listener, named session pool, per-connection threads.
 //!
 //! Concurrency model: plain `std::net` blocking I/O, one thread per
-//! connection, with a shared session registry guarded by `parking_lot`
-//! mutexes. Each connection owns its shard through an `Arc<Mutex<Session>>`
-//! held in the registry; the registry lock is only taken to register and
-//! deregister, so sessions never contend with each other on the hot path.
+//! connection, with a shared session pool guarded by `parking_lot` mutexes.
+//! Each connection *attaches* to a named slot holding an
+//! `Arc<Mutex<Session>>`; the pool lock is only taken to attach, detach, and
+//! evict, so sessions never contend with each other on the hot path.
 //! `parking_lot` mutexes do not poison, so a panicking connection thread can
 //! never wedge the pool for everyone else.
+//!
+//! # Session life cycle
+//!
+//! `hello` attaches: to a fresh session (server-generated name), to a named
+//! session the client chooses, or — after a disconnect or even a server
+//! crash, when `state_dir` journaling is on — back to an existing one. A
+//! disconnect without `drain` merely *detaches*: the slot stays resumable
+//! until the idle timeout evicts it (journaled sessions remain recoverable
+//! from disk afterwards; unjournaled ones are gone). A drained session's
+//! slot and journal are removed at detach.
+//!
+//! At startup the server scans `<state_dir>/sessions/*.journal` and rebuilds
+//! every session by deterministic replay. A journal that fails recovery
+//! poisons its name (attaching reports the error) instead of crashing the
+//! server; the file is left in place for inspection.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use psbench_store::FsyncPolicy;
 
 use crate::clock::ClockMode;
-use crate::protocol::{Reply, MAX_LINE_BYTES};
+use crate::protocol::{parse_command, Command, Reply, MAX_LINE_BYTES, PROTOCOL_VERSION};
 use crate::session::Session;
-use crate::shard::{Shard, ShardConfig};
+use crate::shard::ShardConfig;
 
-/// Server-wide configuration; every session inherits it.
+/// Server-wide configuration; every *new* session inherits it (recovered
+/// sessions take scheduler/machine/mode from their own journal).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Registry name of the live policy for every session.
+    /// Registry name of the live policy for every new session.
     pub scheduler: String,
-    /// Machine size in processors for every session.
+    /// Machine size in processors for every new session.
     pub machine: u32,
-    /// Clock mode for every session.
+    /// Clock mode for every new session.
     pub mode: ClockMode,
     /// Artifact store root drained sessions are published into, if any.
     pub store_dir: Option<PathBuf>,
-    /// Maximum number of concurrently connected sessions.
+    /// Maximum number of concurrently *attached* sessions.
     pub max_sessions: usize,
+    /// Directory for crash-safe state. When set, every session is
+    /// write-ahead journaled under `<state_dir>/sessions/<name>.journal`
+    /// and survives a crash of the serving process.
+    pub state_dir: Option<PathBuf>,
+    /// Fsync policy for session journals.
+    pub fsync: FsyncPolicy,
+    /// How long an idle connection may sit between requests, and how long a
+    /// detached session stays resumable in memory. `None` disables both.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -46,60 +73,248 @@ impl Default for ServeConfig {
             mode: ClockMode::Afap,
             store_dir: None,
             max_sessions: 256,
+            state_dir: None,
+            fsync: FsyncPolicy::Always,
+            idle_timeout: Some(Duration::from_secs(300)),
         }
     }
 }
 
-/// The shared session registry: one slot per live connection.
-struct ShardPool {
+/// Journal path for session `name` under `state_dir`.
+fn journal_path(state_dir: &Path, name: &str) -> PathBuf {
+    state_dir.join("sessions").join(format!("{name}.journal"))
+}
+
+/// One pooled session and its attachment state.
+struct Slot {
+    session: Arc<Mutex<Session>>,
+    attached: bool,
+    detached_at: Option<Instant>,
+}
+
+/// A successful attach: the session plus what the hello reply reports.
+struct Attached {
+    name: String,
+    session: Arc<Mutex<Session>>,
+    resumed: bool,
+}
+
+/// The shared session pool.
+struct SessionPool {
     config: ServeConfig,
-    sessions: Mutex<HashMap<u64, Arc<Mutex<Session>>>>,
+    slots: Mutex<HashMap<String, Slot>>,
+    /// Sessions whose journal failed recovery: name → error. Attaching to a
+    /// poisoned name reports the error; the journal file is left on disk.
+    poisoned: Mutex<HashMap<String, String>>,
     next_id: Mutex<u64>,
 }
 
-impl ShardPool {
-    fn new(config: ServeConfig) -> ShardPool {
-        ShardPool {
+impl SessionPool {
+    fn new(config: ServeConfig) -> SessionPool {
+        SessionPool {
             config,
-            sessions: Mutex::new(HashMap::new()),
+            slots: Mutex::new(HashMap::new()),
+            poisoned: Mutex::new(HashMap::new()),
             next_id: Mutex::new(0),
         }
     }
 
-    /// Number of live sessions.
-    fn active(&self) -> usize {
-        self.sessions.lock().len()
+    /// Number of currently attached sessions.
+    fn attached(&self) -> usize {
+        self.slots.lock().values().filter(|s| s.attached).count()
     }
 
-    /// Register a new session, or explain why one cannot be admitted.
-    fn register(&self) -> Result<(u64, Arc<Mutex<Session>>), String> {
-        let mut sessions = self.sessions.lock();
-        if sessions.len() >= self.config.max_sessions {
-            return Err(format!(
-                "server at session capacity ({})",
-                self.config.max_sessions
-            ));
-        }
-        let id = {
-            let mut next = self.next_id.lock();
-            *next += 1;
-            *next
-        };
-        let shard_config = ShardConfig {
+    /// Drop detached slots that have sat idle past the timeout. Journaled
+    /// sessions remain recoverable from disk; unjournaled ones are gone.
+    fn evict_idle(slots: &mut HashMap<String, Slot>, idle_timeout: Option<Duration>) {
+        let Some(timeout) = idle_timeout else { return };
+        slots.retain(|_, slot| {
+            slot.attached
+                || slot
+                    .detached_at
+                    .map(|at| at.elapsed() < timeout)
+                    .unwrap_or(true)
+        });
+    }
+
+    fn shard_config(&self) -> ShardConfig {
+        ShardConfig {
             scheduler: self.config.scheduler.clone(),
             machine: self.config.machine,
             mode: self.config.mode,
             store_dir: self.config.store_dir.clone(),
-        };
-        let shard =
-            Shard::new(&shard_config, format!("serve-session-{id}")).map_err(|e| e.to_string())?;
-        let session = Arc::new(Mutex::new(Session::new(shard)));
-        sessions.insert(id, session.clone());
-        Ok((id, session))
+        }
     }
 
-    fn deregister(&self, id: u64) {
-        self.sessions.lock().remove(&id);
+    /// Attach to `requested` (or a fresh server-named session). On success
+    /// the slot is marked attached; the caller must `detach` when done.
+    fn attach(&self, requested: Option<String>) -> Result<Attached, String> {
+        let mut slots = self.slots.lock();
+        Self::evict_idle(&mut slots, self.config.idle_timeout);
+        let live = slots.values().filter(|s| s.attached).count();
+        let name = match requested {
+            Some(name) => {
+                if let Some(msg) = self.poisoned.lock().get(&name) {
+                    return Err(format!("session {name} failed recovery: {msg}"));
+                }
+                if let Some(slot) = slots.get_mut(&name) {
+                    if slot.attached {
+                        return Err(format!("session {name} is already attached"));
+                    }
+                    if live >= self.config.max_sessions {
+                        return Err(self.busy());
+                    }
+                    slot.attached = true;
+                    slot.detached_at = None;
+                    return Ok(Attached {
+                        name,
+                        session: slot.session.clone(),
+                        resumed: true,
+                    });
+                }
+                name
+            }
+            None => self.generate_name(&slots),
+        };
+        if live >= self.config.max_sessions {
+            return Err(self.busy());
+        }
+        // Not pooled: recover it from disk if a journal exists, else create.
+        let on_disk = self
+            .config
+            .state_dir
+            .as_ref()
+            .map(|dir| journal_path(dir, &name));
+        let (session, resumed) = match &on_disk {
+            Some(path) if path.exists() => {
+                match Session::recover(path, self.config.fsync, self.config.store_dir.clone()) {
+                    Ok(session) => (session, true),
+                    Err(e) => {
+                        self.poisoned.lock().insert(name.clone(), e.to_string());
+                        return Err(format!("session {name} failed recovery: {e}"));
+                    }
+                }
+            }
+            _ => {
+                let journal = on_disk.as_deref().map(|path| (path, self.config.fsync));
+                (
+                    Session::create(&self.shard_config(), name.clone(), journal)?,
+                    false,
+                )
+            }
+        };
+        let session = Arc::new(Mutex::new(session));
+        slots.insert(
+            name.clone(),
+            Slot {
+                session: session.clone(),
+                attached: true,
+                detached_at: None,
+            },
+        );
+        Ok(Attached {
+            name,
+            session,
+            resumed,
+        })
+    }
+
+    fn busy(&self) -> String {
+        format!(
+            "busy retry-after=1 server at session capacity ({})",
+            self.config.max_sessions
+        )
+    }
+
+    /// Generate a fresh session name, skipping live slots, poisoned names,
+    /// and journals already on disk.
+    fn generate_name(&self, slots: &HashMap<String, Slot>) -> String {
+        let poisoned = self.poisoned.lock();
+        loop {
+            let id = {
+                let mut next = self.next_id.lock();
+                *next += 1;
+                *next
+            };
+            let name = format!("s{id}");
+            let on_disk = self
+                .config
+                .state_dir
+                .as_ref()
+                .is_some_and(|dir| journal_path(dir, &name).exists());
+            if !slots.contains_key(&name) && !poisoned.contains_key(&name) && !on_disk {
+                return name;
+            }
+        }
+    }
+
+    /// Detach `name`. A drained session's slot is removed and its journal
+    /// deleted; anything else stays resumable until evicted.
+    fn detach(&self, name: &str) {
+        let mut slots = self.slots.lock();
+        let Some(slot) = slots.get_mut(name) else {
+            return;
+        };
+        slot.attached = false;
+        slot.detached_at = Some(Instant::now());
+        let journal = {
+            let session = slot.session.lock();
+            if !session.drained() {
+                return;
+            }
+            session.journal_path().map(Path::to_path_buf)
+        };
+        slots.remove(name);
+        if let Some(path) = journal {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Fsync every pooled session's journal (used at SIGTERM and by tests
+    /// running with `fsync: off`).
+    fn checkpoint(&self) -> std::io::Result<usize> {
+        let slots = self.slots.lock();
+        let mut synced = 0;
+        for slot in slots.values() {
+            slot.session.lock().sync_journal()?;
+            synced += 1;
+        }
+        Ok(synced)
+    }
+
+    /// Recover every journal under `state_dir` into detached slots.
+    fn recover_state_dir(&self) -> std::io::Result<()> {
+        let Some(state_dir) = &self.config.state_dir else {
+            return Ok(());
+        };
+        let dir = state_dir.join("sessions");
+        std::fs::create_dir_all(&dir)?;
+        let mut slots = self.slots.lock();
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("journal") {
+                continue;
+            }
+            let Some(name) = path.file_stem().and_then(|s| s.to_str()).map(String::from) else {
+                continue;
+            };
+            match Session::recover(&path, self.config.fsync, self.config.store_dir.clone()) {
+                Ok(session) => {
+                    slots.insert(
+                        name,
+                        Slot {
+                            session: Arc::new(Mutex::new(session)),
+                            attached: false,
+                            detached_at: Some(Instant::now()),
+                        },
+                    );
+                }
+                Err(e) => {
+                    self.poisoned.lock().insert(name, e.to_string());
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -107,7 +322,7 @@ impl ShardPool {
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    pool: Arc<ShardPool>,
+    pool: Arc<SessionPool>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -117,9 +332,22 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Number of currently connected sessions.
+    /// Number of currently attached sessions.
     pub fn active_sessions(&self) -> usize {
-        self.pool.active()
+        self.pool.attached()
+    }
+
+    /// Number of session names whose journal failed recovery.
+    pub fn poisoned_sessions(&self) -> usize {
+        self.pool.poisoned.lock().len()
+    }
+
+    /// Fsync every live session journal to disk. Returns how many journals
+    /// were synced. With `fsync: always` (the default) this is a no-op
+    /// safety net; with `fsync: off` it is the durability point — call it
+    /// before a planned shutdown.
+    pub fn checkpoint(&self) -> std::io::Result<usize> {
+        self.pool.checkpoint()
     }
 
     /// Stop accepting connections and join the accept thread. Connections
@@ -148,13 +376,17 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Bind `addr` and start serving. Returns once the listener is live; the
-/// accept loop and all connection handling run on background threads.
+/// Bind `addr` and start serving. When `state_dir` is configured, every
+/// existing session journal is recovered (by deterministic replay) before
+/// the listener accepts its first connection. Returns once the listener is
+/// live; the accept loop and all connection handling run on background
+/// threads.
 pub fn serve(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
-    let pool = Arc::new(ShardPool::new(config));
+    let pool = Arc::new(SessionPool::new(config));
+    pool.recover_state_dir()?;
     let accept_stop = stop.clone();
     let accept_pool = pool.clone();
     let accept_thread = std::thread::spawn(move || {
@@ -185,13 +417,24 @@ enum LineRead {
     Eof,
     /// The line exceeded [`MAX_LINE_BYTES`] before a newline appeared.
     TooLong,
+    /// The read timed out: the client sat idle past the configured timeout.
+    Idle,
 }
 
 /// Read one `\n`-terminated line without ever buffering more than the cap.
 fn read_line_capped(reader: &mut impl BufRead) -> std::io::Result<LineRead> {
     let mut line: Vec<u8> = Vec::new();
     loop {
-        let buf = reader.fill_buf()?;
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Ok(LineRead::Idle)
+            }
+            Err(e) => return Err(e),
+        };
         if buf.is_empty() {
             return Ok(LineRead::Eof);
         }
@@ -220,33 +463,98 @@ fn read_line_capped(reader: &mut impl BufRead) -> std::io::Result<LineRead> {
 }
 
 /// Serve one connection until the client leaves (or misbehaves fatally).
-fn handle_connection(stream: TcpStream, pool: Arc<ShardPool>) {
+fn handle_connection(stream: TcpStream, pool: Arc<SessionPool>) {
     // The protocol is lockstep request/reply: without TCP_NODELAY, Nagle's
     // algorithm adds a delayed-ACK round trip to every exchange.
     let _ = stream.set_nodelay(true);
+    // A wedged or vanished client cannot hold its slot forever: reads time
+    // out after the idle timeout and the session detaches (still resumable).
+    let _ = stream.set_read_timeout(pool.config.idle_timeout);
     let mut writer = stream;
     let Ok(read_half) = writer.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
-    let (id, session) = match pool.register() {
-        Ok(slot) => slot,
-        Err(msg) => {
-            let _ = writeln!(writer, "err {msg}");
-            return;
+    // Handshake loop: the server owns hello. Errors (unknown commands, a
+    // pool at capacity) leave the connection usable so the client can retry
+    // the hello without reconnecting.
+    let attached = loop {
+        match read_line_capped(&mut reader) {
+            Ok(LineRead::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let reply = match parse_command(&line) {
+                    Err(msg) => Some(format!("err {msg}")),
+                    Ok(Command::Hello { version, session }) if version == PROTOCOL_VERSION => {
+                        match pool.attach(session) {
+                            Ok(attached) => break Some(attached),
+                            Err(msg) => Some(format!("err {msg}")),
+                        }
+                    }
+                    Ok(Command::Hello { version, .. }) => Some(format!(
+                        "err unsupported protocol version {version}; \
+                         this server speaks {PROTOCOL_VERSION}"
+                    )),
+                    Ok(Command::Bye) => {
+                        let _ = writeln!(writer, "ok bye");
+                        let _ = writer.flush();
+                        return;
+                    }
+                    Ok(_) => Some("err expected: hello psbench-serve/1".into()),
+                };
+                if let Some(reply) = reply {
+                    if writeln!(writer, "{reply}").is_err() || writer.flush().is_err() {
+                        return;
+                    }
+                }
+            }
+            Ok(LineRead::TooLong) => {
+                let _ = writeln!(writer, "err line exceeds {MAX_LINE_BYTES} bytes");
+                return;
+            }
+            Ok(LineRead::Idle) => {
+                let _ = writeln!(writer, "err idle timeout");
+                return;
+            }
+            Ok(LineRead::Eof) | Err(_) => return,
         }
     };
+    let Some(attached) = attached else { return };
+    let hello = {
+        let session = attached.session.lock();
+        let shard = session.shard();
+        let drained = if session.drained() { " drained" } else { "" };
+        format!(
+            "ok hello proto={PROTOCOL_VERSION} scheduler={} machine={} mode={} \
+             session={} seq={} resumed={}{drained}",
+            shard.scheduler_name(),
+            shard.machine(),
+            shard.mode(),
+            attached.name,
+            session.last_seq(),
+            attached.resumed,
+        )
+    };
+    if writeln!(writer, "{hello}").is_err() || writer.flush().is_err() {
+        pool.detach(&attached.name);
+        return;
+    }
     loop {
         let reply = match read_line_capped(&mut reader) {
             Ok(LineRead::Line(line)) => {
                 if line.trim().is_empty() {
                     continue;
                 }
-                session.lock().handle_line(&line)
+                attached.session.lock().handle_line(&line)
             }
             Ok(LineRead::Eof) => break,
             Ok(LineRead::TooLong) => {
                 let _ = writeln!(writer, "err line exceeds {MAX_LINE_BYTES} bytes");
+                break;
+            }
+            Ok(LineRead::Idle) => {
+                let _ = writeln!(writer, "err idle timeout");
                 break;
             }
             Err(_) => break,
@@ -256,7 +564,7 @@ fn handle_connection(stream: TcpStream, pool: Arc<ShardPool>) {
             break;
         }
     }
-    pool.deregister(id);
+    pool.detach(&attached.name);
 }
 
 fn write_reply(writer: &mut impl Write, reply: Reply) -> std::io::Result<()> {

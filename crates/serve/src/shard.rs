@@ -6,12 +6,26 @@
 //! invariants the online engine needs (monotone release frontier, integer
 //! submit instants so the exported trace round-trips exactly) and keeps the
 //! exported trace in lockstep with the engine.
+//!
+//! The shard's mutating surface is split in two layers so sessions can be
+//! write-ahead journaled:
+//!
+//! * **resolve** — [`Shard::resolve_time`] / [`Shard::wall_now`] turn a
+//!   client request into the exact instant it lands at (folding in the wall
+//!   clock, the session frontier, and the engine's released frontier);
+//! * **apply** — [`Shard::submit_at`], [`Shard::cancel_at`] and
+//!   [`Shard::advance_to`] take only resolved values and route them through
+//!   [`Simulation::apply`], so replaying a journal of resolved commands
+//!   rebuilds the engine deterministically, independent of wall time.
+//!
+//! The convenience wrappers ([`Shard::submit`], [`Shard::cancel`],
+//! [`Shard::advance`]) compose the two for unjournaled (in-process) use.
 
 use std::path::PathBuf;
 
 use psbench_core::trace_cell_key;
 use psbench_sched::{by_name, probe_start, Prediction, ProbeError, UnknownScheduler};
-use psbench_sim::{JobState, Scheduler, SimConfig, SimJob, Simulation, SimulationResult};
+use psbench_sim::{JobState, OnlineOp, Scheduler, SimConfig, SimJob, Simulation, SimulationResult};
 use psbench_store::{key_hex, ArtifactStore};
 use psbench_swf::{write_string, SwfHeader, SwfLog, SwfRecord, SwfRecordBuilder, FORMAT_VERSION};
 
@@ -44,6 +58,9 @@ pub struct Shard {
     session_time: i64,
     store_dir: Option<PathBuf>,
     session_name: String,
+    /// A finished result whose store publication failed: kept so `drain` is
+    /// retryable instead of silently losing the run.
+    pending_drain: Option<SimulationResult>,
 }
 
 /// The outcome of draining a shard: the completed run plus, when a store was
@@ -71,6 +88,7 @@ impl Shard {
             session_time: 0,
             store_dir: config.store_dir.clone(),
             session_name,
+            pending_drain: None,
         })
     }
 
@@ -89,9 +107,17 @@ impl Shard {
         self.clock.mode()
     }
 
-    /// True once the session has been drained.
+    /// True once the session has been fully drained (result produced and,
+    /// when configured, published).
     pub fn drained(&self) -> bool {
-        self.engine.is_none()
+        self.engine.is_none() && self.pending_drain.is_none()
+    }
+
+    /// Restart the wall-clock anchor in `mode`. Called after journal replay:
+    /// the engine state replays deterministically, and the wall clock —
+    /// which is *not* state — re-anchors at the recovery instant.
+    pub fn reanchor_clock(&mut self, mode: ClockMode) {
+        self.clock = SessionClock::new(mode);
     }
 
     fn engine(&self) -> Result<&Simulation, String> {
@@ -101,42 +127,58 @@ impl Shard {
         }
     }
 
+    /// The wall-clock instant in session seconds, or `None` in
+    /// as-fast-as-possible mode. This is the resolved `at=` a journaled
+    /// cancel carries.
+    pub fn wall_now(&self) -> Option<f64> {
+        self.clock.wall_seconds()
+    }
+
     /// The instant a command lands at: the requested time (if any) clamped so
-    /// session time never runs backwards, and never behind the wall clock in
-    /// `real`/`scaled` modes.
-    fn effective_time(&self, requested: Option<i64>) -> i64 {
+    /// session time never runs backwards, never behind the wall clock in
+    /// `real`/`scaled` modes, and never inside the engine's already-released
+    /// timeline (which queries may have pushed to the wall clock).
+    pub fn resolve_time(&self, requested: Option<i64>) -> i64 {
         let wall = self
             .clock
             .wall_seconds()
             .map(|w| w.floor() as i64)
             .unwrap_or(0);
-        requested.unwrap_or(0).max(wall).max(self.session_time)
+        let released = self
+            .engine
+            .as_ref()
+            .map(|e| e.released().ceil() as i64)
+            .unwrap_or(0);
+        requested
+            .unwrap_or(0)
+            .max(wall)
+            .max(self.session_time)
+            .max(released)
     }
 
     /// In wall-driven modes, let the engine catch up to the wall clock before
     /// answering a query — otherwise the answer would be stale by however long
-    /// the client was silent. No-op in as-fast-as-possible mode.
+    /// the client was silent. No-op in as-fast-as-possible mode. Query-time
+    /// catch-up is never journaled: any state it creates is subsumed by the
+    /// next mutating command's resolved instant (the wall clock is monotone),
+    /// so replay converges on the same engine.
     fn catch_up(&mut self) {
         if let Some(wall) = self.clock.wall_seconds() {
-            if let Some(engine) = self.engine.as_mut() {
-                engine.advance_released(self.policy.as_mut(), wall);
+            if let (Some(engine), policy) = (self.engine.as_mut(), self.policy.as_mut()) {
+                let _ = engine.apply(policy, OnlineOp::Advance(wall));
             }
         }
     }
 
-    /// Submit one job. Returns the effective submit instant.
-    pub fn submit(
-        &mut self,
-        id: u64,
+    /// Validate the client-supplied submit fields (the checks that do not
+    /// need the engine). Kept separate so sessions can refuse bad input
+    /// before journaling anything.
+    pub fn validate_submit(
         submit: Option<i64>,
         runtime: i64,
         procs: u32,
         estimate: Option<i64>,
-        user: Option<u32>,
-    ) -> Result<i64, String> {
-        if self.drained() {
-            return Err("session already drained".into());
-        }
+    ) -> Result<(), String> {
         if runtime < 0 {
             return Err(format!("runtime must be >= 0, got {runtime}"));
         }
@@ -153,11 +195,46 @@ impl Shard {
                 return Err(format!("submit must be >= 0, got {req}"));
             }
         }
-        let t = self.effective_time(submit);
+        Ok(())
+    }
+
+    /// Submit one job. Returns the effective submit instant.
+    pub fn submit(
+        &mut self,
+        id: u64,
+        submit: Option<i64>,
+        runtime: i64,
+        procs: u32,
+        estimate: Option<i64>,
+        user: Option<u32>,
+    ) -> Result<i64, String> {
+        Self::validate_submit(submit, runtime, procs, estimate)?;
+        if self.engine.is_none() {
+            return Err("session already drained".into());
+        }
+        let t = self.resolve_time(submit);
+        self.submit_at(id, t, runtime, procs, estimate.unwrap_or(runtime), user)
+    }
+
+    /// Submit one job at the exact, already-resolved instant `t` with the
+    /// already-resolved estimate. This is the replayable half of `submit`:
+    /// it consults nothing but its arguments and the engine.
+    pub fn submit_at(
+        &mut self,
+        id: u64,
+        t: i64,
+        runtime: i64,
+        procs: u32,
+        estimate: i64,
+        user: Option<u32>,
+    ) -> Result<i64, String> {
+        if runtime < 0 || t < 0 || estimate < 0 || procs == 0 {
+            return Err("invalid resolved submit".into());
+        }
         let mut builder = SwfRecordBuilder::new(id, t)
             .run_time(runtime)
             .allocated_procs(procs)
-            .requested_time(estimate.unwrap_or(runtime));
+            .requested_time(estimate);
         if let Some(user) = user {
             builder = builder.user_id(user);
         }
@@ -167,8 +244,13 @@ impl Shard {
             Some(engine) => engine,
             None => return Err("session already drained".into()),
         };
-        engine.advance_released(self.policy.as_mut(), t as f64);
-        engine.submit(job).map_err(|e| e.to_string())?;
+        let policy = self.policy.as_mut();
+        engine
+            .apply(policy, OnlineOp::Advance(t as f64))
+            .map_err(|e| e.to_string())?;
+        engine
+            .apply(policy, OnlineOp::Submit(job))
+            .map_err(|e| e.to_string())?;
         self.records.push(record);
         self.session_time = t;
         Ok(t)
@@ -176,12 +258,25 @@ impl Shard {
 
     /// Cancel a job that has not started yet.
     pub fn cancel(&mut self, id: u64) -> Result<(), String> {
-        self.catch_up();
+        self.cancel_at(id, self.wall_now())
+    }
+
+    /// Cancel `id` at the already-resolved wall instant `at` (`None` in
+    /// as-fast-as-possible mode). The replayable half of `cancel`.
+    pub fn cancel_at(&mut self, id: u64, at: Option<f64>) -> Result<(), String> {
+        let engine = match self.engine.as_mut() {
+            Some(engine) => engine,
+            None => return Err("session already drained".into()),
+        };
         let policy = self.policy.as_mut();
-        match self.engine.as_mut() {
-            Some(engine) => engine.cancel(policy, id).map_err(|e| e.to_string()),
-            None => Err("session already drained".into()),
+        if let Some(at) = at {
+            engine
+                .apply(policy, OnlineOp::Advance(at))
+                .map_err(|e| e.to_string())?;
         }
+        engine
+            .apply(policy, OnlineOp::Cancel(id))
+            .map_err(|e| e.to_string())
     }
 
     /// Release session time up to `to`. Returns the engine's resulting clock.
@@ -189,14 +284,28 @@ impl Shard {
         if to < 0 {
             return Err(format!("advance target must be >= 0, got {to}"));
         }
-        let t = self.effective_time(Some(to));
+        if self.engine.is_none() {
+            return Err("session already drained".into());
+        }
+        let t = self.resolve_time(Some(to));
+        self.advance_to(t)
+    }
+
+    /// Release session time up to the exact, already-resolved instant `t`.
+    /// The replayable half of `advance`.
+    pub fn advance_to(&mut self, t: i64) -> Result<f64, String> {
+        if t < 0 {
+            return Err(format!("advance target must be >= 0, got {t}"));
+        }
         let policy = self.policy.as_mut();
         let engine = match self.engine.as_mut() {
             Some(engine) => engine,
             None => return Err("session already drained".into()),
         };
-        engine.advance_released(policy, t as f64);
-        self.session_time = t;
+        engine
+            .apply(policy, OnlineOp::Advance(t as f64))
+            .map_err(|e| e.to_string())?;
+        self.session_time = self.session_time.max(t);
         Ok(engine.now())
     }
 
@@ -261,27 +370,39 @@ impl Shard {
     /// configured, the session trace is ingested and the result published
     /// under the same cell key the offline memoized path uses, so a later
     /// `psbench simulate --store` of the exported trace is a cache hit.
+    ///
+    /// If publication fails the finished result is retained and the next
+    /// `drain` retries the publish with the identical result — a flaky disk
+    /// can delay the reply but never lose or change the run.
     pub fn drain(&mut self) -> Result<Drained, String> {
-        let engine = self
-            .engine
-            .take()
-            .ok_or_else(|| String::from("session already drained"))?;
-        let result = engine.finish(self.policy.as_mut());
-        let stored = match &self.store_dir {
-            None => None,
-            Some(dir) => {
-                let store = ArtifactStore::open(dir).map_err(|e| format!("store: {e}"))?;
-                let outcome = store
-                    .ingest(self.log().as_source(self.session_name.clone()))
-                    .map_err(|e| format!("store ingest: {e}"))?;
-                let key = trace_cell_key(outcome.key, &self.scheduler_name, self.machine, false);
-                store
-                    .put_result(key, &result)
-                    .map_err(|e| format!("store publish: {e}"))?;
-                Some(key_hex(key))
+        let result = match (self.engine.take(), self.pending_drain.take()) {
+            (Some(engine), _) => engine.finish(self.policy.as_mut()),
+            (None, Some(pending)) => pending,
+            (None, None) => return Err("session already drained".into()),
+        };
+        let stored = match self.publish(&result) {
+            Ok(stored) => stored,
+            Err(msg) => {
+                self.pending_drain = Some(result);
+                return Err(msg);
             }
         };
         Ok(Drained { result, stored })
+    }
+
+    fn publish(&self, result: &SimulationResult) -> Result<Option<String>, String> {
+        let Some(dir) = &self.store_dir else {
+            return Ok(None);
+        };
+        let store = ArtifactStore::open(dir).map_err(|e| format!("store: {e}"))?;
+        let outcome = store
+            .ingest(self.log().as_source(self.session_name.clone()))
+            .map_err(|e| format!("store ingest: {e}"))?;
+        let key = trace_cell_key(outcome.key, &self.scheduler_name, self.machine, false);
+        store
+            .put_result(key, result)
+            .map_err(|e| format!("store publish: {e}"))?;
+        Ok(Some(key_hex(key)))
     }
 }
 
@@ -337,6 +458,29 @@ mod tests {
     }
 
     #[test]
+    fn exact_time_replay_reproduces_the_convenience_path() {
+        // Drive one shard through the convenience API and a twin through the
+        // resolved-time API with the instants the first one reports — the
+        // shape of what journal replay does.
+        let mut live = afap_shard();
+        let mut replayed = afap_shard();
+        let t1 = live.submit(1, Some(0), 100, 64, None, None).unwrap();
+        let t2 = live.submit(2, Some(10), 50, 8, Some(80), Some(3)).unwrap();
+        live.advance(200).unwrap();
+        live.cancel(2).unwrap_err(); // finished by 200: deterministic error
+        replayed.submit_at(1, t1, 100, 64, 100, None).unwrap();
+        replayed.submit_at(2, t2, 50, 8, 80, Some(3)).unwrap();
+        replayed.advance_to(200).unwrap();
+        replayed.cancel_at(2, None).unwrap_err();
+        let a = live.drain().unwrap().result;
+        let b = replayed.drain().unwrap().result;
+        assert_eq!(
+            psbench_store::encode_result(&a),
+            psbench_store::encode_result(&b)
+        );
+    }
+
+    #[test]
     fn trace_round_trips_through_the_parser() {
         let mut shard = afap_shard();
         shard
@@ -357,9 +501,42 @@ mod tests {
         let drained = shard.drain().unwrap();
         assert_eq!(drained.result.finished.len(), 1);
         assert!(drained.stored.is_none());
+        assert!(shard.drained());
         assert!(shard.drain().is_err());
         assert!(shard.submit(2, None, 5, 1, None, None).is_err());
         // The trace is still readable after draining.
         assert_eq!(shard.record_count(), 1);
+    }
+
+    #[test]
+    fn drain_retries_after_a_failed_store_publish() {
+        let dir =
+            std::env::temp_dir().join(format!("psbench-shard-drainretry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A store root that cannot be created: a plain file in the way.
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocked = dir.join("store");
+        std::fs::write(&blocked, b"not a directory").unwrap();
+        let config = ShardConfig {
+            scheduler: "fcfs".into(),
+            machine: 64,
+            mode: ClockMode::Afap,
+            store_dir: Some(blocked.clone()),
+        };
+        let mut shard = Shard::new(&config, "retry".into()).unwrap();
+        shard.submit(1, Some(0), 10, 4, None, None).unwrap();
+        let err = match shard.drain() {
+            Err(e) => e,
+            Ok(_) => panic!("drain must fail while the store root is blocked"),
+        };
+        assert!(err.starts_with("store"), "{err}");
+        assert!(!shard.drained(), "failed publish must not count as drained");
+        // Unblock the store; the retry publishes the identical result.
+        std::fs::remove_file(&blocked).unwrap();
+        let drained = shard.drain().unwrap();
+        assert_eq!(drained.result.finished.len(), 1);
+        assert!(drained.stored.is_some());
+        assert!(shard.drained());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -62,8 +62,8 @@ fn assert_online_matches_offline(scheduler: &str) {
             scheduler: scheduler.into(),
             machine: 64,
             mode: ClockMode::Afap,
-            store_dir: None,
             max_sessions: 4,
+            ..ServeConfig::default()
         },
     )
     .expect("bind server");

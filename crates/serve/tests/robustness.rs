@@ -15,8 +15,8 @@ fn test_server(max_sessions: usize) -> ServerHandle {
             scheduler: "fcfs".into(),
             machine: 64,
             mode: ClockMode::Afap,
-            store_dir: None,
             max_sessions,
+            ..ServeConfig::default()
         },
     )
     .expect("bind test server")
@@ -157,29 +157,132 @@ fn session_capacity_is_enforced_and_slots_are_reclaimed() {
     assert!(second
         .roundtrip("hello psbench-serve/1")
         .starts_with("ok hello"));
-    // Third connection is turned away with a clean error.
+    // A third hello is turned away with a retryable busy error; the
+    // connection itself stays open so the client can just try again.
     let mut third = Conn::open(&server);
-    let reply = third.recv().expect("capacity error");
-    assert!(
-        reply.starts_with("err server at session capacity"),
-        "{reply}"
-    );
-    // Saying goodbye frees a slot (deregistration races the close, so poll).
+    let reply = third.roundtrip("hello psbench-serve/1");
+    assert!(reply.starts_with("err busy retry-after="), "{reply}");
+    assert!(reply.contains("session capacity (2)"), "{reply}");
+    // Saying goodbye frees a slot (detach races the close, so poll) — and
+    // the refused connection is still usable for the retry.
     assert_eq!(first.roundtrip("bye"), "ok bye");
     drop(first);
     let mut admitted = false;
     for _ in 0..50 {
-        let mut retry = Conn::open(&server);
-        retry.send("hello psbench-serve/1");
-        match retry.recv() {
-            Some(reply) if reply.starts_with("ok hello") => {
-                admitted = true;
-                break;
-            }
-            _ => std::thread::sleep(Duration::from_millis(20)),
+        let reply = third.roundtrip("hello psbench-serve/1");
+        if reply.starts_with("ok hello") {
+            admitted = true;
+            break;
         }
+        std::thread::sleep(Duration::from_millis(20));
     }
     assert!(admitted, "slot should be reclaimed after disconnect");
+    server.stop();
+}
+
+#[test]
+fn idle_connections_are_timed_out_but_stay_resumable() {
+    let server = serve(
+        "127.0.0.1:0",
+        ServeConfig {
+            scheduler: "fcfs".into(),
+            machine: 64,
+            mode: ClockMode::Afap,
+            max_sessions: 2,
+            idle_timeout: Some(Duration::from_millis(150)),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind test server");
+    let mut conn = Conn::open(&server);
+    let hello = conn.roundtrip("hello psbench-serve/1 session=wedged");
+    assert!(hello.starts_with("ok hello"), "{hello}");
+    assert!(conn
+        .roundtrip("submit id=1 submit=0 runtime=10 procs=4")
+        .starts_with("ok submit"));
+    // Go silent. The server times the read out, closes the connection, and
+    // frees the slot — a wedged client cannot hold it forever.
+    let reply = conn.recv().expect("timeout notice before close");
+    assert_eq!(reply, "err idle timeout");
+    assert_eq!(conn.recv(), None, "connection should be closed");
+    // The session detached: re-attaching resumes it with its state intact.
+    let mut back = Conn::open(&server);
+    let hello = back.roundtrip("hello psbench-serve/1 session=wedged");
+    assert!(
+        hello.contains("session=wedged seq=1 resumed=true"),
+        "{hello}"
+    );
+    let job = back.roundtrip("query job 1");
+    assert!(job.starts_with("ok job id=1"), "{job}");
+    server.stop();
+}
+
+#[test]
+fn named_sessions_survive_disconnects_in_memory() {
+    let server = test_server(4);
+    {
+        let mut conn = Conn::open(&server);
+        let hello = conn.roundtrip("hello psbench-serve/1 session=night");
+        assert!(
+            hello.contains("session=night seq=0 resumed=false"),
+            "{hello}"
+        );
+        assert!(conn
+            .roundtrip("submit id=1 submit=0 runtime=100 procs=8 seq=1")
+            .starts_with("ok submit"));
+        assert!(conn
+            .roundtrip("advance to=50 seq=2")
+            .starts_with("ok advance"));
+        // Connection dropped without drain or bye.
+    }
+    // While detached, a different client cannot steal the name twice…
+    let mut a = Conn::open(&server);
+    let hello = a.roundtrip("hello psbench-serve/1 session=night");
+    assert!(hello.contains("seq=2 resumed=true"), "{hello}");
+    let mut b = Conn::open(&server);
+    let stolen = b.roundtrip("hello psbench-serve/1 session=night");
+    assert!(
+        stolen.starts_with("err session night is already attached"),
+        "{stolen}"
+    );
+    // …and the resumed session still has its engine state.
+    let q = a.roundtrip("query queue");
+    assert!(q.contains("running=1"), "{q}");
+    assert!(a.roundtrip("drain").starts_with("ok drain"));
+    server.stop();
+}
+
+#[test]
+fn busy_servers_are_retried_by_the_client() {
+    let server = test_server(1);
+    // Occupy the only slot, then release it shortly after.
+    let mut holder = Conn::open(&server);
+    assert!(holder
+        .roundtrip("hello psbench-serve/1")
+        .starts_with("ok hello"));
+    let addr = server.addr();
+    let release = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        assert_eq!(holder.roundtrip("bye"), "ok bye");
+        drop(holder);
+    });
+    // retry-after=1 forces at least one full second of backoff.
+    let script = [
+        "hello psbench-serve/1",
+        "submit id=1 submit=0 runtime=5 procs=1",
+        "drain",
+        "bye",
+    ];
+    let transcript =
+        psbench_serve::run_script_with(addr, &script, psbench_serve::RetryPolicy::quick(5))
+            .expect("script with retries");
+    release.join().unwrap();
+    assert!(
+        transcript.replies[0].starts_with("ok hello"),
+        "retries should eventually attach: {:?}",
+        transcript.replies
+    );
+    assert!(!transcript.has_errors(), "{:?}", transcript.replies);
     server.stop();
 }
 

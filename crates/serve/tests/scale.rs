@@ -18,8 +18,8 @@ fn sixty_four_sessions_sustain_100k_submissions_with_whatifs() {
             scheduler: "fcfs".into(),
             machine: 256,
             mode: ClockMode::Afap,
-            store_dir: None,
             max_sessions: SESSIONS,
+            ..ServeConfig::default()
         },
     )
     .expect("bind server");

@@ -1,0 +1,318 @@
+//! Deterministic fault injection for durability-critical write paths.
+//!
+//! Crash-safety code is only trustworthy if it has been exercised against
+//! misbehaving I/O, not just happy-path kills. This module is a seeded,
+//! process-wide fault plan that the journal ([`crate::journal`]) and the
+//! artifact store ([`crate::store`]) thread through their write syscalls:
+//!
+//! * **transient errors** — the write fails without touching the file;
+//! * **short writes** — a strict prefix of the buffer lands on disk and the
+//!   write then fails (a torn append, exactly what a kill mid-`write` leaves);
+//! * **kill-points** — a torn prefix lands and every subsequent write in the
+//!   process fails, simulating the instant of process death from the
+//!   filesystem's point of view.
+//!
+//! Faults are decided per write operation from a hash of `(seed, op counter)`,
+//! so a given [`FaultPlan`] produces the same fault sequence on every run —
+//! failures found by the injection matrix in CI reproduce locally from the
+//! seed alone. When no plan is installed (the default), the only cost on the
+//! write path is one relaxed atomic load.
+//!
+//! Injected errors are marked with the `injected fault:` message prefix and
+//! recognized by [`is_injected`], so tests can distinguish "the fault layer
+//! fired as planned" from a genuine disk failure.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::fnv::fnv1a_64;
+
+/// Environment variable [`install_from_env`] reads a plan spec from.
+pub const FAULTS_ENV: &str = "PSBENCH_FAULTS";
+
+/// A seeded plan of write faults. Rates are per-mille (0–1000) per write
+/// operation; the fault sequence is a pure function of the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed the per-operation fault decisions are hashed from.
+    pub seed: u64,
+    /// Per-mille rate of transient `io::Error`s (nothing written).
+    pub io_error: u32,
+    /// Per-mille rate of short writes (a torn prefix lands, then an error).
+    pub short_write: u32,
+    /// Per-mille rate of kill-points (a torn prefix lands, then every later
+    /// write in the process fails).
+    pub kill: u32,
+}
+
+impl FaultPlan {
+    /// Parse a plan spec of comma-separated `key=value` pairs:
+    /// `seed=<n>,err=<per-mille>,short=<per-mille>,kill=<per-mille>`.
+    /// Every key is optional; omitted rates default to 0 and the seed to 0.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan {
+            seed: 0,
+            io_error: 0,
+            short_write: 0,
+            kill: 0,
+        };
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {part:?}"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "seed" => {
+                    plan.seed = value.parse().map_err(|_| format!("bad seed {value:?}"))?;
+                }
+                "err" | "short" | "kill" => {
+                    let rate: u32 = value
+                        .parse()
+                        .map_err(|_| format!("bad rate for {key}: {value:?}"))?;
+                    if rate > 1000 {
+                        return Err(format!("rate for {key} must be <= 1000, got {rate}"));
+                    }
+                    match key {
+                        "err" => plan.io_error = rate,
+                        "short" => plan.short_write = rate,
+                        _ => plan.kill = rate,
+                    }
+                }
+                _ => {
+                    return Err(format!(
+                        "unknown fault key {key:?}; expected seed, err, short, kill"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// What the plan decided for one write operation.
+enum Decision {
+    Pass,
+    /// Fail without writing; later writes proceed normally.
+    Transient,
+    /// Write `prefix` bytes of the buffer, then fail.
+    Short {
+        prefix: usize,
+    },
+    /// Write `prefix` bytes, then fail this and every later write.
+    Kill {
+        prefix: usize,
+    },
+}
+
+struct FaultState {
+    plan: FaultPlan,
+    /// Write operations seen so far; the decision for op `n` is a pure
+    /// function of `(plan.seed, n)`.
+    counter: u64,
+    /// Set once a kill-point fires: the simulated process is "dead" and no
+    /// write may succeed after it.
+    dead: bool,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<FaultState>> = Mutex::new(None);
+
+/// Install `plan` process-wide (or clear it with `None`). Resets the
+/// operation counter, so installing the same plan twice replays the same
+/// fault sequence.
+pub fn install(plan: Option<FaultPlan>) {
+    let mut state = STATE.lock().unwrap();
+    ACTIVE.store(plan.is_some(), Ordering::SeqCst);
+    *state = plan.map(|plan| FaultState {
+        plan,
+        counter: 0,
+        dead: false,
+    });
+}
+
+/// Install the plan named by the `PSBENCH_FAULTS` environment variable, once
+/// per process. Returns the installed plan, `None` when the variable is
+/// unset, or an error for an unparseable spec (nothing is installed then).
+pub fn install_from_env() -> Result<Option<FaultPlan>, String> {
+    static ONCE: OnceLock<Result<Option<FaultPlan>, String>> = OnceLock::new();
+    ONCE.get_or_init(|| match std::env::var(FAULTS_ENV) {
+        Err(_) => Ok(None),
+        Ok(spec) => {
+            let plan = FaultPlan::parse(&spec)
+                .map_err(|e| format!("bad {FAULTS_ENV} spec {spec:?}: {e}"))?;
+            install(Some(plan));
+            Ok(Some(plan))
+        }
+    })
+    .clone()
+}
+
+/// Whether a fault plan is currently installed.
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// True when `err` was produced by the fault layer rather than a real disk.
+pub fn is_injected(err: &io::Error) -> bool {
+    err.to_string().contains("injected fault:")
+}
+
+fn injected_err(what: &str, op: u64) -> io::Error {
+    io::Error::other(format!("injected fault: {what} at write op {op}"))
+}
+
+/// Hash `(seed, counter, lane)` to a uniform-ish u64; drives all decisions.
+fn roll(seed: u64, counter: u64, lane: u64) -> u64 {
+    let mut bytes = [0u8; 24];
+    bytes[..8].copy_from_slice(&seed.to_le_bytes());
+    bytes[8..16].copy_from_slice(&counter.to_le_bytes());
+    bytes[16..].copy_from_slice(&lane.to_le_bytes());
+    fnv1a_64(&bytes)
+}
+
+/// Decide the fate of one write of `len` bytes.
+fn decide(len: usize) -> (Decision, u64) {
+    let mut guard = STATE.lock().unwrap();
+    let Some(state) = guard.as_mut() else {
+        return (Decision::Pass, 0);
+    };
+    let op = state.counter;
+    state.counter += 1;
+    if state.dead {
+        return (Decision::Transient, op);
+    }
+    let plan = state.plan;
+    let draw = roll(plan.seed, op, 0) % 1000;
+    // Rates stack in a fixed order: kill, then short, then transient.
+    let prefix = |lane: u64| {
+        if len <= 1 {
+            0
+        } else {
+            (roll(plan.seed, op, lane) as usize) % len
+        }
+    };
+    if draw < plan.kill as u64 {
+        state.dead = true;
+        (Decision::Kill { prefix: prefix(1) }, op)
+    } else if draw < (plan.kill + plan.short_write) as u64 {
+        (Decision::Short { prefix: prefix(2) }, op)
+    } else if draw < (plan.kill + plan.short_write + plan.io_error) as u64 {
+        (Decision::Transient, op)
+    } else {
+        (Decision::Pass, op)
+    }
+}
+
+/// Write all of `buf` to `file`, subject to the installed fault plan. This is
+/// the choke point the journal and the store's unbuffered writes go through:
+/// one call is one fault-decision operation.
+pub fn write_all(file: &mut File, buf: &[u8]) -> io::Result<()> {
+    if !active() {
+        return file.write_all(buf);
+    }
+    match decide(buf.len()) {
+        (Decision::Pass, _) => file.write_all(buf),
+        (Decision::Transient, op) => Err(injected_err("transient error", op)),
+        (Decision::Short { prefix }, op) => {
+            file.write_all(&buf[..prefix])?;
+            let _ = file.flush();
+            Err(injected_err("short write", op))
+        }
+        (Decision::Kill { prefix }, op) => {
+            file.write_all(&buf[..prefix])?;
+            let _ = file.flush();
+            Err(injected_err("kill-point", op))
+        }
+    }
+}
+
+/// A [`Write`] adapter that routes every write through the fault plan —
+/// used for the store's buffered (streaming) write paths, where wrapping the
+/// inner file keeps `BufWriter`'s batching intact while still letting faults
+/// tear real syscalls.
+pub struct FaultyWriter<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wrap `inner`; when no plan is installed this is a zero-cost shim.
+    pub fn new(inner: W) -> FaultyWriter<W> {
+        FaultyWriter { inner }
+    }
+
+    /// Unwrap the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if !active() {
+            return self.inner.write(buf);
+        }
+        match decide(buf.len()) {
+            (Decision::Pass, _) => self.inner.write(buf),
+            (Decision::Transient, op) => Err(injected_err("transient error", op)),
+            (Decision::Short { prefix }, op) => {
+                self.inner.write_all(&buf[..prefix])?;
+                let _ = self.inner.flush();
+                Err(injected_err("short write", op))
+            }
+            (Decision::Kill { prefix }, op) => {
+                self.inner.write_all(&buf[..prefix])?;
+                let _ = self.inner.flush();
+                Err(injected_err("kill-point", op))
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+// Tests that *install* a plan live in `tests/fault_injection.rs`, where one
+// process-wide mutex serializes them — the plan is process-global, and unit
+// tests here share their process (and its writes) with the whole crate.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plan_specs() {
+        assert_eq!(
+            FaultPlan::parse("seed=7,err=50,short=30,kill=5").unwrap(),
+            FaultPlan {
+                seed: 7,
+                io_error: 50,
+                short_write: 30,
+                kill: 5,
+            }
+        );
+        assert_eq!(
+            FaultPlan::parse("seed=9").unwrap(),
+            FaultPlan {
+                seed: 9,
+                io_error: 0,
+                short_write: 0,
+                kill: 0,
+            }
+        );
+        assert!(FaultPlan::parse("err=1001").is_err());
+        assert!(FaultPlan::parse("frobs=3").is_err());
+        assert!(FaultPlan::parse("seed").is_err());
+    }
+
+    #[test]
+    fn no_plan_means_writes_pass_through() {
+        let path =
+            std::env::temp_dir().join(format!("psbench-fault-passthrough-{}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        write_all(&mut f, b"hello").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -22,10 +22,19 @@
 //!   fingerprints + [`psbench_sched::SCHED_VERSION`]. All writes are
 //!   atomic temp-file renames; `gc` reclaims litter and stale versions;
 //!   `verify` re-checks the content-addressing invariant.
+//! * [`journal`] — the shared append-only write-ahead-log primitive:
+//!   flushed-per-append files with rollback on failed appends, torn-tail
+//!   truncation on recovery, checksummed record framing, and a configurable
+//!   fsync policy. Both the sweep ledger and `psbench-serve`'s crash-safe
+//!   session logs are built on it.
 //! * [`ledger`] — append-only, flushed-per-cell sweep journals. Together
 //!   with the store they make sweeps resumable: a killed sweep restarts,
 //!   recomputes **zero** completed cells, and renders byte-identical
 //!   reports (driven by `psbench_core::sweep`).
+//! * [`fault`] — a seeded, deterministic fault-injection plan (transient
+//!   errors, short writes, kill-points) threaded through the journal and
+//!   store write paths, so crash-safety claims are tested against simulated
+//!   disk misbehavior, not just happy-path kills.
 //!
 //! ## Invariants
 //!
@@ -44,7 +53,9 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod fault;
 pub mod fnv;
+pub mod journal;
 pub mod ledger;
 pub mod store;
 
@@ -54,7 +65,9 @@ pub mod prelude {
         decode_profile, decode_result, encode_profile, encode_result, result_fingerprint,
         CodecError,
     };
+    pub use crate::fault::FaultPlan;
     pub use crate::fnv::{fnv1a_64, fnv1a_64_hex, key_hex, parse_key_hex, Fnv128, Fnv64};
+    pub use crate::journal::{frame_record, parse_record, FsyncPolicy, Journal};
     pub use crate::ledger::SweepLedger;
     pub use crate::store::{
         fingerprint_source, profile_key, ArtifactKind, ArtifactStore, GcReport, IngestOutcome,

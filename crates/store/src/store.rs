@@ -28,6 +28,7 @@
 //! the same artifact.
 
 use crate::codec::{self, CodecError};
+use crate::fault::{self, FaultyWriter};
 use crate::fnv::{key_hex, parse_key_hex, Fnv128};
 use psbench_analyze::{WorkloadProfile, ANALYZE_VERSION};
 use psbench_sim::SimulationResult;
@@ -217,7 +218,7 @@ impl ArtifactStore {
         let guard = TmpGuard::new(tmp.clone());
         {
             let mut f = File::create(&tmp)?;
-            f.write_all(bytes)?;
+            fault::write_all(&mut f, bytes)?;
             f.flush()?;
         }
         fs::rename(&tmp, &final_path)?;
@@ -305,7 +306,9 @@ impl ArtifactStore {
         let trace_dir = self.root.join(ArtifactKind::Trace.dir());
         let body_path = self.tmp_path(&trace_dir);
         let _body_guard = TmpGuard::new(body_path.clone());
-        let mut body = BufWriter::new(File::create(&body_path).map_err(io_parse)?);
+        let mut body = BufWriter::new(FaultyWriter::new(
+            File::create(&body_path).map_err(io_parse)?,
+        ));
         let mut hasher = trace_hasher();
         let mut records = 0u64;
         while let Some(rec) = source.next_record() {
@@ -336,7 +339,9 @@ impl ArtifactStore {
         let assembled = self.tmp_path(&trace_dir);
         let guard = TmpGuard::new(assembled.clone());
         {
-            let mut out = BufWriter::new(File::create(&assembled).map_err(io_parse)?);
+            let mut out = BufWriter::new(FaultyWriter::new(
+                File::create(&assembled).map_err(io_parse)?,
+            ));
             for line in &header_lines {
                 out.write_all(line.as_bytes()).map_err(io_parse)?;
                 out.write_all(b"\n").map_err(io_parse)?;

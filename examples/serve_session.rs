@@ -15,8 +15,8 @@ fn main() {
             scheduler: "easy".into(),
             machine: 64,
             mode: ClockMode::Afap,
-            store_dir: None,
             max_sessions: 8,
+            ..ServeConfig::default()
         },
     )
     .expect("bind server");

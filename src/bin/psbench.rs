@@ -39,7 +39,7 @@ use psbench::core::{
     GridSpec, Scale, Scenario, Table, WorkloadDef, WorkloadKind,
 };
 use psbench::sched::{by_name, scheduler_names};
-use psbench::serve::{run_script, serve, ClockMode, ServeConfig};
+use psbench::serve::{run_script_with, serve, ClockMode, ServeConfig};
 use psbench::sim::{SimConfig, SimJob, Simulation, SimulationResult};
 use psbench::store::{fingerprint_source, key_hex, profile_key, ArtifactKind, ArtifactStore};
 use psbench::swf::{
@@ -110,6 +110,13 @@ OPTIONS:
     --addr <A>        serve: listen address                     [default: 127.0.0.1:7077]
     --mode <M>        serve: session clock mode afap|real|scale:<f> [default: afap]
     --max-sessions <N> serve: concurrent session cap            [default: 256]
+    --state-dir <DIR> serve: write-ahead journal every session under DIR so a
+                      killed server recovers them by replay on restart
+    --fsync <P>       serve: journal fsync policy always|off    [default: always]
+    --idle-timeout <S> serve: seconds an idle connection (or detached session)
+                      is kept before timing out; 0 disables     [default: 300]
+    --retries <N>     client: retry connect failures and busy servers N times
+                      with exponential backoff                  [default: 0]
     --trace-out <F>   client: write the last `trace` payload to F
     --report-out <F>  client: write the last `drain` payload to F
     --strict          strict parsing / conversion
@@ -146,6 +153,10 @@ struct Opts {
     addr: Option<String>,
     mode: String,
     max_sessions: usize,
+    state_dir: Option<String>,
+    fsync: String,
+    idle_timeout: u64,
+    retries: u32,
     trace_out: Option<String>,
     report_out: Option<String>,
 }
@@ -175,6 +186,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         addr: None,
         mode: "afap".to_string(),
         max_sessions: 256,
+        state_dir: None,
+        fsync: "always".to_string(),
+        idle_timeout: 300,
+        retries: 0,
         trace_out: None,
         report_out: None,
     };
@@ -209,6 +224,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--addr" => opts.addr = Some(value("--addr")?),
             "--mode" => opts.mode = value("--mode")?,
             "--max-sessions" => opts.max_sessions = num::<usize>(&value("--max-sessions")?)?.max(1),
+            "--state-dir" => opts.state_dir = Some(value("--state-dir")?),
+            "--fsync" => opts.fsync = value("--fsync")?,
+            "--idle-timeout" => opts.idle_timeout = num(&value("--idle-timeout")?)?,
+            "--retries" => opts.retries = num(&value("--retries")?)?,
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--report-out" => opts.report_out = Some(value("--report-out")?),
             "--strict" => opts.strict = true,
@@ -729,7 +748,47 @@ fn cmd_simulate(opts: &Opts) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// `psbench serve`: run the online scheduling service until killed.
+/// SIGTERM observation for `psbench serve`: a handler flips a flag; the
+/// serve loop polls it and shuts down cleanly (checkpoint + stop). Declared
+/// by hand to keep the workspace dependency-free.
+#[cfg(unix)]
+mod term_signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    /// Install the SIGTERM handler. Safe to call once at serve startup.
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+        }
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_term);
+        }
+    }
+
+    /// True once SIGTERM has been received.
+    pub fn received() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod term_signal {
+    pub fn install() {}
+    pub fn received() -> bool {
+        false
+    }
+}
+
+/// `psbench serve`: run the online scheduling service until killed. SIGTERM
+/// triggers a clean shutdown: every session journal is checkpointed (fsynced)
+/// before the process exits, so `--state-dir` sessions resume seamlessly.
 fn cmd_serve(opts: &Opts) -> Result<ExitCode, String> {
     let mode = ClockMode::parse(&opts.mode).ok_or_else(|| {
         format!(
@@ -743,21 +802,46 @@ fn cmd_serve(opts: &Opts) -> Result<ExitCode, String> {
         // Fail fast on an unusable store rather than on the first drain.
         ArtifactStore::open(dir).map_err(store_err)?;
     }
+    let fsync = psbench::store::FsyncPolicy::parse(&opts.fsync).ok_or_else(|| {
+        format!(
+            "unknown --fsync policy {:?}; expected always|off",
+            opts.fsync
+        )
+    })?;
     let config = ServeConfig {
         scheduler: opts.scheduler.clone(),
         machine: opts.machine,
         mode,
         store_dir: opts.store.as_ref().map(std::path::PathBuf::from),
         max_sessions: opts.max_sessions,
+        state_dir: opts.state_dir.as_ref().map(std::path::PathBuf::from),
+        fsync,
+        idle_timeout: match opts.idle_timeout {
+            0 => None,
+            secs => Some(std::time::Duration::from_secs(secs)),
+        },
     };
     let addr = opts.addr.as_deref().unwrap_or("127.0.0.1:7077");
+    term_signal::install();
     let handle = serve(addr, config).map_err(|e| format!("cannot bind {addr:?}: {e}"))?;
+    if handle.poisoned_sessions() > 0 {
+        eprintln!(
+            "warning: {} session journal(s) failed recovery; attaching to them reports the error",
+            handle.poisoned_sessions()
+        );
+    }
     println!("listening on {}", handle.addr());
     std::io::stdout().flush().ok();
-    // Serve until the process is killed.
-    loop {
-        std::thread::park();
+    // Serve until killed; on SIGTERM, checkpoint journals and exit cleanly.
+    while !term_signal::received() {
+        std::thread::park_timeout(std::time::Duration::from_millis(200));
     }
+    let synced = handle
+        .checkpoint()
+        .map_err(|e| format!("checkpoint on shutdown: {e}"))?;
+    handle.stop();
+    println!("sigterm: checkpointed {synced} session journal(s), exiting");
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `psbench client`: replay a protocol script in lockstep and echo replies.
@@ -779,8 +863,12 @@ fn cmd_client(opts: &Opts) -> Result<ExitCode, String> {
         }
     };
     let lines: Vec<&str> = script.lines().collect();
+    let retry = match opts.retries {
+        0 => psbench::serve::RetryPolicy::none(),
+        n => psbench::serve::RetryPolicy::quick(n),
+    };
     let transcript =
-        run_script(addr.as_str(), &lines).map_err(|e| format!("client {addr}: {e}"))?;
+        run_script_with(addr.as_str(), &lines, retry).map_err(|e| format!("client {addr}: {e}"))?;
     for reply in &transcript.replies {
         println!("{reply}");
     }
@@ -999,6 +1087,21 @@ fn run() -> Result<ExitCode, String> {
 }
 
 fn main() -> ExitCode {
+    // Seeded fault injection (PSBENCH_FAULTS=seed=…,err=…,short=…,kill=…)
+    // threads deterministic I/O faults through store and journal writes —
+    // the test harness for crash-safety. A bad spec is a startup error, not
+    // a silent no-op.
+    match psbench::store::fault::install_from_env() {
+        Ok(None) => {}
+        Ok(Some(_)) => eprintln!(
+            "warning: fault injection active ({} is set); expect injected I/O errors",
+            psbench::store::fault::FAULTS_ENV
+        ),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    }
     match run() {
         Ok(code) => code,
         Err(msg) => {
