@@ -1,0 +1,73 @@
+//! Benches for the sharded metasystem's epoch loop: dispatch-policy cost over
+//! a fixed fleet, fleet-size scaling under least-pressure dispatch, and the
+//! parallel advance at several thread counts (results are bit-identical for
+//! any of them; only wall clock moves).
+//!
+//! `meta-bench` (the companion binary) runs a quick grid of these cells and
+//! emits the machine-readable `BENCH_meta.json` snapshot that CI diffs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psbench_metasim::{run_metasystem, standard_shard_fleet, DispatchPolicy, MetaConfig};
+use psbench_sim::SimJob;
+use psbench_workload::{Lublin99, WorkloadModel};
+use std::hint::black_box;
+
+/// The `psbench metasim` stream: Lublin '99 with interarrivals compressed by
+/// `1/sites`, renumbered onto unique ids below the migration band.
+fn stream(sites: usize, n: usize) -> Vec<SimJob> {
+    let mut log = Lublin99::with_machine_size(128).generate(n, 1);
+    log.scale_interarrivals(1.0 / sites as f64);
+    let mut jobs = SimJob::from_log(&log);
+    for (i, job) in jobs.iter_mut().enumerate() {
+        job.id = i as u64 + 1;
+        job.preceding = None;
+        job.think_time = 0.0;
+    }
+    jobs
+}
+
+/// Every dispatch policy over a 16-site fleet at 20k jobs.
+fn bench_dispatch_policies(c: &mut Criterion) {
+    const SITES: usize = 16;
+    const N: usize = 20_000;
+    let specs = standard_shard_fleet(SITES, "easy");
+    let jobs = stream(SITES, N);
+    let mut group = c.benchmark_group("bench_metasim");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(N as u64));
+    for &dispatch in DispatchPolicy::all() {
+        group.bench_function(format!("dispatch_{}", dispatch.name()), |b| {
+            let cfg = MetaConfig::new(dispatch);
+            b.iter(|| black_box(run_metasystem(&specs, &jobs, &cfg).unwrap().epochs))
+        });
+    }
+    group.finish();
+}
+
+/// Fleet-size scaling and the parallel advance under least-pressure dispatch.
+fn bench_fleet_scaling(c: &mut Criterion) {
+    const N: usize = 50_000;
+    let mut group = c.benchmark_group("bench_metasim_fleet");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(N as u64));
+    for &sites in &[16usize, 64, 256] {
+        let specs = standard_shard_fleet(sites, "easy");
+        let jobs = stream(sites, N);
+        group.bench_function(format!("sites_{sites}_serial"), |b| {
+            let cfg = MetaConfig::new(DispatchPolicy::LeastPressure);
+            b.iter(|| black_box(run_metasystem(&specs, &jobs, &cfg).unwrap().epochs))
+        });
+    }
+    let specs = standard_shard_fleet(256, "easy");
+    let jobs = stream(256, N);
+    for &threads in &[2usize, 8] {
+        group.bench_function(format!("sites_256_threads_{threads}"), |b| {
+            let cfg = MetaConfig::new(DispatchPolicy::LeastPressure).with_threads(threads);
+            b.iter(|| black_box(run_metasystem(&specs, &jobs, &cfg).unwrap().epochs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch_policies, bench_fleet_scaling);
+criterion_main!(benches);

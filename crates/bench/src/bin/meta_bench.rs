@@ -1,0 +1,270 @@
+//! `meta-bench` — the sharded-metasystem benchmark snapshot tool.
+//!
+//! Runs a fixed grid of metasystem cells (sites x jobs x dispatch policy)
+//! through [`run_metasystem`] and emits a machine-readable JSON snapshot
+//! with, per cell, the merged result's canonical fingerprint, the finished
+//! job count, the wall time, and the event throughput. The committed
+//! `BENCH_meta.json` is such a snapshot; CI regenerates a quick run and
+//! diffs it against the baseline, mirroring the `sim-bench` / `sweep-bench`
+//! steps:
+//!
+//! * **result drift** (fingerprint or finished count changed) is an error —
+//!   the epoch loop's results are bit-stable across machines and thread
+//!   counts, so a mismatch means the metasystem's semantics changed and must
+//!   be acknowledged by regenerating the baseline;
+//! * **performance regressions** (> 20% wall-time growth) produce warnings —
+//!   absolute speed varies across machines, so they do not fail the build.
+//!
+//! Every cell is measured at `--threads` (default 1, the serial twin —
+//! fingerprints are thread-count independent by construction, so the
+//! baseline stays valid under any setting).
+//!
+//! ```text
+//! meta-bench [--scale quick|full] [--threads N] [--out BENCH_meta.json] [--baseline BENCH_meta.json] [--repeat N]
+//! ```
+
+use psbench_analyze::report::{json_escape, json_num};
+use psbench_core::{WorkloadDef, WorkloadKind};
+use psbench_metasim::{run_metasystem, standard_shard_fleet, DispatchPolicy, MetaConfig};
+use psbench_sim::SimJob;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// One grid cell: a fleet size, a stream length, and a dispatch policy.
+struct Cell {
+    sites: usize,
+    jobs: usize,
+    dispatch: DispatchPolicy,
+}
+
+fn grid(scale: &str) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    // Every dispatch policy over a small fleet: the policy-semantics guard.
+    for &dispatch in DispatchPolicy::all() {
+        cells.push(Cell {
+            sites: 16,
+            jobs: 20_000,
+            dispatch,
+        });
+    }
+    // Fleet-size scaling under the default policy: the throughput guard.
+    cells.push(Cell {
+        sites: 64,
+        jobs: 50_000,
+        dispatch: DispatchPolicy::LeastPressure,
+    });
+    if scale == "full" {
+        cells.push(Cell {
+            sites: 256,
+            jobs: 250_000,
+            dispatch: DispatchPolicy::LeastPressure,
+        });
+        cells.push(Cell {
+            sites: 1000,
+            jobs: 1_000_000,
+            dispatch: DispatchPolicy::LeastPressure,
+        });
+    }
+    cells
+}
+
+struct Measurement {
+    id: String,
+    finished: usize,
+    fingerprint: String,
+    wall_ms: f64,
+    events_per_sec: f64,
+}
+
+/// The same stream `psbench metasim` routes: the Lublin '99 model on a
+/// 128-proc reference machine, interarrivals compressed by `1/sites`,
+/// renumbered onto unique ids below the migration band.
+fn stream(sites: usize, jobs: usize) -> Vec<SimJob> {
+    let def = WorkloadDef {
+        interarrival_scale: 1.0 / sites as f64,
+        ..WorkloadDef::new(WorkloadKind::Lublin99, 128, jobs, 1)
+    };
+    let mut jobs = SimJob::from_log(&def.generate());
+    for (i, job) in jobs.iter_mut().enumerate() {
+        job.id = i as u64 + 1;
+        job.preceding = None;
+        job.think_time = 0.0;
+    }
+    jobs
+}
+
+fn measure(cell: &Cell, threads: usize, repeat: usize) -> Measurement {
+    let specs = standard_shard_fleet(cell.sites, "easy");
+    let jobs = stream(cell.sites, cell.jobs);
+    let cfg = MetaConfig::new(cell.dispatch).with_threads(threads);
+    let mut best_ms = f64::INFINITY;
+    let mut meta = None;
+    for _ in 0..repeat.max(1) {
+        let t0 = Instant::now();
+        let m = run_metasystem(&specs, &jobs, &cfg).expect("known scheduler");
+        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        meta = Some(m);
+    }
+    let meta = meta.expect("at least one repeat");
+    Measurement {
+        id: format!("s{}-j{}-{}", cell.sites, cell.jobs, cell.dispatch.name()),
+        finished: meta.result.finished.len(),
+        fingerprint: format!("{:016x}", meta.fingerprint()),
+        wall_ms: best_ms,
+        events_per_sec: meta.result.events_processed as f64 / (best_ms / 1e3).max(1e-9),
+    }
+}
+
+fn render_json(scale_name: &str, threads: usize, ms: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", json_escape(scale_name)));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, m) in ms.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"finished\": {}, \"fingerprint\": \"{}\", \"wall_ms\": {}, \"events_per_sec\": {}}}{}\n",
+            json_escape(&m.id),
+            m.finished,
+            m.fingerprint,
+            json_num((m.wall_ms * 1000.0).round() / 1000.0),
+            json_num(m.events_per_sec.round()),
+            if i + 1 == ms.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Pull one field out of a baseline line (line-oriented snapshots, one JSON
+/// object per cell line).
+fn baseline_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"').to_string())
+}
+
+fn compare_to_baseline(baseline: &str, ms: &[Measurement]) -> (usize, usize) {
+    let mut drifted = 0;
+    let mut regressed = 0;
+    for m in ms {
+        let pat = format!("\"id\": \"{}\"", m.id);
+        if !baseline.contains(&pat) {
+            println!(
+                "::error::meta-bench: `{}` is measured but missing from the baseline — regenerate BENCH_meta.json",
+                m.id
+            );
+            drifted += 1;
+        }
+    }
+    for line in baseline.lines() {
+        let Some(id) = baseline_field(line, "id") else {
+            continue;
+        };
+        let Some(m) = ms.iter().find(|m| m.id == id) else {
+            println!("::warning::meta-bench: baseline cell `{id}` no longer measured");
+            continue;
+        };
+        let fingerprint = baseline_field(line, "fingerprint").unwrap_or_default();
+        let finished: usize = baseline_field(line, "finished")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        if fingerprint != m.fingerprint || finished != m.finished {
+            println!(
+                "::error::meta-bench: `{id}` result drift: fingerprint {} -> {}, finished {} -> {}",
+                fingerprint, m.fingerprint, finished, m.finished
+            );
+            drifted += 1;
+        }
+        let base_ms: f64 = baseline_field(line, "wall_ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.0);
+        if base_ms > 0.0 && m.wall_ms > 1.2 * base_ms {
+            println!(
+                "::warning::meta-bench: `{id}` wall time regressed >20%: {:.1} ms (baseline {:.1} ms)",
+                m.wall_ms, base_ms
+            );
+            regressed += 1;
+        }
+    }
+    (drifted, regressed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale_name = "quick".to_string();
+    let mut out_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut repeat = 1usize;
+    let mut threads = 1usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => scale_name = it.next().cloned().unwrap_or_else(|| "quick".into()),
+            "--out" => out_path = it.next().cloned(),
+            "--baseline" => baseline_path = it.next().cloned(),
+            "--repeat" => repeat = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+            "--threads" => threads = it.next().and_then(|v| v.parse().ok()).unwrap_or(1).max(1),
+            "-h" | "--help" => {
+                println!(
+                    "meta-bench [--scale quick|full] [--threads N] [--out FILE] [--baseline FILE] [--repeat N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("meta-bench: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if scale_name != "quick" && scale_name != "full" {
+        eprintln!("meta-bench: unknown scale `{scale_name}` (expected quick or full)");
+        return ExitCode::FAILURE;
+    }
+
+    let ms: Vec<Measurement> = grid(&scale_name)
+        .iter()
+        .map(|cell| {
+            let m = measure(cell, threads, repeat);
+            println!(
+                "{:<32} {:>8} finished {} {:>10.1} ms {:>12.0} events/s",
+                m.id, m.finished, m.fingerprint, m.wall_ms, m.events_per_sec
+            );
+            m
+        })
+        .collect();
+
+    let json = render_json(&scale_name, threads, &ms);
+    match &out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(p, &json) {
+                eprintln!("meta-bench: cannot write {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {p}");
+        }
+        None => print!("{json}"),
+    }
+
+    if let Some(p) = baseline_path {
+        match std::fs::read_to_string(&p) {
+            Ok(base) => {
+                let (drifted, regressed) = compare_to_baseline(&base, &ms);
+                println!(
+                    "baseline {p}: {drifted} result drift(s), {regressed} perf regression warning(s)"
+                );
+                if drifted > 0 {
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("meta-bench: cannot read baseline {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -2,12 +2,10 @@
 //! result tables.
 
 use crate::suite::Scenario;
-use parking_lot::Mutex;
 use psbench_analyze::WorkloadProfile;
 use psbench_sim::SimulationResult;
 use psbench_swf::{JobSource, ParseError, SwfLog, SwfRecord};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A simple report table: a title, column headers, and string rows. Every
 //  experiment renders into this so EXPERIMENTS.md and the benches print the same thing.
@@ -72,53 +70,10 @@ pub fn fmt(v: f64) -> String {
     psbench_analyze::fmt_num(v)
 }
 
-/// Number of worker threads the parallel entry points use by default: one per
-/// available hardware thread.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-/// Map `f` over `0..n` on a small work-stealing pool of scoped threads.
-///
-/// Workers pull the next undone index from a shared atomic counter, so long
-/// and short tasks balance across threads. Results come back in input order,
-/// and each call `f(i)` sees exactly the same inputs as in a sequential loop —
-/// every run seeds its own RNG from data carried by the task itself, so the
-/// output is bit-identical to `(0..n).map(f).collect()`.
-///
-/// # Panics
-/// Propagates a panic from any worker once all threads have been joined.
-pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let threads = threads.clamp(1, n.max(1));
-    if threads == 1 {
-        return (0..n).map(f).collect();
-    }
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let value = f(i);
-                results.lock()[i] = Some(value);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every index produces a result"))
-        .collect()
-}
+// The pool itself lives in the `psbench-harness` leaf crate so the metasystem
+// shard loop (`psbench_metasim::epoch`) can share it without a dependency
+// cycle; re-exported here so existing callers keep their import paths.
+pub use psbench_harness::{default_threads, parallel_map, parallel_map_mut};
 
 /// Run a batch of scenarios sequentially, returning `(scenario, result)` pairs in
 /// input order.

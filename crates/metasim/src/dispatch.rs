@@ -1,0 +1,440 @@
+//! Cross-site dispatch policies for the sharded metasystem.
+//!
+//! The dispatcher runs **only on the driving thread**, at epoch boundaries,
+//! over shard state that is quiescent (no shard advances mid-dispatch). All
+//! four policies are therefore deterministic by construction: the same
+//! arrival stream and fleet state produce the same placements for any thread
+//! count.
+//!
+//! Least-pressure dispatch is the load-adaptive policy built on the backlog
+//! index's O(1) aggregates: it keeps a lazy min-heap of `(pressure, site)`
+//! keys, re-validating entries on pop against the shard's current pressure
+//! and reinserting stale ones — O(log sites) amortized per dispatch instead
+//! of an O(sites) argmin scan per job, which is the difference between 10⁹
+//! and ~10⁷ comparisons at 1,000 sites × 1M jobs.
+
+use crate::shard::Shard;
+use psbench_sim::SimJob;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// How the metascheduler routes each arriving job to a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DispatchPolicy {
+    /// Cycle over the up sites (the naive baseline).
+    RoundRobin,
+    /// Route to the site with the least demanded-work pressure, read from the
+    /// backlog index's O(1) aggregates through a lazy min-heap.
+    LeastPressure,
+    /// Pin each user's jobs to a home site by hash (data-affinity: inputs
+    /// staged where the user's previous jobs ran), falling over to the next
+    /// up site only during outages.
+    Affinity,
+    /// Reservation-based co-allocation: probe a deterministic power-of-k
+    /// choice of candidate sites' advisory calendars via `try_reserve` and
+    /// book the earliest feasible window.
+    Reserve,
+}
+
+impl DispatchPolicy {
+    /// All policies, for sweeps and benches.
+    pub fn all() -> &'static [DispatchPolicy] {
+        &[
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::LeastPressure,
+            DispatchPolicy::Affinity,
+            DispatchPolicy::Reserve,
+        ]
+    }
+
+    /// Short name for reports and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DispatchPolicy::RoundRobin => "round-robin",
+            DispatchPolicy::LeastPressure => "least-pressure",
+            DispatchPolicy::Affinity => "affinity",
+            DispatchPolicy::Reserve => "reserve",
+        }
+    }
+
+    /// Parse a CLI name (the inverse of [`DispatchPolicy::name`]).
+    pub fn parse(name: &str) -> Option<DispatchPolicy> {
+        DispatchPolicy::all()
+            .iter()
+            .copied()
+            .find(|p| p.name() == name)
+    }
+}
+
+/// How many candidate sites [`DispatchPolicy::Reserve`] probes per job.
+const RESERVE_CHOICES: usize = 4;
+
+/// How far ahead a reservation probe searches before giving up and treating
+/// the candidate as unavailable (two weeks, matching the analytic sites'
+/// search horizon).
+const RESERVE_HORIZON: f64 = 14.0 * 24.0 * 3600.0;
+
+fn splitmix64(mut h: u64) -> u64 {
+    h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// The metascheduler's routing state: one dispatcher drives one fleet.
+#[derive(Debug)]
+pub struct Dispatcher {
+    policy: DispatchPolicy,
+    rr: usize,
+    /// Lazy min-heap of `(pressure bits, site)` for [`DispatchPolicy::LeastPressure`];
+    /// entries are validated on pop and reinserted when stale.
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl Dispatcher {
+    /// A dispatcher for the given policy.
+    pub fn new(policy: DispatchPolicy) -> Self {
+        Dispatcher {
+            policy,
+            rr: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// The policy this dispatcher routes by.
+    pub fn policy(&self) -> DispatchPolicy {
+        self.policy
+    }
+
+    /// Refresh per-epoch routing state after the fleet advanced: rebuild the
+    /// pressure heap from the shards' current aggregates. Call at every epoch
+    /// boundary before dispatching.
+    pub fn begin_epoch(&mut self, shards: &[Shard], down: &[bool]) {
+        if self.policy == DispatchPolicy::LeastPressure {
+            self.heap.clear();
+            for (i, shard) in shards.iter().enumerate() {
+                if !down[i] {
+                    self.heap.push(Reverse((shard.pressure_bits(), i as u32)));
+                }
+            }
+        }
+    }
+
+    /// Route one job: pick an up site, book any advisory reservation, and
+    /// return the chosen shard index — or `None` when every site is down
+    /// (the caller parks the job until a site comes back).
+    ///
+    /// The caller must submit the job to the returned shard and then call
+    /// [`Dispatcher::note_submitted`] so pressure-tracking state stays exact.
+    pub fn pick(
+        &mut self,
+        shards: &mut [Shard],
+        down: &[bool],
+        job: &SimJob,
+        now: f64,
+    ) -> Option<usize> {
+        let n = shards.len();
+        if n == 0 || down.iter().all(|&d| d) {
+            return None;
+        }
+        match self.policy {
+            DispatchPolicy::RoundRobin => {
+                for _ in 0..n {
+                    let i = self.rr % n;
+                    self.rr += 1;
+                    if !down[i] {
+                        return Some(i);
+                    }
+                }
+                None
+            }
+            DispatchPolicy::LeastPressure => {
+                while let Some(Reverse((bits, site))) = self.heap.pop() {
+                    let i = site as usize;
+                    if down[i] {
+                        continue;
+                    }
+                    let current = shards[i].pressure_bits();
+                    if current == bits {
+                        return Some(i);
+                    }
+                    // Stale entry: reinsert with the fresh key and retry.
+                    self.heap.push(Reverse((current, site)));
+                }
+                // Heap exhausted (e.g. sites came up since begin_epoch):
+                // fall back to a scan of the up sites.
+                (0..n)
+                    .filter(|&i| !down[i])
+                    .min_by_key(|&i| (shards[i].pressure_bits(), i))
+            }
+            DispatchPolicy::Affinity => {
+                let key = job.user.map(|u| u as u64 + 1).unwrap_or(job.id << 1);
+                let home = (splitmix64(key) % n as u64) as usize;
+                (0..n).map(|d| (home + d) % n).find(|&i| !down[i])
+            }
+            DispatchPolicy::Reserve => {
+                let mut best: Option<(u64, u32, usize)> = None;
+                for c in 0..RESERVE_CHOICES {
+                    let cand = (splitmix64(job.id ^ ((c as u64) << 48)) % n as u64) as usize;
+                    if down[cand] {
+                        continue;
+                    }
+                    let shard = &shards[cand];
+                    let procs = job.procs.min(shard.spec.procs).max(1);
+                    let dur = shard.scaled_runtime(job.estimate.max(job.work)).max(1.0);
+                    let start = earliest_window(shard, now, dur, procs).unwrap_or(f64::MAX);
+                    let key = (start.to_bits(), shard.spec.id, cand);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+                let (start_bits, _, chosen) = best?;
+                let shard = &mut shards[chosen];
+                let procs = job.procs.min(shard.spec.procs).max(1);
+                let dur = shard.scaled_runtime(job.estimate.max(job.work)).max(1.0);
+                let start = f64::from_bits(start_bits);
+                if start < f64::MAX {
+                    // Advisory booking; a full calendar just means the site
+                    // absorbs the job through its queue like any other.
+                    let _ = shard.calendar.try_reserve(start, start + dur, procs);
+                }
+                Some(chosen)
+            }
+        }
+    }
+
+    /// Record that a job was submitted to shard `i`, keeping the pressure
+    /// heap in sync with the shard's now-larger inflight demand.
+    pub fn note_submitted(&mut self, shards: &[Shard], i: usize) {
+        if self.policy == DispatchPolicy::LeastPressure {
+            self.heap
+                .push(Reverse((shards[i].pressure_bits(), i as u32)));
+        }
+    }
+}
+
+/// The earliest window at or after `from` where the shard's advisory
+/// calendar can hold `procs` processors for `dur` seconds, or `None` when
+/// nothing fits within [`RESERVE_HORIZON`].
+///
+/// One O(R log R) sweep over the calendar's breakpoints: the reserved count
+/// is a step function, so a window is feasible iff every breakpoint interval
+/// it covers is — the sweep tracks the earliest still-open candidate start
+/// and restarts it past any overloaded interval. (The naive alternative —
+/// stepping a probe time and re-scanning the reservation list per step — is
+/// O(steps · R²) per job and dominated fleet runs.)
+fn earliest_window(shard: &Shard, from: f64, dur: f64, procs: u32) -> Option<f64> {
+    let cap = shard.spec.procs;
+    if procs > cap {
+        return None;
+    }
+    // Breakpoints of the reserved-count step function at or after `from`.
+    let mut events: Vec<(f64, i64)> = Vec::new();
+    for r in &shard.calendar.reservations {
+        if r.end <= from {
+            continue;
+        }
+        events.push((r.start.max(from), r.procs as i64));
+        events.push((r.end, -(r.procs as i64)));
+    }
+    if events.is_empty() {
+        return Some(from);
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut load = 0i64;
+    let mut candidate = from;
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].0;
+        // A feasible run long enough to hold the whole window ends the search.
+        if t - candidate >= dur {
+            return Some(candidate);
+        }
+        while i < events.len() && events[i].0 == t {
+            load += events[i].1;
+            i += 1;
+        }
+        if load + procs as i64 > cap as i64 {
+            // Overloaded from t until the next breakpoint: any window
+            // overlapping it is infeasible, so the candidate restarts at the
+            // next load change.
+            candidate = match events.get(i) {
+                Some(&(next, _)) => next,
+                None => return None, // overloaded with no later release: corrupt calendar
+            };
+            if candidate - from > RESERVE_HORIZON {
+                return None;
+            }
+        }
+    }
+    // Past the last breakpoint the calendar is empty.
+    Some(candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::{standard_shard_fleet, Shard};
+
+    fn fleet(n: usize) -> Vec<Shard> {
+        standard_shard_fleet(n, "fcfs")
+            .into_iter()
+            .map(|s| Shard::new(s).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in DispatchPolicy::all() {
+            assert_eq!(DispatchPolicy::parse(p.name()), Some(*p));
+        }
+        assert_eq!(DispatchPolicy::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn round_robin_cycles_and_skips_down_sites() {
+        let mut shards = fleet(4);
+        let mut down = vec![false; 4];
+        down[1] = true;
+        let mut d = Dispatcher::new(DispatchPolicy::RoundRobin);
+        let job = SimJob::rigid(1, 0.0, 10.0, 8);
+        let picks: Vec<usize> = (0..6)
+            .map(|_| d.pick(&mut shards, &down, &job, 0.0).unwrap())
+            .collect();
+        assert_eq!(picks, vec![0, 2, 3, 0, 2, 3]);
+    }
+
+    #[test]
+    fn least_pressure_prefers_the_emptiest_site() {
+        let mut shards = fleet(3);
+        let down = vec![false; 3];
+        // Load site 0 heavily.
+        for i in 0..20u64 {
+            let job = SimJob::rigid(1000 + i, 0.0, 1e5, 64);
+            shards[0].submit(&job, 1000 + i, 0.0).unwrap();
+        }
+        let mut d = Dispatcher::new(DispatchPolicy::LeastPressure);
+        d.begin_epoch(&shards, &down);
+        let job = SimJob::rigid(1, 0.0, 10.0, 8);
+        let pick = d.pick(&mut shards, &down, &job, 0.0).unwrap();
+        assert_ne!(pick, 0, "loaded site must lose");
+        // Submitting through the protocol keeps the heap exact.
+        shards[pick].submit(&job, 1, 0.0).unwrap();
+        d.note_submitted(&shards, pick);
+    }
+
+    #[test]
+    fn least_pressure_heap_converges_under_staleness() {
+        let mut shards = fleet(5);
+        let down = vec![false; 5];
+        let mut d = Dispatcher::new(DispatchPolicy::LeastPressure);
+        d.begin_epoch(&shards, &down);
+        // Mutate pressures behind the heap's back, then dispatch many jobs:
+        // every pick must still return a valid up site.
+        for i in 0..50u64 {
+            let job = SimJob::rigid(i + 1, 0.0, 100.0, 32);
+            let pick = d.pick(&mut shards, &down, &job, 0.0).unwrap();
+            shards[pick].submit(&job, i + 1, 0.0).unwrap();
+            d.note_submitted(&shards, pick);
+        }
+        let dispatched: u64 = shards.iter().map(|s| s.inflight).sum();
+        assert_eq!(dispatched, 50 * 32);
+    }
+
+    #[test]
+    fn affinity_is_sticky_per_user() {
+        let mut shards = fleet(8);
+        let down = vec![false; 8];
+        let mut d = Dispatcher::new(DispatchPolicy::Affinity);
+        let job_a = SimJob::rigid(1, 0.0, 10.0, 4).with_user(7);
+        let job_b = SimJob::rigid(2, 0.0, 10.0, 4).with_user(7);
+        let a = d.pick(&mut shards, &down, &job_a, 0.0).unwrap();
+        let b = d.pick(&mut shards, &down, &job_b, 0.0).unwrap();
+        assert_eq!(a, b, "same user, same home site");
+        // When the home site is down, the user fails over deterministically.
+        let mut down2 = down.clone();
+        down2[a] = true;
+        let c = d.pick(&mut shards, &down2, &job_a, 0.0).unwrap();
+        assert_eq!(c, (a + 1) % 8);
+    }
+
+    #[test]
+    fn reserve_books_advisory_windows() {
+        let mut shards = fleet(4);
+        let down = vec![false; 4];
+        let mut d = Dispatcher::new(DispatchPolicy::Reserve);
+        for i in 0..12u64 {
+            let job = SimJob::rigid(i + 1, 0.0, 5000.0, 64);
+            let pick = d.pick(&mut shards, &down, &job, 0.0).unwrap();
+            shards[pick].submit(&job, i + 1, 0.0).unwrap();
+            d.note_submitted(&shards, pick);
+        }
+        let booked: usize = shards.iter().map(|s| s.calendar.reservations.len()).sum();
+        assert!(booked > 0, "reserve policy must book windows");
+    }
+
+    #[test]
+    fn earliest_window_sweep_matches_the_calendar_oracle() {
+        // Differential check: the O(R log R) sweep must agree with the
+        // cluster's own max_reserved_during at every breakpoint-derived
+        // candidate start, on a deterministic pseudo-random calendar.
+        let mut shard = fleet(1).pop().unwrap();
+        let cap = shard.spec.procs;
+        let mut h = 12345u64;
+        for _ in 0..60 {
+            h = splitmix64(h);
+            let start = (h % 100_000) as f64;
+            let dur = 600.0 + (h % 7) as f64 * 3600.0;
+            let procs = 1 + (h % (cap as u64 / 2)) as u32;
+            shard.calendar.try_reserve(start, start + dur, procs);
+        }
+        for probe in 0..40u64 {
+            let from = (probe * 2_500) as f64;
+            let dur = 1_800.0 + (probe % 5) as f64 * 3_600.0;
+            let procs = 1 + (splitmix64(probe) % cap as u64) as u32;
+            let got = earliest_window(&shard, from, dur, procs);
+            if let Some(t) = got {
+                assert!(t >= from);
+                assert!(
+                    shard.calendar.max_reserved_during(t, t + dur) + procs <= cap,
+                    "window at {t} overbooks"
+                );
+                // Earliest: every breakpoint-derived start strictly before it
+                // must be infeasible (starts between breakpoints can only see
+                // equal or higher load than the breakpoint preceding them).
+                let mut earlier: Vec<f64> = shard
+                    .calendar
+                    .reservations
+                    .iter()
+                    .map(|r| r.end)
+                    .filter(|&e| e > from && e < t)
+                    .collect();
+                earlier.push(from);
+                for &s in earlier.iter().filter(|&&s| s < t) {
+                    assert!(
+                        shard.calendar.max_reserved_during(s, s + dur) + procs > cap,
+                        "earlier start {s} was feasible but sweep chose {t}"
+                    );
+                }
+            } else {
+                assert!(
+                    shard.calendar.max_reserved_during(from, from + dur) + procs > cap,
+                    "sweep gave up but the window at {from} was free"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_sites_down_parks_the_job() {
+        let mut shards = fleet(2);
+        let down = vec![true; 2];
+        for p in DispatchPolicy::all() {
+            let mut d = Dispatcher::new(*p);
+            d.begin_epoch(&shards, &down);
+            let job = SimJob::rigid(1, 0.0, 10.0, 4);
+            assert_eq!(d.pick(&mut shards, &down, &job, 0.0), None, "{}", p.name());
+        }
+    }
+}

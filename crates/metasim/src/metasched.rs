@@ -114,7 +114,7 @@ impl AppScheduler {
 
     fn pick_site(
         &mut self,
-        sites: &mut [Site],
+        sites: &[Site],
         devices: &DeviceMap,
         module: &crate::appmodel::Module,
         ready: f64,

@@ -11,7 +11,7 @@
 use psbench_sim::Cluster;
 use psbench_workload::dist::exponential;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// Heterogeneity knobs of a site (Section 4.1's three flavours).
@@ -115,14 +115,28 @@ impl Site {
     /// The site's *prediction* of the wait a request of `procs` processors would
     /// experience if submitted at `now` (the true expectation perturbed by the
     /// site's prediction error, as in the queue-time-prediction literature).
-    pub fn predict_wait(&mut self, now: f64, procs: u32) -> f64 {
+    ///
+    /// Prediction is a pure query: the noise is a deterministic hash of
+    /// `(site, now, procs)`, not a draw from the site's RNG, so asking for a
+    /// prediction never perturbs subsequent [`Self::sample_wait`] draws —
+    /// predict-then-submit places a job exactly where submit alone would.
+    pub fn predict_wait(&self, now: f64, procs: u32) -> f64 {
         let fraction = procs.min(self.spec.procs) as f64 / self.spec.procs as f64;
         let load_factor = 1.0 / (1.0 - self.spec.background_load.clamp(0.0, 0.95));
         let mean = self.spec.base_wait * fraction * load_factor * 0.5;
         let backlog_wait = (self.backlog_until - now).max(0.0);
         let err = self.spec.prediction_error.max(0.0);
         let noise: f64 = if err > 0.0 {
-            self.rng.gen_range(-err..err)
+            // splitmix64 over the query coordinates → uniform in [-err, err).
+            let mut h = (self.spec.id as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(now.to_bits())
+                .wrapping_add((procs as u64) << 32);
+            h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            h ^= h >> 31;
+            let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+            err * (2.0 * unit - 1.0)
         } else {
             0.0
         };
@@ -270,19 +284,47 @@ mod tests {
     fn predictions_are_within_the_configured_error() {
         let mut spec = SiteSpec::new(1, 128);
         spec.prediction_error = 0.0;
-        let mut clairvoyant = Site::new(spec, 9);
+        let clairvoyant = Site::new(spec, 9);
         let p = clairvoyant.predict_wait(0.0, 64);
         let expected = spec.base_wait * 0.5 * (1.0 / (1.0 - spec.background_load)) * 0.5;
         assert!((p - expected).abs() < 1e-6);
         spec.prediction_error = 0.5;
-        let mut noisy = Site::new(spec, 9);
-        for _ in 0..100 {
-            let p = noisy.predict_wait(0.0, 64);
+        let noisy = Site::new(spec, 9);
+        // Distinct query points draw distinct (but bounded) noise.
+        let mut distinct = std::collections::BTreeSet::new();
+        for i in 0..100 {
+            let p = noisy.predict_wait(i as f64, 64);
             assert!(
                 p >= expected * 0.49 && p <= expected * 1.51,
                 "prediction {p}"
             );
+            distinct.insert(p.to_bits());
         }
+        assert!(distinct.len() > 50, "noise should vary across query points");
+    }
+
+    #[test]
+    fn predicting_never_perturbs_subsequent_submissions() {
+        // Regression test: predict_wait used to advance the site RNG, so a
+        // what-if query changed where the next submission landed. Prediction
+        // must be a pure read: predict-then-submit == submit alone.
+        let mut queried = Site::new(SiteSpec::new(3, 256), 21);
+        let mut untouched = queried.clone();
+        for i in 0..50 {
+            let now = i as f64 * 60.0;
+            // Hammer the predictor on one twin only.
+            for procs in [1u32, 16, 64, 256] {
+                let _ = queried.predict_wait(now, procs);
+            }
+            let procs = 32 + (i % 5) as u32 * 16;
+            let a = queried.submit(now, 1e6, procs);
+            let b = untouched.submit(now, 1e6, procs);
+            assert_eq!(a, b, "submission {i} diverged after predictions");
+        }
+        // And repeated predictions at one query point are self-consistent.
+        let p1 = queried.predict_wait(0.0, 64);
+        let p2 = queried.predict_wait(0.0, 64);
+        assert_eq!(p1.to_bits(), p2.to_bits());
     }
 
     #[test]

@@ -1253,6 +1253,19 @@ impl Simulation {
         self.queue.len()
     }
 
+    /// The wait queue itself, exposing the backlog index's O(1)/O(widths)
+    /// aggregates ([`JobQueue::demanded_procs`], [`JobQueue::width_histogram`])
+    /// that load-adaptive metaschedulers route by.
+    pub fn queue(&self) -> &crate::queue::JobQueue {
+        &self.queue
+    }
+
+    /// The jobs completed so far, in completion order. An online shard
+    /// harvests the suffix it has not yet seen after each `advance`.
+    pub fn finished_jobs(&self) -> &[FinishedJob] {
+        &self.finished
+    }
+
     /// Number of jobs currently holding processors.
     pub fn running_len(&self) -> usize {
         self.running.len()

@@ -613,6 +613,12 @@ pub struct JobQueue {
     by_procs: BTreeMap<u32, u32>,
     /// Node storage shared by all bucket treaps.
     arena: Arena,
+    /// Total processors demanded by all live queued jobs — the O(1)
+    /// aggregate behind load-adaptive cross-site dispatch.
+    demanded: u64,
+    /// Live-job count per requested width (`procs → count`), maintained
+    /// alongside the bucket treaps; iterating it is O(distinct widths).
+    widths: BTreeMap<u32, u32>,
     /// First slot that may be live (everything before it is dead).
     head: usize,
     /// Largest key ever appended; new keys above it may use the O(1) tail path.
@@ -652,6 +658,21 @@ impl JobQueue {
     /// Look up a queued job by id, O(1).
     pub fn get(&self, id: u64) -> Option<&QueuedJob> {
         self.index.get(&id).and_then(|&i| self.slots[i].as_ref())
+    }
+
+    /// Total processors demanded by all queued jobs, O(1). Maintained
+    /// incrementally at the push/remove mutation points, this is the backlog
+    /// "pressure" aggregate that load-adaptive metaschedulers route by
+    /// without scanning the queue.
+    pub fn demanded_procs(&self) -> u64 {
+        self.demanded
+    }
+
+    /// The live width histogram — `(procs, live job count)` in ascending
+    /// width order, O(distinct widths) to iterate. One entry per non-empty
+    /// backlog-index bucket.
+    pub fn width_histogram(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.widths.iter().map(|(&p, &c)| (p, c))
     }
 
     /// The queued jobs that *can possibly fit* a capacity/estimate budget:
@@ -813,6 +834,8 @@ impl JobQueue {
     /// pays a compacting sorted insert.
     pub(crate) fn push(&mut self, q: QueuedJob) {
         let procs = q.job.procs;
+        self.demanded += procs as u64;
+        *self.widths.entry(procs).or_insert(0) += 1;
         let root = self.by_procs.get(&procs).copied().unwrap_or(NIL);
         let root = self.arena.insert(root, index_entry(&q));
         self.by_procs.insert(procs, root);
@@ -834,6 +857,13 @@ impl JobQueue {
         let q = self.slots[i].take();
         if let Some(job) = &q {
             let procs = job.job.procs;
+            self.demanded -= procs as u64;
+            if let Some(count) = self.widths.get_mut(&procs) {
+                *count -= 1;
+                if *count == 0 {
+                    self.widths.remove(&procs);
+                }
+            }
             if let Some(&root) = self.by_procs.get(&procs) {
                 let (arr, jid, _) = index_entry(job);
                 let root = self.arena.remove(root, (arr, jid));
@@ -927,6 +957,16 @@ impl JobQueue {
             .map(|&root| self.arena.count(root))
             .sum();
         debug_assert_eq!(indexed, self.index.len(), "backlog index size drifted");
+        let live_demand: u64 = live.iter().map(|q| q.job.procs as u64).sum();
+        debug_assert_eq!(
+            self.demanded, live_demand,
+            "demanded-procs aggregate drifted"
+        );
+        let mut live_widths: BTreeMap<u32, u32> = BTreeMap::new();
+        for q in &live {
+            *live_widths.entry(q.job.procs).or_insert(0) += 1;
+        }
+        debug_assert_eq!(self.widths, live_widths, "width histogram drifted");
         debug_assert!(
             self.by_procs.values().all(|&root| root != NIL),
             "empty backlog-index bucket retained"
@@ -978,6 +1018,43 @@ mod tests {
 
     fn ids(q: &JobQueue) -> Vec<u64> {
         q.iter().map(|j| j.job.id).collect()
+    }
+
+    #[test]
+    fn demand_aggregates_track_push_and_remove() {
+        let mut q = JobQueue::new();
+        assert_eq!(q.demanded_procs(), 0);
+        assert_eq!(q.width_histogram().count(), 0);
+        let widths = [4u32, 16, 4, 1, 16, 16, 64];
+        for (i, &w) in widths.iter().enumerate() {
+            let t = i as f64;
+            q.push(QueuedJob {
+                job: SimJob::rigid(i as u64 + 1, t, 100.0, w),
+                queued_at: t,
+                restarts: 0,
+                first_started_at: None,
+            });
+        }
+        assert_eq!(q.demanded_procs(), 4 + 16 + 4 + 1 + 16 + 16 + 64);
+        let hist: Vec<(u32, u32)> = q.width_histogram().collect();
+        assert_eq!(hist, vec![(1, 1), (4, 2), (16, 3), (64, 1)]);
+        q.check_invariants();
+        // Removals (including a double-remove no-op) keep the aggregates exact
+        // and drop emptied histogram entries.
+        assert!(q.remove(7).is_some()); // the 64-wide job
+        assert!(q.remove(7).is_none());
+        assert!(q.remove(4).is_some()); // the 1-wide job
+        assert_eq!(q.demanded_procs(), 4 + 16 + 4 + 16 + 16);
+        let hist: Vec<(u32, u32)> = q.width_histogram().collect();
+        assert_eq!(hist, vec![(4, 2), (16, 3)]);
+        q.check_invariants();
+        // Drain completely: back to zero.
+        for id in [1u64, 2, 3, 5, 6] {
+            assert!(q.remove(id).is_some());
+        }
+        assert_eq!(q.demanded_procs(), 0);
+        assert_eq!(q.width_histogram().count(), 0);
+        q.check_invariants();
     }
 
     #[test]

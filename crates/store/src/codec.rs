@@ -35,6 +35,8 @@ use std::fmt;
 pub const PROFILE_MAGIC: &str = "psbench-profile v1";
 /// Magic first line of an encoded [`SimulationResult`].
 pub const RESULT_MAGIC: &str = "psbench-result v1";
+/// Magic first line of an encoded [`MetaSummary`].
+pub const META_MAGIC: &str = "psbench-meta v1";
 
 /// A decoding failure: the artifact bytes do not describe a well-formed value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -534,6 +536,97 @@ pub fn result_fingerprint(r: &SimulationResult) -> u64 {
     crate::fnv::fnv1a_64(encode_result(r).as_bytes())
 }
 
+/// A memoized metasystem run: the merged fleet-wide [`SimulationResult`]
+/// plus the epoch-loop counters a metasystem report needs — they are not
+/// recoverable from the merged result (site identity is erased by the
+/// merge), so they travel alongside it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetaSummary {
+    /// Number of sites simulated.
+    pub sites: u64,
+    /// Cross-site dispatch policy name.
+    pub dispatch: String,
+    /// Epochs the loop executed.
+    pub epochs: u64,
+    /// Jobs dispatched (first placements).
+    pub dispatched: u64,
+    /// Outage-induced migrations performed.
+    pub migrations: u64,
+    /// Completed jobs per site, in site-id order.
+    pub per_site_finished: Vec<u64>,
+    /// The merged fleet-wide result.
+    pub result: SimulationResult,
+}
+
+/// Encode a [`MetaSummary`]: a short counter header followed by the embedded
+/// result in its own exact encoding, so `decode_meta(encode_meta(m)) == m`
+/// holds with `==` like every other artifact.
+pub fn encode_meta(m: &MetaSummary) -> String {
+    let mut out = String::new();
+    out.push_str(META_MAGIC);
+    out.push('\n');
+    out.push_str(&format!("sites {}\n", m.sites));
+    out.push_str(&format!("dispatch {}\n", escape_name(&m.dispatch)));
+    out.push_str(&format!(
+        "loop {} {} {}\n",
+        m.epochs, m.dispatched, m.migrations
+    ));
+    out.push_str(&format!("per_site {}", m.per_site_finished.len()));
+    for c in &m.per_site_finished {
+        out.push_str(&format!(" {c}"));
+    }
+    out.push('\n');
+    out.push_str(&encode_result(&m.result));
+    out
+}
+
+/// Exact inverse of [`encode_meta`]. Scheduler-semantics staleness is caught
+/// by the embedded result's own `sched_version` stamp.
+pub fn decode_meta(text: &str) -> Result<MetaSummary, CodecError> {
+    // The header is exactly five lines; everything after it is the embedded
+    // result's encoding, handed to `decode_result` verbatim.
+    let mut offset = 0usize;
+    for _ in 0..5 {
+        match text[offset..].find('\n') {
+            Some(line_end) => offset += line_end + 1,
+            None => return err(0, "unexpected end of artifact"),
+        }
+    }
+    let mut lines = Lines::new(text);
+    let magic = lines.next()?;
+    if magic != META_MAGIC {
+        return err(lines.line, format!("bad meta magic {magic:?}"));
+    }
+    let sites: u64 = parse_num(lines.tagged("sites")?, lines.line, "sites")?;
+    let dispatch = unescape_name(lines.tagged("dispatch")?);
+    let rest = lines.tagged("loop")?;
+    let [epochs, dispatched, migrations] = split_n::<3>(rest, lines.line)?;
+    let rest = lines.tagged("per_site")?;
+    let mut toks = rest.split_ascii_whitespace();
+    let n: usize = parse_num(toks.next().unwrap_or(""), lines.line, "per-site count")?;
+    let mut per_site_finished = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let tok = match toks.next() {
+            Some(t) => t,
+            None => return err(lines.line, "missing per-site counts"),
+        };
+        per_site_finished.push(parse_num(tok, lines.line, "per-site count")?);
+    }
+    if toks.next().is_some() {
+        return err(lines.line, "trailing per-site counts");
+    }
+    let result = decode_result(&text[offset..])?;
+    Ok(MetaSummary {
+        sites,
+        dispatch,
+        epochs: parse_num(epochs, 4, "epochs")?,
+        dispatched: parse_num(dispatched, 4, "dispatched")?,
+        migrations: parse_num(migrations, 4, "migrations")?,
+        per_site_finished,
+        result,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -586,6 +679,47 @@ mod tests {
         // Determinism: equal values, equal bytes, equal fingerprints.
         assert_eq!(encode_result(&back), text);
         assert_eq!(result_fingerprint(&back), result_fingerprint(&r));
+    }
+
+    #[test]
+    fn meta_round_trips_bit_for_bit() {
+        let m = MetaSummary {
+            sites: 12,
+            dispatch: "least-pressure".into(),
+            epochs: 480,
+            dispatched: 10_000,
+            migrations: 37,
+            per_site_finished: (0..12).map(|i| 800 + i).collect(),
+            result: sample_result(),
+        };
+        let text = encode_meta(&m);
+        let back = decode_meta(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(encode_meta(&back), text);
+        // Degenerate corner: no per-site counts at all still round-trips.
+        let empty = MetaSummary {
+            per_site_finished: Vec::new(),
+            ..m
+        };
+        assert_eq!(decode_meta(&encode_meta(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn meta_rejects_mangled_headers() {
+        let m = MetaSummary {
+            sites: 2,
+            dispatch: "round-robin".into(),
+            epochs: 1,
+            dispatched: 2,
+            migrations: 0,
+            per_site_finished: vec![1, 1],
+            result: sample_result(),
+        };
+        let text = encode_meta(&m);
+        assert!(decode_meta(&text.replace(META_MAGIC, "psbench-meta v0")).is_err());
+        assert!(decode_meta(&text.replace("per_site 2 1 1", "per_site 3 1 1")).is_err());
+        assert!(decode_meta(&text.replace("per_site 2 1 1", "per_site 2 1 1 9")).is_err());
+        assert!(decode_meta(text.split("psbench-result").next().unwrap()).is_err());
     }
 
     #[test]

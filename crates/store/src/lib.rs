@@ -62,8 +62,8 @@ pub mod store;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::codec::{
-        decode_profile, decode_result, encode_profile, encode_result, result_fingerprint,
-        CodecError,
+        decode_meta, decode_profile, decode_result, encode_meta, encode_profile, encode_result,
+        result_fingerprint, CodecError, MetaSummary,
     };
     pub use crate::fault::FaultPlan;
     pub use crate::fnv::{fnv1a_64, fnv1a_64_hex, key_hex, parse_key_hex, Fnv128, Fnv64};

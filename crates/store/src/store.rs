@@ -6,6 +6,7 @@
 //! <root>/traces/<key>.swf        ingested traces, canonical SWF text
 //! <root>/profiles/<key>.profile  cached WorkloadProfiles (codec text)
 //! <root>/results/<key>.result    memoized SimulationResults (codec text)
+//! <root>/meta/<key>.meta         memoized metasystem run summaries (codec text)
 //! <root>/ledgers/<key>.ledger    durable sweep progress journals
 //! ```
 //!
@@ -48,16 +49,19 @@ pub enum ArtifactKind {
     Profile,
     /// A memoized [`SimulationResult`].
     Result,
+    /// A memoized metasystem run summary (see [`crate::codec::MetaSummary`]).
+    Meta,
     /// A durable sweep progress ledger (see [`crate::ledger::SweepLedger`]).
     Ledger,
 }
 
 impl ArtifactKind {
     /// Every kind, in the order store listings report them.
-    pub const ALL: [ArtifactKind; 4] = [
+    pub const ALL: [ArtifactKind; 5] = [
         ArtifactKind::Trace,
         ArtifactKind::Profile,
         ArtifactKind::Result,
+        ArtifactKind::Meta,
         ArtifactKind::Ledger,
     ];
 
@@ -67,6 +71,7 @@ impl ArtifactKind {
             ArtifactKind::Trace => "traces",
             ArtifactKind::Profile => "profiles",
             ArtifactKind::Result => "results",
+            ArtifactKind::Meta => "meta",
             ArtifactKind::Ledger => "ledgers",
         }
     }
@@ -77,6 +82,7 @@ impl ArtifactKind {
             ArtifactKind::Trace => "swf",
             ArtifactKind::Profile => "profile",
             ArtifactKind::Result => "result",
+            ArtifactKind::Meta => "meta",
             ArtifactKind::Ledger => "ledger",
         }
     }
@@ -88,6 +94,7 @@ impl fmt::Display for ArtifactKind {
             ArtifactKind::Trace => "trace",
             ArtifactKind::Profile => "profile",
             ArtifactKind::Result => "result",
+            ArtifactKind::Meta => "meta",
             ArtifactKind::Ledger => "ledger",
         })
     }
@@ -290,6 +297,20 @@ impl ArtifactStore {
         }
     }
 
+    /// Memoize a metasystem run summary under `key`.
+    pub fn put_meta(&self, key: u128, meta: &codec::MetaSummary) -> io::Result<()> {
+        self.put_bytes(ArtifactKind::Meta, key, codec::encode_meta(meta).as_bytes())
+    }
+
+    /// Fetch a memoized metasystem summary; `Ok(None)` when absent, `Err`
+    /// with [`io::ErrorKind::InvalidData`] when present but corrupt or stale.
+    pub fn get_meta(&self, key: u128) -> io::Result<Option<codec::MetaSummary>> {
+        match self.get_string(ArtifactKind::Meta, key)? {
+            None => Ok(None),
+            Some(text) => codec::decode_meta(&text).map(Some).map_err(invalid_data),
+        }
+    }
+
     /// Ingest a job stream as a stored trace, in bounded memory.
     ///
     /// Records are fingerprinted and spilled to a temp body file one at a
@@ -430,6 +451,9 @@ impl ArtifactStore {
                     (ArtifactKind::Result, Some(key)) => {
                         matches!(self.get_result(key), Err(_) | Ok(None))
                     }
+                    (ArtifactKind::Meta, Some(key)) => {
+                        matches!(self.get_meta(key), Err(_) | Ok(None))
+                    }
                     (ArtifactKind::Trace | ArtifactKind::Ledger, Some(_)) => false,
                 };
                 if stale {
@@ -460,6 +484,7 @@ impl ArtifactStore {
                 let problem = match kind {
                     ArtifactKind::Profile => self.get_profile(key).err().map(|e| e.to_string()),
                     ArtifactKind::Result => self.get_result(key).err().map(|e| e.to_string()),
+                    ArtifactKind::Meta => self.get_meta(key).err().map(|e| e.to_string()),
                     ArtifactKind::Trace => match self.open_trace(key) {
                         Err(e) => Some(e.to_string()),
                         Ok(None) => Some("vanished during verify".into()),

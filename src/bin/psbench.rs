@@ -9,6 +9,7 @@
 //! psbench validate <INPUT>                  check SWF conformance
 //! psbench convert  --dialect <D> <RAWFILE>  convert a raw accounting log to SWF
 //! psbench simulate <INPUT> [--scheduler S]  run a trace through a scheduler
+//! psbench metasim  [INPUT]                  sharded multi-site metasystem simulation
 //! psbench sweep    [ID...|all]              run experiments E1..E10
 //! psbench sweep    grid --store <DIR>       resumable, memoized grid sweep
 //! psbench store    <ls|gc|verify>           inspect / maintain an artifact store
@@ -38,6 +39,9 @@ use psbench::core::{
     profile_source_parallel, results_table, run_experiment, run_sweep_resumable, trace_cell_key,
     GridSpec, Scale, Scenario, Table, WorkloadDef, WorkloadKind,
 };
+use psbench::metasim::{
+    run_metasystem, standard_shard_fleet, DispatchPolicy, MetaConfig, MetaResult, SiteOutage,
+};
 use psbench::sched::{by_name, scheduler_names};
 use psbench::serve::{run_script_with, serve, ClockMode, ServeConfig};
 use psbench::sim::{SimConfig, SimJob, Simulation, SimulationResult};
@@ -47,6 +51,7 @@ use psbench::swf::{
     LogSource, ParseError, ParseOptions, RawStream, RecordIter, SourceMeta, SwfRecord,
 };
 use psbench::workload::GeneratedStream;
+use std::cmp::Ordering;
 use std::io::{BufReader, Write as _};
 use std::process::ExitCode;
 
@@ -68,6 +73,10 @@ SUBCOMMANDS:
     convert  --dialect <D> <RAWFILE>   convert a raw accounting log to SWF, streaming
                                        (dialects: nasa-ipsc860, sdsc-paragon, ctc-sp2, lanl-cm5)
     simulate <INPUT>                   run a trace through a scheduler, report metrics
+    metasim  [INPUT]                   sharded metacomputing: route one global arrival
+                                       stream across --sites real engine shards under a
+                                       --dispatch policy; parallel epoch advance, reports
+                                       byte-identical for any --threads
     sweep    [ID ... | all]            run experiments E1..E10 (default: all)
     sweep    grid                      resumable model x scheduler x load x size x seed
                                        sweep, memoized cell by cell (requires --store)
@@ -96,7 +105,14 @@ OPTIONS:
     --dialect <D>     raw-log dialect for `convert`
     --scale <S>       experiment scale for `sweep`: quick|full [default: quick]
     --store <DIR>     content-addressed artifact store: caches profiles (stats),
-                      memoizes results (simulate, sweep grid), ingests traces (convert)
+                      memoizes results (simulate, sweep grid, metasim), ingests
+                      traces (convert)
+    --sites <N>       metasim: number of sites in the fleet    [default: 16]
+    --dispatch <P>    metasim: cross-site dispatch policy      [default: least-pressure]
+                      one of: round-robin, least-pressure, affinity, reserve
+    --epoch-len <S>   metasim: epoch length in seconds         [default: 3600]
+    --outages <LIST>  metasim: scheduled site outages, comma-separated
+                      site:start:end triples (seconds)
     --models <LIST>   models for `sweep grid`, comma-separated [default: lublin99]
     --schedulers <L>  schedulers for `sweep grid`              [default: the canonical line-up]
     --loads <LIST>    interarrival scales for `sweep grid`     [default: 1.0]
@@ -146,6 +162,10 @@ struct Opts {
     sizes: Option<String>,
     seeds: Option<String>,
     max_cells: Option<usize>,
+    sites: usize,
+    dispatch: String,
+    epoch_len: f64,
+    outages: Option<String>,
     out: Option<String>,
     strict: bool,
     materialize: bool,
@@ -179,6 +199,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         sizes: None,
         seeds: None,
         max_cells: None,
+        sites: 16,
+        dispatch: "least-pressure".to_string(),
+        epoch_len: 3600.0,
+        outages: None,
         out: None,
         strict: false,
         materialize: false,
@@ -219,6 +243,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--sizes" => opts.sizes = Some(value("--sizes")?),
             "--seeds" => opts.seeds = Some(value("--seeds")?),
             "--max-cells" => opts.max_cells = Some(num(&value("--max-cells")?)?),
+            "--sites" => opts.sites = num::<usize>(&value("--sites")?)?.max(1),
+            "--dispatch" => opts.dispatch = value("--dispatch")?,
+            "--epoch-len" => opts.epoch_len = num(&value("--epoch-len")?)?,
+            "--outages" => opts.outages = Some(value("--outages")?),
             "--out" => opts.out = Some(value("--out")?),
             "--result-out" => opts.result_out = Some(value("--result-out")?),
             "--addr" => opts.addr = Some(value("--addr")?),
@@ -748,6 +776,128 @@ fn cmd_simulate(opts: &Opts) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Parse the `--outages` list: comma-separated `site:start:end` triples.
+fn parse_outage_list(list: &str) -> Result<Vec<SiteOutage>, String> {
+    parse_list(list, |item| {
+        let parts: Vec<&str> = item.split(':').collect();
+        let [site, start, end] = parts.as_slice() else {
+            return Err(format!("bad outage {item:?}; expected site:start:end"));
+        };
+        let outage = SiteOutage {
+            site: num(site)?,
+            start: num(start)?,
+            end: num(end)?,
+        };
+        let well_ordered = outage.end.partial_cmp(&outage.start) == Some(Ordering::Greater);
+        if !well_ordered {
+            return Err(format!("outage {item:?} must end after it starts"));
+        }
+        Ok(outage)
+    })
+}
+
+/// `psbench metasim`: route one global arrival stream across a fleet of
+/// engine shards under a cross-site dispatch policy. The input must be a
+/// model spec (`model:<name>`, default `model:lublin99`); its interarrivals
+/// are compressed by `1/--sites` so the offered load scales with the fleet.
+/// With `--store`, runs are memoized under the canonical
+/// (workload, fleet, dispatch, config) cell key and warm reruns render
+/// byte-identical reports. Timing goes to stderr, never into the report.
+fn cmd_metasim(opts: &Opts) -> Result<ExitCode, String> {
+    let default_spec = "model:lublin99".to_string();
+    let spec = opts.positional.first().unwrap_or(&default_spec);
+    let name = spec
+        .strip_prefix("model:")
+        .ok_or("metasim expects a model input (model:<name>)")?;
+    let kind = WorkloadKind::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown model {name:?}; expected one of {}",
+            WorkloadKind::all()
+                .iter()
+                .map(|k| k.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })?;
+    let dispatch = DispatchPolicy::parse(&opts.dispatch).ok_or_else(|| {
+        format!(
+            "unknown dispatch policy {:?}; expected one of {}",
+            opts.dispatch,
+            DispatchPolicy::all()
+                .iter()
+                .map(|p| p.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })?;
+    if opts.epoch_len <= 0.0 {
+        return Err("--epoch-len must be positive".to_string());
+    }
+    let specs = standard_shard_fleet(opts.sites, &opts.scheduler);
+    by_name(&opts.scheduler, opts.machine).map_err(|e| e.to_string())?;
+    let outages = match &opts.outages {
+        Some(list) => parse_outage_list(list)?,
+        None => Vec::new(),
+    };
+    let cfg = MetaConfig::new(dispatch)
+        .with_epoch_len(opts.epoch_len)
+        .with_threads(opts.threads)
+        .with_outages(outages);
+
+    // One global arrival stream, compressed so offered load tracks fleet
+    // size: a 16-site metasystem sees 16x the arrival rate of one machine.
+    let workload = WorkloadDef {
+        kind,
+        machine_size: opts.machine,
+        jobs: opts.jobs,
+        seed: opts.seed,
+        interarrival_scale: 1.0 / opts.sites as f64,
+    };
+    let run = || -> Result<MetaResult, String> {
+        let mut jobs = SimJob::from_log(&workload.generate());
+        // The metasystem routes an open-loop stream of unique ids below the
+        // migration band; model streams satisfy this after renumbering.
+        for (i, job) in jobs.iter_mut().enumerate() {
+            job.id = i as u64 + 1;
+            job.preceding = None;
+            job.think_time = 0.0;
+        }
+        let started = std::time::Instant::now();
+        let meta = run_metasystem(&specs, &jobs, &cfg).map_err(|e| e.to_string())?;
+        let elapsed = started.elapsed().as_secs_f64();
+        eprintln!(
+            "metasim: {} sites x {} jobs under {} in {elapsed:.3}s ({:.0} events/sec, {} threads)",
+            specs.len(),
+            jobs.len(),
+            cfg.dispatch.name(),
+            meta.result.events_processed as f64 / elapsed.max(1e-9),
+            cfg.threads,
+        );
+        Ok(meta)
+    };
+    // The workload coordinate also pins the generator's machine size; the
+    // interarrival scale is derived from the fleet size, which the specs
+    // already key.
+    let workload_name = format!("{spec}:m{}", opts.machine);
+    let key = MetaResult::cell_key(&workload_name, opts.jobs, opts.seed, &specs, &cfg);
+    let meta = match open_store(opts)? {
+        Some(store) => match store.get_meta(key).map_err(store_err)? {
+            Some(summary) => {
+                eprintln!("metasim cache hit ({})", key_hex(key));
+                MetaResult::from_summary(summary)
+            }
+            None => {
+                let meta = run()?;
+                store.put_meta(key, &meta.to_summary()).map_err(store_err)?;
+                meta
+            }
+        },
+        None => run()?,
+    };
+    emit(opts, &meta.render_report())?;
+    Ok(ExitCode::SUCCESS)
+}
+
 /// SIGTERM observation for `psbench serve`: a handler flips a flag; the
 /// serve loop polls it and shuts down cleanly (checkpoint + stop). Declared
 /// by hand to keep the workspace dependency-free.
@@ -1078,6 +1228,7 @@ fn run() -> Result<ExitCode, String> {
         "validate" => cmd_validate(&opts),
         "convert" => cmd_convert(&opts),
         "simulate" => cmd_simulate(&opts),
+        "metasim" => cmd_metasim(&opts),
         "sweep" => cmd_sweep(&opts),
         "store" => cmd_store(&opts),
         "serve" => cmd_serve(&opts),
